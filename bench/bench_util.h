@@ -1,0 +1,52 @@
+// Shared helpers for the experiment-reproduction binaries: flag parsing and
+// table formatting. Every binary accepts:
+//   --scale=<f>      time scale (default 0.02: 50x compression)
+//   --requests=<n>   requests per cell (default varies per experiment)
+//   --duration=<s>   model seconds per load point (load-sweep benches)
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace antipode {
+
+class BenchArgs {
+ public:
+  BenchArgs(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  double GetDouble(const char* name, double fallback) const {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::atof(argv_[i] + prefix.size());
+      }
+    }
+    return fallback;
+  }
+
+  int GetInt(const char* name, int fallback) const {
+    return static_cast<int>(GetDouble(name, fallback));
+  }
+
+  // Applies --scale and announces the configuration.
+  void SetupTimeScale(double default_scale = 0.02) const {
+    const double scale = GetDouble("scale", default_scale);
+    TimeScale::Set(scale);
+    std::printf("# time scale: %.3f (model latencies compressed %.0fx)\n", scale,
+                scale > 0 ? 1.0 / scale : 0.0);
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace antipode
+
+#endif  // BENCH_BENCH_UTIL_H_

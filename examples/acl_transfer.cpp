@@ -1,0 +1,103 @@
+// The explicit `transfer` scenario of §5.1: Alice blocks Bob (lineage
+// ℒ_block, written to a slowly-replicating ACL store), then posts (lineage
+// ℒ_post). Because the two actions are separate lineages, Antipode's default
+// truncation means a barrier on ℒ_post alone does NOT wait for the ACL
+// write — Bob's region may see the post while the block is still in flight.
+// Calling transfer(ℒ_block, ℒ_post) re-establishes the ordering.
+//
+//   ./acl_transfer
+
+#include <cstdio>
+
+#include "src/antipode/antipode.h"
+#include "src/context/request_context.h"
+#include "src/store/kv_store.h"
+
+using namespace antipode;
+
+namespace {
+
+struct AclDemo {
+  AclDemo()
+      : acl(SlowAcl()), posts(FastPosts()), acl_shim(&acl), post_shim(&posts) {
+    registry.Register(&acl_shim);
+    registry.Register(&post_shim);
+  }
+
+  static ReplicatedStoreOptions SlowAcl() {
+    auto options = KvStore::DefaultOptions("acl-storage", {Region::kUs, Region::kEu});
+    options.replication.median_millis = 2000.0;  // ACL replicates slowly
+    options.replication.sigma = 0.05;
+    return options;
+  }
+  static ReplicatedStoreOptions FastPosts() {
+    auto options = KvStore::DefaultOptions("post-storage", {Region::kUs, Region::kEu});
+    options.replication.median_millis = 50.0;  // posts replicate quickly
+    options.replication.sigma = 0.05;
+    return options;
+  }
+
+  KvStore acl;
+  KvStore posts;
+  KvShim acl_shim;
+  KvShim post_shim;
+  ShimRegistry registry;
+};
+
+bool BobWouldSeeInconsistency(AclDemo& demo, bool use_transfer, int round) {
+  const std::string block_key = "acl:alice:" + std::to_string(round);
+  const std::string post_key = "post:alice:" + std::to_string(round);
+
+  // ℒ_block: Alice blocks Bob.
+  Lineage block_lineage;
+  {
+    RequestContext context;
+    ScopedContext scoped(std::move(context));
+    block_lineage = LineageApi::Root();
+    demo.acl_shim.WriteCtx(Region::kUs, block_key, "blocked:bob");
+    block_lineage = *LineageApi::Current();
+    LineageApi::Stop();  // lineage ends with the request (default truncation)
+  }
+
+  // ℒ_post: Alice posts. The developer may explicitly carry ℒ_block forward.
+  Lineage post_lineage;
+  {
+    RequestContext context;
+    ScopedContext scoped(std::move(context));
+    LineageApi::Root();
+    if (use_transfer) {
+      LineageApi::Transfer(block_lineage);  // transfer(ℒ_block, ℒ_post)
+    }
+    demo.post_shim.WriteCtx(Region::kUs, post_key, "alice's post");
+    post_lineage = *LineageApi::Current();
+  }
+
+  // Region B: the notification pipeline barriers on ℒ_post before showing
+  // the post to followers.
+  Barrier(post_lineage, Region::kEu, BarrierOptions{.registry = &demo.registry});
+
+  // Inconsistency: post visible while the block is not.
+  const bool post_visible = demo.posts.Exists(Region::kEu, post_key);
+  const bool block_visible = demo.acl.Exists(Region::kEu, block_key);
+  return post_visible && !block_visible;
+}
+
+}  // namespace
+
+int main() {
+  TimeScale::Set(0.02);
+  AclDemo demo;
+
+  const bool without_transfer = BobWouldSeeInconsistency(demo, /*use_transfer=*/false, 0);
+  const bool with_transfer = BobWouldSeeInconsistency(demo, /*use_transfer=*/true, 1);
+
+  std::printf("without transfer: Bob %s the post before the block arrived\n",
+              without_transfer ? "SAW" : "did not see");
+  std::printf("with    transfer: Bob %s the post before the block arrived\n",
+              with_transfer ? "SAW" : "did not see");
+  std::printf("(transfer(L_block, L_post) makes the barrier wait for the ACL write too)\n");
+
+  demo.acl.DrainReplication();
+  demo.posts.DrainReplication();
+  return (!with_transfer && without_transfer) ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Using Antipode as a passive testing tool (§5.2 / §6.3): instead of placing
+// barriers up front, a developer runs the application with ConsistencyChecker
+// probes at candidate sites. Sites that report inconsistencies during the
+// test run are where real barriers belong.
+//
+// This drives the post-notification flow with two candidate sites:
+//   "notifier/on-receive"   — right after the notification arrives (good)
+//   "storage/after-write"   — right after the local write (always consistent,
+//                             a barrier here would be wasted)
+//
+//   ./dryrun_checker [num_requests]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/antipode/antipode.h"
+#include "src/antipode/checker.h"
+#include "src/common/thread_pool.h"
+#include "src/context/request_context.h"
+#include "src/store/kv_store.h"
+#include "src/store/pubsub_store.h"
+
+using namespace antipode;
+
+int main(int argc, char** argv) {
+  TimeScale::Set(0.02);
+  const int num_requests = argc > 1 ? std::atoi(argv[1]) : 50;
+
+  KvStore posts(KvStore::DefaultOptions("post-storage", {Region::kUs, Region::kEu}));
+  PubSubStore notifications(
+      PubSubStore::DefaultOptions("notifier", {Region::kUs, Region::kEu}));
+  KvShim post_shim(&posts);
+  PubSubShim notif_shim(&notifications);
+  ShimRegistry registry;
+  registry.Register(&post_shim);
+  registry.Register(&notif_shim);
+
+  ConsistencyChecker checker(&registry);
+  ThreadPool readers(2, "readers");
+  std::atomic<int> done{0};
+
+  notif_shim.Subscribe(Region::kEu, "new-posts", &readers,
+                       [&](const ConsumedMessage& message) {
+                         // Candidate site B: the notification consumer.
+                         checker.Check("notifier/on-receive", message.lineage, Region::kEu);
+                         post_shim.ReadCtx(Region::kEu, message.payload);
+                         done.fetch_add(1);
+                       });
+
+  for (int i = 0; i < num_requests; ++i) {
+    RequestContext context;
+    ScopedContext scoped(std::move(context));
+    LineageApi::Root();
+    const std::string key = "post-" + std::to_string(i);
+    post_shim.WriteCtx(Region::kUs, key, "content");
+    // Candidate site A: right after the (local) write — never inconsistent,
+    // so the checker will tell us a barrier here is unnecessary.
+    checker.CheckCtx("storage/after-write", Region::kUs);
+    notif_shim.PublishCtx(Region::kUs, "new-posts", key);
+  }
+
+  while (done.load() < num_requests) {
+    SystemClock::Instance().SleepFor(Millis(5));
+  }
+
+  std::printf("--- consistency checker report (%d requests) ---\n%s", num_requests,
+              checker.Summary().c_str());
+  std::printf("=> place a barrier at every site with a non-zero rate\n");
+
+  posts.DrainReplication();
+  notifications.DrainReplication();
+  readers.Shutdown();
+  return 0;
+}

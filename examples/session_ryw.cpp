@@ -1,0 +1,57 @@
+// Read-your-writes sessions built on lineages. Alice edits her profile from
+// a device in the US, then her traffic fails over to the EU region. Without
+// a session guard she may read her *old* profile (the edit has not
+// replicated); with `Session::GuardRead` the read blocks until her own
+// writes are visible — no centralized ticket service involved (contrast
+// with the FlightTracker design discussed in the paper's related work).
+//
+//   ./session_ryw
+
+#include <cstdio>
+
+#include "src/antipode/antipode.h"
+#include "src/antipode/session.h"
+#include "src/context/request_context.h"
+#include "src/store/kv_store.h"
+
+using namespace antipode;
+
+int main() {
+  TimeScale::Set(0.02);
+
+  auto options = KvStore::DefaultOptions("profiles", {Region::kUs, Region::kEu});
+  options.replication.median_millis = 800.0;
+  KvStore profiles(options);
+  KvShim shim(&profiles);
+  ShimRegistry registry;
+  registry.Register(&shim);
+
+  Session alice("alice");
+
+  // Request 1 (US): Alice updates her profile.
+  {
+    RequestContext context;
+    ScopedContext scoped(std::move(context));
+    LineageApi::Root();
+    alice.Attach();  // start causally after everything the session did
+    shim.WriteCtx(Region::kUs, "profile:alice", "bio v2");
+    alice.AbsorbCtx();  // the session now depends on this write
+  }
+
+  // Request 2 (EU, moments later): Alice opens her profile page.
+  const bool stale_without_guard =
+      shim.Read(Region::kEu, "profile:alice").value.value_or("<none>") != "bio v2";
+
+  alice.GuardRead(Region::kEu, BarrierOptions{.registry = &registry});
+  const std::string after_guard =
+      shim.Read(Region::kEu, "profile:alice").value.value_or("<none>");
+
+  std::printf("immediately after failover: EU read was %s\n",
+              stale_without_guard ? "STALE (read-your-writes violated)" : "fresh");
+  std::printf("after Session::GuardRead:   EU read returned \"%s\"\n", after_guard.c_str());
+  std::printf("session carries %zu dependency (no metadata service, no extra RPCs)\n",
+              alice.NumDeps());
+
+  profiles.DrainReplication();
+  return after_guard == "bio v2" ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Umbrella header: the Antipode public API.
+//
+//   Core API     barrier(ℒ)                     src/antipode/barrier.h
+//   Shim API     write/read/wait per datastore  src/antipode/*_shim.h
+//   Lineage API  root/stop/append/remove/
+//                transfer/serialize             src/antipode/lineage_api.h
+//
+// Typical integration (paper §6): create a shim per datastore, register it
+// with the ShimRegistry, call LineageApi::Root() at the edge of each request,
+// use the shims' *Ctx methods instead of raw datastore calls, and place
+// BarrierCtx where visibility must be enforced.
+
+#ifndef SRC_ANTIPODE_ANTIPODE_H_
+#define SRC_ANTIPODE_ANTIPODE_H_
+
+#include "src/antipode/barrier.h"
+#include "src/antipode/doc_shim.h"
+#include "src/antipode/dynamo_shim.h"
+#include "src/antipode/checker.h"
+#include "src/antipode/framing.h"
+#include "src/antipode/history_checker.h"
+#include "src/antipode/kv_shim.h"
+#include "src/antipode/lineage.h"
+#include "src/antipode/lineage_api.h"
+#include "src/antipode/object_shim.h"
+#include "src/antipode/queue_shim.h"
+#include "src/antipode/session.h"
+#include "src/antipode/shim.h"
+#include "src/antipode/sql_shim.h"
+#include "src/antipode/write_id.h"
+
+#endif  // SRC_ANTIPODE_ANTIPODE_H_

@@ -1,0 +1,89 @@
+#include "src/antipode/barrier.h"
+
+#include "src/antipode/lineage_api.h"
+
+namespace antipode {
+namespace {
+
+Duration RemainingBudget(TimePoint deadline) {
+  if (deadline == TimePoint::max()) {
+    return Duration::max();
+  }
+  const TimePoint now = SystemClock::Instance().Now();
+  if (now >= deadline) {
+    return Duration::zero();
+  }
+  return std::chrono::duration_cast<Duration>(deadline - now);
+}
+
+}  // namespace
+
+Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& options) {
+  const TimePoint deadline = options.timeout == Duration::max()
+                                 ? TimePoint::max()
+                                 : SystemClock::Instance().Now() + options.timeout;
+  for (const auto& dep : lineage.deps()) {
+    Shim* shim = options.registry->Lookup(dep.store);
+    if (shim == nullptr) {
+      if (options.ignore_unknown_stores) {
+        continue;
+      }
+      return Status::FailedPrecondition("no shim registered for store: " + dep.store);
+    }
+    const Duration budget = RemainingBudget(deadline);
+    if (deadline != TimePoint::max() && budget == Duration::zero()) {
+      return Status::DeadlineExceeded("barrier deadline before " + dep.ToString());
+    }
+    Status status = shim->Wait(region, dep, budget);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BarrierCtx(Region region, const BarrierOptions& options) {
+  auto lineage = LineageApi::Current();
+  if (!lineage.has_value()) {
+    return Status::Ok();
+  }
+  return Barrier(*lineage, region, options);
+}
+
+Status BarrierGlobal(const Lineage& lineage, const std::vector<Region>& regions,
+                     const BarrierOptions& options) {
+  for (Region region : regions) {
+    Status status = Barrier(lineage, region, options);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
+                  std::function<void(Status)> done, const BarrierOptions& options) {
+  executor->Submit([lineage = std::move(lineage), region, done = std::move(done), options] {
+    done(Barrier(lineage, region, options));
+  });
+}
+
+BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region,
+                                  ShimRegistry* registry) {
+  BarrierDryRunResult result;
+  for (const auto& dep : lineage.deps()) {
+    Shim* shim = registry->Lookup(dep.store);
+    if (shim == nullptr) {
+      result.unresolved.push_back(dep);
+      result.consistent = false;
+      continue;
+    }
+    if (!shim->IsVisible(region, dep)) {
+      result.unmet.push_back(dep);
+      result.consistent = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace antipode

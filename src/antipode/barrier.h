@@ -1,0 +1,61 @@
+// barrier(ℒ): blocks until every write identifier in the lineage is visible
+// at the caller's region (paper §6.3). Variants: timeout, asynchronous
+// (callback once dependencies are visible), and dry-run — the passive
+// consistency checker that reports which dependencies *would* have blocked,
+// used to discover barrier placements during development.
+//
+// Region-local by default: visibility is enforced only at the caller's
+// replica (the geo-replication optimization of §6.3); `BarrierGlobal` waits
+// at an explicit set of regions instead.
+
+#ifndef SRC_ANTIPODE_BARRIER_H_
+#define SRC_ANTIPODE_BARRIER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/antipode/lineage.h"
+#include "src/antipode/shim.h"
+#include "src/common/thread_pool.h"
+
+namespace antipode {
+
+struct BarrierOptions {
+  Duration timeout = Duration::max();
+  ShimRegistry* registry = &ShimRegistry::Default();
+  // Dependencies on datastores without a registered shim: skip them (true,
+  // the incremental-deployment default) or fail the barrier (false).
+  bool ignore_unknown_stores = true;
+};
+
+// Blocks until all of `lineage`'s dependencies are visible at `region`.
+Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& options = {});
+
+// Barrier on the current request context's lineage (no-op when none).
+Status BarrierCtx(Region region, const BarrierOptions& options = {});
+
+// Enforces visibility at every region in `regions` (global enforcement — the
+// expensive alternative the region-local optimization avoids).
+Status BarrierGlobal(const Lineage& lineage, const std::vector<Region>& regions,
+                     const BarrierOptions& options = {});
+
+// Asynchronous barrier: returns immediately; `done` runs on `executor` once
+// the dependencies are visible (or the timeout fires).
+void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
+                  std::function<void(Status)> done, const BarrierOptions& options = {});
+
+// Dry-run (§6.3): inspects visibility without blocking. `unmet` lists
+// dependencies that are not yet visible at `region` — each one is a
+// potential XCY violation a real barrier would have prevented; `unresolved`
+// lists dependencies whose datastore has no registered shim.
+struct BarrierDryRunResult {
+  bool consistent = true;
+  std::vector<WriteId> unmet;
+  std::vector<WriteId> unresolved;
+};
+BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region,
+                                  ShimRegistry* registry = &ShimRegistry::Default());
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_BARRIER_H_

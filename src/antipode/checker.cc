@@ -1,0 +1,70 @@
+#include "src/antipode/checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/antipode/lineage_api.h"
+
+namespace antipode {
+
+bool ConsistencyChecker::Check(const std::string& site, const Lineage& lineage, Region region) {
+  const BarrierDryRunResult result = BarrierDryRun(lineage, region, registry_);
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteReport& report = sites_[site];
+  report.checks++;
+  if (!result.consistent) {
+    report.inconsistent++;
+  }
+  for (const auto& dep : result.unmet) {
+    report.unmet_by_store[dep.store]++;
+  }
+  report.unresolved += result.unresolved.size();
+  return result.consistent;
+}
+
+bool ConsistencyChecker::CheckCtx(const std::string& site, Region region) {
+  auto lineage = LineageApi::Current();
+  if (!lineage.has_value()) {
+    return Check(site, Lineage(), region);
+  }
+  return Check(site, *lineage, region);
+}
+
+std::map<std::string, ConsistencyChecker::SiteReport> ConsistencyChecker::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_;
+}
+
+std::string ConsistencyChecker::Summary() const {
+  const auto report = Report();
+  std::vector<std::pair<std::string, SiteReport>> sorted(report.begin(), report.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.InconsistencyRate() > b.second.InconsistencyRate();
+  });
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed;
+  for (const auto& [site, site_report] : sorted) {
+    os << site << ": " << 100.0 * site_report.InconsistencyRate() << "% inconsistent ("
+       << site_report.inconsistent << "/" << site_report.checks << " checks)";
+    if (!site_report.unmet_by_store.empty()) {
+      os << " — unmet deps:";
+      for (const auto& [store, count] : site_report.unmet_by_store) {
+        os << " " << store << "×" << count;
+      }
+    }
+    if (site_report.unresolved > 0) {
+      os << " — " << site_report.unresolved << " deps on uninstrumented stores";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void ConsistencyChecker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+}  // namespace antipode

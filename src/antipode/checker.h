@@ -1,0 +1,63 @@
+// Passive consistency checker (paper §5.2 / §6.3): instead of enforcing
+// barriers, developers sprinkle `Check` calls at candidate barrier sites
+// during testing. Each check is a dry run — it records which dependencies
+// would have blocked, without blocking. The aggregated report points at the
+// sites (and the datastores) where real barriers are needed.
+
+#ifndef SRC_ANTIPODE_CHECKER_H_
+#define SRC_ANTIPODE_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/antipode/barrier.h"
+#include "src/antipode/lineage.h"
+
+namespace antipode {
+
+class ConsistencyChecker {
+ public:
+  explicit ConsistencyChecker(ShimRegistry* registry = &ShimRegistry::Default())
+      : registry_(registry) {}
+
+  // Dry-runs enforcement of `lineage` at `region`, attributing the outcome
+  // to the developer-chosen site label. Returns whether the site was
+  // consistent this time.
+  bool Check(const std::string& site, const Lineage& lineage, Region region);
+
+  // Convenience: checks the current request context's lineage.
+  bool CheckCtx(const std::string& site, Region region);
+
+  struct SiteReport {
+    uint64_t checks = 0;
+    uint64_t inconsistent = 0;
+    // How often each datastore had an unmet dependency at this site.
+    std::map<std::string, uint64_t> unmet_by_store;
+    // Dependencies on stores with no registered shim (not yet integrated).
+    uint64_t unresolved = 0;
+
+    double InconsistencyRate() const {
+      return checks == 0 ? 0.0 : static_cast<double>(inconsistent) / static_cast<double>(checks);
+    }
+  };
+
+  // Snapshot of all sites seen so far.
+  std::map<std::string, SiteReport> Report() const;
+
+  // Human-readable report, one line per site, sorted by inconsistency rate:
+  // sites with non-zero rates are the places a real barrier belongs.
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  ShimRegistry* registry_;
+  mutable std::mutex mu_;
+  std::map<std::string, SiteReport> sites_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_CHECKER_H_

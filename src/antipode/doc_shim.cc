@@ -1,0 +1,55 @@
+#include "src/antipode/doc_shim.h"
+
+#include "src/antipode/framing.h"
+
+namespace antipode {
+
+Lineage DocShim::InsertDoc(Region region, const std::string& collection, const std::string& id,
+                           Document doc, Lineage lineage) {
+  doc.Set(kLineageField, Value(lineage.Serialize()));
+  const uint64_t version = docs_->InsertDoc(region, collection, id, doc);
+  lineage.Append(WriteId{store_name(), DocStore::DocKey(collection, id), version});
+  return lineage;
+}
+
+DocShim::ReadResult DocShim::FindById(Region region, const std::string& collection,
+                                      const std::string& id) const {
+  ReadResult out;
+  const std::string key = DocStore::DocKey(collection, id);
+  auto entry = docs_->Get(region, key);
+  if (!entry.has_value() || entry->bytes.empty()) {
+    return out;
+  }
+  auto doc = Document::Deserialize(entry->bytes);
+  if (!doc.ok()) {
+    return out;
+  }
+  auto lineage_field = doc->Get(kLineageField);
+  if (lineage_field.has_value() && lineage_field->is_string()) {
+    auto lineage = Lineage::Deserialize(lineage_field->as_string());
+    if (lineage.ok()) {
+      out.lineage = std::move(*lineage);
+    }
+  }
+  doc->Erase(kLineageField);
+  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  out.doc = std::move(*doc);
+  return out;
+}
+
+void DocShim::InsertDocCtx(Region region, const std::string& collection, const std::string& id,
+                           Document doc) {
+  Lineage lineage = LineageApi::Current().value_or(Lineage());
+  LineageApi::Install(InsertDoc(region, collection, id, std::move(doc), std::move(lineage)));
+}
+
+std::optional<Document> DocShim::FindByIdCtx(Region region, const std::string& collection,
+                                             const std::string& id) const {
+  ReadResult result = FindById(region, collection, id);
+  if (result.doc.has_value()) {
+    LineageApi::Transfer(result.lineage);
+  }
+  return std::move(result.doc);
+}
+
+}  // namespace antipode

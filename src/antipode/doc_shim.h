@@ -1,0 +1,39 @@
+// Shim for the MongoDB-like DocStore: the lineage rides in a document field.
+
+#ifndef SRC_ANTIPODE_DOC_SHIM_H_
+#define SRC_ANTIPODE_DOC_SHIM_H_
+
+#include <optional>
+#include <string>
+
+#include "src/antipode/lineage_api.h"
+#include "src/antipode/watermark_shim.h"
+#include "src/store/doc_store.h"
+
+namespace antipode {
+
+class DocShim : public WatermarkShim {
+ public:
+  explicit DocShim(DocStore* store) : WatermarkShim(store), docs_(store) {}
+
+  struct ReadResult {
+    std::optional<Document> doc;  // lineage field stripped
+    Lineage lineage;
+  };
+
+  Lineage InsertDoc(Region region, const std::string& collection, const std::string& id,
+                    Document doc, Lineage lineage);
+  ReadResult FindById(Region region, const std::string& collection, const std::string& id) const;
+
+  void InsertDocCtx(Region region, const std::string& collection, const std::string& id,
+                    Document doc);
+  std::optional<Document> FindByIdCtx(Region region, const std::string& collection,
+                                      const std::string& id) const;
+
+ private:
+  DocStore* docs_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_DOC_SHIM_H_

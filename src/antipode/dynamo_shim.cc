@@ -1,0 +1,109 @@
+#include "src/antipode/dynamo_shim.h"
+
+#include "src/antipode/framing.h"
+
+namespace antipode {
+
+Status DynamoShim::Wait(Region region, const WriteId& id, Duration timeout) {
+  const TimePoint deadline = timeout == Duration::max()
+                                 ? TimePoint::max()
+                                 : SystemClock::Instance().Now() + timeout;
+  // Poll with strongly consistent reads. The authoritative copy reflects the
+  // write as soon as it is durable at its origin, so in practice this
+  // resolves on the first probe; the loop guards the (rare) case of probing
+  // before the writer's Put returned.
+  while (true) {
+    auto entry = dynamo_->StrongGet(region, id.key);
+    if (entry.has_value() && entry->version >= id.version) {
+      return Status::Ok();
+    }
+    if (deadline != TimePoint::max() && SystemClock::Instance().Now() >= deadline) {
+      return Status::DeadlineExceeded("dynamo wait: " + id.ToString());
+    }
+    SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(10.0));
+  }
+}
+
+bool DynamoShim::IsVisible(Region region, const WriteId& id) {
+  // Dry-run probes the *local* replica: it reports whether an
+  // eventually-consistent reader in this region would already observe the
+  // write, which is what the consistency checker wants to know.
+  return dynamo_->IsVisible(region, id.key, id.version);
+}
+
+Result<Lineage> DynamoShim::PutItem(Region region, const std::string& table,
+                                    const std::string& key, Document item, Lineage lineage) {
+  item.Set(kLineageField, Value(lineage.Serialize()));
+  auto version = dynamo_->PutItem(region, table, key, item);
+  if (!version.ok()) {
+    return version.status();
+  }
+  lineage.Append(WriteId{store_name(), DynamoStore::ItemKey(table, key), *version});
+  return lineage;
+}
+
+DynamoShim::ReadResult DynamoShim::DecodeEntry(const std::optional<StoredEntry>& entry,
+                                               const std::string& key) const {
+  ReadResult out;
+  if (!entry.has_value() || entry->bytes.empty()) {
+    return out;
+  }
+  auto doc = Document::Deserialize(entry->bytes);
+  if (!doc.ok()) {
+    return out;
+  }
+  auto lineage_field = doc->Get(kLineageField);
+  if (lineage_field.has_value() && lineage_field->is_string()) {
+    auto lineage = Lineage::Deserialize(lineage_field->as_string());
+    if (lineage.ok()) {
+      out.lineage = std::move(*lineage);
+    }
+  }
+  doc->Erase(kLineageField);
+  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  out.item = std::move(*doc);
+  return out;
+}
+
+DynamoShim::ReadResult DynamoShim::GetItem(Region region, const std::string& table,
+                                           const std::string& key) const {
+  const std::string item_key = DynamoStore::ItemKey(table, key);
+  return DecodeEntry(dynamo_->Get(region, item_key), item_key);
+}
+
+DynamoShim::ReadResult DynamoShim::GetItemConsistent(Region region, const std::string& table,
+                                                     const std::string& key) const {
+  const std::string item_key = DynamoStore::ItemKey(table, key);
+  return DecodeEntry(dynamo_->StrongGet(region, item_key), item_key);
+}
+
+Status DynamoShim::PutItemCtx(Region region, const std::string& table, const std::string& key,
+                              Document item) {
+  Lineage lineage = LineageApi::Current().value_or(Lineage());
+  auto updated = PutItem(region, table, key, std::move(item), std::move(lineage));
+  if (!updated.ok()) {
+    return updated.status();
+  }
+  LineageApi::Install(*updated);
+  return Status::Ok();
+}
+
+std::optional<Document> DynamoShim::GetItemCtx(Region region, const std::string& table,
+                                               const std::string& key) const {
+  ReadResult result = GetItem(region, table, key);
+  if (result.item.has_value()) {
+    LineageApi::Transfer(result.lineage);
+  }
+  return std::move(result.item);
+}
+
+std::optional<Document> DynamoShim::GetItemConsistentCtx(Region region, const std::string& table,
+                                                         const std::string& key) const {
+  ReadResult result = GetItemConsistent(region, table, key);
+  if (result.item.has_value()) {
+    LineageApi::Transfer(result.lineage);
+  }
+  return std::move(result.item);
+}
+
+}  // namespace antipode

@@ -1,0 +1,56 @@
+// Shim for the DynamoDB-like store. Dynamo is eventually consistent with no
+// replication watermark a client could wait on, so — exactly as the paper
+// does (§6.4) — `wait` is implemented with the store's strongly consistent
+// reads: a strong read observes the authoritative copy, after which the
+// caller can keep reading consistently via `GetItemConsistentCtx`.
+
+#ifndef SRC_ANTIPODE_DYNAMO_SHIM_H_
+#define SRC_ANTIPODE_DYNAMO_SHIM_H_
+
+#include <optional>
+#include <string>
+
+#include "src/antipode/lineage_api.h"
+#include "src/antipode/shim.h"
+#include "src/store/dynamo_store.h"
+
+namespace antipode {
+
+class DynamoShim : public Shim {
+ public:
+  explicit DynamoShim(DynamoStore* store) : dynamo_(store) {}
+
+  const std::string& store_name() const override { return dynamo_->name(); }
+
+  // Strong-read based wait: probes the authoritative copy (one WAN round
+  // trip) instead of blocking on local replication.
+  Status Wait(Region region, const WriteId& id, Duration timeout) override;
+  bool IsVisible(Region region, const WriteId& id) override;
+
+  struct ReadResult {
+    std::optional<Document> item;  // lineage field stripped
+    Lineage lineage;
+  };
+
+  Result<Lineage> PutItem(Region region, const std::string& table, const std::string& key,
+                          Document item, Lineage lineage);
+  ReadResult GetItem(Region region, const std::string& table, const std::string& key) const;
+  ReadResult GetItemConsistent(Region region, const std::string& table,
+                               const std::string& key) const;
+
+  Status PutItemCtx(Region region, const std::string& table, const std::string& key,
+                    Document item);
+  std::optional<Document> GetItemCtx(Region region, const std::string& table,
+                                     const std::string& key) const;
+  std::optional<Document> GetItemConsistentCtx(Region region, const std::string& table,
+                                               const std::string& key) const;
+
+ private:
+  ReadResult DecodeEntry(const std::optional<StoredEntry>& entry, const std::string& key) const;
+
+  DynamoStore* dynamo_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_DYNAMO_SHIM_H_

@@ -1,0 +1,44 @@
+#include "src/antipode/framing.h"
+
+#include "src/common/serialization.h"
+
+namespace antipode {
+namespace {
+
+// Magic prefix distinguishing framed values from raw bytes written by
+// non-instrumented services (incremental deployment, §3.4).
+constexpr char kFrameMagic[2] = {'\x7F', 'L'};
+
+}  // namespace
+
+std::string FrameValue(const Lineage& lineage, std::string_view value) {
+  Serializer s;
+  s.WriteBytes(kFrameMagic, sizeof(kFrameMagic));
+  s.WriteString(lineage.Serialize());
+  s.WriteBytes(value.data(), value.size());
+  return s.Release();
+}
+
+FramedValue UnframeValue(std::string_view stored) {
+  FramedValue out;
+  if (stored.size() < sizeof(kFrameMagic) ||
+      stored.compare(0, sizeof(kFrameMagic), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    out.value.assign(stored.data(), stored.size());
+    return out;
+  }
+  Deserializer d(stored.substr(sizeof(kFrameMagic)));
+  auto blob = d.ReadString();
+  if (!blob.ok()) {
+    out.value.assign(stored.data(), stored.size());
+    return out;
+  }
+  auto lineage = Lineage::Deserialize(*blob);
+  if (lineage.ok()) {
+    out.lineage = std::move(*lineage);
+  }
+  const size_t consumed = stored.size() - d.Remaining();
+  out.value.assign(stored.substr(consumed));
+  return out;
+}
+
+}  // namespace antipode

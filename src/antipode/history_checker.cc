@@ -1,0 +1,80 @@
+#include "src/antipode/history_checker.h"
+
+namespace antipode {
+
+std::string XcyHistoryChecker::Violation::ToString() const {
+  return "process " + std::to_string(process) + " required " + required.ToString() +
+         " but observed v" + std::to_string(observed_version);
+}
+
+void XcyHistoryChecker::MergeLineage(Frontier& frontier, const Lineage& lineage) {
+  for (const auto& dep : lineage.deps()) {
+    auto& required = frontier[{dep.store, dep.key}];
+    required = std::max(required, dep.version);
+  }
+}
+
+void XcyHistoryChecker::ObserveWrite(uint64_t process, const WriteId& id,
+                                     const Lineage& lineage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_++;
+  Frontier& frontier = frontiers_[process];
+  MergeLineage(frontier, lineage);
+  auto& required = frontier[{id.store, id.key}];
+  required = std::max(required, id.version);
+}
+
+void XcyHistoryChecker::ObserveRead(uint64_t process, const std::string& store,
+                                    const std::string& key, uint64_t observed_version,
+                                    const Lineage& writer_lineage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_++;
+  Frontier& frontier = frontiers_[process];
+  auto it = frontier.find({store, key});
+  if (it != frontier.end() && observed_version < it->second) {
+    violations_.push_back(
+        Violation{process, WriteId{store, key, it->second}, observed_version});
+  }
+  // Rule 2: the read establishes dependencies on the writer's whole lineage
+  // (plus the write itself), carried forward by program order (rules 1+3).
+  MergeLineage(frontier, writer_lineage);
+  if (observed_version > 0) {
+    auto& required = frontier[{store, key}];
+    required = std::max(required, observed_version);
+  }
+}
+
+void XcyHistoryChecker::ObserveMessage(uint64_t from_process, uint64_t to_process) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_++;
+  const Frontier& from = frontiers_[from_process];
+  Frontier& to = frontiers_[to_process];
+  for (const auto& [key, version] : from) {
+    auto& required = to[key];
+    required = std::max(required, version);
+  }
+}
+
+std::vector<XcyHistoryChecker::Violation> XcyHistoryChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+bool XcyHistoryChecker::Consistent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.empty();
+}
+
+size_t XcyHistoryChecker::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void XcyHistoryChecker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  frontiers_.clear();
+  violations_.clear();
+  events_ = 0;
+}
+
+}  // namespace antipode

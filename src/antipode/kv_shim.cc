@@ -1,0 +1,40 @@
+#include "src/antipode/kv_shim.h"
+
+#include "src/antipode/framing.h"
+
+namespace antipode {
+
+Lineage KvShim::Write(Region region, const std::string& key, std::string_view value,
+                      Lineage lineage) {
+  const uint64_t version = kv_->Set(region, key, FrameValue(lineage, value));
+  lineage.Append(WriteId{store_name(), key, version});
+  return lineage;
+}
+
+KvShim::ReadResult KvShim::Read(Region region, const std::string& key) const {
+  ReadResult out;
+  auto entry = kv_->Get(region, key);
+  if (!entry.has_value() || entry->bytes.empty()) {
+    return out;
+  }
+  FramedValue framed = UnframeValue(entry->bytes);
+  out.value = std::move(framed.value);
+  out.lineage = std::move(framed.lineage);
+  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  return out;
+}
+
+void KvShim::WriteCtx(Region region, const std::string& key, std::string_view value) {
+  Lineage lineage = LineageApi::Current().value_or(Lineage());
+  LineageApi::Install(Write(region, key, value, std::move(lineage)));
+}
+
+std::optional<std::string> KvShim::ReadCtx(Region region, const std::string& key) const {
+  ReadResult result = Read(region, key);
+  if (result.value.has_value()) {
+    LineageApi::Transfer(result.lineage);
+  }
+  return std::move(result.value);
+}
+
+}  // namespace antipode

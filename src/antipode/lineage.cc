@@ -1,0 +1,82 @@
+#include "src/antipode/lineage.h"
+
+#include "src/common/serialization.h"
+
+namespace antipode {
+
+void Lineage::Append(WriteId dep) {
+  // Locate an existing entry for the same ⟨store, key⟩: entries are ordered
+  // by (store, key, version), so it is the predecessor range of
+  // (store, key, +inf).
+  auto it = deps_.lower_bound(WriteId{dep.store, dep.key, 0});
+  if (it != deps_.end() && it->store == dep.store && it->key == dep.key) {
+    if (it->version >= dep.version) {
+      return;  // an equal-or-newer version already subsumes this dependency
+    }
+    deps_.erase(it);
+  }
+  deps_.insert(std::move(dep));
+}
+
+void Lineage::Transfer(const Lineage& other) {
+  for (const auto& dep : other.deps_) {
+    Append(dep);
+  }
+}
+
+std::vector<WriteId> Lineage::DepsForStore(const std::string& store) const {
+  std::vector<WriteId> out;
+  for (const auto& dep : deps_) {
+    if (dep.store == store) {
+      out.push_back(dep);
+    }
+  }
+  return out;
+}
+
+std::string Lineage::Serialize() const {
+  Serializer s;
+  s.WriteVarint(id_);
+  s.WriteVarint(deps_.size());
+  for (const auto& dep : deps_) {
+    dep.SerializeTo(s);
+  }
+  return s.Release();
+}
+
+Result<Lineage> Lineage::Deserialize(std::string_view data) {
+  Deserializer d(data);
+  auto id = d.ReadVarint();
+  if (!id.ok()) {
+    return id.status();
+  }
+  auto count = d.ReadVarint();
+  if (!count.ok()) {
+    return count.status();
+  }
+  Lineage lineage(*id);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto dep = WriteId::DeserializeFrom(d);
+    if (!dep.ok()) {
+      return dep.status();
+    }
+    lineage.Append(std::move(*dep));
+  }
+  return lineage;
+}
+
+std::string Lineage::ToString() const {
+  std::string out = "Lineage{id=" + std::to_string(id_) + ", deps=[";
+  bool first = true;
+  for (const auto& dep : deps_) {
+    if (!first) {
+      out += ", ";
+    }
+    out += dep.ToString();
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace antipode

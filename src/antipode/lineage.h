@@ -1,0 +1,69 @@
+// Lineage: the set of datastore write identifiers a request's execution tree
+// has accumulated (paper §4.1, §6.1). Lineages travel alongside requests (in
+// the request-context baggage) and alongside data values (written by shims
+// into the underlying datastore), and are what `barrier` enforces.
+//
+// The dependency set is deliberately small: it is truncated when a lineage
+// ends (`stop`, or simply the end of the request) and only crosses lineage
+// boundaries through an explicit `transfer` (§5.1).
+
+#ifndef SRC_ANTIPODE_LINEAGE_H_
+#define SRC_ANTIPODE_LINEAGE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/antipode/write_id.h"
+#include "src/common/status.h"
+
+namespace antipode {
+
+class Lineage {
+ public:
+  Lineage() = default;
+  explicit Lineage(uint64_t id) : id_(id) {}
+
+  // Identifier of the root action this lineage stems from (0 = anonymous).
+  uint64_t id() const { return id_; }
+  void set_id(uint64_t id) { id_ = id; }
+
+  // Dependency-set operations (Table 2 append / remove / transfer).
+  //
+  // Append compacts: versions are per-key monotonic, so visibility of a
+  // newer version of the same ⟨store, key⟩ implies visibility of every older
+  // one — keeping only the highest version per key is lossless for barrier
+  // and keeps lineages small on linchpin objects that are written repeatedly.
+  void Append(WriteId dep);
+  void Remove(const WriteId& dep) { deps_.erase(dep); }
+  // Folds `other`'s dependencies into this lineage (with the same per-key
+  // compaction), explicitly establishing cross-lineage transitivity.
+  void Transfer(const Lineage& other);
+
+  bool Contains(const WriteId& dep) const { return deps_.count(dep) > 0; }
+  bool Empty() const { return deps_.empty(); }
+  size_t Size() const { return deps_.size(); }
+  const std::set<WriteId>& deps() const { return deps_; }
+
+  // Dependencies belonging to one datastore (what a shim's `wait` enforces).
+  std::vector<WriteId> DepsForStore(const std::string& store) const;
+
+  bool operator==(const Lineage& other) const { return id_ == other.id_ && deps_ == other.deps_; }
+
+  // Wire encoding — its size is the "lineage metadata size" the paper
+  // reports (≤200 B in DeathStarBench, ≈200 B average on Alibaba graphs).
+  std::string Serialize() const;
+  static Result<Lineage> Deserialize(std::string_view data);
+  size_t WireSize() const { return Serialize().size(); }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t id_ = 0;
+  std::set<WriteId> deps_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_LINEAGE_H_

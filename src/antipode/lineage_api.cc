@@ -1,0 +1,108 @@
+#include "src/antipode/lineage_api.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/context/merge.h"
+#include "src/context/request_context.h"
+
+namespace antipode {
+namespace {
+
+std::atomic<uint64_t> g_next_lineage_id{1};
+
+std::string UnionMerge(const std::string& existing, const std::string& incoming) {
+  auto ours = Lineage::Deserialize(existing);
+  auto theirs = Lineage::Deserialize(incoming);
+  if (!ours.ok()) {
+    return incoming;
+  }
+  if (!theirs.ok()) {
+    return existing;
+  }
+  ours->Transfer(*theirs);
+  if (ours->id() == 0) {
+    ours->set_id(theirs->id());
+  }
+  return ours->Serialize();
+}
+
+}  // namespace
+
+void LineageApi::EnsureMergerRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    BaggageMergerRegistry::Instance().Register(kLineageBaggageKey, UnionMerge);
+  });
+}
+
+Lineage LineageApi::Root() {
+  EnsureMergerRegistered();
+  Lineage lineage(g_next_lineage_id.fetch_add(1, std::memory_order_relaxed));
+  Install(lineage);
+  return lineage;
+}
+
+void LineageApi::Stop() {
+  RequestContext* context = RequestContext::Current();
+  if (context != nullptr) {
+    context->baggage().Erase(kLineageBaggageKey);
+  }
+}
+
+std::optional<Lineage> LineageApi::Current() {
+  EnsureMergerRegistered();
+  RequestContext* context = RequestContext::Current();
+  if (context == nullptr) {
+    return std::nullopt;
+  }
+  auto blob = context->baggage().Get(kLineageBaggageKey);
+  if (!blob.has_value()) {
+    return std::nullopt;
+  }
+  auto lineage = Lineage::Deserialize(*blob);
+  if (!lineage.ok()) {
+    return std::nullopt;
+  }
+  return std::move(*lineage);
+}
+
+void LineageApi::Install(const Lineage& lineage) {
+  EnsureMergerRegistered();
+  RequestContext* context = RequestContext::Current();
+  if (context != nullptr) {
+    context->baggage().Set(kLineageBaggageKey, lineage.Serialize());
+  }
+}
+
+void LineageApi::Append(const WriteId& dep) {
+  auto lineage = Current();
+  if (!lineage.has_value()) {
+    return;
+  }
+  lineage->Append(dep);
+  Install(*lineage);
+}
+
+void LineageApi::Remove(const WriteId& dep) {
+  auto lineage = Current();
+  if (!lineage.has_value()) {
+    return;
+  }
+  lineage->Remove(dep);
+  Install(*lineage);
+}
+
+void LineageApi::Transfer(const Lineage& from) {
+  auto lineage = Current();
+  if (!lineage.has_value()) {
+    // Transferring into a context with no lineage installs a copy, so the
+    // dependencies are not silently dropped.
+    Install(from);
+    return;
+  }
+  lineage->Transfer(from);
+  Install(*lineage);
+}
+
+}  // namespace antipode

@@ -1,0 +1,44 @@
+#include "src/antipode/object_shim.h"
+
+#include "src/antipode/framing.h"
+
+namespace antipode {
+
+Lineage ObjectShim::PutObject(Region region, const std::string& bucket, const std::string& key,
+                              std::string_view value, Lineage lineage) {
+  const uint64_t version = objects_->PutObject(region, bucket, key, FrameValue(lineage, value));
+  lineage.Append(WriteId{store_name(), ObjectStore::ObjectKey(bucket, key), version});
+  return lineage;
+}
+
+ObjectShim::ReadResult ObjectShim::GetObject(Region region, const std::string& bucket,
+                                             const std::string& key) const {
+  ReadResult out;
+  const std::string object_key = ObjectStore::ObjectKey(bucket, key);
+  auto entry = objects_->Get(region, object_key);
+  if (!entry.has_value() || entry->bytes.empty()) {
+    return out;
+  }
+  FramedValue framed = UnframeValue(entry->bytes);
+  out.value = std::move(framed.value);
+  out.lineage = std::move(framed.lineage);
+  out.lineage.Append(WriteId{store_name(), object_key, entry->version});
+  return out;
+}
+
+void ObjectShim::PutObjectCtx(Region region, const std::string& bucket, const std::string& key,
+                              std::string_view value) {
+  Lineage lineage = LineageApi::Current().value_or(Lineage());
+  LineageApi::Install(PutObject(region, bucket, key, value, std::move(lineage)));
+}
+
+std::optional<std::string> ObjectShim::GetObjectCtx(Region region, const std::string& bucket,
+                                                    const std::string& key) const {
+  ReadResult result = GetObject(region, bucket, key);
+  if (result.value.has_value()) {
+    LineageApi::Transfer(result.lineage);
+  }
+  return std::move(result.value);
+}
+
+}  // namespace antipode

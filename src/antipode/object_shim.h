@@ -1,0 +1,39 @@
+// Shim for the S3-like ObjectStore.
+
+#ifndef SRC_ANTIPODE_OBJECT_SHIM_H_
+#define SRC_ANTIPODE_OBJECT_SHIM_H_
+
+#include <optional>
+#include <string>
+
+#include "src/antipode/lineage_api.h"
+#include "src/antipode/watermark_shim.h"
+#include "src/store/object_store.h"
+
+namespace antipode {
+
+class ObjectShim : public WatermarkShim {
+ public:
+  explicit ObjectShim(ObjectStore* store) : WatermarkShim(store), objects_(store) {}
+
+  struct ReadResult {
+    std::optional<std::string> value;
+    Lineage lineage;
+  };
+
+  Lineage PutObject(Region region, const std::string& bucket, const std::string& key,
+                    std::string_view value, Lineage lineage);
+  ReadResult GetObject(Region region, const std::string& bucket, const std::string& key) const;
+
+  void PutObjectCtx(Region region, const std::string& bucket, const std::string& key,
+                    std::string_view value);
+  std::optional<std::string> GetObjectCtx(Region region, const std::string& bucket,
+                                          const std::string& key) const;
+
+ private:
+  ObjectStore* objects_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_OBJECT_SHIM_H_

@@ -1,0 +1,68 @@
+#include "src/antipode/queue_shim.h"
+
+#include "src/antipode/framing.h"
+#include "src/context/request_context.h"
+
+namespace antipode {
+
+void DispatchFramedMessage(const std::string& store_name, const BrokerMessage& message,
+                           const ShimMessageHandler& handler) {
+  FramedValue framed = UnframeValue(message.payload);
+  ConsumedMessage consumed;
+  consumed.payload = std::move(framed.value);
+  consumed.lineage = std::move(framed.lineage);
+  consumed.lineage.Append(WriteId{store_name, message.key, message.version});
+  consumed.delivered_at = message.delivered_at;
+
+  // Consumption starts a new execution; it runs under a fresh context whose
+  // lineage is the message's (reads-from-lineage: the consumer now depends on
+  // everything the producer's request did before publishing).
+  RequestContext context;
+  ScopedContext scoped(std::move(context));
+  LineageApi::Install(consumed.lineage);
+  handler(consumed);
+}
+
+Lineage QueueShim::Publish(Region region, const std::string& queue, std::string_view payload,
+                           Lineage lineage) {
+  auto result = queue_->PublishWithKey(region, queue, FrameValue(lineage, payload));
+  lineage.Append(WriteId{store_name(), result.key, result.version});
+  return lineage;
+}
+
+void QueueShim::PublishCtx(Region region, const std::string& queue, std::string_view payload) {
+  Lineage lineage = LineageApi::Current().value_or(Lineage());
+  LineageApi::Install(Publish(region, queue, payload, std::move(lineage)));
+}
+
+void QueueShim::Subscribe(Region region, const std::string& queue, ThreadPool* executor,
+                          ShimMessageHandler handler) {
+  const std::string name = store_name();
+  queue_->Subscribe(region, queue, executor,
+                    [name, handler = std::move(handler)](const BrokerMessage& message) {
+                      DispatchFramedMessage(name, message, handler);
+                    });
+}
+
+Lineage PubSubShim::Publish(Region region, const std::string& topic, std::string_view payload,
+                            Lineage lineage) {
+  auto result = pubsub_->PublishWithKey(region, topic, FrameValue(lineage, payload));
+  lineage.Append(WriteId{store_name(), result.key, result.version});
+  return lineage;
+}
+
+void PubSubShim::PublishCtx(Region region, const std::string& topic, std::string_view payload) {
+  Lineage lineage = LineageApi::Current().value_or(Lineage());
+  LineageApi::Install(Publish(region, topic, payload, std::move(lineage)));
+}
+
+void PubSubShim::Subscribe(Region region, const std::string& topic, ThreadPool* executor,
+                           ShimMessageHandler handler) {
+  const std::string name = store_name();
+  pubsub_->Subscribe(region, topic, executor,
+                     [name, handler = std::move(handler)](const BrokerMessage& message) {
+                       DispatchFramedMessage(name, message, handler);
+                     });
+}
+
+}  // namespace antipode

@@ -1,0 +1,72 @@
+// Shims for the broker substrates (RabbitMQ/AMQ-like queues and SNS-like
+// pub/sub). Lineages ride inside the message frame; consuming a message
+// re-installs the producer's lineage (plus the message's own write id) into
+// the consumer's request context, which is how causality crosses the
+// asynchronous hop in DeathStarBench and TrainTicket (§7.1).
+
+#ifndef SRC_ANTIPODE_QUEUE_SHIM_H_
+#define SRC_ANTIPODE_QUEUE_SHIM_H_
+
+#include <functional>
+#include <string>
+
+#include "src/antipode/lineage.h"
+#include "src/antipode/lineage_api.h"
+#include "src/antipode/watermark_shim.h"
+#include "src/store/pubsub_store.h"
+#include "src/store/queue_store.h"
+
+namespace antipode {
+
+// Payload + the lineage reconstructed from the message frame (including the
+// message's own write identifier).
+struct ConsumedMessage {
+  std::string payload;
+  Lineage lineage;
+  Region delivered_at = Region::kLocal;
+};
+
+using ShimMessageHandler = std::function<void(const ConsumedMessage&)>;
+
+class QueueShim : public WatermarkShim {
+ public:
+  explicit QueueShim(QueueStore* store) : WatermarkShim(store), queue_(store) {}
+
+  // ℒ' ← publish(queue, ⟨payload, ℒ⟩).
+  Lineage Publish(Region region, const std::string& queue, std::string_view payload,
+                  Lineage lineage);
+  void PublishCtx(Region region, const std::string& queue, std::string_view payload);
+
+  // Subscribes a consumer whose handler runs under a fresh RequestContext
+  // carrying the message's lineage (so barrier/reads inside the handler see
+  // the producer's dependencies).
+  void Subscribe(Region region, const std::string& queue, ThreadPool* executor,
+                 ShimMessageHandler handler);
+
+ private:
+  QueueStore* queue_;
+};
+
+class PubSubShim : public WatermarkShim {
+ public:
+  explicit PubSubShim(PubSubStore* store) : WatermarkShim(store), pubsub_(store) {}
+
+  Lineage Publish(Region region, const std::string& topic, std::string_view payload,
+                  Lineage lineage);
+  void PublishCtx(Region region, const std::string& topic, std::string_view payload);
+
+  void Subscribe(Region region, const std::string& topic, ThreadPool* executor,
+                 ShimMessageHandler handler);
+
+ private:
+  PubSubStore* pubsub_;
+};
+
+// Shared by both shims: decodes a broker message into payload + lineage and
+// invokes `handler` under a context carrying that lineage.
+void DispatchFramedMessage(const std::string& store_name, const BrokerMessage& message,
+                           const ShimMessageHandler& handler);
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_QUEUE_SHIM_H_

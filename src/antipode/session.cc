@@ -1,0 +1,46 @@
+#include "src/antipode/session.h"
+
+#include "src/antipode/lineage_api.h"
+
+namespace antipode {
+
+void Session::Absorb(const Lineage& lineage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lineage_.Transfer(lineage);
+}
+
+void Session::AbsorbCtx() {
+  auto lineage = LineageApi::Current();
+  if (lineage.has_value()) {
+    Absorb(*lineage);
+  }
+}
+
+void Session::Attach() const {
+  LineageApi::Transfer(Snapshot());
+}
+
+Status Session::GuardRead(Region region, const BarrierOptions& options) const {
+  return Barrier(Snapshot(), region, options);
+}
+
+bool Session::IsReadConsistent(Region region, ShimRegistry* registry) const {
+  return BarrierDryRun(Snapshot(), region, registry).consistent;
+}
+
+Lineage Session::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lineage_;
+}
+
+size_t Session::NumDeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lineage_.Size();
+}
+
+void Session::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lineage_ = Lineage();
+}
+
+}  // namespace antipode

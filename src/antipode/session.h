@@ -1,0 +1,65 @@
+// Session guarantees on top of lineages. A `Session` accumulates the lineage
+// of every request a user performs and gates subsequent reads on it,
+// providing read-your-writes and monotonic-reads *without* FlightTracker's
+// centralized ticket service (§8): the session object lives wherever the
+// user's state lives (client library, edge, sticky LB) and its dependency
+// set is just a lineage, enforced with the ordinary barrier machinery.
+//
+// Typical use:
+//   Session session("alice");
+//   … per request: ScopedContext + LineageApi::Root() + session.Attach();
+//     <shimmed writes/reads>
+//     session.AbsorbCtx();                       // at request end
+//   … before a user-facing read elsewhere:
+//     session.GuardRead(region);                 // RYW gate
+
+#ifndef SRC_ANTIPODE_SESSION_H_
+#define SRC_ANTIPODE_SESSION_H_
+
+#include <mutex>
+#include <string>
+
+#include "src/antipode/barrier.h"
+#include "src/antipode/lineage.h"
+
+namespace antipode {
+
+class Session {
+ public:
+  explicit Session(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+
+  // Folds `lineage` into the session's dependency set.
+  void Absorb(const Lineage& lineage);
+
+  // Folds the current request context's lineage into the session. Call when
+  // a request finishes (before its lineage is truncated by `stop`).
+  void AbsorbCtx();
+
+  // Installs the session's dependencies into the current request context so
+  // that a new request starts causally after everything the session did.
+  void Attach() const;
+
+  // Read-your-writes gate: blocks until every session dependency is visible
+  // at `region`.
+  Status GuardRead(Region region, const BarrierOptions& options = {}) const;
+
+  // Non-blocking variant: true when a read at `region` would already observe
+  // all session writes.
+  bool IsReadConsistent(Region region,
+                        ShimRegistry* registry = &ShimRegistry::Default()) const;
+
+  Lineage Snapshot() const;
+  size_t NumDeps() const;
+  void Clear();
+
+ private:
+  std::string id_;
+  mutable std::mutex mu_;
+  Lineage lineage_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_SESSION_H_

@@ -1,0 +1,62 @@
+#include "src/antipode/shim.h"
+
+namespace antipode {
+
+Status Shim::WaitLineage(Region region, const Lineage& lineage, Duration timeout) {
+  const TimePoint deadline = timeout == Duration::max()
+                                 ? TimePoint::max()
+                                 : SystemClock::Instance().Now() + timeout;
+  for (const auto& dep : lineage.DepsForStore(store_name())) {
+    Duration remaining = Duration::max();
+    if (deadline != TimePoint::max()) {
+      const TimePoint now = SystemClock::Instance().Now();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("lineage wait: " + dep.ToString());
+      }
+      remaining = std::chrono::duration_cast<Duration>(deadline - now);
+    }
+    Status status = Wait(region, dep, remaining);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+ShimRegistry& ShimRegistry::Default() {
+  static auto* registry = new ShimRegistry();
+  return *registry;
+}
+
+void ShimRegistry::Register(Shim* shim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shims_[shim->store_name()] = shim;
+}
+
+void ShimRegistry::Unregister(const std::string& store_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shims_.erase(store_name);
+}
+
+Shim* ShimRegistry::Lookup(const std::string& store_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shims_.find(store_name);
+  return it == shims_.end() ? nullptr : it->second;
+}
+
+void ShimRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shims_.clear();
+}
+
+std::vector<std::string> ShimRegistry::RegisteredStores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(shims_.size());
+  for (const auto& [name, shim] : shims_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace antipode

@@ -1,0 +1,65 @@
+// Shim base interface. A shim interposes a datastore's client API to
+// (1) propagate lineages alongside data values and (2) implement the
+// datastore-specific `wait` visibility primitive barrier relies on (§6.3).
+// Typed read/write methods live on the concrete shims, since their
+// signatures track the underlying datastore's data model (Table 2 note).
+
+#ifndef SRC_ANTIPODE_SHIM_H_
+#define SRC_ANTIPODE_SHIM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/antipode/lineage.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/net/region.h"
+
+namespace antipode {
+
+class Shim {
+ public:
+  virtual ~Shim() = default;
+
+  // Name of the datastore this shim fronts; write identifiers carrying this
+  // name resolve to this shim at barrier time.
+  virtual const std::string& store_name() const = 0;
+
+  // Blocks until `id` (or a newer version of its key) is visible at
+  // `region`. Datastore-specific: most stores wait on a replication
+  // watermark; DynamoDB's shim uses strongly consistent reads (§6.4).
+  virtual Status Wait(Region region, const WriteId& id, Duration timeout) = 0;
+
+  // Non-blocking visibility probe (used by barrier's dry-run mode).
+  virtual bool IsVisible(Region region, const WriteId& id) = 0;
+
+  // wait(ℒ): waits for every dependency of `lineage` that belongs to this
+  // datastore. Deadline-based so the timeout bounds the whole set.
+  Status WaitLineage(Region region, const Lineage& lineage,
+                     Duration timeout = Duration::max());
+};
+
+// Maps datastore names to shims so barrier can resolve the write identifiers
+// in a lineage without end-to-end knowledge of the application.
+class ShimRegistry {
+ public:
+  // A process-wide default registry.
+  static ShimRegistry& Default();
+
+  void Register(Shim* shim);
+  void Unregister(const std::string& store_name);
+  Shim* Lookup(const std::string& store_name) const;
+  void Clear();
+  std::vector<std::string> RegisteredStores() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Shim*> shims_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_SHIM_H_

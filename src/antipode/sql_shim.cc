@@ -1,0 +1,81 @@
+#include "src/antipode/sql_shim.h"
+
+#include "src/antipode/framing.h"
+
+namespace antipode {
+
+Status SqlShim::InstrumentTable(const std::string& table, bool with_index) {
+  Status status = sql_->AddColumn(table, kLineageField);
+  if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+    return status;
+  }
+  if (with_index) {
+    return sql_->CreateIndex(table, kLineageField);
+  }
+  return Status::Ok();
+}
+
+Result<Lineage> SqlShim::Insert(Region region, const std::string& table, Row row,
+                                Lineage lineage) {
+  auto pk_column = sql_->PrimaryKeyColumn(table);
+  if (!pk_column.ok()) {
+    return pk_column.status();
+  }
+  auto pk = row.Get(*pk_column);
+  if (!pk.has_value()) {
+    return Status::InvalidArgument("row missing primary key: " + *pk_column);
+  }
+  row.Set(kLineageField, Value(lineage.Serialize()));
+  auto version = sql_->Insert(region, table, row);
+  if (!version.ok()) {
+    return version.status();
+  }
+  lineage.Append(WriteId{store_name(), SqlStore::RowKey(table, *pk), *version});
+  return lineage;
+}
+
+SqlShim::ReadResult SqlShim::SelectByPk(Region region, const std::string& table,
+                                        const Value& pk) const {
+  ReadResult out;
+  const std::string key = SqlStore::RowKey(table, pk);
+  auto entry = sql_->Get(region, key);
+  if (!entry.has_value() || entry->bytes.empty()) {
+    return out;
+  }
+  auto row = Row::Deserialize(entry->bytes);
+  if (!row.ok()) {
+    return out;
+  }
+  auto lineage_field = row->Get(kLineageField);
+  if (lineage_field.has_value() && lineage_field->is_string()) {
+    auto lineage = Lineage::Deserialize(lineage_field->as_string());
+    if (lineage.ok()) {
+      out.lineage = std::move(*lineage);
+    }
+  }
+  row->Erase(kLineageField);
+  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  out.row = std::move(*row);
+  return out;
+}
+
+Status SqlShim::InsertCtx(Region region, const std::string& table, Row row) {
+  Lineage lineage = LineageApi::Current().value_or(Lineage());
+  auto updated = Insert(region, table, std::move(row), std::move(lineage));
+  if (!updated.ok()) {
+    return updated.status();
+  }
+  LineageApi::Install(*updated);
+  return Status::Ok();
+}
+
+std::optional<Row> SqlShim::SelectByPkCtx(Region region, const std::string& table,
+                                          const Value& pk) const {
+  ReadResult result = SelectByPk(region, table, pk);
+  if (result.row.has_value()) {
+    LineageApi::Transfer(result.lineage);
+  }
+  return std::move(result.row);
+}
+
+}  // namespace antipode

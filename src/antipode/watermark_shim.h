@@ -1,0 +1,33 @@
+// Base for shims whose `wait` is a replication-watermark wait on the
+// underlying ReplicatedStore (every store except DynamoDB, whose shim uses
+// strongly consistent reads instead).
+
+#ifndef SRC_ANTIPODE_WATERMARK_SHIM_H_
+#define SRC_ANTIPODE_WATERMARK_SHIM_H_
+
+#include "src/antipode/shim.h"
+#include "src/store/replicated_store.h"
+
+namespace antipode {
+
+class WatermarkShim : public Shim {
+ public:
+  explicit WatermarkShim(ReplicatedStore* store) : store_(store) {}
+
+  const std::string& store_name() const override { return store_->name(); }
+
+  Status Wait(Region region, const WriteId& id, Duration timeout) override {
+    return store_->WaitVisible(region, id.key, id.version, timeout);
+  }
+
+  bool IsVisible(Region region, const WriteId& id) override {
+    return store_->IsVisible(region, id.key, id.version);
+  }
+
+ protected:
+  ReplicatedStore* store_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_WATERMARK_SHIM_H_

@@ -1,0 +1,50 @@
+#include "src/apps/hotel_reservation/hotel_reservation.h"
+
+#include <atomic>
+
+#include "src/antipode/antipode.h"
+#include "src/context/request_context.h"
+#include "src/store/doc_store.h"
+
+namespace antipode {
+namespace {
+
+std::atomic<uint64_t> g_run_counter{0};
+
+}  // namespace
+
+HotelReservationResult RunHotelReservation(const HotelReservationConfig& config) {
+  const uint64_t run = g_run_counter.fetch_add(1, std::memory_order_relaxed);
+  // Geo-replicated (so replication *does* lag), but the flow never reads a
+  // different region or a different datastore than it wrote.
+  DocStore reservations(DocStore::DefaultOptions(
+      "hotel-mongo-" + std::to_string(run), {Region::kUs, Region::kEu}));
+  DocShim shim(&reservations);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ConsistencyChecker checker(&registry);
+
+  HotelReservationResult result;
+  result.reservations = config.num_reservations;
+  for (int i = 0; i < config.num_reservations; ++i) {
+    RequestContext context;
+    ScopedContext scoped(std::move(context));
+    LineageApi::Root();
+
+    const std::string id = "res-" + std::to_string(run) + "-" + std::to_string(i);
+    shim.InsertDocCtx(config.region, "reservations", id,
+                      Document{{"hotel", Value("h1")}, {"nights", Value(static_cast<int64_t>(2))}});
+
+    // Confirmation page: read back in the same region.
+    if (!checker.CheckCtx("confirmation-read", config.region)) {
+      result.checker_inconsistent++;
+    }
+    if (!shim.FindByIdCtx(config.region, "reservations", id).has_value()) {
+      result.violations++;
+    }
+  }
+  reservations.DrainReplication();
+  return result;
+}
+
+}  // namespace antipode

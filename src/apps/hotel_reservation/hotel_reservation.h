@@ -1,0 +1,31 @@
+// DeathStarBench hotel-reservation negative control. The paper reports that
+// hotel reservation "has a very simple architecture with no cross-datastore
+// references, resulting in no XCY violations being found" (§7.1, footnote).
+// We reproduce the negative result: the reservation flow writes one
+// datastore and reads it back in the same region, so even with aggressive
+// replication delays nothing can go inconsistent — and Antipode's dry-run
+// checker confirms every candidate site is already consistent.
+
+#ifndef SRC_APPS_HOTEL_RESERVATION_HOTEL_RESERVATION_H_
+#define SRC_APPS_HOTEL_RESERVATION_HOTEL_RESERVATION_H_
+
+#include "src/net/region.h"
+
+namespace antipode {
+
+struct HotelReservationConfig {
+  Region region = Region::kUs;
+  int num_reservations = 100;
+};
+
+struct HotelReservationResult {
+  int reservations = 0;
+  int violations = 0;           // reservations not readable right after booking
+  int checker_inconsistent = 0;  // dry-run checker reports at the read site
+};
+
+HotelReservationResult RunHotelReservation(const HotelReservationConfig& config);
+
+}  // namespace antipode
+
+#endif  // SRC_APPS_HOTEL_RESERVATION_HOTEL_RESERVATION_H_

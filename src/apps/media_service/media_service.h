@@ -1,0 +1,46 @@
+// DeathStarBench media-service case study. The paper notes (§7.1, footnote)
+// that DSB's media service exhibits the same violation class as the social
+// network: a review references an uploaded media object, the review event is
+// processed remotely, and the worker can observe the review while the media
+// blob (a *different* datastore, with much slower replication) is missing.
+//
+// Flow: upload-media (S3-like object store) → write review referencing it
+// (MongoDB-like doc store) → publish review event (RabbitMQ-like queue) →
+// remote render worker: [barrier] → read review → fetch media.
+//
+// Two distinct read dependencies hang off one message, so this exercises
+// multi-store barriers in a single lineage.
+
+#ifndef SRC_APPS_MEDIA_SERVICE_MEDIA_SERVICE_H_
+#define SRC_APPS_MEDIA_SERVICE_MEDIA_SERVICE_H_
+
+#include "src/common/histogram.h"
+#include "src/net/region.h"
+
+namespace antipode {
+
+struct MediaServiceConfig {
+  Region upload_region = Region::kUs;
+  Region render_region = Region::kEu;
+  bool antipode = false;
+  int num_reviews = 100;
+  int concurrency = 16;
+  size_t media_size_bytes = 32 * 1024;  // scaled-down poster/thumbnail
+};
+
+struct MediaServiceResult {
+  int reviews = 0;
+  int review_missing = 0;  // review doc not yet visible
+  int media_missing = 0;   // review visible but media blob missing
+  int TotalViolations() const { return review_missing + media_missing; }
+  double ViolationRate() const {
+    return reviews == 0 ? 0.0 : static_cast<double>(TotalViolations()) / reviews;
+  }
+  Histogram consistency_window_model_ms;
+};
+
+MediaServiceResult RunMediaService(const MediaServiceConfig& config);
+
+}  // namespace antipode
+
+#endif  // SRC_APPS_MEDIA_SERVICE_MEDIA_SERVICE_H_

@@ -1,0 +1,68 @@
+// DeathStarBench-style social network (paper §7.1): microservices behind the
+// RPC substrate, a MongoDB-like post storage, a RabbitMQ-like queue for the
+// asynchronous write-home-timeline task, and a Redis-like home-timeline
+// cache. The measured interaction is compose-post:
+//
+//   client ──rpc──► compose-post ──► post-storage.insert (doc store)
+//                        │
+//                        └──► write-home-timeline queue.publish
+//   (remote region) queue consumer ──► fetch post ──► update follower
+//                                      home timelines (kv cache)
+//
+// XCY violation: the remote consumer dequeues the task before the post has
+// replicated and the fetch returns object-not-found. Antipode's fix is a
+// barrier right after dequeuing (off the writer's critical path, so the
+// throughput/latency cost stays under ~2% — Fig. 8).
+
+#ifndef SRC_APPS_SOCIAL_NETWORK_SOCIAL_NETWORK_H_
+#define SRC_APPS_SOCIAL_NETWORK_SOCIAL_NETWORK_H_
+
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/net/region.h"
+
+namespace antipode {
+
+struct SocialNetworkConfig {
+  Region home_region = Region::kUs;
+  Region remote_region = Region::kEu;  // or Region::kSg
+  bool antipode = false;
+
+  // Open-loop load (model req/s) and duration (model seconds).
+  double load_rps = 100.0;
+  double duration_model_seconds = 5.0;
+
+  int num_users = 100;
+  int followers_per_user = 8;
+  // Modeled application work inside compose-post (media/text/unique-id
+  // services collapsed into one service-time term).
+  double compose_work_model_millis = 20.0;
+  size_t service_threads = 4;
+  uint64_t seed = 17;
+};
+
+struct SocialNetworkResult {
+  // Writer-side view (Fig. 8 left).
+  double throughput = 0.0;  // completed compose-posts per model second
+  Histogram compose_latency_model_ms;
+
+  // Reader-side view (Fig. 8 right).
+  Histogram consistency_window_model_ms;
+  uint64_t fanout_tasks = 0;
+  uint64_t violations = 0;
+  double ViolationRate() const {
+    return fanout_tasks == 0 ? 0.0 : static_cast<double>(violations) / fanout_tasks;
+  }
+
+  // Lineage metadata (§7.4: max size < 200 B in DeathStarBench).
+  double max_lineage_bytes = 0.0;
+  double mean_post_object_bytes = 0.0;
+  double mean_queue_object_bytes = 0.0;
+};
+
+SocialNetworkResult RunSocialNetwork(const SocialNetworkConfig& config);
+
+}  // namespace antipode
+
+#endif  // SRC_APPS_SOCIAL_NETWORK_SOCIAL_NETWORK_H_

@@ -1,0 +1,67 @@
+#include "src/apps/workload.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace antipode {
+
+WorkloadResult OpenLoopRunner::Run(const Options& options,
+                                   std::function<void(uint64_t)> request) {
+  WorkloadResult result;
+  ThreadPool clients(options.client_threads, "workload-clients");
+  ConcurrentHistogram latency;
+  Rng rng(options.seed);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t inflight = 0;
+
+  const TimePoint start = SystemClock::Instance().Now();
+  const Duration duration = TimeScale::FromModelMillis(options.duration_model_seconds * 1000.0);
+  const double mean_gap_millis = 1000.0 / options.rate_per_model_second;
+
+  uint64_t sequence = 0;
+  TimePoint next_arrival = start;
+  while (next_arrival - start < duration) {
+    SystemClock::Instance().SleepFor(
+        std::chrono::duration_cast<Duration>(next_arrival - SystemClock::Instance().Now()));
+    const uint64_t id = sequence++;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++inflight;
+    }
+    clients.Submit([&, id] {
+      const TimePoint begin = SystemClock::Instance().Now();
+      request(id);
+      const TimePoint end = SystemClock::Instance().Now();
+      latency.Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(end - begin)));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --inflight;
+      }
+      cv.notify_all();
+    });
+    const double gap = options.poisson_arrivals ? rng.NextExponential(mean_gap_millis)
+                                                : mean_gap_millis;
+    next_arrival += TimeScale::FromModelMillis(gap);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return inflight == 0; });
+  }
+  const TimePoint finish = SystemClock::Instance().Now();
+  clients.Shutdown();
+
+  result.offered = sequence;
+  result.completed = sequence;
+  result.duration_model_seconds =
+      TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(finish - start)) / 1000.0;
+  result.throughput = result.duration_model_seconds > 0
+                          ? static_cast<double>(result.completed) / result.duration_model_seconds
+                          : 0.0;
+  result.latency_model_millis = latency.Snapshot();
+  return result;
+}
+
+}  // namespace antipode

@@ -1,0 +1,45 @@
+// Open-loop workload generator: issues requests at a fixed model-time rate
+// regardless of completion (the load-generation style of §7.2), dispatching
+// each one onto a client pool and recording per-request latency.
+
+#ifndef SRC_APPS_WORKLOAD_H_
+#define SRC_APPS_WORKLOAD_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/thread_pool.h"
+
+namespace antipode {
+
+struct WorkloadResult {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  double duration_model_seconds = 0.0;
+  // Completed requests per model second.
+  double throughput = 0.0;
+  Histogram latency_model_millis;
+};
+
+class OpenLoopRunner {
+ public:
+  struct Options {
+    double rate_per_model_second = 100.0;
+    double duration_model_seconds = 5.0;
+    size_t client_threads = 64;
+    bool poisson_arrivals = true;
+    uint64_t seed = 11;
+  };
+
+  // Runs `request` (indexed by sequence number) open-loop and waits for all
+  // issued requests to complete before returning.
+  static WorkloadResult Run(const Options& options, std::function<void(uint64_t)> request);
+};
+
+}  // namespace antipode
+
+#endif  // SRC_APPS_WORKLOAD_H_

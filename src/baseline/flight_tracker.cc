@@ -1,0 +1,60 @@
+#include "src/baseline/flight_tracker.h"
+
+namespace antipode {
+namespace {
+
+// Approximate wire footprint of a ticket interaction.
+constexpr size_t kTicketRpcBytes = 64;
+
+}  // namespace
+
+void TicketService::RecordWrite(Region caller, const std::string& session, WriteId id) {
+  network_->SleepRtt(caller, home_region_, kTicketRpcBytes, kTicketRpcBytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  tickets_[session].insert(std::move(id));
+  rpc_count_++;
+}
+
+std::vector<WriteId> TicketService::GetTicket(Region caller, const std::string& session) {
+  network_->SleepRtt(caller, home_region_, kTicketRpcBytes, kTicketRpcBytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  rpc_count_++;
+  auto it = tickets_.find(session);
+  if (it == tickets_.end()) {
+    return {};
+  }
+  return std::vector<WriteId>(it->second.begin(), it->second.end());
+}
+
+void TicketService::ClearSession(const std::string& session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tickets_.erase(session);
+}
+
+Status FlightTrackerClient::BeforeRead(Region region, const std::string& session,
+                                       Duration timeout) {
+  const TimePoint deadline = timeout == Duration::max()
+                                 ? TimePoint::max()
+                                 : SystemClock::Instance().Now() + timeout;
+  for (const auto& id : tickets_->GetTicket(region, session)) {
+    Shim* shim = registry_->Lookup(id.store);
+    if (shim == nullptr) {
+      continue;  // FlightTracker also skips stores it does not front
+    }
+    Duration remaining = Duration::max();
+    if (deadline != TimePoint::max()) {
+      const TimePoint now = SystemClock::Instance().Now();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("flight-tracker ticket wait: " + id.ToString());
+      }
+      remaining = std::chrono::duration_cast<Duration>(deadline - now);
+    }
+    Status status = shim->Wait(region, id, remaining);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace antipode

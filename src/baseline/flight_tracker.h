@@ -1,0 +1,84 @@
+// FlightTracker-style baseline (paper §8, [59]): read-your-writes enforced
+// through a logically centralized ticket metadata service. Every write by a
+// user session registers with the metadata service (a WAN round trip when
+// the user is not co-located with it); every read first fetches the
+// session's ticket and then waits for the ticketed writes to be visible
+// locally.
+//
+// Contrast with Antipode: tickets hang off *user sessions* and every
+// operation talks to the central service, whereas Antipode's lineages hang
+// off requests and piggyback on existing propagation with no extra round
+// trips. The `ablation_flighttracker` bench quantifies the difference.
+
+#ifndef SRC_BASELINE_FLIGHT_TRACKER_H_
+#define SRC_BASELINE_FLIGHT_TRACKER_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/antipode/shim.h"
+#include "src/antipode/write_id.h"
+#include "src/net/network.h"
+
+namespace antipode {
+
+// The centralized metadata service. Lives in one home region; callers from
+// other regions pay the WAN round trip on every interaction.
+class TicketService {
+ public:
+  explicit TicketService(Region home_region,
+                         SimulatedNetwork* network = &SimulatedNetwork::Default())
+      : home_region_(home_region), network_(network) {}
+
+  // Appends a write to the session's ticket (one round trip from `caller`).
+  void RecordWrite(Region caller, const std::string& session, WriteId id);
+
+  // Fetches the session's ticket (one round trip from `caller`).
+  std::vector<WriteId> GetTicket(Region caller, const std::string& session);
+
+  // Drops a session's ticket (e.g. on logout).
+  void ClearSession(const std::string& session);
+
+  uint64_t rpc_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rpc_count_;
+  }
+  Region home_region() const { return home_region_; }
+
+ private:
+  Region home_region_;
+  SimulatedNetwork* network_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::set<WriteId>> tickets_;
+  uint64_t rpc_count_ = 0;
+};
+
+// Session-scoped read-your-writes on top of shimmed datastores: reads wait
+// for every ticketed write (of any store in `registry`) to be visible at the
+// reader's region before proceeding.
+class FlightTrackerClient {
+ public:
+  FlightTrackerClient(TicketService* tickets, ShimRegistry* registry)
+      : tickets_(tickets), registry_(registry) {}
+
+  // Registers a completed write with the session's ticket.
+  void OnWrite(Region caller, const std::string& session, const WriteId& id) {
+    tickets_->RecordWrite(caller, session, id);
+  }
+
+  // RYW gate: fetches the ticket and blocks until all ticketed writes are
+  // visible at `region`. Call before any session read.
+  Status BeforeRead(Region region, const std::string& session,
+                    Duration timeout = Duration::max());
+
+ private:
+  TicketService* tickets_;
+  ShimRegistry* registry_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_BASELINE_FLIGHT_TRACKER_H_

@@ -1,0 +1,47 @@
+// Potential-causality dependency tracking: the no-truncation alternative
+// Antipode's lineage design is measured against (ablation B). Every write is
+// remembered forever; reading anything folds the writer's *entire* history
+// into the reader. Across chained requests the dependency set grows without
+// bound — the "explosion of the dependency graph" §5.1 warns about.
+
+#ifndef SRC_BASELINE_POTENTIAL_TRACKER_H_
+#define SRC_BASELINE_POTENTIAL_TRACKER_H_
+
+#include <set>
+#include <string>
+
+#include "src/antipode/lineage.h"
+#include "src/antipode/write_id.h"
+
+namespace antipode {
+
+class PotentialCausalityTracker {
+ public:
+  // Records a write performed by this execution.
+  void OnWrite(WriteId id) { deps_.insert(std::move(id)); }
+
+  // Records a read of data written under `writer_history`: the full
+  // transitive history becomes part of this execution's dependencies.
+  void OnReadFrom(const PotentialCausalityTracker& writer_history) {
+    deps_.insert(writer_history.deps_.begin(), writer_history.deps_.end());
+  }
+
+  size_t NumDeps() const { return deps_.size(); }
+  const std::set<WriteId>& deps() const { return deps_; }
+
+  // Same wire encoding as a lineage, for apples-to-apples size comparison.
+  size_t WireSize() const {
+    Lineage as_lineage;
+    for (const auto& dep : deps_) {
+      as_lineage.Append(dep);
+    }
+    return as_lineage.WireSize();
+  }
+
+ private:
+  std::set<WriteId> deps_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_BASELINE_POTENTIAL_TRACKER_H_

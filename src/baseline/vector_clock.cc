@@ -1,0 +1,54 @@
+#include "src/baseline/vector_clock.h"
+
+#include "src/common/serialization.h"
+
+namespace antipode {
+
+void VectorClock::Merge(const VectorClock& other) {
+  for (const auto& [process, counter] : other.entries_) {
+    auto& mine = entries_[process];
+    mine = std::max(mine, counter);
+  }
+}
+
+bool VectorClock::HappensBefore(const VectorClock& other) const {
+  // a → b  iff  ∀p: a[p] <= b[p]  and  a != b.
+  for (const auto& [process, counter] : entries_) {
+    if (counter > other.Get(process)) {
+      return false;
+    }
+  }
+  return !(*this == other);
+}
+
+size_t VectorClock::WireSize() const { return Serialize().size(); }
+
+std::string VectorClock::Serialize() const {
+  Serializer s;
+  s.WriteVarint(entries_.size());
+  for (const auto& [process, counter] : entries_) {
+    s.WriteVarint(process);
+    s.WriteVarint(counter);
+  }
+  return s.Release();
+}
+
+VectorClock VectorClock::Deserialize(std::string_view data) {
+  VectorClock clock;
+  Deserializer d(data);
+  auto count = d.ReadVarint();
+  if (!count.ok()) {
+    return clock;
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto process = d.ReadVarint();
+    auto counter = d.ReadVarint();
+    if (!process.ok() || !counter.ok()) {
+      break;
+    }
+    clock.entries_[static_cast<uint32_t>(*process)] = *counter;
+  }
+  return clock;
+}
+
+}  // namespace antipode

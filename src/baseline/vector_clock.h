@@ -1,0 +1,49 @@
+// Vector clocks — the classical mechanism for tracking potential causality
+// (§3.2, §5.1). Included as the comparison baseline for the dependency-
+// tracking ablation: one entry per process/service, merged on every
+// interaction, never truncated.
+
+#ifndef SRC_BASELINE_VECTOR_CLOCK_H_
+#define SRC_BASELINE_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace antipode {
+
+class VectorClock {
+ public:
+  void Increment(uint32_t process) { entries_[process]++; }
+
+  uint64_t Get(uint32_t process) const {
+    auto it = entries_.find(process);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  // Component-wise maximum.
+  void Merge(const VectorClock& other);
+
+  // True when every component of this clock is <= other's and at least one
+  // is strictly smaller.
+  bool HappensBefore(const VectorClock& other) const;
+  bool Concurrent(const VectorClock& other) const {
+    return !HappensBefore(other) && !other.HappensBefore(*this) && !(*this == other);
+  }
+
+  bool operator==(const VectorClock& other) const { return entries_ == other.entries_; }
+
+  size_t NumEntries() const { return entries_.size(); }
+  // Wire size: one varint pair per entry, same encoding budget as lineages.
+  size_t WireSize() const;
+
+  std::string Serialize() const;
+  static VectorClock Deserialize(std::string_view data);
+
+ private:
+  std::map<uint32_t, uint64_t> entries_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_BASELINE_VECTOR_CLOCK_H_

@@ -1,0 +1,108 @@
+// A bounded multi-producer multi-consumer blocking queue, used by thread
+// pools, message brokers, and the open-loop load generators.
+
+#ifndef SRC_COMMON_BLOCKING_QUEUE_H_
+#define SRC_COMMON_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/common/clock.h"
+
+namespace antipode {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+
+  // Blocks while full. Returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; returns false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  // Waits up to `timeout`; returns nullopt on timeout or when closed+drained.
+  std::optional<T> PopWithTimeout(Duration timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool Closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  std::optional<T> PopLocked() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_BLOCKING_QUEUE_H_

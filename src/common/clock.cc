@@ -1,0 +1,31 @@
+#include "src/common/clock.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antipode {
+
+double TimeScale::scale_ = 1.0;
+
+double TimeScale::Get() { return scale_; }
+
+void TimeScale::Set(double scale) { scale_ = std::max(scale, 0.0); }
+
+Duration TimeScale::FromModelMillis(double model_millis) {
+  const double micros = model_millis * 1000.0 * scale_;
+  return Duration(static_cast<int64_t>(std::llround(std::max(micros, 0.0))));
+}
+
+double TimeScale::ToModelMillis(Duration wall) {
+  if (scale_ <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(wall.count()) / 1000.0 / scale_;
+}
+
+SystemClock& SystemClock::Instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace antipode

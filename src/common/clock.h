@@ -1,0 +1,67 @@
+// Time utilities.
+//
+// All simulated latencies in this repository are expressed in *model
+// milliseconds* — the latencies the modelled deployment would exhibit (e.g.
+// ~90 ms US↔EU RTT, ~1000 ms MySQL replication). A process-wide `TimeScale`
+// converts model time into wall-clock time so that experiments preserving
+// every latency *ratio* can run in seconds. The scale is configured once at
+// harness startup (default 1.0; benches typically use 0.02).
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace antipode {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+// Process-wide scale applied to model time. Not thread-safe to mutate
+// concurrently with use; set it once before starting any simulated component.
+class TimeScale {
+ public:
+  static double Get();
+  static void Set(double scale);
+
+  // Converts model milliseconds into scaled wall-clock microseconds.
+  static Duration FromModelMillis(double model_millis);
+
+  // Converts scaled wall-clock microseconds back to model milliseconds, for
+  // reporting measurements in the paper's units.
+  static double ToModelMillis(Duration wall);
+
+ private:
+  static double scale_;
+};
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+  virtual void SleepFor(Duration d) const = 0;
+};
+
+// The default wall-clock implementation backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  static SystemClock& Instance();
+
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+  void SleepFor(Duration d) const override {
+    if (d.count() > 0) {
+      std::this_thread::sleep_for(d);
+    }
+  }
+};
+
+inline int64_t ToMicros(Duration d) { return d.count(); }
+inline double ToMillis(Duration d) { return static_cast<double>(d.count()) / 1000.0; }
+inline Duration Micros(int64_t us) { return Duration(us); }
+inline Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_CLOCK_H_

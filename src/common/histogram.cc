@@ -1,0 +1,112 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace antipode {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(double value) {
+  if (value <= 0.0) {
+    return 0;
+  }
+  // log2-based index: exponent selects the power-of-two range, the mantissa's
+  // top kSubBucketBits select the sub-bucket.
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // mantissa in [0.5, 1)
+  // Clamp exponents to [-16, 47] so the table covers ~1e-5 .. ~1e14.
+  exponent = std::clamp(exponent, -16, 47);
+  const int sub =
+      std::min((1 << kSubBucketBits) - 1,
+               static_cast<int>((mantissa - 0.5) * 2.0 * (1 << kSubBucketBits)));
+  return (exponent + 16) * (1 << kSubBucketBits) + sub;
+}
+
+double Histogram::BucketMidpoint(int bucket) {
+  const int exponent = bucket / (1 << kSubBucketBits) - 16;
+  const int sub = bucket % (1 << kSubBucketBits);
+  const double mantissa_lo = 0.5 + static_cast<double>(sub) / (2.0 * (1 << kSubBucketBits));
+  const double mantissa_hi = mantissa_lo + 1.0 / (2.0 * (1 << kSubBucketBits));
+  return std::ldexp((mantissa_lo + mantissa_hi) / 2.0, exponent);
+}
+
+void Histogram::Record(double value) {
+  const int bucket = BucketFor(value);
+  buckets_[static_cast<size_t>(bucket)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (cumulative >= target && buckets_[static_cast<size_t>(i)] > 0) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> Histogram::Cdf() const {
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0) {
+    return out;
+  }
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[static_cast<size_t>(i)] == 0) {
+      continue;
+    }
+    cumulative += buckets_[static_cast<size_t>(i)];
+    out.emplace_back(BucketMidpoint(i), static_cast<double>(cumulative) / count_);
+  }
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(0.50)
+     << " p90=" << Percentile(0.90) << " p99=" << Percentile(0.99) << " max=" << max();
+  return os.str();
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = sum_ = 0.0;
+}
+
+}  // namespace antipode

@@ -1,0 +1,80 @@
+// Latency/size histogram with percentile queries and CDF export.
+//
+// Uses exponentially-sized buckets (HdrHistogram-style) so a single instance
+// covers nanoseconds to minutes with bounded relative error, plus an exact
+// min/max/sum. Thread-safe variant available via `ConcurrentHistogram`.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace antipode {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Value at quantile q in [0, 1]; approximate within bucket resolution.
+  double Percentile(double q) const;
+
+  // (value, cumulative_fraction) pairs over the non-empty buckets.
+  std::vector<std::pair<double, double>> Cdf() const;
+
+  // "count=… mean=… p50=… p99=… max=…" one-liner for reports.
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;
+
+  static int BucketFor(double value);
+  static double BucketMidpoint(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// A mutex-guarded histogram for concurrent recording from workload threads.
+class ConcurrentHistogram {
+ public:
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(value);
+  }
+
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,46 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace antipode {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+std::mutex g_write_mu;
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+}  // namespace
+
+LogLevel Logger::Threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void Logger::SetThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Write(LogLevel level, const char* file, int line, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::fprintf(stderr, "[%c %s:%d] %s\n", LevelChar(level), Basename(file), line,
+               message.c_str());
+}
+
+}  // namespace antipode

@@ -1,0 +1,51 @@
+// Tiny leveled logger. Disabled levels compile to a no-op stream; the default
+// threshold is WARNING so experiment harnesses stay quiet unless asked.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace antipode {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+class Logger {
+ public:
+  static LogLevel Threshold();
+  static void SetThreshold(LogLevel level);
+
+  // Writes one formatted line to stderr under a lock.
+  static void Write(LogLevel level, const char* file, int line, const std::string& message);
+};
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Write(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace antipode
+
+#define ANTIPODE_LOG(level)                                                        \
+  if (::antipode::LogLevel::level < ::antipode::Logger::Threshold()) {             \
+  } else                                                                           \
+    ::antipode::LogMessage(::antipode::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG ANTIPODE_LOG(kDebug)
+#define LOG_INFO ANTIPODE_LOG(kInfo)
+#define LOG_WARNING ANTIPODE_LOG(kWarning)
+#define LOG_ERROR ANTIPODE_LOG(kError)
+
+#endif  // SRC_COMMON_LOGGING_H_

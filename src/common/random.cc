@@ -1,0 +1,104 @@
+#include "src/common/random.h"
+
+#include <cassert>
+
+namespace antipode {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t state = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(state);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift bounded sampler (slightly biased for huge bounds,
+  // which is irrelevant for workload generation).
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(NextUint64()) * static_cast<unsigned __int128>(bound);
+  return static_cast<uint64_t>(product >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::NextUniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 1e-12;
+  }
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 1e-12;
+  }
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLognormal(double median, double sigma) {
+  return median * std::exp(sigma * NextGaussian());
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta >= 0.0 && theta != 1.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfDistribution::H(double x) const {
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfDistribution::Next(Rng& rng) {
+  while (true) {
+    const double u = h_x1_ + rng.NextDouble() * (h_n_ - h_x1_);
+    const double x = HInverse(u);
+    const auto k = static_cast<uint64_t>(x + 0.5);
+    const double clamped = std::max<double>(1.0, static_cast<double>(k));
+    if (clamped - x <= s_ || u >= H(clamped + 0.5) - std::pow(clamped, -theta_)) {
+      const uint64_t result = std::max<uint64_t>(1, k);
+      return std::min(result, n_) - 1;  // 0-based
+    }
+  }
+}
+
+}  // namespace antipode

@@ -1,0 +1,71 @@
+// Deterministic, fast pseudo-random number generation and the distributions
+// used by the workload generators (uniform, exponential, lognormal, Zipf).
+//
+// Everything here is seedable so experiments are reproducible run-to-run.
+
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace antipode {
+
+// xoshiro256** — fast, high-quality, and trivially seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi].
+  double NextUniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Lognormal parameterized by the *median* and sigma of the underlying
+  // normal; convenient for latency models ("median 45 ms, sigma 0.2").
+  double NextLognormal(double median, double sigma);
+
+  // Standard normal via Box–Muller.
+  double NextGaussian();
+
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed integers in [0, n). Uses the rejection-inversion sampler
+// of Hörmann & Derflinger, O(1) per sample after O(1) setup.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_RANDOM_H_

@@ -1,0 +1,44 @@
+#include "src/common/thread_pool.h"
+
+namespace antipode {
+
+ThreadPool::ThreadPool(size_t num_threads, std::string name) : name_(std::move(name)) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  return tasks_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  tasks_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    auto task = tasks_.Pop();
+    if (!task.has_value()) {
+      return;  // closed and drained
+    }
+    (*task)();
+  }
+}
+
+}  // namespace antipode

@@ -1,0 +1,46 @@
+// Fixed-size thread pool executing std::function tasks. Each simulated
+// service owns one pool; the RPC layer dispatches handlers onto it.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/blocking_queue.h"
+
+namespace antipode {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; returns false after Shutdown.
+  bool Submit(std::function<void()> task);
+
+  // Stops accepting tasks, drains the queue, joins all workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  const std::string& name() const { return name_; }
+  size_t PendingTasks() const { return tasks_.Size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

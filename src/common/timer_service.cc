@@ -1,0 +1,78 @@
+#include "src/common/timer_service.h"
+
+#include <utility>
+
+namespace antipode {
+
+TimerService::TimerService() : dispatcher_([this] { DispatchLoop(); }) {}
+
+TimerService::~TimerService() { Shutdown(); }
+
+TimerService& TimerService::Shared() {
+  static auto* service = new TimerService();  // intentionally leaked; lives for the process
+  return *service;
+}
+
+void TimerService::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  ScheduleAt(SystemClock::Instance().Now() + delay, std::move(fn));
+}
+
+void TimerService::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    entries_.push(Entry{when, next_sequence_++, std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void TimerService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+size_t TimerService::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TimerService::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (entries_.empty()) {
+      if (shutdown_) {
+        return;
+      }
+      cv_.wait(lock, [&] { return shutdown_ || !entries_.empty(); });
+      continue;
+    }
+    const TimePoint next = entries_.top().when;
+    const TimePoint now = SystemClock::Instance().Now();
+    if (next > now) {
+      if (shutdown_) {
+        return;  // drop timers that are not yet due
+      }
+      cv_.wait_until(lock, next);
+      continue;
+    }
+    // Move the callback out so it can run unlocked.
+    auto fn = std::move(const_cast<Entry&>(entries_.top()).fn);
+    entries_.pop();
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace antipode

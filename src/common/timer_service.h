@@ -1,0 +1,71 @@
+// A shared timer wheel: schedules closures to run at a future time point on a
+// dedicated dispatcher thread. The simulated network and every store's
+// replication engine use this instead of spawning a thread per in-flight
+// message, which keeps thousands of concurrent replication events cheap.
+//
+// Callbacks run on the dispatcher thread and must be short; anything heavy
+// should bounce to a ThreadPool.
+
+#ifndef SRC_COMMON_TIMER_SERVICE_H_
+#define SRC_COMMON_TIMER_SERVICE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace antipode {
+
+class TimerService {
+ public:
+  TimerService();
+  ~TimerService();
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  // A process-wide instance shared by the simulation substrate.
+  static TimerService& Shared();
+
+  // Runs `fn` once `delay` has elapsed (immediately when delay <= 0).
+  void ScheduleAfter(Duration delay, std::function<void()> fn);
+  void ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  // Stops the dispatcher; pending timers that are already due still fire,
+  // future ones are dropped. Idempotent.
+  void Shutdown();
+
+  size_t PendingCount() const;
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t sequence;  // FIFO tie-break for equal deadlines
+    std::function<void()> fn;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void DispatchLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> entries_;
+  uint64_t next_sequence_ = 0;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_TIMER_SERVICE_H_

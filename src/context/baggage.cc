@@ -1,0 +1,43 @@
+#include "src/context/baggage.h"
+
+#include "src/common/serialization.h"
+
+namespace antipode {
+
+size_t Baggage::WireSize() const {
+  size_t total = 0;
+  for (const auto& [key, value] : entries_) {
+    total += key.size() + value.size() + 4;  // ~varint framing per entry
+  }
+  return total;
+}
+
+std::string Baggage::Serialize() const {
+  Serializer s;
+  s.WriteVarint(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    s.WriteString(key);
+    s.WriteString(value);
+  }
+  return s.Release();
+}
+
+Baggage Baggage::Deserialize(std::string_view data) {
+  Baggage baggage;
+  Deserializer d(data);
+  auto count = d.ReadVarint();
+  if (!count.ok()) {
+    return baggage;
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto key = d.ReadString();
+    auto value = d.ReadString();
+    if (!key.ok() || !value.ok()) {
+      break;
+    }
+    baggage.Set(std::move(*key), std::move(*value));
+  }
+  return baggage;
+}
+
+}  // namespace antipode

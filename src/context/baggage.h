@@ -1,0 +1,46 @@
+// Baggage: a small string->string map that travels with a request across
+// service boundaries — the same role OpenTelemetry baggage plays in the paper
+// (§6.4). Antipode piggybacks its serialized lineage on one baggage entry.
+
+#ifndef SRC_CONTEXT_BAGGAGE_H_
+#define SRC_CONTEXT_BAGGAGE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace antipode {
+
+class Baggage {
+ public:
+  void Set(std::string key, std::string value) { entries_[std::move(key)] = std::move(value); }
+
+  std::optional<std::string> Get(std::string_view key) const {
+    auto it = entries_.find(std::string(key));
+    if (it == entries_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  void Erase(std::string_view key) { entries_.erase(std::string(key)); }
+
+  bool Empty() const { return entries_.empty(); }
+  size_t Size() const { return entries_.size(); }
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+  // Total bytes this baggage adds to a message (keys + values + framing).
+  size_t WireSize() const;
+
+  std::string Serialize() const;
+  static Baggage Deserialize(std::string_view data);
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_CONTEXT_BAGGAGE_H_

@@ -1,0 +1,28 @@
+#include "src/context/merge.h"
+
+namespace antipode {
+
+BaggageMergerRegistry& BaggageMergerRegistry::Instance() {
+  static auto* registry = new BaggageMergerRegistry();
+  return *registry;
+}
+
+void BaggageMergerRegistry::Register(std::string key, BaggageMerger merger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mergers_[std::move(key)] = std::move(merger);
+}
+
+void BaggageMergerRegistry::MergeInto(RequestContext& target, const Baggage& incoming) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : incoming.entries()) {
+    auto existing = target.baggage().Get(key);
+    auto merger_it = mergers_.find(key);
+    if (existing.has_value() && merger_it != mergers_.end()) {
+      target.baggage().Set(key, merger_it->second(*existing, value));
+    } else {
+      target.baggage().Set(key, value);
+    }
+  }
+}
+
+}  // namespace antipode

@@ -1,0 +1,40 @@
+// Baggage merge policy. When an RPC response (or a read from a datastore)
+// carries baggage back to the caller, each entry is folded into the caller's
+// current context. The default policy is overwrite; subsystems can register a
+// custom merger per key — Antipode registers a dependency-set union for its
+// lineage entry so that lineages accumulate across the request tree (§6.2).
+
+#ifndef SRC_CONTEXT_MERGE_H_
+#define SRC_CONTEXT_MERGE_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/context/request_context.h"
+
+namespace antipode {
+
+// Combines the caller's existing value with an incoming one.
+using BaggageMerger =
+    std::function<std::string(const std::string& existing, const std::string& incoming)>;
+
+class BaggageMergerRegistry {
+ public:
+  static BaggageMergerRegistry& Instance();
+
+  void Register(std::string key, BaggageMerger merger);
+
+  // Folds `incoming` into `target` entry by entry, applying registered
+  // mergers where present and overwriting otherwise.
+  void MergeInto(RequestContext& target, const Baggage& incoming) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, BaggageMerger> mergers_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_CONTEXT_MERGE_H_

@@ -1,0 +1,50 @@
+#include "src/context/request_context.h"
+
+#include "src/common/serialization.h"
+
+namespace antipode {
+namespace {
+
+thread_local RequestContext* tls_current = nullptr;
+
+}  // namespace
+
+RequestContext* RequestContext::Current() { return tls_current; }
+
+std::string RequestContext::SerializeCurrent() {
+  if (tls_current == nullptr) {
+    return std::string();
+  }
+  return tls_current->Serialize();
+}
+
+std::string RequestContext::Serialize() const {
+  Serializer s;
+  s.WriteUint64(trace_id_);
+  s.WriteString(baggage_.Serialize());
+  return s.Release();
+}
+
+RequestContext RequestContext::Deserialize(std::string_view data) {
+  RequestContext context;
+  Deserializer d(data);
+  auto trace_id = d.ReadUint64();
+  if (!trace_id.ok()) {
+    return context;
+  }
+  context.trace_id_ = *trace_id;
+  auto baggage_blob = d.ReadString();
+  if (baggage_blob.ok()) {
+    context.baggage_ = Baggage::Deserialize(*baggage_blob);
+  }
+  return context;
+}
+
+ScopedContext::ScopedContext(RequestContext context)
+    : context_(std::move(context)), previous_(tls_current) {
+  tls_current = &context_;
+}
+
+ScopedContext::~ScopedContext() { tls_current = previous_; }
+
+}  // namespace antipode

@@ -1,0 +1,66 @@
+// Thread-local request context, the substrate Antipode's Lineage API rides on
+// (paper §6.2 "typically, this is stored in a pre-existing (thread-local)
+// request context"). The RPC layer and the queue/pub-sub consumers install a
+// context before running a handler and serialize it into outgoing messages.
+
+#ifndef SRC_CONTEXT_REQUEST_CONTEXT_H_
+#define SRC_CONTEXT_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/context/baggage.h"
+
+namespace antipode {
+
+class RequestContext {
+ public:
+  RequestContext() = default;
+  explicit RequestContext(uint64_t trace_id) : trace_id_(trace_id) {}
+
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
+  Baggage& baggage() { return baggage_; }
+  const Baggage& baggage() const { return baggage_; }
+
+  // --- Thread-local accessors -------------------------------------------
+
+  // The context currently installed on this thread, or nullptr.
+  static RequestContext* Current();
+
+  // Serializes the current context (trace id + baggage) for transport; empty
+  // string when no context is installed.
+  static std::string SerializeCurrent();
+
+  std::string Serialize() const;
+  static RequestContext Deserialize(std::string_view data);
+
+ private:
+  friend class ScopedContext;
+
+  uint64_t trace_id_ = 0;
+  Baggage baggage_;
+};
+
+// RAII installation of a RequestContext on the current thread. Contexts nest;
+// the destructor restores the previously installed one.
+class ScopedContext {
+ public:
+  explicit ScopedContext(RequestContext context);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+  RequestContext& context() { return context_; }
+
+ private:
+  RequestContext context_;
+  RequestContext* previous_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_CONTEXT_REQUEST_CONTEXT_H_

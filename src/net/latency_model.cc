@@ -1,0 +1,21 @@
+#include "src/net/latency_model.h"
+
+namespace antipode {
+
+UniformLatency::UniformLatency(double lo_millis, double hi_millis, uint64_t seed)
+    : rng_(seed), lo_(lo_millis), hi_(hi_millis) {}
+
+double UniformLatency::SampleMillis() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextUniform(lo_, hi_);
+}
+
+LognormalLatency::LognormalLatency(double median_millis, double sigma, uint64_t seed)
+    : rng_(seed), median_(median_millis), sigma_(sigma) {}
+
+double LognormalLatency::SampleMillis() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextLognormal(median_, sigma_);
+}
+
+}  // namespace antipode

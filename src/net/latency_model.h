@@ -1,0 +1,65 @@
+// Latency models for network links and replication pipelines. All values are
+// in *model milliseconds* (see src/common/clock.h for the time-scaling rule).
+
+#ifndef SRC_NET_LATENCY_MODEL_H_
+#define SRC_NET_LATENCY_MODEL_H_
+
+#include <memory>
+#include <mutex>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace antipode {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  // Samples one delay in model milliseconds. Thread-safe.
+  virtual double SampleMillis() = 0;
+
+  // Scaled wall-clock duration for one sample.
+  Duration Sample() { return TimeScale::FromModelMillis(SampleMillis()); }
+};
+
+// Always the same delay.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(double millis) : millis_(millis) {}
+  double SampleMillis() override { return millis_; }
+
+ private:
+  double millis_;
+};
+
+// Uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(double lo_millis, double hi_millis, uint64_t seed = 1);
+  double SampleMillis() override;
+
+ private:
+  std::mutex mu_;
+  Rng rng_;
+  double lo_;
+  double hi_;
+};
+
+// Lognormal with a given median and sigma — the shape WAN latencies and
+// replication lags actually exhibit (long right tail).
+class LognormalLatency final : public LatencyModel {
+ public:
+  LognormalLatency(double median_millis, double sigma, uint64_t seed = 1);
+  double SampleMillis() override;
+
+ private:
+  std::mutex mu_;
+  Rng rng_;
+  double median_;
+  double sigma_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_NET_LATENCY_MODEL_H_

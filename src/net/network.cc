@@ -1,0 +1,40 @@
+#include "src/net/network.h"
+
+#include "src/common/clock.h"
+
+namespace antipode {
+namespace {
+
+constexpr double kMillisPerMib = 10.0;
+
+}  // namespace
+
+double SimulatedNetwork::PayloadMillis(size_t payload_bytes) {
+  return kMillisPerMib * static_cast<double>(payload_bytes) / (1024.0 * 1024.0);
+}
+
+void SimulatedNetwork::Deliver(Region from, Region to, size_t payload_bytes,
+                               std::function<void()> handler) {
+  const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
+  timers_->ScheduleAfter(TimeScale::FromModelMillis(millis), std::move(handler));
+}
+
+void SimulatedNetwork::SleepRtt(Region from, Region to, size_t request_bytes,
+                                size_t response_bytes) {
+  const double millis = topology_->SampleOneWayMillis(from, to) +
+                        topology_->SampleOneWayMillis(to, from) +
+                        PayloadMillis(request_bytes) + PayloadMillis(response_bytes);
+  SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(millis));
+}
+
+void SimulatedNetwork::SleepOneWay(Region from, Region to, size_t payload_bytes) {
+  const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
+  SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(millis));
+}
+
+SimulatedNetwork& SimulatedNetwork::Default() {
+  static auto* network = new SimulatedNetwork();
+  return *network;
+}
+
+}  // namespace antipode

@@ -1,0 +1,19 @@
+#include "src/net/region.h"
+
+namespace antipode {
+
+std::string_view RegionName(Region region) {
+  switch (region) {
+    case Region::kUs:
+      return "US";
+    case Region::kEu:
+      return "EU";
+    case Region::kSg:
+      return "SG";
+    case Region::kLocal:
+      return "LOCAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace antipode

@@ -1,0 +1,27 @@
+// Geographic regions for the simulated deployment. The paper's experiments
+// span US, EU (Frankfurt), and SG (Singapore); we model those three plus a
+// local-only pseudo-region for single-datacenter benchmarks (TrainTicket).
+
+#ifndef SRC_NET_REGION_H_
+#define SRC_NET_REGION_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace antipode {
+
+enum class Region : uint8_t {
+  kUs = 0,
+  kEu = 1,
+  kSg = 2,
+  kLocal = 3,  // same-datacenter deployments
+};
+
+inline constexpr int kNumRegions = 4;
+
+std::string_view RegionName(Region region);
+inline int RegionIndex(Region region) { return static_cast<int>(region); }
+
+}  // namespace antipode
+
+#endif  // SRC_NET_REGION_H_

@@ -1,0 +1,58 @@
+#include "src/net/topology.h"
+
+namespace antipode {
+namespace {
+
+constexpr double kIntraRegionMillis = 0.25;
+constexpr double kLocalMillis = 0.05;
+
+double DefaultMedian(Region a, Region b) {
+  if (a == b) {
+    return a == Region::kLocal ? kLocalMillis : kIntraRegionMillis;
+  }
+  if (a == Region::kLocal || b == Region::kLocal) {
+    return kIntraRegionMillis;  // LOCAL is co-located with whichever region contacts it
+  }
+  auto pair = [&](Region x, Region y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (pair(Region::kUs, Region::kEu)) {
+    return 45.0;
+  }
+  if (pair(Region::kUs, Region::kSg)) {
+    return 90.0;
+  }
+  if (pair(Region::kEu, Region::kSg)) {
+    return 80.0;
+  }
+  return 45.0;
+}
+
+}  // namespace
+
+RegionTopology::RegionTopology(double jitter_sigma, uint64_t seed) {
+  for (int i = 0; i < kNumRegions; ++i) {
+    for (int j = 0; j < kNumRegions; ++j) {
+      const double median = DefaultMedian(static_cast<Region>(i), static_cast<Region>(j));
+      medians_[static_cast<size_t>(i)][static_cast<size_t>(j)] = median;
+      links_[static_cast<size_t>(i)][static_cast<size_t>(j)] = std::make_unique<LognormalLatency>(
+          median, jitter_sigma, seed + static_cast<uint64_t>(i * kNumRegions + j));
+    }
+  }
+}
+
+double RegionTopology::SampleOneWayMillis(Region from, Region to) {
+  return links_[static_cast<size_t>(RegionIndex(from))][static_cast<size_t>(RegionIndex(to))]
+      ->SampleMillis();
+}
+
+double RegionTopology::MedianOneWayMillis(Region from, Region to) const {
+  return medians_[static_cast<size_t>(RegionIndex(from))][static_cast<size_t>(RegionIndex(to))];
+}
+
+RegionTopology& RegionTopology::Default() {
+  static auto* topology = new RegionTopology();
+  return *topology;
+}
+
+}  // namespace antipode

@@ -1,0 +1,49 @@
+// Inter-region latency matrix. One-way delays in model milliseconds, drawn
+// from lognormal distributions whose medians approximate public round-trip
+// measurements between the paper's datacenters (us-central, eu-frankfurt,
+// ap-singapore), halved to get one-way delay:
+//
+//   US–EU: ~90 ms RTT  -> 45 ms one-way
+//   US–SG: ~180 ms RTT -> 90 ms one-way
+//   EU–SG: ~160 ms RTT -> 80 ms one-way
+//   intra-region:        0.25 ms one-way
+//   LOCAL:               0.05 ms (same rack)
+
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include <array>
+#include <memory>
+
+#include "src/net/latency_model.h"
+#include "src/net/region.h"
+
+namespace antipode {
+
+class RegionTopology {
+ public:
+  // Builds the default WAN model described above. `jitter_sigma` controls the
+  // lognormal spread of every link.
+  explicit RegionTopology(double jitter_sigma = 0.1, uint64_t seed = 7);
+
+  // Samples a one-way delay between two regions (model milliseconds).
+  double SampleOneWayMillis(Region from, Region to);
+  Duration SampleOneWay(Region from, Region to) {
+    return TimeScale::FromModelMillis(SampleOneWayMillis(from, to));
+  }
+
+  // Median one-way latency for a link, without jitter.
+  double MedianOneWayMillis(Region from, Region to) const;
+
+  // A process-wide default topology shared by substrates that are not handed
+  // an explicit one.
+  static RegionTopology& Default();
+
+ private:
+  std::array<std::array<std::unique_ptr<LatencyModel>, kNumRegions>, kNumRegions> links_;
+  std::array<std::array<double, kNumRegions>, kNumRegions> medians_{};
+};
+
+}  // namespace antipode
+
+#endif  // SRC_NET_TOPOLOGY_H_

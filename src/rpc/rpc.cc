@@ -1,0 +1,127 @@
+#include "src/rpc/rpc.h"
+
+namespace antipode {
+
+RpcService::RpcService(std::string name, Region region, size_t num_threads)
+    : name_(std::move(name)), region_(region), executor_(num_threads, name_) {}
+
+void RpcService::RegisterMethod(std::string method, RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[std::move(method)] = std::move(handler);
+}
+
+const RpcHandler* RpcService::FindMethod(const std::string& method) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handlers_.find(method);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+RpcService* ServiceRegistry::RegisterService(std::string name, Region region,
+                                             size_t num_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto service = std::make_unique<RpcService>(name, region, num_threads);
+  RpcService* raw = service.get();
+  services_[std::move(name)] = std::move(service);
+  return raw;
+}
+
+RpcService* ServiceRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+void ServiceRegistry::ShutdownAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, service] : services_) {
+    service->executor().Shutdown();
+  }
+}
+
+namespace {
+
+struct HandlerOutcome {
+  Result<std::string> result{Status::Internal("handler never ran")};
+  std::string context_blob;
+};
+
+}  // namespace
+
+Result<std::string> RpcClient::Call(const std::string& service, const std::string& method,
+                                    const std::string& payload) {
+  RpcService* target = registry_->Lookup(service);
+  if (target == nullptr) {
+    return Status::NotFound("no such service: " + service);
+  }
+  const RpcHandler* handler = target->FindMethod(method);
+  if (handler == nullptr) {
+    return Status::NotFound("no such method: " + service + "/" + method);
+  }
+
+  const std::string context_blob = RequestContext::SerializeCurrent();
+  const size_t request_bytes = payload.size() + context_blob.size();
+
+  // Outbound one-way delay, paid by the (blocking) caller.
+  registry_->network()->SleepOneWay(caller_region_, target->region(), request_bytes);
+
+  auto outcome = std::make_shared<std::promise<HandlerOutcome>>();
+  auto future = outcome->get_future();
+  const bool submitted = target->executor().Submit([handler, payload, context_blob, outcome] {
+    HandlerOutcome out;
+    if (context_blob.empty()) {
+      out.result = (*handler)(payload);
+      out.context_blob = RequestContext::SerializeCurrent();
+    } else {
+      ScopedContext scoped(RequestContext::Deserialize(context_blob));
+      out.result = (*handler)(payload);
+      out.context_blob = scoped.context().Serialize();
+    }
+    outcome->set_value(std::move(out));
+  });
+  if (!submitted) {
+    return Status::Unavailable("service shut down: " + service);
+  }
+
+  HandlerOutcome out = future.get();
+
+  const size_t response_bytes =
+      (out.result.ok() ? out.result.value().size() : 0) + out.context_blob.size();
+  registry_->network()->SleepOneWay(target->region(), caller_region_, response_bytes);
+
+  // Fold the handler's final baggage back into the caller's context so that
+  // lineage updates made inside the callee become visible here.
+  RequestContext* current = RequestContext::Current();
+  if (current != nullptr && !out.context_blob.empty()) {
+    const RequestContext remote = RequestContext::Deserialize(out.context_blob);
+    BaggageMergerRegistry::Instance().MergeInto(*current, remote.baggage());
+  }
+  return out.result;
+}
+
+Status RpcClient::Cast(const std::string& service, const std::string& method,
+                       const std::string& payload) {
+  RpcService* target = registry_->Lookup(service);
+  if (target == nullptr) {
+    return Status::NotFound("no such service: " + service);
+  }
+  const RpcHandler* handler = target->FindMethod(method);
+  if (handler == nullptr) {
+    return Status::NotFound("no such method: " + service + "/" + method);
+  }
+  const std::string context_blob = RequestContext::SerializeCurrent();
+  registry_->network()->Deliver(
+      caller_region_, target->region(), payload.size() + context_blob.size(),
+      [target, handler, payload, context_blob] {
+        target->executor().Submit([handler, payload, context_blob] {
+          if (context_blob.empty()) {
+            (*handler)(payload);
+          } else {
+            ScopedContext scoped(RequestContext::Deserialize(context_blob));
+            (*handler)(payload);
+          }
+        });
+      });
+  return Status::Ok();
+}
+
+}  // namespace antipode

@@ -1,0 +1,99 @@
+// In-process RPC framework with automatic request-context propagation — the
+// substrate role gRPC + OpenTelemetry play in the paper's benchmarks.
+//
+// Services register named methods and run their handlers on a per-service
+// thread pool pinned to a region. A blocking `RpcClient::Call`:
+//   1. serializes the caller's RequestContext into the request,
+//   2. sleeps one sampled one-way WAN delay toward the callee region,
+//   3. runs the handler under a ScopedContext built from the request,
+//   4. sleeps the return one-way delay,
+//   5. folds the handler's final baggage back into the caller's context
+//      (using registered mergers — this is how updated lineages flow back in
+//      RPC responses, paper Fig. 4 step ③).
+
+#ifndef SRC_RPC_RPC_H_
+#define SRC_RPC_RPC_H_
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/context/merge.h"
+#include "src/context/request_context.h"
+#include "src/net/network.h"
+
+namespace antipode {
+
+// A handler receives the request payload and returns a response payload.
+// The request's context is installed thread-locally for the handler's
+// duration, so Lineage API calls inside it see the caller's lineage.
+using RpcHandler = std::function<Result<std::string>(const std::string& payload)>;
+
+class RpcService {
+ public:
+  RpcService(std::string name, Region region, size_t num_threads);
+
+  void RegisterMethod(std::string method, RpcHandler handler);
+
+  const std::string& name() const { return name_; }
+  Region region() const { return region_; }
+  ThreadPool& executor() { return executor_; }
+
+  // Looks up a handler; nullptr when the method is unknown.
+  const RpcHandler* FindMethod(const std::string& method) const;
+
+ private:
+  std::string name_;
+  Region region_;
+  ThreadPool executor_;
+  mutable std::mutex mu_;
+  std::map<std::string, RpcHandler> handlers_;
+};
+
+class ServiceRegistry {
+ public:
+  explicit ServiceRegistry(SimulatedNetwork* network = &SimulatedNetwork::Default())
+      : network_(network) {}
+
+  // Creates and owns a service. Returns a stable pointer.
+  RpcService* RegisterService(std::string name, Region region, size_t num_threads = 4);
+
+  RpcService* Lookup(const std::string& name) const;
+  SimulatedNetwork* network() { return network_; }
+
+  // Drains every service's executor. Call before tearing down stores.
+  void ShutdownAll();
+
+ private:
+  SimulatedNetwork* network_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<RpcService>> services_;
+};
+
+class RpcClient {
+ public:
+  RpcClient(ServiceRegistry* registry, Region caller_region)
+      : registry_(registry), caller_region_(caller_region) {}
+
+  // Blocking unary call with context propagation both ways.
+  Result<std::string> Call(const std::string& service, const std::string& method,
+                           const std::string& payload);
+
+  // Fire-and-forget: delivers the invocation after one one-way delay and does
+  // not propagate context back.
+  Status Cast(const std::string& service, const std::string& method, const std::string& payload);
+
+  Region caller_region() const { return caller_region_; }
+
+ private:
+  ServiceRegistry* registry_;
+  Region caller_region_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_RPC_RPC_H_

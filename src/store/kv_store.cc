@@ -1,0 +1,58 @@
+#include "src/store/kv_store.h"
+
+#include <cstdlib>
+
+namespace antipode {
+
+uint64_t KvStore::SetWithTtl(Region region, const std::string& key, std::string value,
+                             double ttl_model_millis) {
+  const uint64_t version = Set(region, key, std::move(value));
+  TimerService::Shared().ScheduleAfter(
+      TimeScale::FromModelMillis(ttl_model_millis), [this, alive = alive_, region, key] {
+        std::lock_guard<std::mutex> lock(alive->mu);
+        if (!alive->alive) {
+          return;
+        }
+        // Expiry is itself a (tombstone) write that replicates like any other.
+        Del(region, key);
+      });
+  return version;
+}
+
+int64_t KvStore::Increment(Region region, const std::string& key, int64_t delta) {
+  std::lock_guard<std::mutex> lock(counter_mu_);
+  int64_t current = 0;
+  auto existing = GetValue(region, key);
+  if (existing.has_value()) {
+    char* end = nullptr;
+    current = std::strtoll(existing->c_str(), &end, 10);
+    if (end == existing->c_str()) {
+      current = 0;
+    }
+  }
+  current += delta;
+  Set(region, key, std::to_string(current));
+  return current;
+}
+
+std::vector<std::optional<std::string>> KvStore::MGet(
+    Region region, const std::vector<std::string>& keys) const {
+  std::vector<std::optional<std::string>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) {
+    out.push_back(GetValue(region, key));
+  }
+  return out;
+}
+
+ReplicatedStoreOptions KvStore::DefaultOptions(std::string name, std::vector<Region> regions) {
+  ReplicatedStoreOptions options;
+  options.name = std::move(name);
+  options.regions = std::move(regions);
+  options.replication.median_millis = 450.0;
+  options.replication.sigma = 0.6;
+  options.replication.payload_millis_per_mib = 20.0;
+  return options;
+}
+
+}  // namespace antipode

@@ -1,0 +1,63 @@
+#include "src/store/pubsub_store.h"
+
+namespace antipode {
+namespace {
+
+std::string TopicOfKey(const std::string& key) {
+  const size_t slash = key.rfind('/');
+  return slash == std::string::npos ? key : key.substr(0, slash);
+}
+
+}  // namespace
+
+ReplicatedStoreOptions PubSubStore::DefaultOptions(std::string name,
+                                                   std::vector<Region> regions) {
+  ReplicatedStoreOptions options;
+  options.name = std::move(name);
+  options.regions = std::move(regions);
+  // SNS-style: notifications fan out across regions quickly, with a fairly
+  // wide spread (push pipelines share fan-out infrastructure).
+  options.replication.median_millis = 180.0;
+  options.replication.sigma = 0.55;
+  options.replication.payload_millis_per_mib = 40.0;
+  return options;
+}
+
+PubSubStore::PubSubStore(ReplicatedStoreOptions options, RegionTopology* topology,
+                         TimerService* timers)
+    : ReplicatedStore(std::move(options), topology, timers) {
+  SetApplyHook([this](Region region, const StoredEntry& entry) { OnApply(region, entry); });
+}
+
+void PubSubStore::Subscribe(Region region, const std::string& topic, ThreadPool* executor,
+                            MessageHandler handler) {
+  std::lock_guard<std::mutex> lock(subscribers_mu_);
+  subscribers_[{RegionIndex(region), topic}].emplace_back(executor, std::move(handler));
+}
+
+PubSubStore::PublishResult PubSubStore::PublishWithKey(Region origin, const std::string& topic,
+                                                       std::string payload) {
+  const uint64_t sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  std::string key = topic + "/" + std::to_string(sequence);
+  const uint64_t version = Put(origin, key, std::move(payload));
+  return PublishResult{std::move(key), version};
+}
+
+void PubSubStore::OnApply(Region region, const StoredEntry& entry) {
+  std::vector<std::pair<ThreadPool*, MessageHandler>> targets;
+  const std::string topic = TopicOfKey(entry.key);
+  {
+    std::lock_guard<std::mutex> lock(subscribers_mu_);
+    auto it = subscribers_.find({RegionIndex(region), topic});
+    if (it == subscribers_.end()) {
+      return;
+    }
+    targets = it->second;
+  }
+  for (auto& [executor, handler] : targets) {
+    BrokerMessage message{topic, entry.bytes, entry.key, entry.version, region};
+    executor->Submit([handler, message] { handler(message); });
+  }
+}
+
+}  // namespace antipode

@@ -1,0 +1,72 @@
+#include "src/store/queue_store.h"
+
+namespace antipode {
+namespace {
+
+std::string MessageKey(const std::string& queue, uint64_t sequence) {
+  return queue + "/" + std::to_string(sequence);
+}
+
+// The channel name is the key prefix before the final '/'.
+std::string ChannelOfKey(const std::string& key) {
+  const size_t slash = key.rfind('/');
+  return slash == std::string::npos ? key : key.substr(0, slash);
+}
+
+}  // namespace
+
+ReplicatedStoreOptions QueueStore::DefaultOptions(std::string name,
+                                                  std::vector<Region> regions) {
+  ReplicatedStoreOptions options;
+  options.name = std::move(name);
+  options.regions = std::move(regions);
+  options.replication.median_millis = 700.0;
+  options.replication.sigma = 0.15;
+  options.replication.payload_millis_per_mib = 40.0;
+  return options;
+}
+
+QueueStore::QueueStore(ReplicatedStoreOptions options, RegionTopology* topology,
+                       TimerService* timers)
+    : ReplicatedStore(std::move(options), topology, timers) {
+  SetApplyHook([this](Region region, const StoredEntry& entry) { OnApply(region, entry); });
+}
+
+void QueueStore::Subscribe(Region region, const std::string& queue, ThreadPool* executor,
+                           MessageHandler handler) {
+  std::lock_guard<std::mutex> lock(subscribers_mu_);
+  subscribers_[{RegionIndex(region), queue}] = {executor, std::move(handler)};
+}
+
+uint64_t QueueStore::Publish(Region origin, const std::string& queue, std::string payload) {
+  return PublishWithKey(origin, queue, std::move(payload)).version;
+}
+
+QueueStore::PublishResult QueueStore::PublishWithKey(Region origin, const std::string& queue,
+                                                     std::string payload) {
+  const uint64_t sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  std::string key = MessageKey(queue, sequence);
+  const uint64_t version = Put(origin, key, std::move(payload));
+  return PublishResult{std::move(key), version};
+}
+
+void QueueStore::OnApply(Region region, const StoredEntry& entry) {
+  ThreadPool* executor = nullptr;
+  MessageHandler handler;
+  const std::string channel = ChannelOfKey(entry.key);
+  {
+    std::lock_guard<std::mutex> lock(subscribers_mu_);
+    auto it = subscribers_.find({RegionIndex(region), channel});
+    if (it == subscribers_.end()) {
+      return;
+    }
+    executor = it->second.first;
+    handler = it->second.second;
+  }
+  BrokerMessage message{channel, entry.bytes, entry.key, entry.version, region};
+  executor->Submit([handler = std::move(handler), message = std::move(message)] {
+    handler(message);
+  });
+}
+
+}  // namespace antipode

@@ -1,0 +1,75 @@
+// RabbitMQ/AMQ-like message broker: named queues mirrored across regions.
+// A message published at its origin is delivered to that region's consumer
+// immediately and to each remote region's consumer once the mirror has
+// replicated it (which is exactly the race Table 1 and Fig. 8 measure).
+//
+// Delivery is at-least-once in spirit but the simulation is reliable, so each
+// consumer sees each message exactly once. Consumers run on their own
+// executor, never on the replication timer thread.
+
+#ifndef SRC_STORE_QUEUE_STORE_H_
+#define SRC_STORE_QUEUE_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/store/replicated_store.h"
+
+namespace antipode {
+
+struct BrokerMessage {
+  std::string channel;  // queue or topic name
+  std::string payload;
+  std::string key;      // storage key of the message entry
+  uint64_t version = 0;
+  Region delivered_at = Region::kLocal;
+};
+
+using MessageHandler = std::function<void(const BrokerMessage&)>;
+
+class QueueStore : public ReplicatedStore {
+ public:
+  static ReplicatedStoreOptions DefaultOptions(std::string name, std::vector<Region> regions);
+
+  QueueStore(ReplicatedStoreOptions options,
+             RegionTopology* topology = &RegionTopology::Default(),
+             TimerService* timers = &TimerService::Shared());
+
+  // Drain while the subscriber map is still alive (the apply hook uses it).
+  ~QueueStore() override { DrainReplication(); }
+
+  // Registers the consumer for (region, queue). One consumer per queue per
+  // region; messages are dispatched onto `executor`. Register before
+  // publishing — earlier messages are not replayed.
+  void Subscribe(Region region, const std::string& queue, ThreadPool* executor,
+                 MessageHandler handler);
+
+  // Publishes a message; returns its version (its write identifier is
+  // ⟨store, key, version⟩ with key = MessageKey(queue, seq)).
+  uint64_t Publish(Region origin, const std::string& queue, std::string payload);
+
+  // Key assigned to the most recently published message (exposed so shims
+  // can form write identifiers). Thread-safe per publish via return pairing:
+  // prefer PublishWithKey when the key is needed.
+  struct PublishResult {
+    std::string key;
+    uint64_t version;
+  };
+  PublishResult PublishWithKey(Region origin, const std::string& queue, std::string payload);
+
+ private:
+  void OnApply(Region region, const StoredEntry& entry);
+
+  std::atomic<uint64_t> next_sequence_{1};
+  mutable std::mutex subscribers_mu_;
+  // (region index, queue) -> consumer
+  std::map<std::pair<int, std::string>, std::pair<ThreadPool*, MessageHandler>> subscribers_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_STORE_QUEUE_STORE_H_

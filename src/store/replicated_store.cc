@@ -1,0 +1,239 @@
+#include "src/store/replicated_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/net/network.h"
+
+namespace antipode {
+
+void ReplicaTable::Apply(const StoredEntry& entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(entry.key);
+    if (it != entries_.end() && it->second.version >= entry.version) {
+      return;  // stale replay
+    }
+    entries_[entry.key] = entry;
+  }
+  cv_.notify_all();
+}
+
+std::optional<StoredEntry> ReplicaTable::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+uint64_t ReplicaTable::VersionOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+Status ReplicaTable::WaitVersion(const std::string& key, uint64_t version,
+                                 TimePoint deadline) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto visible = [&] {
+    auto it = entries_.find(key);
+    return it != entries_.end() && it->second.version >= version;
+  };
+  if (deadline == TimePoint::max()) {
+    cv_.wait(lock, visible);
+    return Status::Ok();
+  }
+  if (cv_.wait_until(lock, deadline, visible)) {
+    return Status::Ok();
+  }
+  return Status::DeadlineExceeded("write not visible before deadline: " + key);
+}
+
+std::vector<StoredEntry> ReplicaTable::ScanPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StoredEntry> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+size_t ReplicaTable::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+namespace {
+
+// Decorrelates the lag samples of different stores that were configured with
+// the same base seed: without this, two stores with identical sigma would
+// draw near-identical jitter sequences and their replication race would be
+// artificially deterministic.
+ReplicationProfileOptions PerStoreProfile(ReplicationProfileOptions profile,
+                                          const std::string& store_name) {
+  profile.seed ^= std::hash<std::string>{}(store_name);
+  return profile;
+}
+
+}  // namespace
+
+ReplicatedStore::ReplicatedStore(ReplicatedStoreOptions options, RegionTopology* topology,
+                                 TimerService* timers)
+    : options_(std::move(options)),
+      topology_(topology),
+      timers_(timers),
+      profile_(PerStoreProfile(options_.replication, options_.name), topology) {
+  replicas_.resize(kNumRegions);
+  for (Region region : options_.regions) {
+    replicas_[static_cast<size_t>(RegionIndex(region))] = std::make_unique<ReplicaTable>();
+  }
+}
+
+bool ReplicatedStore::HasRegion(Region region) const {
+  return replicas_[static_cast<size_t>(RegionIndex(region))] != nullptr;
+}
+
+const ReplicaTable& ReplicatedStore::replica(Region region) const {
+  const auto* table = replicas_[static_cast<size_t>(RegionIndex(region))].get();
+  assert(table != nullptr && "store has no replica in this region");
+  return *table;
+}
+
+ReplicaTable& ReplicatedStore::replica(Region region) {
+  auto* table = replicas_[static_cast<size_t>(RegionIndex(region))].get();
+  assert(table != nullptr && "store has no replica in this region");
+  return *table;
+}
+
+uint64_t ReplicatedStore::NextVersion(const std::string& key) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  return ++versions_[key];
+}
+
+uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string bytes,
+                              size_t extra_overhead_bytes) {
+  assert(HasRegion(origin) && "write at a region without a replica");
+  StoredEntry entry;
+  entry.key = key;
+  entry.bytes = std::move(bytes);
+  entry.version = NextVersion(key);
+  entry.origin = origin;
+  entry.write_time = SystemClock::Instance().Now();
+
+  metrics_.RecordWrite(entry.bytes.size(),
+                       options_.per_write_overhead_bytes + extra_overhead_bytes);
+
+  // Synchronous apply at the origin and at the authority table. Origin
+  // applies bypass the pause gate: the write is local, not replicated.
+  authority_.Apply(entry);
+  replica(origin).Apply(entry);
+  if (apply_hook_) {
+    apply_hook_(origin, entry);
+  }
+
+  // Asynchronous shipping to the other replicas.
+  for (Region destination : options_.regions) {
+    if (destination == origin) {
+      continue;
+    }
+    const double lag_millis = profile_.SampleMillis(origin, destination, entry.bytes.size());
+    metrics_.RecordReplicationLagMillis(lag_millis);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      ++inflight_applies_;
+    }
+    timers_->ScheduleAfter(TimeScale::FromModelMillis(lag_millis),
+                           [this, destination, entry] {
+                             ApplyAt(destination, entry);
+                             {
+                               std::lock_guard<std::mutex> lock(inflight_mu_);
+                               --inflight_applies_;
+                             }
+                             inflight_cv_.notify_all();
+                           });
+  }
+  return entry.version;
+}
+
+ReplicatedStore::~ReplicatedStore() { DrainReplication(); }
+
+void ReplicatedStore::ApplyAt(Region region, const StoredEntry& entry) {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    if (paused_[static_cast<size_t>(RegionIndex(region))]) {
+      stalled_[static_cast<size_t>(RegionIndex(region))].push_back(entry);
+      return;
+    }
+  }
+  replica(region).Apply(entry);
+  if (apply_hook_) {
+    apply_hook_(region, entry);
+  }
+}
+
+void ReplicatedStore::PauseReplication(Region region) {
+  std::lock_guard<std::mutex> lock(pause_mu_);
+  paused_[static_cast<size_t>(RegionIndex(region))] = true;
+}
+
+void ReplicatedStore::ResumeReplication(Region region) {
+  std::vector<StoredEntry> backlog;
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_[static_cast<size_t>(RegionIndex(region))] = false;
+    backlog.swap(stalled_[static_cast<size_t>(RegionIndex(region))]);
+  }
+  for (const auto& entry : backlog) {
+    replica(region).Apply(entry);
+    if (apply_hook_) {
+      apply_hook_(region, entry);
+    }
+  }
+}
+
+bool ReplicatedStore::IsReplicationPaused(Region region) const {
+  std::lock_guard<std::mutex> lock(pause_mu_);
+  return paused_[static_cast<size_t>(RegionIndex(region))];
+}
+
+void ReplicatedStore::DrainReplication() const {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [&] { return inflight_applies_ == 0; });
+}
+
+std::optional<StoredEntry> ReplicatedStore::Get(Region region, const std::string& key) const {
+  auto entry = replica(region).Get(key);
+  const_cast<StoreMetrics&>(metrics_).RecordRead(entry.has_value());
+  return entry;
+}
+
+std::optional<StoredEntry> ReplicatedStore::StrongGet(Region caller,
+                                                      const std::string& key) const {
+  auto entry = authority_.Get(key);
+  // Pay the WAN round trip to the authoritative copy (the key's origin); a
+  // miss still costs the probe.
+  const Region authority_region = entry.has_value() ? entry->origin : caller;
+  SimulatedNetwork::Default().SleepRtt(caller, authority_region, 64,
+                                       entry.has_value() ? entry->bytes.size() : 0);
+  const_cast<StoreMetrics&>(metrics_).RecordRead(entry.has_value());
+  return entry;
+}
+
+bool ReplicatedStore::IsVisible(Region region, const std::string& key, uint64_t version) const {
+  return replica(region).VersionOf(key) >= version;
+}
+
+Status ReplicatedStore::WaitVisible(Region region, const std::string& key, uint64_t version,
+                                    Duration timeout) const {
+  const TimePoint deadline = timeout == Duration::max()
+                                 ? TimePoint::max()
+                                 : SystemClock::Instance().Now() + timeout;
+  return replica(region).WaitVersion(key, version, deadline);
+}
+
+}  // namespace antipode

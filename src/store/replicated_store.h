@@ -1,0 +1,176 @@
+// The geo-replication engine every concrete datastore builds on.
+//
+// A `ReplicatedStore` keeps one `ReplicaTable` per region. A write lands
+// synchronously at its origin region and is shipped asynchronously to every
+// other replica: the visibility delay is sampled from the store's
+// `ReplicationProfile` and the apply is scheduled on the shared TimerService.
+// Versions are monotonically increasing per key (the versioned key-object
+// model the paper assumes, §6.1), so "is ⟨key, version⟩ visible at region r"
+// is a single watermark comparison and `WaitVisible` is a condvar wait —
+// exactly what a shim's `wait` needs.
+
+#ifndef SRC_STORE_REPLICATED_STORE_H_
+#define SRC_STORE_REPLICATED_STORE_H_
+
+#include <array>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/timer_service.h"
+#include "src/net/region.h"
+#include "src/store/replication_profile.h"
+#include "src/store/store_metrics.h"
+
+namespace antipode {
+
+struct StoredEntry {
+  std::string key;
+  std::string bytes;
+  uint64_t version = 0;
+  Region origin = Region::kLocal;
+  TimePoint write_time{};  // when the write hit the origin
+};
+
+// One region's copy of the data. Thread-safe.
+class ReplicaTable {
+ public:
+  // Applies an entry if it is newer than what the replica holds.
+  void Apply(const StoredEntry& entry);
+
+  std::optional<StoredEntry> Get(const std::string& key) const;
+
+  // Highest version of `key` applied here (0 when absent).
+  uint64_t VersionOf(const std::string& key) const;
+
+  // Blocks until VersionOf(key) >= version or the deadline passes.
+  Status WaitVersion(const std::string& key, uint64_t version, TimePoint deadline) const;
+
+  // All entries whose key starts with `prefix` (used by SQL scans).
+  std::vector<StoredEntry> ScanPrefix(const std::string& prefix) const;
+
+  size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, StoredEntry> entries_;
+};
+
+struct ReplicatedStoreOptions {
+  std::string name;
+  std::vector<Region> regions = {Region::kUs, Region::kEu};
+  ReplicationProfileOptions replication;
+  // Fixed per-write schema overhead (bytes) added to metrics, e.g. secondary
+  // index entries. Configured by shims that alter the data model.
+  size_t per_write_overhead_bytes = 0;
+};
+
+class ReplicatedStore {
+ public:
+  ReplicatedStore(ReplicatedStoreOptions options,
+                  RegionTopology* topology = &RegionTopology::Default(),
+                  TimerService* timers = &TimerService::Shared());
+  virtual ~ReplicatedStore();
+
+  ReplicatedStore(const ReplicatedStore&) = delete;
+  ReplicatedStore& operator=(const ReplicatedStore&) = delete;
+
+  // Drains outstanding replication (see DrainReplication).
+  // Subclass destructors must also drain before destroying their own state.
+
+  // Writes at `origin`; applies locally right away, ships to peers
+  // asynchronously. Returns the (per-key monotonic) version.
+  // `extra_overhead_bytes` lets typed layers report write amplification that
+  // varies per operation (e.g. secondary-index entries on some tables).
+  uint64_t Put(Region origin, const std::string& key, std::string bytes,
+               size_t extra_overhead_bytes = 0);
+
+  // Local read from the region's replica. Eventually consistent.
+  std::optional<StoredEntry> Get(Region region, const std::string& key) const;
+
+  // Strongly consistent read: fetches the authoritative latest copy,
+  // paying a WAN round trip from `caller` to the key's origin region.
+  std::optional<StoredEntry> StrongGet(Region caller, const std::string& key) const;
+
+  bool IsVisible(Region region, const std::string& key, uint64_t version) const;
+
+  // Blocks until ⟨key, version⟩ (or something newer) is visible at `region`.
+  Status WaitVisible(Region region, const std::string& key, uint64_t version,
+                     Duration timeout = Duration::max()) const;
+
+  const std::string& name() const { return options_.name; }
+  const std::vector<Region>& regions() const { return options_.regions; }
+  StoreMetrics& metrics() { return metrics_; }
+  const StoreMetrics& metrics() const { return metrics_; }
+  size_t per_write_overhead_bytes() const { return options_.per_write_overhead_bytes; }
+  void set_per_write_overhead_bytes(size_t bytes) { options_.per_write_overhead_bytes = bytes; }
+
+  // Hook invoked (on the timer thread) every time an entry becomes visible at
+  // a region — including the synchronous local apply. Queue/pub-sub layers
+  // use it to trigger delivery. Set before concurrent use.
+  using ApplyHook = std::function<void(Region, const StoredEntry&)>;
+  void SetApplyHook(ApplyHook hook) { apply_hook_ = std::move(hook); }
+
+  // Blocks until every scheduled replication apply has fired. Call before
+  // tearing down a deployment: pending timer callbacks reference this store.
+  // The destructor drains too, but subclasses with apply hooks must drain
+  // while their members are still alive (their destructors call this first).
+  void DrainReplication() const;
+
+  // --- Failure injection -------------------------------------------------
+  // Stalls inbound replication at `region`: due entries are buffered instead
+  // of applied, emulating a partitioned or lagging replica. `barrier` calls
+  // targeting the region block until ResumeReplication. Local writes and
+  // reads at the region continue to work.
+  void PauseReplication(Region region);
+  // Applies everything buffered during the stall and resumes normal flow.
+  void ResumeReplication(Region region);
+  bool IsReplicationPaused(Region region) const;
+
+ protected:
+  const ReplicaTable& replica(Region region) const;
+  ReplicaTable& replica(Region region);
+  bool HasRegion(Region region) const;
+
+ private:
+  uint64_t NextVersion(const std::string& key);
+
+  ReplicatedStoreOptions options_;
+  RegionTopology* topology_;
+  TimerService* timers_;
+  ReplicationProfile profile_;
+  StoreMetrics metrics_;
+  ApplyHook apply_hook_;
+
+  mutable std::mutex version_mu_;
+  std::map<std::string, uint64_t> versions_;
+
+  mutable std::mutex inflight_mu_;
+  mutable std::condition_variable inflight_cv_;
+  size_t inflight_applies_ = 0;
+
+  // Applies the entry at `region` (or buffers it while the region's inbound
+  // replication is paused), then fires the apply hook.
+  void ApplyAt(Region region, const StoredEntry& entry);
+
+  mutable std::mutex pause_mu_;
+  std::array<bool, kNumRegions> paused_{};
+  std::array<std::vector<StoredEntry>, kNumRegions> stalled_;
+
+  // Authoritative latest copy of every key, updated synchronously at Put.
+  ReplicaTable authority_;
+
+  std::vector<std::unique_ptr<ReplicaTable>> replicas_;  // indexed by RegionIndex
+};
+
+}  // namespace antipode
+
+#endif  // SRC_STORE_REPLICATED_STORE_H_

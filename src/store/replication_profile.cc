@@ -1,0 +1,28 @@
+#include "src/store/replication_profile.h"
+
+namespace antipode {
+
+ReplicationProfile::ReplicationProfile(ReplicationProfileOptions options,
+                                       RegionTopology* topology)
+    : options_(options), topology_(topology), rng_(options.seed) {}
+
+double ReplicationProfile::SampleMillis(Region origin, Region destination,
+                                        size_t payload_bytes) {
+  double shipping = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.slow_mode_probability > 0.0 &&
+        rng_.NextBernoulli(options_.slow_mode_probability)) {
+      shipping = rng_.NextLognormal(options_.slow_mode_median_millis, options_.slow_mode_sigma);
+    } else {
+      shipping = rng_.NextLognormal(options_.median_millis, options_.sigma);
+    }
+  }
+  const double wan =
+      options_.network_delay_multiplier * topology_->SampleOneWayMillis(origin, destination);
+  const double payload = options_.payload_millis_per_mib *
+                         static_cast<double>(payload_bytes) / (1024.0 * 1024.0);
+  return shipping + wan + payload;
+}
+
+}  // namespace antipode

@@ -1,0 +1,59 @@
+// Replication-latency profile of a datastore: how long after a write at the
+// origin the update becomes visible at a remote replica. Modelled as a
+// (possibly bimodal) lognormal shipping delay plus the WAN one-way delay plus
+// a payload/bandwidth term. The bimodal mixture captures stores like S3 whose
+// cross-region replication is usually seconds but occasionally minutes
+// (AWS documents up to 15 minutes — paper §7.4).
+
+#ifndef SRC_STORE_REPLICATION_PROFILE_H_
+#define SRC_STORE_REPLICATION_PROFILE_H_
+
+#include <mutex>
+
+#include "src/common/random.h"
+#include "src/net/region.h"
+#include "src/net/topology.h"
+
+namespace antipode {
+
+struct ReplicationProfileOptions {
+  // Primary mode of the shipping delay (model milliseconds).
+  double median_millis = 500.0;
+  double sigma = 0.3;
+
+  // Optional slow second mode (probability 0 disables it).
+  double slow_mode_probability = 0.0;
+  double slow_mode_median_millis = 0.0;
+  double slow_mode_sigma = 0.5;
+
+  // Extra model-milliseconds per MiB shipped (replication bandwidth).
+  double payload_millis_per_mib = 20.0;
+
+  // Multiplier on the WAN one-way delay between origin and replica. 1.0 for
+  // pipelined protocols; >1 for chatty protocols whose lag compounds with
+  // distance (MongoDB-style, §7.3).
+  double network_delay_multiplier = 1.0;
+
+  uint64_t seed = 42;
+};
+
+class ReplicationProfile {
+ public:
+  ReplicationProfile(ReplicationProfileOptions options, RegionTopology* topology);
+
+  // Samples the visibility delay for shipping `payload_bytes` from `origin`
+  // to `destination`, in model milliseconds.
+  double SampleMillis(Region origin, Region destination, size_t payload_bytes);
+
+  const ReplicationProfileOptions& options() const { return options_; }
+
+ private:
+  ReplicationProfileOptions options_;
+  RegionTopology* topology_;
+  std::mutex mu_;
+  Rng rng_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_STORE_REPLICATION_PROFILE_H_

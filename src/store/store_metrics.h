@@ -1,0 +1,65 @@
+// Per-store counters and object-size accounting. The Table 3 experiment
+// (object-size increase with Antipode metadata) is computed directly from
+// these: run the same workload with and without the shim and compare
+// `MeanObjectBytes`.
+
+#ifndef SRC_STORE_STORE_METRICS_H_
+#define SRC_STORE_STORE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/histogram.h"
+
+namespace antipode {
+
+class StoreMetrics {
+ public:
+  // `payload_bytes` is what the client handed the store; `overhead_bytes`
+  // captures schema-level extras (e.g. a secondary index entry on the lineage
+  // column) that inflate the stored object beyond its payload.
+  void RecordWrite(size_t payload_bytes, size_t overhead_bytes = 0) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(payload_bytes + overhead_bytes, std::memory_order_relaxed);
+    object_sizes_.Record(static_cast<double>(payload_bytes + overhead_bytes));
+  }
+
+  void RecordRead(bool hit) {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    if (!hit) {
+      read_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void RecordReplicationLagMillis(double model_millis) { replication_lag_.Record(model_millis); }
+
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t read_misses() const { return read_misses_.load(std::memory_order_relaxed); }
+  uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_relaxed); }
+
+  double MeanObjectBytes() const { return object_sizes_.Snapshot().Mean(); }
+  Histogram ObjectSizes() const { return object_sizes_.Snapshot(); }
+  Histogram ReplicationLag() const { return replication_lag_.Snapshot(); }
+
+  void Reset() {
+    writes_ = 0;
+    reads_ = 0;
+    read_misses_ = 0;
+    bytes_written_ = 0;
+    object_sizes_.Reset();
+    replication_lag_.Reset();
+  }
+
+ private:
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> read_misses_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  ConcurrentHistogram object_sizes_;
+  ConcurrentHistogram replication_lag_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_STORE_STORE_METRICS_H_

@@ -1,0 +1,117 @@
+#include "src/store/value.h"
+
+namespace antipode {
+namespace {
+
+enum class ValueTag : uint8_t { kString = 0, kInt = 1, kDouble = 2, kBool = 3 };
+
+}  // namespace
+
+size_t Value::ByteSize() const {
+  if (is_string()) {
+    return as_string().size() + 1;
+  }
+  return 9;  // tag + 8-byte scalar
+}
+
+void Value::SerializeTo(Serializer& s) const {
+  if (is_string()) {
+    s.WriteUint8(static_cast<uint8_t>(ValueTag::kString));
+    s.WriteString(as_string());
+  } else if (is_int()) {
+    s.WriteUint8(static_cast<uint8_t>(ValueTag::kInt));
+    s.WriteUint64(static_cast<uint64_t>(as_int()));
+  } else if (is_double()) {
+    s.WriteUint8(static_cast<uint8_t>(ValueTag::kDouble));
+    uint64_t bits = 0;
+    const double d = as_double();
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    s.WriteUint64(bits);
+  } else {
+    s.WriteUint8(static_cast<uint8_t>(ValueTag::kBool));
+    s.WriteUint8(as_bool() ? 1 : 0);
+  }
+}
+
+Result<Value> Value::DeserializeFrom(Deserializer& d) {
+  auto tag = d.ReadUint8();
+  if (!tag.ok()) {
+    return tag.status();
+  }
+  switch (static_cast<ValueTag>(*tag)) {
+    case ValueTag::kString: {
+      auto s = d.ReadString();
+      if (!s.ok()) {
+        return s.status();
+      }
+      return Value(std::move(*s));
+    }
+    case ValueTag::kInt: {
+      auto v = d.ReadUint64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(static_cast<int64_t>(*v));
+    }
+    case ValueTag::kDouble: {
+      auto v = d.ReadUint64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      double out = 0;
+      const uint64_t bits = *v;
+      std::memcpy(&out, &bits, sizeof(out));
+      return Value(out);
+    }
+    case ValueTag::kBool: {
+      auto v = d.ReadUint8();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(*v != 0);
+    }
+  }
+  return Status::InvalidArgument("unknown value tag");
+}
+
+size_t Document::ByteSize() const {
+  size_t total = 0;
+  for (const auto& [field, value] : fields_) {
+    total += field.size() + value.ByteSize() + 2;
+  }
+  return total;
+}
+
+std::string Document::Serialize() const {
+  Serializer s;
+  s.WriteVarint(fields_.size());
+  for (const auto& [field, value] : fields_) {
+    s.WriteString(field);
+    value.SerializeTo(s);
+  }
+  return s.Release();
+}
+
+Result<Document> Document::Deserialize(std::string_view data) {
+  Deserializer d(data);
+  auto count = d.ReadVarint();
+  if (!count.ok()) {
+    return count.status();
+  }
+  Document doc;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto field = d.ReadString();
+    if (!field.ok()) {
+      return field.status();
+    }
+    auto value = Value::DeserializeFrom(d);
+    if (!value.ok()) {
+      return value.status();
+    }
+    doc.Set(std::move(*field), std::move(*value));
+  }
+  return doc;
+}
+
+}  // namespace antipode

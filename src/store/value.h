@@ -1,0 +1,83 @@
+// A small dynamically-typed value (string / int64 / double / bool) plus a
+// flat field map — the document model shared by the MongoDB-like DocStore
+// and the DynamoDB-like DynamoStore.
+
+#ifndef SRC_STORE_VALUE_H_
+#define SRC_STORE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+
+namespace antipode {
+
+class Value {
+ public:
+  Value() : data_(std::string()) {}
+  Value(std::string v) : data_(std::move(v)) {}
+  Value(const char* v) : data_(std::string(v)) {}
+  Value(int64_t v) : data_(v) {}
+  Value(double v) : data_(v) {}
+  Value(bool v) : data_(v) {}
+
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  bool as_bool() const { return std::get<bool>(data_); }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  // Approximate stored size in bytes (for metrics).
+  size_t ByteSize() const;
+
+  void SerializeTo(Serializer& s) const;
+  static Result<Value> DeserializeFrom(Deserializer& d);
+
+ private:
+  std::variant<std::string, int64_t, double, bool> data_;
+};
+
+// An ordered field map — a document (DocStore) or an item (DynamoStore).
+class Document {
+ public:
+  Document() = default;
+  Document(std::initializer_list<std::pair<const std::string, Value>> fields)
+      : fields_(fields) {}
+
+  void Set(std::string field, Value value) { fields_[std::move(field)] = std::move(value); }
+  std::optional<Value> Get(const std::string& field) const {
+    auto it = fields_.find(field);
+    if (it == fields_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+  bool Has(const std::string& field) const { return fields_.count(field) > 0; }
+  void Erase(const std::string& field) { fields_.erase(field); }
+
+  const std::map<std::string, Value>& fields() const { return fields_; }
+  size_t FieldCount() const { return fields_.size(); }
+  size_t ByteSize() const;
+
+  bool operator==(const Document& other) const { return fields_ == other.fields_; }
+
+  std::string Serialize() const;
+  static Result<Document> Deserialize(std::string_view data);
+
+ private:
+  std::map<std::string, Value> fields_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_STORE_VALUE_H_

@@ -1,0 +1,82 @@
+#include "src/trace/call_graph.h"
+
+#include "src/antipode/lineage.h"
+
+namespace antipode {
+
+CallGraphGenerator::CallGraphGenerator(TraceGenOptions options)
+    : options_(options),
+      rng_(options.seed),
+      fanout_dist_(options.max_fanout, options.fanout_theta),
+      service_dist_(options.request_service_range, options.service_popularity_theta) {}
+
+void CallGraphGenerator::Expand(uint32_t depth, CallGraphStats* stats) {
+  stats->max_depth = std::max(stats->max_depth, depth);
+  if (depth >= options_.max_depth || stats->total_calls >= options_.max_calls_per_request) {
+    return;
+  }
+  // Deeper nodes branch less; this keeps graphs finite and matches the
+  // decreasing width of real request trees.
+  const double depth_damping =
+      1.0 - static_cast<double>(depth) / static_cast<double>(options_.max_depth);
+  auto fanout = static_cast<uint32_t>(
+      std::max<double>(1.0, std::ceil(static_cast<double>(fanout_dist_.Next(rng_) + 1) *
+                                      depth_damping)));
+  if (depth == 0) {
+    fanout = std::max(fanout, options_.min_root_fanout);
+  }
+  for (uint32_t i = 0; i < fanout; ++i) {
+    if (stats->total_calls >= options_.max_calls_per_request) {
+      return;
+    }
+    stats->total_calls++;
+    if (rng_.NextBernoulli(options_.stateful_child_probability)) {
+      stats->stateful_calls++;
+      const auto service = static_cast<uint32_t>(
+          (request_base_ + service_dist_.Next(rng_)) % options_.num_stateful_services);
+      stats->unique_stateful_services.insert(service);
+      stats->stateful_service_sequence.push_back(service);
+      stats->max_depth = std::max(stats->max_depth, depth + 1);
+    } else {
+      Expand(depth + 1, stats);
+    }
+  }
+}
+
+CallGraphStats CallGraphGenerator::Next() {
+  CallGraphStats stats;
+  request_base_ = rng_.NextBelow(options_.num_stateful_services);
+  Expand(0, &stats);
+  return stats;
+}
+
+TraceAnalysis AnalyzeTrace(CallGraphGenerator& generator, uint32_t num_requests) {
+  TraceAnalysis analysis;
+  Rng key_rng(generator.options().seed ^ 0xABCDEF);
+  for (uint32_t i = 0; i < num_requests; ++i) {
+    CallGraphStats stats = generator.Next();
+    analysis.stateful_calls_per_request.Record(stats.stateful_calls);
+    analysis.unique_stateful_per_request.Record(
+        static_cast<double>(stats.unique_stateful_services.size()));
+    analysis.depth_per_request.Record(stats.max_depth);
+
+    // Worst case: every stateful call contributes one write identifier.
+    // Identifiers are shaped like the real thing: the *store* component is
+    // the backing datastore (an application has a handful, shared by many
+    // services), the key is drawn from the called service's hot working set
+    // (requests hammer linchpin objects, §5.1), and the lineage's per-key
+    // compaction collapses repeated writes to the same object.
+    Lineage lineage(i + 1);
+    for (uint32_t service : stats.stateful_service_sequence) {
+      WriteId id;
+      id.store = "store" + std::to_string(service % 12);
+      id.key = "s" + std::to_string(service) + "/k" + std::to_string(key_rng.NextBelow(2));
+      id.version = 1 + key_rng.NextBelow(1 << 20);
+      lineage.Append(std::move(id));
+    }
+    analysis.lineage_bytes_per_request.Record(static_cast<double>(lineage.WireSize()));
+  }
+  return analysis;
+}
+
+}  // namespace antipode

@@ -1,0 +1,91 @@
+// Synthetic Alibaba-style request call graphs, calibrated to the statistics
+// published with the 2021 cluster trace (paper §2.1, Fig. 1):
+//   * >80% of services are stateful (databases, caches, queues);
+//   * >20% of requests make ≥20 calls to stateful services;
+//   * >50% of requests touch ≥5 unique stateful services, 10% touch >20;
+//   * average call depth >4;
+//   * >10% of stateless services fan out to ≥5 children.
+// The generator produces whole graphs; the analyzer computes the Fig. 1 CDFs
+// and the §7.4 worst-case lineage metadata sizes.
+
+#ifndef SRC_TRACE_CALL_GRAPH_H_
+#define SRC_TRACE_CALL_GRAPH_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+
+namespace antipode {
+
+struct CallGraphStats {
+  uint32_t total_calls = 0;
+  uint32_t stateful_calls = 0;
+  std::set<uint32_t> unique_stateful_services;
+  // Service id of every stateful call, in call order (drives the
+  // metadata-size analysis).
+  std::vector<uint32_t> stateful_service_sequence;
+  uint32_t max_depth = 0;
+};
+
+struct TraceGenOptions {
+  uint32_t num_stateful_services = 14000;  // ~80% of Alibaba's >17k services
+  uint32_t num_stateless_services = 3500;
+  double stateful_child_probability = 0.68;
+  // Fan-out of a stateless node: Zipf-distributed in [1, max_fanout]. The
+  // branching process must stay (sub)critical: expected stateless children
+  // per node = E[fanout] * (1 - stateful_child_probability) * depth damping.
+  uint32_t max_fanout = 16;
+  double fanout_theta = 1.42;
+  // Entry-point services always fan out to several sub-systems.
+  uint32_t min_root_fanout = 3;
+  uint32_t max_depth = 14;
+  // Safety cap on one request's total calls (Uber reports a 275k max; we cap
+  // far lower to keep generation cheap without affecting the CDF body).
+  uint32_t max_calls_per_request = 4000;
+  // Which stateful service a call targets: each request draws from its own
+  // Zipf-skewed working set of `request_service_range` services (requests
+  // reuse hot services heavily, which is what bounds *unique* services per
+  // request well below *calls* per request).
+  uint32_t request_service_range = 56;
+  double service_popularity_theta = 1.15;
+  uint64_t seed = 1234;
+};
+
+class CallGraphGenerator {
+ public:
+  explicit CallGraphGenerator(TraceGenOptions options);
+
+  // Generates one request's call graph and returns its summary statistics.
+  CallGraphStats Next();
+
+  const TraceGenOptions& options() const { return options_; }
+
+ private:
+  void Expand(uint32_t depth, CallGraphStats* stats);
+
+  TraceGenOptions options_;
+  Rng rng_;
+  ZipfDistribution fanout_dist_;
+  ZipfDistribution service_dist_;
+  uint64_t request_base_ = 0;
+};
+
+struct TraceAnalysis {
+  Histogram stateful_calls_per_request;
+  Histogram unique_stateful_per_request;
+  Histogram depth_per_request;
+  // Worst-case lineage wire size assuming every stateful call contributes a
+  // write identifier to the dependency chain (§7.4).
+  Histogram lineage_bytes_per_request;
+};
+
+// Runs the generator for `num_requests` and aggregates the Fig. 1 CDFs plus
+// the metadata-size distribution.
+TraceAnalysis AnalyzeTrace(CallGraphGenerator& generator, uint32_t num_requests);
+
+}  // namespace antipode
+
+#endif  // SRC_TRACE_CALL_GRAPH_H_

@@ -1,0 +1,202 @@
+#include "src/antipode/barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/antipode/kv_shim.h"
+#include "src/antipode/lineage_api.h"
+#include "src/context/request_context.h"
+#include "src/store/kv_store.h"
+
+namespace antipode {
+namespace {
+
+const std::vector<Region> kRegions = {Region::kUs, Region::kEu};
+
+ReplicatedStoreOptions SlowKv(const std::string& name, double median_millis) {
+  auto options = KvStore::DefaultOptions(name, kRegions);
+  options.replication.median_millis = median_millis;
+  options.replication.sigma = 0.05;
+  return options;
+}
+
+class BarrierTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.01); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(BarrierTest, EmptyLineageReturnsImmediately) {
+  ShimRegistry registry;
+  EXPECT_TRUE(Barrier(Lineage(1), Region::kUs, BarrierOptions{.registry = &registry}).ok());
+}
+
+TEST_F(BarrierTest, BlocksUntilDependencyVisible) {
+  KvStore store(SlowKv("b1", 100.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  EXPECT_FALSE(store.IsVisible(Region::kEu, "k", 1));
+  EXPECT_TRUE(Barrier(lineage, Region::kEu, BarrierOptions{.registry = &registry}).ok());
+  EXPECT_TRUE(store.IsVisible(Region::kEu, "k", 1));
+}
+
+TEST_F(BarrierTest, AlreadyVisibleIsFastPath) {
+  KvStore store(SlowKv("b2", 1.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  // Origin region: visible immediately.
+  const TimePoint start = SystemClock::Instance().Now();
+  EXPECT_TRUE(Barrier(lineage, Region::kUs, BarrierOptions{.registry = &registry}).ok());
+  EXPECT_LT(SystemClock::Instance().Now() - start, Millis(50));
+}
+
+TEST_F(BarrierTest, EnforcesDependenciesFromMultipleStores) {
+  KvStore fast(SlowKv("b3-fast", 20.0));
+  KvStore slow(SlowKv("b3-slow", 200.0));
+  KvShim fast_shim(&fast);
+  KvShim slow_shim(&slow);
+  ShimRegistry registry;
+  registry.Register(&fast_shim);
+  registry.Register(&slow_shim);
+  Lineage lineage = fast_shim.Write(Region::kUs, "a", "1", Lineage(1));
+  lineage = slow_shim.Write(Region::kUs, "b", "2", std::move(lineage));
+  EXPECT_TRUE(Barrier(lineage, Region::kEu, BarrierOptions{.registry = &registry}).ok());
+  EXPECT_TRUE(fast.IsVisible(Region::kEu, "a", 1));
+  EXPECT_TRUE(slow.IsVisible(Region::kEu, "b", 1));
+}
+
+TEST_F(BarrierTest, TimeoutExpires) {
+  KvStore store(SlowKv("b4", 1000000.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  Status status = Barrier(lineage, Region::kEu,
+                          BarrierOptions{.timeout = Millis(30), .registry = &registry});
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(BarrierTest, UnknownStoreSkippedByDefault) {
+  ShimRegistry registry;
+  Lineage lineage(1);
+  lineage.Append(WriteId{"not-deployed-yet", "k", 1});
+  EXPECT_TRUE(Barrier(lineage, Region::kUs, BarrierOptions{.registry = &registry}).ok());
+}
+
+TEST_F(BarrierTest, UnknownStoreFailsWhenStrict) {
+  ShimRegistry registry;
+  Lineage lineage(1);
+  lineage.Append(WriteId{"not-deployed-yet", "k", 1});
+  Status status = Barrier(
+      lineage, Region::kUs,
+      BarrierOptions{.registry = &registry, .ignore_unknown_stores = false});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BarrierTest, BarrierCtxUsesCurrentLineage) {
+  KvStore store(SlowKv("b5", 50.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  shim.WriteCtx(Region::kUs, "k", "v");
+  EXPECT_TRUE(BarrierCtx(Region::kEu, BarrierOptions{.registry = &registry}).ok());
+  EXPECT_TRUE(store.IsVisible(Region::kEu, "k", 1));
+}
+
+TEST_F(BarrierTest, BarrierCtxWithoutLineageIsNoOp) {
+  ShimRegistry registry;
+  EXPECT_TRUE(BarrierCtx(Region::kUs, BarrierOptions{.registry = &registry}).ok());
+}
+
+TEST_F(BarrierTest, GlobalBarrierEnforcesAtAllRegions) {
+  KvStore store(SlowKv("b6", 60.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  EXPECT_TRUE(
+      BarrierGlobal(lineage, kRegions, BarrierOptions{.registry = &registry}).ok());
+  EXPECT_TRUE(store.IsVisible(Region::kUs, "k", 1));
+  EXPECT_TRUE(store.IsVisible(Region::kEu, "k", 1));
+}
+
+TEST_F(BarrierTest, AsyncBarrierInvokesCallback) {
+  KvStore store(SlowKv("b7", 50.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  ThreadPool pool(1, "async-barrier");
+  std::atomic<bool> done{false};
+  std::atomic<bool> ok{false};
+  BarrierAsync(lineage, Region::kEu, &pool,
+               [&](Status status) {
+                 ok = status.ok();
+                 done = true;
+               },
+               BarrierOptions{.registry = &registry});
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load());
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(store.IsVisible(Region::kEu, "k", 1));
+  pool.Shutdown();
+}
+
+TEST_F(BarrierTest, DryRunReportsUnmetDependencies) {
+  KvStore store(SlowKv("b8", 1000000.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  auto report = BarrierDryRun(lineage, Region::kEu, &registry);
+  EXPECT_FALSE(report.consistent);
+  ASSERT_EQ(report.unmet.size(), 1u);
+  EXPECT_EQ(report.unmet[0], (WriteId{"b8", "k", 1}));
+  EXPECT_TRUE(report.unresolved.empty());
+}
+
+TEST_F(BarrierTest, DryRunConsistentWhenVisible) {
+  KvStore store(SlowKv("b9", 1.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  auto report = BarrierDryRun(lineage, Region::kUs, &registry);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_TRUE(report.unmet.empty());
+}
+
+TEST_F(BarrierTest, DryRunReportsUnresolvedStores) {
+  ShimRegistry registry;
+  Lineage lineage(1);
+  lineage.Append(WriteId{"ghost-store", "k", 1});
+  auto report = BarrierDryRun(lineage, Region::kUs, &registry);
+  EXPECT_FALSE(report.consistent);
+  ASSERT_EQ(report.unresolved.size(), 1u);
+  EXPECT_TRUE(report.unmet.empty());
+}
+
+TEST_F(BarrierTest, SupersededWriteSatisfiesBarrier) {
+  KvStore store(SlowKv("b10", 30.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v1", Lineage(1));
+  shim.Write(Region::kUs, "k", "v2", Lineage(2));  // supersedes v1
+  // Barrier on the v1 lineage succeeds once *any* >= version is visible.
+  EXPECT_TRUE(Barrier(lineage, Region::kEu, BarrierOptions{.registry = &registry}).ok());
+  EXPECT_GE(store.Get(Region::kEu, "k")->version, 1u);
+}
+
+}  // namespace
+}  // namespace antipode

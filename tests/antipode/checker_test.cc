@@ -1,0 +1,121 @@
+#include "src/antipode/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/antipode/kv_shim.h"
+#include "src/antipode/lineage_api.h"
+#include "src/context/request_context.h"
+#include "src/store/kv_store.h"
+
+namespace antipode {
+namespace {
+
+const std::vector<Region> kRegions = {Region::kUs, Region::kEu};
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.01); }
+  void TearDown() override { TimeScale::Set(1.0); }
+
+  ReplicatedStoreOptions SlowKv(const std::string& name) {
+    auto options = KvStore::DefaultOptions(name, kRegions);
+    options.replication.median_millis = 1000000.0;
+    return options;
+  }
+};
+
+TEST_F(CheckerTest, ConsistentSiteReportsZero) {
+  KvStore store(KvStore::DefaultOptions("chk1", kRegions));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ConsistencyChecker checker(&registry);
+
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  EXPECT_TRUE(checker.Check("origin-site", lineage, Region::kUs));
+  auto report = checker.Report();
+  EXPECT_EQ(report.at("origin-site").checks, 1u);
+  EXPECT_EQ(report.at("origin-site").inconsistent, 0u);
+  EXPECT_DOUBLE_EQ(report.at("origin-site").InconsistencyRate(), 0.0);
+}
+
+TEST_F(CheckerTest, InconsistentSiteAttributedToStore) {
+  KvStore store(SlowKv("chk2"));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ConsistencyChecker checker(&registry);
+
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  EXPECT_FALSE(checker.Check("remote-site", lineage, Region::kEu));
+  EXPECT_FALSE(checker.Check("remote-site", lineage, Region::kEu));
+  auto report = checker.Report();
+  EXPECT_EQ(report.at("remote-site").checks, 2u);
+  EXPECT_EQ(report.at("remote-site").inconsistent, 2u);
+  EXPECT_EQ(report.at("remote-site").unmet_by_store.at("chk2"), 2u);
+}
+
+TEST_F(CheckerTest, ChecksDoNotBlock) {
+  KvStore store(SlowKv("chk3"));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ConsistencyChecker checker(&registry);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  const TimePoint start = SystemClock::Instance().Now();
+  checker.Check("site", lineage, Region::kEu);
+  EXPECT_LT(SystemClock::Instance().Now() - start, Millis(100));
+}
+
+TEST_F(CheckerTest, UnresolvedStoresCounted) {
+  ShimRegistry registry;
+  ConsistencyChecker checker(&registry);
+  Lineage lineage(1);
+  lineage.Append(WriteId{"not-integrated", "k", 1});
+  checker.Check("site", lineage, Region::kUs);
+  EXPECT_EQ(checker.Report().at("site").unresolved, 1u);
+}
+
+TEST_F(CheckerTest, CheckCtxUsesCurrentLineage) {
+  KvStore store(SlowKv("chk4"));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ConsistencyChecker checker(&registry);
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  shim.WriteCtx(Region::kUs, "k", "v");
+  EXPECT_FALSE(checker.CheckCtx("ctx-site", Region::kEu));
+  EXPECT_TRUE(checker.CheckCtx("empty-ok", Region::kUs));
+}
+
+TEST_F(CheckerTest, CheckCtxWithoutContextIsConsistent) {
+  ShimRegistry registry;
+  ConsistencyChecker checker(&registry);
+  EXPECT_TRUE(checker.CheckCtx("no-ctx", Region::kUs));
+}
+
+TEST_F(CheckerTest, SummaryRanksWorstSiteFirst) {
+  KvStore slow(SlowKv("chk5"));
+  KvShim shim(&slow);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ConsistencyChecker checker(&registry);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  checker.Check("bad-site", lineage, Region::kEu);
+  checker.Check("good-site", Lineage(2), Region::kEu);
+  const std::string summary = checker.Summary();
+  EXPECT_LT(summary.find("bad-site"), summary.find("good-site"));
+  EXPECT_NE(summary.find("100.0% inconsistent"), std::string::npos);
+}
+
+TEST_F(CheckerTest, ResetClearsReport) {
+  ShimRegistry registry;
+  ConsistencyChecker checker(&registry);
+  checker.Check("site", Lineage(1), Region::kUs);
+  checker.Reset();
+  EXPECT_TRUE(checker.Report().empty());
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,138 @@
+#include "src/antipode/lineage_api.h"
+
+#include <gtest/gtest.h>
+
+#include "src/context/merge.h"
+#include "src/context/request_context.h"
+
+namespace antipode {
+namespace {
+
+WriteId Id(const std::string& key, uint64_t version = 1) {
+  return WriteId{"store", key, version};
+}
+
+TEST(LineageApiTest, NoContextMeansNoLineage) {
+  EXPECT_EQ(LineageApi::Current(), std::nullopt);
+  LineageApi::Append(Id("k"));  // must not crash
+  LineageApi::Stop();
+}
+
+TEST(LineageApiTest, RootInstallsEmptyLineage) {
+  ScopedContext scoped(RequestContext(1));
+  Lineage lineage = LineageApi::Root();
+  EXPECT_TRUE(lineage.Empty());
+  EXPECT_NE(lineage.id(), 0u);
+  auto current = LineageApi::Current();
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->id(), lineage.id());
+}
+
+TEST(LineageApiTest, RootIdsAreUnique) {
+  ScopedContext scoped(RequestContext(1));
+  const uint64_t a = LineageApi::Root().id();
+  const uint64_t b = LineageApi::Root().id();
+  EXPECT_NE(a, b);
+}
+
+TEST(LineageApiTest, AppendUpdatesCurrent) {
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  LineageApi::Append(Id("k1"));
+  LineageApi::Append(Id("k2"));
+  auto current = LineageApi::Current();
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->Size(), 2u);
+  EXPECT_TRUE(current->Contains(Id("k1")));
+}
+
+TEST(LineageApiTest, RemoveDropsDependency) {
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  LineageApi::Append(Id("k1"));
+  LineageApi::Remove(Id("k1"));
+  EXPECT_TRUE(LineageApi::Current()->Empty());
+}
+
+TEST(LineageApiTest, StopDiscardsLineage) {
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  LineageApi::Append(Id("k1"));
+  LineageApi::Stop();
+  EXPECT_EQ(LineageApi::Current(), std::nullopt);
+}
+
+TEST(LineageApiTest, TransferMergesIntoCurrent) {
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  LineageApi::Append(Id("mine"));
+  Lineage other;
+  other.Append(Id("theirs"));
+  LineageApi::Transfer(other);
+  auto current = LineageApi::Current();
+  EXPECT_TRUE(current->Contains(Id("mine")));
+  EXPECT_TRUE(current->Contains(Id("theirs")));
+}
+
+TEST(LineageApiTest, TransferWithoutLineageInstallsCopy) {
+  ScopedContext scoped(RequestContext(1));
+  Lineage other(42);
+  other.Append(Id("dep"));
+  LineageApi::Transfer(other);
+  auto current = LineageApi::Current();
+  ASSERT_TRUE(current.has_value());
+  EXPECT_TRUE(current->Contains(Id("dep")));
+}
+
+TEST(LineageApiTest, RootReplacesExistingLineage) {
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  LineageApi::Append(Id("old"));
+  LineageApi::Root();
+  EXPECT_TRUE(LineageApi::Current()->Empty());
+}
+
+TEST(LineageApiTest, LineageSurvivesContextSerialization) {
+  ScopedContext scoped(RequestContext(9));
+  LineageApi::Root();
+  LineageApi::Append(Id("k", 5));
+  const std::string blob = RequestContext::SerializeCurrent();
+  ScopedContext other(RequestContext::Deserialize(blob));
+  auto current = LineageApi::Current();
+  ASSERT_TRUE(current.has_value());
+  EXPECT_TRUE(current->Contains(Id("k", 5)));
+}
+
+TEST(LineageApiTest, MergerUnionsLineagesAcrossContexts) {
+  LineageApi::EnsureMergerRegistered();
+  ScopedContext scoped(RequestContext(1));
+  LineageApi::Root();
+  LineageApi::Append(Id("caller-dep"));
+
+  Lineage remote;
+  remote.Append(Id("callee-dep"));
+  Baggage incoming;
+  incoming.Set(kLineageBaggageKey, remote.Serialize());
+  BaggageMergerRegistry::Instance().MergeInto(*RequestContext::Current(), incoming);
+
+  auto current = LineageApi::Current();
+  EXPECT_TRUE(current->Contains(Id("caller-dep")));
+  EXPECT_TRUE(current->Contains(Id("callee-dep")));
+}
+
+TEST(LineageApiTest, NestedContextsHaveIndependentLineages) {
+  ScopedContext outer(RequestContext(1));
+  LineageApi::Root();
+  LineageApi::Append(Id("outer"));
+  {
+    ScopedContext inner(RequestContext(2));
+    LineageApi::Root();
+    LineageApi::Append(Id("inner"));
+    EXPECT_FALSE(LineageApi::Current()->Contains(Id("outer")));
+  }
+  EXPECT_TRUE(LineageApi::Current()->Contains(Id("outer")));
+  EXPECT_FALSE(LineageApi::Current()->Contains(Id("inner")));
+}
+
+}  // namespace
+}  // namespace antipode

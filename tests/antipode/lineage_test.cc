@@ -1,0 +1,205 @@
+#include "src/antipode/lineage.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace antipode {
+namespace {
+
+WriteId Id(const std::string& store, const std::string& key, uint64_t version) {
+  return WriteId{store, key, version};
+}
+
+TEST(WriteIdTest, OrderingAndEquality) {
+  EXPECT_EQ(Id("s", "k", 1), Id("s", "k", 1));
+  EXPECT_LT(Id("a", "k", 1), Id("b", "k", 1));
+  EXPECT_LT(Id("s", "a", 1), Id("s", "b", 1));
+  EXPECT_LT(Id("s", "k", 1), Id("s", "k", 2));
+}
+
+TEST(WriteIdTest, ToStringIsReadable) {
+  EXPECT_EQ(Id("mysql", "posts/1", 3).ToString(), "mysql:posts/1@v3");
+}
+
+TEST(WriteIdTest, SerializeRoundTrip) {
+  Serializer s;
+  Id("store", "key/with/slashes", 123456789).SerializeTo(s);
+  Deserializer d(s.data());
+  auto restored = WriteId::DeserializeFrom(d);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, Id("store", "key/with/slashes", 123456789));
+}
+
+TEST(LineageTest, StartsEmpty) {
+  Lineage lineage(7);
+  EXPECT_TRUE(lineage.Empty());
+  EXPECT_EQ(lineage.Size(), 0u);
+  EXPECT_EQ(lineage.id(), 7u);
+}
+
+TEST(LineageTest, AppendAndContains) {
+  Lineage lineage;
+  lineage.Append(Id("s", "k", 1));
+  EXPECT_TRUE(lineage.Contains(Id("s", "k", 1)));
+  EXPECT_FALSE(lineage.Contains(Id("s", "k", 2)));
+  EXPECT_EQ(lineage.Size(), 1u);
+}
+
+TEST(LineageTest, AppendIsIdempotent) {
+  Lineage lineage;
+  lineage.Append(Id("s", "k", 1));
+  lineage.Append(Id("s", "k", 1));
+  EXPECT_EQ(lineage.Size(), 1u);
+}
+
+TEST(LineageTest, AppendCompactsSameKeyToHighestVersion) {
+  Lineage lineage;
+  lineage.Append(Id("s", "k", 3));
+  lineage.Append(Id("s", "k", 1));  // older: subsumed
+  EXPECT_EQ(lineage.Size(), 1u);
+  EXPECT_TRUE(lineage.Contains(Id("s", "k", 3)));
+  lineage.Append(Id("s", "k", 9));  // newer: replaces
+  EXPECT_EQ(lineage.Size(), 1u);
+  EXPECT_TRUE(lineage.Contains(Id("s", "k", 9)));
+  EXPECT_FALSE(lineage.Contains(Id("s", "k", 3)));
+}
+
+TEST(LineageTest, CompactionKeepsDistinctKeysAndStores) {
+  Lineage lineage;
+  lineage.Append(Id("s1", "k", 1));
+  lineage.Append(Id("s2", "k", 1));
+  lineage.Append(Id("s1", "other", 1));
+  EXPECT_EQ(lineage.Size(), 3u);
+}
+
+TEST(LineageTest, RemoveDeletesDependency) {
+  Lineage lineage;
+  lineage.Append(Id("s", "k", 1));
+  lineage.Remove(Id("s", "k", 1));
+  EXPECT_TRUE(lineage.Empty());
+}
+
+TEST(LineageTest, TransferUnionsWithCompaction) {
+  Lineage a;
+  a.Append(Id("s", "k", 2));
+  a.Append(Id("s", "x", 1));
+  Lineage b;
+  b.Append(Id("s", "k", 5));
+  b.Append(Id("t", "y", 1));
+  a.Transfer(b);
+  EXPECT_EQ(a.Size(), 3u);
+  EXPECT_TRUE(a.Contains(Id("s", "k", 5)));
+  EXPECT_TRUE(a.Contains(Id("s", "x", 1)));
+  EXPECT_TRUE(a.Contains(Id("t", "y", 1)));
+}
+
+TEST(LineageTest, TransferIsMonotone) {
+  Lineage a;
+  a.Append(Id("s", "k", 9));
+  Lineage b;
+  b.Append(Id("s", "k", 2));
+  a.Transfer(b);  // older incoming version must not regress
+  EXPECT_TRUE(a.Contains(Id("s", "k", 9)));
+}
+
+TEST(LineageTest, DepsForStoreFilters) {
+  Lineage lineage;
+  lineage.Append(Id("mysql", "a", 1));
+  lineage.Append(Id("mysql", "b", 2));
+  lineage.Append(Id("redis", "c", 3));
+  EXPECT_EQ(lineage.DepsForStore("mysql").size(), 2u);
+  EXPECT_EQ(lineage.DepsForStore("redis").size(), 1u);
+  EXPECT_EQ(lineage.DepsForStore("s3").size(), 0u);
+}
+
+TEST(LineageTest, SerializeRoundTrip) {
+  Lineage lineage(99);
+  lineage.Append(Id("mysql", "posts/1", 3));
+  lineage.Append(Id("sns", "topic/42", 1));
+  auto restored = Lineage::Deserialize(lineage.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, lineage);
+}
+
+TEST(LineageTest, EmptyLineageSerializesSmall) {
+  Lineage lineage(1);
+  EXPECT_LE(lineage.WireSize(), 4u);
+}
+
+TEST(LineageTest, WireSizeGrowsWithDeps) {
+  Lineage lineage(1);
+  const size_t empty = lineage.WireSize();
+  for (int i = 0; i < 8; ++i) {
+    lineage.Append(Id("store", "key" + std::to_string(i), 1));
+  }
+  EXPECT_GT(lineage.WireSize(), empty + 8 * 8);
+  // Paper §7.4: lineages in DSB stayed under 200 bytes.
+  EXPECT_LT(lineage.WireSize(), 200u);
+}
+
+TEST(LineageTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(Lineage::Deserialize("\xFF\xFF\xFF\xFF").ok());
+}
+
+TEST(LineageTest, ToStringListsDeps) {
+  Lineage lineage(5);
+  lineage.Append(Id("s", "k", 1));
+  const std::string text = lineage.ToString();
+  EXPECT_NE(text.find("id=5"), std::string::npos);
+  EXPECT_NE(text.find("s:k@v1"), std::string::npos);
+}
+
+// Property sweep: serialize∘deserialize is the identity for random lineages.
+class LineageRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LineageRoundTripTest, RandomRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    Lineage lineage(rng.NextUint64());
+    const int deps = static_cast<int>(rng.NextBelow(40));
+    for (int i = 0; i < deps; ++i) {
+      lineage.Append(Id("store" + std::to_string(rng.NextBelow(6)),
+                        "key" + std::to_string(rng.NextBelow(1000)), 1 + rng.NextBelow(100)));
+    }
+    auto restored = Lineage::Deserialize(lineage.Serialize());
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, lineage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineageRoundTripTest, ::testing::Range(1, 6));
+
+// Property: transfer is associative-ish (set union semantics with max-version
+// compaction) — (a ∪ b) ∪ c == a ∪ (b ∪ c).
+TEST(LineageTest, TransferIsAssociative) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto random_lineage = [&rng] {
+      Lineage lineage;
+      const int deps = static_cast<int>(rng.NextBelow(10));
+      for (int i = 0; i < deps; ++i) {
+        lineage.Append(WriteId{"s" + std::to_string(rng.NextBelow(3)),
+                               "k" + std::to_string(rng.NextBelow(5)), 1 + rng.NextBelow(9)});
+      }
+      return lineage;
+    };
+    const Lineage a = random_lineage();
+    const Lineage b = random_lineage();
+    const Lineage c = random_lineage();
+
+    Lineage left = a;
+    left.Transfer(b);
+    left.Transfer(c);
+
+    Lineage bc = b;
+    bc.Transfer(c);
+    Lineage right = a;
+    right.Transfer(bc);
+
+    EXPECT_EQ(left.deps(), right.deps());
+  }
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,177 @@
+// Integration tests over the three case-study applications (§7.1): each one
+// exhibits XCY violations without Antipode and none with it.
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/apps/post_notification/post_notification.h"
+#include "src/apps/social_network/social_network.h"
+#include "src/apps/train_ticket/train_ticket.h"
+
+namespace antipode {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.01); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(AppsTest, PostNotificationBaselineViolatesWithSlowStorage) {
+  PostNotificationConfig config;
+  config.post_storage = PostStorageKind::kS3;  // slowest replication
+  config.notifier = NotifierKind::kSns;        // fastest notification
+  config.antipode = false;
+  config.num_requests = 30;
+  PostNotificationResult result = RunPostNotification(config);
+  EXPECT_EQ(result.requests, 30);
+  EXPECT_GT(result.ViolationRate(), 0.5);
+}
+
+TEST_F(AppsTest, PostNotificationAntipodePreventsAllViolations) {
+  PostNotificationConfig config;
+  config.post_storage = PostStorageKind::kRedis;
+  config.notifier = NotifierKind::kSns;
+  config.antipode = true;
+  config.num_requests = 30;
+  PostNotificationResult result = RunPostNotification(config);
+  EXPECT_EQ(result.violations, 0);
+}
+
+TEST_F(AppsTest, PostNotificationArtificialDelayReducesViolations) {
+  PostNotificationConfig base;
+  base.post_storage = PostStorageKind::kMysql;
+  base.notifier = NotifierKind::kSns;
+  base.num_requests = 40;
+  PostNotificationResult no_delay = RunPostNotification(base);
+  base.artificial_delay_model_millis = 5000.0;
+  PostNotificationResult with_delay = RunPostNotification(base);
+  EXPECT_LT(with_delay.ViolationRate(), no_delay.ViolationRate());
+}
+
+TEST_F(AppsTest, PostNotificationAntipodeExtendsConsistencyWindow) {
+  PostNotificationConfig config;
+  config.post_storage = PostStorageKind::kMysql;
+  config.notifier = NotifierKind::kSns;
+  config.num_requests = 30;
+  config.antipode = false;
+  PostNotificationResult baseline = RunPostNotification(config);
+  config.antipode = true;
+  PostNotificationResult antipode = RunPostNotification(config);
+  // The barrier turns the window into time-to-consistency (>= replication).
+  EXPECT_GT(antipode.consistency_window_model_ms.Mean(),
+            baseline.consistency_window_model_ms.Mean());
+}
+
+TEST_F(AppsTest, PostNotificationObjectOverheadOnlyWithAntipode) {
+  PostNotificationConfig config;
+  config.post_storage = PostStorageKind::kRedis;
+  config.notifier = NotifierKind::kSns;
+  config.num_requests = 20;
+  config.antipode = false;
+  PostNotificationResult baseline = RunPostNotification(config);
+  config.antipode = true;
+  PostNotificationResult antipode = RunPostNotification(config);
+  EXPECT_GT(antipode.mean_post_object_bytes, baseline.mean_post_object_bytes);
+  EXPECT_GT(antipode.mean_notification_object_bytes, baseline.mean_notification_object_bytes);
+}
+
+TEST_F(AppsTest, PostNotificationWorksForEveryBackendPair) {
+  for (auto storage : {PostStorageKind::kMysql, PostStorageKind::kDynamo,
+                       PostStorageKind::kRedis, PostStorageKind::kS3}) {
+    for (auto notifier : {NotifierKind::kSns, NotifierKind::kAmq, NotifierKind::kDynamo}) {
+      PostNotificationConfig config;
+      config.post_storage = storage;
+      config.notifier = notifier;
+      config.antipode = true;
+      config.num_requests = 5;
+      PostNotificationResult result = RunPostNotification(config);
+      EXPECT_EQ(result.violations, 0)
+          << PostStorageName(storage) << "/" << NotifierName(notifier);
+    }
+  }
+}
+
+TEST_F(AppsTest, SocialNetworkBaselineViolatesOnUsToSg) {
+  SocialNetworkConfig config;
+  config.remote_region = Region::kSg;
+  config.antipode = false;
+  config.load_rps = 60;
+  config.duration_model_seconds = 1.5;
+  SocialNetworkResult result = RunSocialNetwork(config);
+  EXPECT_GT(result.fanout_tasks, 0u);
+  EXPECT_GT(result.ViolationRate(), 0.05);
+}
+
+TEST_F(AppsTest, SocialNetworkAntipodePreventsViolations) {
+  SocialNetworkConfig config;
+  config.remote_region = Region::kSg;
+  config.antipode = true;
+  config.load_rps = 60;
+  config.duration_model_seconds = 1.5;
+  SocialNetworkResult result = RunSocialNetwork(config);
+  EXPECT_GT(result.fanout_tasks, 0u);
+  EXPECT_EQ(result.violations, 0u);
+}
+
+TEST_F(AppsTest, SocialNetworkEuViolatesLessThanSg) {
+  SocialNetworkConfig config;
+  config.antipode = false;
+  config.load_rps = 60;
+  config.duration_model_seconds = 1.5;
+  config.remote_region = Region::kEu;
+  SocialNetworkResult eu = RunSocialNetwork(config);
+  config.remote_region = Region::kSg;
+  SocialNetworkResult sg = RunSocialNetwork(config);
+  EXPECT_LT(eu.ViolationRate(), sg.ViolationRate());
+}
+
+TEST_F(AppsTest, SocialNetworkLineageStaysSmall) {
+  SocialNetworkConfig config;
+  config.antipode = true;
+  config.load_rps = 40;
+  config.duration_model_seconds = 1.0;
+  SocialNetworkResult result = RunSocialNetwork(config);
+  EXPECT_GT(result.max_lineage_bytes, 0.0);
+  EXPECT_LT(result.max_lineage_bytes, 200.0);  // §7.4
+}
+
+TEST_F(AppsTest, SocialNetworkThroughputPenaltySmallOffPeak) {
+  // Off-peak, Antipode's lineage plumbing must not dent throughput (the
+  // paper reports <=2%; the bound is loose because short test runs include
+  // the drain tail in the measured window).
+  // Gentler time compression: throughput measurements need arrival gaps well
+  // above the OS sleep granularity on small machines.
+  TimeScale::Set(0.1);
+  SocialNetworkConfig config;
+  config.load_rps = 60;
+  config.duration_model_seconds = 4.0;
+  config.antipode = false;
+  SocialNetworkResult baseline = RunSocialNetwork(config);
+  config.antipode = true;
+  SocialNetworkResult antipode = RunSocialNetwork(config);
+  EXPECT_GT(antipode.throughput, baseline.throughput * 0.85);
+}
+
+TEST_F(AppsTest, TrainTicketAntipodeEliminatesViolationsAtLatencyCost) {
+  TimeScale::Set(0.1);
+  TrainTicketConfig config;
+  config.load_rps = 100;
+  config.duration_model_seconds = 1.5;
+  config.antipode = false;
+  TrainTicketResult baseline = RunTrainTicket(config);
+  config.antipode = true;
+  TrainTicketResult antipode = RunTrainTicket(config);
+
+  EXPECT_GT(baseline.requests, 0u);
+  EXPECT_EQ(antipode.violations, 0u);
+  // Barrier on the critical path: cancellation latency strictly higher.
+  EXPECT_GT(antipode.cancel_latency_model_ms.Mean(),
+            baseline.cancel_latency_model_ms.Mean());
+  // And the consistency window collapses.
+  EXPECT_LT(antipode.consistency_window_model_ms.Mean(),
+            baseline.consistency_window_model_ms.Mean());
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,197 @@
+// Cross-substrate integration: a request tree that spans RPC hops, two
+// asynchronous broker hops, and three different datastore types, verifying
+// that the lineage accumulates every write along the way and that one
+// barrier at the end enforces all of it.
+//
+//   client ──rpc──► order-svc ──insert──► SqlStore (orders)
+//                      │rpc
+//                      ▼
+//                  billing-svc ──insert──► DocStore (invoices)
+//                      │publish
+//                      ▼ queue (shipping tasks)
+//             shipping worker ──write──► KvStore (tracking)
+//                      │publish
+//                      ▼ pub/sub (user notifications)
+//             notifier worker (remote region): barrier ─► reads all three
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+
+#include "src/antipode/antipode.h"
+#include "src/common/thread_pool.h"
+#include "src/context/request_context.h"
+#include "src/rpc/rpc.h"
+#include "src/store/doc_store.h"
+#include "src/store/kv_store.h"
+#include "src/store/pubsub_store.h"
+#include "src/store/queue_store.h"
+#include "src/store/sql_store.h"
+
+namespace antipode {
+namespace {
+
+const std::vector<Region> kRegions = {Region::kUs, Region::kEu};
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.01); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(EndToEndTest, LineageAccumulatesAcrossFourSubstratesAndBarrierEnforcesAll) {
+  SqlStore orders(SqlStore::DefaultOptions("e2e-orders", kRegions));
+  orders.CreateTable("orders", {"id", "item"}, "id");
+  DocStore invoices(DocStore::DefaultOptions("e2e-invoices", kRegions));
+  KvStore tracking(KvStore::DefaultOptions("e2e-tracking", kRegions));
+  QueueStore shipping(QueueStore::DefaultOptions("e2e-shipping", kRegions));
+  PubSubStore notifications(PubSubStore::DefaultOptions("e2e-notif", kRegions));
+
+  SqlShim order_shim(&orders);
+  order_shim.InstrumentTable("orders", /*with_index=*/false);
+  DocShim invoice_shim(&invoices);
+  KvShim tracking_shim(&tracking);
+  QueueShim shipping_shim(&shipping);
+  PubSubShim notif_shim(&notifications);
+
+  ShimRegistry registry;
+  registry.Register(&order_shim);
+  registry.Register(&invoice_shim);
+  registry.Register(&tracking_shim);
+  registry.Register(&shipping_shim);
+  registry.Register(&notif_shim);
+
+  ServiceRegistry services;
+  RpcService* order_svc = services.RegisterService("order-svc", Region::kUs, 2);
+  RpcService* billing_svc = services.RegisterService("billing-svc", Region::kUs, 2);
+  ThreadPool workers(2, "workers");
+
+  billing_svc->RegisterMethod("bill", [&](const std::string& order_id) {
+    invoice_shim.InsertDocCtx(Region::kUs, "invoices", order_id,
+                              Document{{"total", Value(static_cast<int64_t>(99))}});
+    return Result<std::string>(std::string("billed"));
+  });
+
+  order_svc->RegisterMethod("place", [&](const std::string& order_id) {
+    order_shim.InsertCtx(Region::kUs, "orders",
+                         Row{{"id", Value(order_id)}, {"item", Value("widget")}});
+    RpcClient client(&services, Region::kUs);
+    client.Call("billing-svc", "bill", order_id);
+    shipping_shim.PublishCtx(Region::kUs, "ship", order_id);
+    return Result<std::string>(std::string("placed"));
+  });
+
+  // Shipping worker (US): consumes the task under its lineage, adds the
+  // tracking write, forwards to the notification topic.
+  shipping_shim.Subscribe(Region::kUs, "ship", &workers, [&](const ConsumedMessage& message) {
+    tracking_shim.WriteCtx(Region::kUs, "track:" + message.payload, "label-printed");
+    notif_shim.PublishCtx(Region::kUs, "order-updates", message.payload);
+  });
+
+  // Notifier worker (EU): the single barrier at the end of the chain.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  size_t lineage_deps = 0;
+  bool all_visible = false;
+  notif_shim.Subscribe(Region::kEu, "order-updates", &workers,
+                       [&](const ConsumedMessage& message) {
+                         Status status = Barrier(message.lineage, Region::kEu,
+                                                 BarrierOptions{.registry = &registry});
+                         ASSERT_TRUE(status.ok());
+                         const std::string& id = message.payload;
+                         const bool order_ok =
+                             order_shim.SelectByPk(Region::kEu, "orders", Value(id))
+                                 .row.has_value();
+                         const bool invoice_ok =
+                             invoice_shim.FindById(Region::kEu, "invoices", id).doc.has_value();
+                         const bool tracking_ok =
+                             tracking_shim.Read(Region::kEu, "track:" + id).value.has_value();
+                         std::lock_guard<std::mutex> lock(mu);
+                         lineage_deps = message.lineage.Size();
+                         all_visible = order_ok && invoice_ok && tracking_ok;
+                         done = true;
+                         cv.notify_all();
+                       });
+
+  // The client request.
+  {
+    RequestContext context;
+    ScopedContext scoped(std::move(context));
+    LineageApi::Root();
+    RpcClient client(&services, Region::kUs);
+    auto response = client.Call("order-svc", "place", "order-42");
+    ASSERT_TRUE(response.ok());
+    // The caller's lineage already carries the synchronous writes: the order
+    // row, the invoice doc, and the shipping message.
+    auto lineage = LineageApi::Current();
+    ASSERT_TRUE(lineage.has_value());
+    EXPECT_GE(lineage->Size(), 3u);
+    EXPECT_EQ(lineage->DepsForStore("e2e-orders").size(), 1u);
+    EXPECT_EQ(lineage->DepsForStore("e2e-invoices").size(), 1u);
+    EXPECT_EQ(lineage->DepsForStore("e2e-shipping").size(), 1u);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(20), [&] { return done; }));
+    // By the notifier, the lineage has grown to 5 deps: order row, invoice
+    // doc, shipping message, tracking key, notification message.
+    EXPECT_EQ(lineage_deps, 5u);
+    EXPECT_TRUE(all_visible);
+  }
+
+  orders.DrainReplication();
+  invoices.DrainReplication();
+  tracking.DrainReplication();
+  shipping.DrainReplication();
+  notifications.DrainReplication();
+  services.ShutdownAll();
+  workers.Shutdown();
+}
+
+TEST_F(EndToEndTest, HistoryCheckerValidatesInstrumentedRun) {
+  // Drive a small post-notification run, log everything into the history
+  // checker, and confirm the offline verdict matches the runtime behaviour.
+  auto options = KvStore::DefaultOptions("e2e-hist", kRegions);
+  options.replication.median_millis = 250.0;
+  options.replication.sigma = 0.05;
+  KvStore store(options);
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+
+  for (const bool use_barrier : {false, true}) {
+    XcyHistoryChecker checker;
+    int violations_seen = 0;
+    for (int i = 0; i < 10; ++i) {
+      const std::string key =
+          "p" + std::to_string(i) + (use_barrier ? "-b" : "-nb");
+      Lineage lineage = shim.Write(Region::kUs, key, "v", Lineage(1));
+      checker.ObserveWrite(1, WriteId{store.name(), key, 1}, Lineage(1));
+
+      if (use_barrier) {
+        ASSERT_TRUE(
+            Barrier(lineage, Region::kEu, BarrierOptions{.registry = &registry}).ok());
+      }
+      auto result = shim.Read(Region::kEu, key);
+      if (!result.value.has_value()) {
+        ++violations_seen;
+      }
+      checker.ObserveRead(2, store.name(), "trigger-" + key, 1, lineage);
+      checker.ObserveRead(2, store.name(), key, result.value.has_value() ? 1 : 0,
+                          result.lineage);
+    }
+    if (use_barrier) {
+      EXPECT_TRUE(checker.Consistent());
+      EXPECT_EQ(violations_seen, 0);
+    } else {
+      EXPECT_FALSE(checker.Consistent());
+      EXPECT_EQ(static_cast<int>(checker.violations().size()), violations_seen);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,64 @@
+// The media-service case study (same violation class as the social network,
+// §7.1 footnote) and the hotel-reservation negative control.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/hotel_reservation/hotel_reservation.h"
+#include "src/apps/media_service/media_service.h"
+#include "src/common/clock.h"
+
+namespace antipode {
+namespace {
+
+class MediaHotelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.01); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(MediaHotelTest, MediaServiceBaselineViolates) {
+  MediaServiceConfig config;
+  config.antipode = false;
+  config.num_reviews = 30;
+  MediaServiceResult result = RunMediaService(config);
+  EXPECT_EQ(result.reviews, 30);
+  // S3-like media replication is far slower than the review event path, so
+  // most renders miss something — often the media blob specifically.
+  EXPECT_GT(result.ViolationRate(), 0.3);
+  EXPECT_GT(result.media_missing + result.review_missing, 0);
+}
+
+TEST_F(MediaHotelTest, MediaServiceAntipodePreventsBothMissingKinds) {
+  MediaServiceConfig config;
+  config.antipode = true;
+  config.num_reviews = 20;
+  MediaServiceResult result = RunMediaService(config);
+  EXPECT_EQ(result.review_missing, 0);
+  EXPECT_EQ(result.media_missing, 0);
+}
+
+TEST_F(MediaHotelTest, MediaServiceWindowTracksSlowestStore) {
+  MediaServiceConfig config;
+  config.num_reviews = 20;
+  config.antipode = false;
+  MediaServiceResult baseline = RunMediaService(config);
+  config.antipode = true;
+  MediaServiceResult antipode = RunMediaService(config);
+  // The barrier must wait out the S3-like store, much slower than the queue.
+  EXPECT_GT(antipode.consistency_window_model_ms.Mean(),
+            baseline.consistency_window_model_ms.Mean() * 2);
+}
+
+TEST_F(MediaHotelTest, HotelReservationHasNoViolations) {
+  HotelReservationConfig config;
+  config.num_reservations = 50;
+  HotelReservationResult result = RunHotelReservation(config);
+  EXPECT_EQ(result.reservations, 50);
+  EXPECT_EQ(result.violations, 0);
+  // The dry-run checker agrees: no candidate barrier site is ever
+  // inconsistent, reproducing the paper's negative finding.
+  EXPECT_EQ(result.checker_inconsistent, 0);
+}
+
+}  // namespace
+}  // namespace antipode

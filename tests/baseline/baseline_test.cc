@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/potential_tracker.h"
+#include "src/baseline/vector_clock.h"
+
+namespace antipode {
+namespace {
+
+TEST(VectorClockTest, StartsAtZero) {
+  VectorClock clock;
+  EXPECT_EQ(clock.Get(0), 0u);
+  EXPECT_EQ(clock.NumEntries(), 0u);
+}
+
+TEST(VectorClockTest, IncrementAdvancesComponent) {
+  VectorClock clock;
+  clock.Increment(3);
+  clock.Increment(3);
+  clock.Increment(7);
+  EXPECT_EQ(clock.Get(3), 2u);
+  EXPECT_EQ(clock.Get(7), 1u);
+  EXPECT_EQ(clock.NumEntries(), 2u);
+}
+
+TEST(VectorClockTest, MergeTakesComponentwiseMax) {
+  VectorClock a;
+  VectorClock b;
+  a.Increment(1);
+  a.Increment(1);
+  b.Increment(1);
+  b.Increment(2);
+  a.Merge(b);
+  EXPECT_EQ(a.Get(1), 2u);
+  EXPECT_EQ(a.Get(2), 1u);
+}
+
+TEST(VectorClockTest, HappensBeforeOnChain) {
+  VectorClock a;
+  a.Increment(0);
+  VectorClock b = a;
+  b.Increment(0);
+  EXPECT_TRUE(a.HappensBefore(b));
+  EXPECT_FALSE(b.HappensBefore(a));
+}
+
+TEST(VectorClockTest, ConcurrentClocks) {
+  VectorClock a;
+  VectorClock b;
+  a.Increment(0);
+  b.Increment(1);
+  EXPECT_TRUE(a.Concurrent(b));
+  EXPECT_FALSE(a.HappensBefore(b));
+  EXPECT_FALSE(b.HappensBefore(a));
+}
+
+TEST(VectorClockTest, EqualClocksNeitherBeforeNorConcurrent) {
+  VectorClock a;
+  a.Increment(0);
+  VectorClock b = a;
+  EXPECT_FALSE(a.HappensBefore(b));
+  EXPECT_FALSE(a.Concurrent(b));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(VectorClockTest, MessageDeliveryOrdering) {
+  // Classic send/receive: sender ticks, receiver merges + ticks.
+  VectorClock sender;
+  sender.Increment(0);
+  VectorClock receiver;
+  receiver.Merge(sender);
+  receiver.Increment(1);
+  EXPECT_TRUE(sender.HappensBefore(receiver));
+}
+
+TEST(VectorClockTest, SerializeRoundTrip) {
+  VectorClock clock;
+  clock.Increment(5);
+  clock.Increment(5);
+  clock.Increment(900);
+  VectorClock restored = VectorClock::Deserialize(clock.Serialize());
+  EXPECT_TRUE(restored == clock);
+}
+
+TEST(VectorClockTest, WireSizeGrowsWithEntries) {
+  VectorClock clock;
+  const size_t empty = clock.WireSize();
+  for (uint32_t p = 0; p < 50; ++p) {
+    clock.Increment(p);
+  }
+  EXPECT_GT(clock.WireSize(), empty + 50);
+}
+
+TEST(PotentialTrackerTest, AccumulatesOwnWrites) {
+  PotentialCausalityTracker tracker;
+  tracker.OnWrite(WriteId{"s", "a", 1});
+  tracker.OnWrite(WriteId{"s", "b", 1});
+  EXPECT_EQ(tracker.NumDeps(), 2u);
+}
+
+TEST(PotentialTrackerTest, ReadInheritsFullHistory) {
+  PotentialCausalityTracker writer;
+  writer.OnWrite(WriteId{"s", "a", 1});
+  writer.OnWrite(WriteId{"s", "b", 1});
+  PotentialCausalityTracker reader;
+  reader.OnReadFrom(writer);
+  reader.OnWrite(WriteId{"s", "c", 1});
+  EXPECT_EQ(reader.NumDeps(), 3u);
+}
+
+TEST(PotentialTrackerTest, GrowsUnboundedAcrossChain) {
+  PotentialCausalityTracker prev;
+  size_t last = 0;
+  for (int depth = 0; depth < 16; ++depth) {
+    PotentialCausalityTracker current;
+    current.OnReadFrom(prev);
+    for (int w = 0; w < 3; ++w) {
+      current.OnWrite(WriteId{"s", "d" + std::to_string(depth) + "w" + std::to_string(w), 1});
+    }
+    EXPECT_GT(current.NumDeps(), last);
+    last = current.NumDeps();
+    prev = current;
+  }
+  EXPECT_EQ(last, 16u * 3u);
+}
+
+TEST(PotentialTrackerTest, WireSizeMatchesLineageEncoding) {
+  PotentialCausalityTracker tracker;
+  tracker.OnWrite(WriteId{"store", "key", 1});
+  Lineage equivalent;
+  equivalent.Append(WriteId{"store", "key", 1});
+  EXPECT_EQ(tracker.WireSize(), equivalent.WireSize());
+}
+
+}  // namespace
+}  // namespace antipode

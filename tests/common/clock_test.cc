@@ -1,0 +1,60 @@
+#include "src/common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace antipode {
+namespace {
+
+class ClockTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(ClockTest, TimeScaleConvertsModelMillis) {
+  TimeScale::Set(1.0);
+  EXPECT_EQ(TimeScale::FromModelMillis(2.0), Micros(2000));
+  TimeScale::Set(0.5);
+  EXPECT_EQ(TimeScale::FromModelMillis(2.0), Micros(1000));
+  TimeScale::Set(0.01);
+  EXPECT_EQ(TimeScale::FromModelMillis(100.0), Micros(1000));
+}
+
+TEST_F(ClockTest, TimeScaleRoundTrips) {
+  TimeScale::Set(0.25);
+  const Duration wall = TimeScale::FromModelMillis(80.0);
+  EXPECT_NEAR(TimeScale::ToModelMillis(wall), 80.0, 1e-6);
+}
+
+TEST_F(ClockTest, ZeroScaleMeansNoSleep) {
+  TimeScale::Set(0.0);
+  EXPECT_EQ(TimeScale::FromModelMillis(1e9), Micros(0));
+  EXPECT_EQ(TimeScale::ToModelMillis(Micros(500)), 0.0);
+}
+
+TEST_F(ClockTest, NegativeScaleClampsToZero) {
+  TimeScale::Set(-1.0);
+  EXPECT_EQ(TimeScale::Get(), 0.0);
+}
+
+TEST_F(ClockTest, SystemClockAdvances) {
+  const TimePoint a = SystemClock::Instance().Now();
+  SystemClock::Instance().SleepFor(Micros(1000));
+  const TimePoint b = SystemClock::Instance().Now();
+  EXPECT_GE(b - a, Micros(900));
+}
+
+TEST_F(ClockTest, SleepForNonPositiveReturnsImmediately) {
+  const TimePoint a = SystemClock::Instance().Now();
+  SystemClock::Instance().SleepFor(Micros(0));
+  SystemClock::Instance().SleepFor(Micros(-100));
+  const TimePoint b = SystemClock::Instance().Now();
+  EXPECT_LT(b - a, Millis(50));
+}
+
+TEST_F(ClockTest, HelperConversions) {
+  EXPECT_EQ(ToMicros(Millis(3)), 3000);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(2500)), 2.5);
+}
+
+}  // namespace
+}  // namespace antipode

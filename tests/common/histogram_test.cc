@@ -1,0 +1,164 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/random.h"
+
+namespace antipode {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_NEAR(h.Percentile(0.5), 42.0, 42.0 * 0.05);
+}
+
+TEST(HistogramTest, MinMaxSum) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(100.0);
+  h.Record(10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 111.0);
+  EXPECT_NEAR(h.Mean(), 37.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentilesOnUniformData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(h.Percentile(0.9), 900.0, 900.0 * 0.05);
+  EXPECT_NEAR(h.Percentile(0.99), 990.0, 990.0 * 0.05);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, PercentileBoundsClampToObservedRange) {
+  Histogram h;
+  h.Record(5.0);
+  h.Record(6.0);
+  EXPECT_GE(h.Percentile(0.0), 5.0);
+  EXPECT_LE(h.Percentile(1.0), 6.0);
+}
+
+TEST(HistogramTest, HandlesZeroAndNegativeValues) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+}
+
+TEST(HistogramTest, WideDynamicRange) {
+  Histogram h;
+  h.Record(1e-4);
+  h.Record(1.0);
+  h.Record(1e6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.Percentile(0.01), 1e-4, 1e-4 * 0.1);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1e6);
+}
+
+TEST(HistogramTest, CdfIsMonotone) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(rng.NextLognormal(10.0, 1.0));
+  }
+  double last_value = -1;
+  double last_cum = 0;
+  for (const auto& [value, cum] : h.Cdf()) {
+    EXPECT_GT(value, last_value);
+    EXPECT_GE(cum, last_cum);
+    last_value = value;
+    last_cum = cum;
+  }
+  EXPECT_NEAR(last_cum, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(1.0);
+  a.Record(2.0);
+  b.Record(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 103.0);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Record(7.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 7.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1.0);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(ConcurrentHistogramTest, ParallelRecording) {
+  ConcurrentHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) {
+        h.Record(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(h.Snapshot().count(), 4000u);
+}
+
+class HistogramAccuracyTest : public ::testing::TestWithParam<double> {};
+
+// Bucket resolution (32 sub-buckets per octave) bounds relative error ~3%.
+TEST_P(HistogramAccuracyTest, RelativeErrorBounded) {
+  Histogram h;
+  const double value = GetParam();
+  for (int i = 0; i < 100; ++i) {
+    h.Record(value);
+  }
+  EXPECT_NEAR(h.Percentile(0.5), value, value * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracyTest,
+                         ::testing::Values(0.001, 0.5, 3.7, 128.0, 9999.0, 5e7));
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,171 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace antipode {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextUniform(10.0, 20.0);
+  }
+  EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, ExponentialIsNonNegative) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextExponential(3.0), 0.0);
+  }
+}
+
+TEST(RngTest, LognormalMedianMatches) {
+  Rng rng(15);
+  std::vector<double> samples;
+  const int n = 100001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(rng.NextLognormal(100.0, 0.5));
+  }
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], 100.0, 3.0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  Rng rng(21);
+  ZipfDistribution zipf(100, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(23);
+  ZipfDistribution zipf(1000, 0.99);
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next(rng) < 10) {
+      ++low;
+    }
+  }
+  // With theta≈1 the top-1% of ranks absorbs a large constant fraction.
+  EXPECT_GT(static_cast<double>(low) / n, 0.25);
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  Rng rng(25);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+class ZipfSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweepTest, FirstRankIsModal) {
+  Rng rng(27);
+  ZipfDistribution zipf(50, GetParam());
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(counts[0], max_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSweepTest, ::testing::Values(0.5, 0.8, 0.99, 1.2, 1.5));
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,85 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace antipode {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(2, "test");
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueue) {
+  ThreadPool pool(1, "drain");
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      count.fetch_add(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1, "closed");
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2, "twice");
+  pool.Submit([] {});
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, DestructorShutsDown) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2, "dtor");
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelismUsesMultipleThreads) {
+  ThreadPool pool(4, "parallel");
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> remaining{16};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      remaining.fetch_sub(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(remaining.load(), 0);
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPoolTest, NameAndSizeAccessors) {
+  ThreadPool pool(3, "named");
+  EXPECT_EQ(pool.name(), "named");
+  EXPECT_EQ(pool.num_threads(), 3u);
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace antipode

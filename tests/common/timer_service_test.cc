@@ -1,0 +1,123 @@
+#include "src/common/timer_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace antipode {
+namespace {
+
+TEST(TimerServiceTest, FiresAfterDelay) {
+  TimerService timers;
+  std::atomic<bool> fired{false};
+  const TimePoint scheduled = SystemClock::Instance().Now();
+  std::atomic<int64_t> fired_after_us{0};
+  timers.ScheduleAfter(Millis(20), [&] {
+    fired_after_us = ToMicros(std::chrono::duration_cast<Duration>(
+        SystemClock::Instance().Now() - scheduled));
+    fired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(fired.load());
+  EXPECT_GE(fired_after_us.load(), 19000);
+  timers.Shutdown();
+}
+
+TEST(TimerServiceTest, ZeroDelayFiresPromptly) {
+  TimerService timers;
+  std::atomic<bool> fired{false};
+  timers.ScheduleAfter(Micros(0), [&] { fired = true; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(fired.load());
+  timers.Shutdown();
+}
+
+TEST(TimerServiceTest, FiresInDeadlineOrder) {
+  TimerService timers;
+  std::mutex mu;
+  std::vector<int> order;
+  timers.ScheduleAfter(Millis(60), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(3);
+  });
+  timers.ScheduleAfter(Millis(20), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(1);
+  });
+  timers.ScheduleAfter(Millis(40), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  }
+  timers.Shutdown();
+}
+
+TEST(TimerServiceTest, EqualDeadlinesFireFifo) {
+  TimerService timers;
+  const TimePoint when = SystemClock::Instance().Now() + Millis(20);
+  std::mutex mu;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    timers.ScheduleAt(when, [&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  }
+  timers.Shutdown();
+}
+
+TEST(TimerServiceTest, ManyConcurrentTimers) {
+  TimerService timers;
+  std::atomic<int> fired{0};
+  for (int i = 0; i < 1000; ++i) {
+    timers.ScheduleAfter(Millis(1 + i % 20), [&] { fired.fetch_add(1); });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fired.load() < 1000 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fired.load(), 1000);
+  timers.Shutdown();
+}
+
+TEST(TimerServiceTest, ShutdownDropsFutureTimers) {
+  TimerService timers;
+  std::atomic<bool> fired{false};
+  timers.ScheduleAfter(std::chrono::duration_cast<Duration>(std::chrono::seconds(60)),
+                       [&] { fired = true; });
+  timers.Shutdown();
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(TimerServiceTest, ScheduleAfterShutdownIsNoOp) {
+  TimerService timers;
+  timers.Shutdown();
+  std::atomic<bool> fired{false};
+  timers.ScheduleAfter(Micros(1), [&] { fired = true; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(TimerServiceTest, PendingCountTracksQueue) {
+  TimerService timers;
+  EXPECT_EQ(timers.PendingCount(), 0u);
+  timers.ScheduleAfter(std::chrono::duration_cast<Duration>(std::chrono::seconds(60)), [] {});
+  EXPECT_EQ(timers.PendingCount(), 1u);
+  timers.Shutdown();
+}
+
+TEST(TimerServiceTest, SharedInstanceIsSingleton) {
+  EXPECT_EQ(&TimerService::Shared(), &TimerService::Shared());
+}
+
+}  // namespace
+}  // namespace antipode

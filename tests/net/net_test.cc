@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/net/latency_model.h"
+#include "src/net/network.h"
+#include "src/net/region.h"
+#include "src/net/topology.h"
+
+namespace antipode {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(NetTest, RegionNames) {
+  EXPECT_EQ(RegionName(Region::kUs), "US");
+  EXPECT_EQ(RegionName(Region::kEu), "EU");
+  EXPECT_EQ(RegionName(Region::kSg), "SG");
+  EXPECT_EQ(RegionName(Region::kLocal), "LOCAL");
+}
+
+TEST_F(NetTest, FixedLatencyIsConstant) {
+  FixedLatency model(12.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.SampleMillis(), 12.5);
+  }
+}
+
+TEST_F(NetTest, UniformLatencyStaysInRange) {
+  UniformLatency model(5.0, 10.0, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = model.SampleMillis();
+    EXPECT_GE(v, 5.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST_F(NetTest, LognormalLatencyMedian) {
+  LognormalLatency model(50.0, 0.3, 5);
+  std::vector<double> samples;
+  for (int i = 0; i < 10001; ++i) {
+    samples.push_back(model.SampleMillis());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 50.0, 3.0);
+}
+
+TEST_F(NetTest, SampleScalesWithTimeScale) {
+  TimeScale::Set(0.1);
+  FixedLatency model(100.0);
+  EXPECT_EQ(model.Sample(), Millis(10));
+}
+
+TEST_F(NetTest, TopologyMediansAreSymmetricAndOrdered) {
+  RegionTopology topology;
+  EXPECT_DOUBLE_EQ(topology.MedianOneWayMillis(Region::kUs, Region::kEu),
+                   topology.MedianOneWayMillis(Region::kEu, Region::kUs));
+  // US–SG is the longest link; intra-region is the shortest.
+  EXPECT_GT(topology.MedianOneWayMillis(Region::kUs, Region::kSg),
+            topology.MedianOneWayMillis(Region::kUs, Region::kEu));
+  EXPECT_LT(topology.MedianOneWayMillis(Region::kUs, Region::kUs),
+            topology.MedianOneWayMillis(Region::kUs, Region::kEu));
+}
+
+TEST_F(NetTest, TopologySamplesNearMedian) {
+  RegionTopology topology(0.05);
+  for (int i = 0; i < 100; ++i) {
+    const double v = topology.SampleOneWayMillis(Region::kUs, Region::kEu);
+    EXPECT_GT(v, 30.0);
+    EXPECT_LT(v, 70.0);
+  }
+}
+
+TEST_F(NetTest, NetworkDeliverRunsHandlerAfterDelay) {
+  TimeScale::Set(0.01);
+  SimulatedNetwork network;
+  std::atomic<bool> delivered{false};
+  network.Deliver(Region::kUs, Region::kEu, 0, [&] { delivered = true; });
+  EXPECT_FALSE(delivered.load());  // 45 model ms => ~450us wall
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(delivered.load());
+}
+
+TEST_F(NetTest, SleepRttBlocksForRoundTrip) {
+  TimeScale::Set(0.01);
+  SimulatedNetwork network;
+  const TimePoint start = SystemClock::Instance().Now();
+  network.SleepRtt(Region::kUs, Region::kEu, 0, 0);
+  const auto elapsed = SystemClock::Instance().Now() - start;
+  // ~90 model ms round trip at scale 0.01 => ~0.9ms wall.
+  EXPECT_GE(elapsed, Micros(500));
+}
+
+TEST_F(NetTest, PayloadAddsBandwidthCost) {
+  EXPECT_DOUBLE_EQ(SimulatedNetwork::PayloadMillis(0), 0.0);
+  EXPECT_NEAR(SimulatedNetwork::PayloadMillis(1024 * 1024), 10.0, 1e-9);
+  EXPECT_GT(SimulatedNetwork::PayloadMillis(10 * 1024 * 1024),
+            SimulatedNetwork::PayloadMillis(1024));
+}
+
+TEST_F(NetTest, LocalRegionIsFast) {
+  RegionTopology topology;
+  EXPECT_LT(topology.MedianOneWayMillis(Region::kLocal, Region::kLocal), 0.1);
+}
+
+}  // namespace
+}  // namespace antipode

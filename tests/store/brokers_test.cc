@@ -1,0 +1,188 @@
+// Queue (RabbitMQ/AMQ-like) and pub/sub (SNS-like) substrates.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/common/thread_pool.h"
+#include "src/store/pubsub_store.h"
+#include "src/store/queue_store.h"
+
+namespace antipode {
+namespace {
+
+const std::vector<Region> kRegions = {Region::kUs, Region::kEu};
+
+template <typename Predicate>
+bool WaitUntil(Predicate predicate, std::chrono::milliseconds timeout = std::chrono::seconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+class BrokersTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.01); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(BrokersTest, QueueDeliversLocallyImmediately) {
+  QueueStore queue(QueueStore::DefaultOptions("q1", kRegions));
+  ThreadPool pool(1, "consumer");
+  std::atomic<int> received{0};
+  std::string payload;
+  std::mutex mu;
+  queue.Subscribe(Region::kUs, "jobs", &pool, [&](const BrokerMessage& message) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      payload = message.payload;
+    }
+    received.fetch_add(1);
+  });
+  queue.Publish(Region::kUs, "jobs", "do-it");
+  EXPECT_TRUE(WaitUntil([&] { return received.load() == 1; }));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(payload, "do-it");
+  }
+  pool.Shutdown();
+}
+
+TEST_F(BrokersTest, QueueDeliversCrossRegionAfterReplication) {
+  QueueStore queue(QueueStore::DefaultOptions("q2", kRegions));
+  ThreadPool pool(1, "consumer");
+  std::atomic<int> received{0};
+  std::atomic<int> region_ok{0};
+  queue.Subscribe(Region::kEu, "jobs", &pool, [&](const BrokerMessage& message) {
+    if (message.delivered_at == Region::kEu) {
+      region_ok.fetch_add(1);
+    }
+    received.fetch_add(1);
+  });
+  queue.Publish(Region::kUs, "jobs", "x");
+  EXPECT_EQ(received.load(), 0);  // not yet replicated (700 model ms => 7ms)
+  EXPECT_TRUE(WaitUntil([&] { return received.load() == 1; }));
+  EXPECT_EQ(region_ok.load(), 1);
+  pool.Shutdown();
+}
+
+TEST_F(BrokersTest, QueueSeparatesChannels) {
+  QueueStore queue(QueueStore::DefaultOptions("q3", kRegions));
+  ThreadPool pool(1, "consumer");
+  std::atomic<int> a_count{0};
+  std::atomic<int> b_count{0};
+  queue.Subscribe(Region::kUs, "a", &pool, [&](const BrokerMessage&) { a_count.fetch_add(1); });
+  queue.Subscribe(Region::kUs, "b", &pool, [&](const BrokerMessage&) { b_count.fetch_add(1); });
+  queue.Publish(Region::kUs, "a", "1");
+  queue.Publish(Region::kUs, "a", "2");
+  queue.Publish(Region::kUs, "b", "3");
+  EXPECT_TRUE(WaitUntil([&] { return a_count.load() == 2 && b_count.load() == 1; }));
+  pool.Shutdown();
+}
+
+TEST_F(BrokersTest, QueuePreservesPerChannelOrderLocally) {
+  QueueStore queue(QueueStore::DefaultOptions("q4", kRegions));
+  ThreadPool pool(1, "consumer");
+  std::mutex mu;
+  std::vector<std::string> order;
+  queue.Subscribe(Region::kUs, "seq", &pool, [&](const BrokerMessage& message) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(message.payload);
+  });
+  for (int i = 0; i < 10; ++i) {
+    queue.Publish(Region::kUs, "seq", std::to_string(i));
+  }
+  EXPECT_TRUE(WaitUntil([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return order.size() == 10;
+  }));
+  std::lock_guard<std::mutex> lock(mu);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], std::to_string(i));
+  }
+  pool.Shutdown();
+}
+
+TEST_F(BrokersTest, QueuePublishWithKeyReturnsResolvableIdentifier) {
+  QueueStore queue(QueueStore::DefaultOptions("q5", kRegions));
+  auto result = queue.PublishWithKey(Region::kUs, "jobs", "payload");
+  EXPECT_FALSE(result.key.empty());
+  EXPECT_EQ(result.version, 1u);
+  EXPECT_TRUE(queue.IsVisible(Region::kUs, result.key, result.version));
+}
+
+TEST_F(BrokersTest, QueueMessageWithoutSubscriberIsDurable) {
+  QueueStore queue(QueueStore::DefaultOptions("q6", kRegions));
+  auto result = queue.PublishWithKey(Region::kUs, "unwatched", "data");
+  auto entry = queue.Get(Region::kUs, result.key);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->bytes, "data");
+}
+
+TEST_F(BrokersTest, PubSubFansOutToAllSubscribers) {
+  PubSubStore pubsub(PubSubStore::DefaultOptions("ps1", kRegions));
+  ThreadPool pool(2, "subs");
+  std::atomic<int> us_count{0};
+  std::atomic<int> eu_count{0};
+  pubsub.Subscribe(Region::kUs, "topic", &pool,
+                   [&](const BrokerMessage&) { us_count.fetch_add(1); });
+  pubsub.Subscribe(Region::kUs, "topic", &pool,
+                   [&](const BrokerMessage&) { us_count.fetch_add(1); });
+  pubsub.Subscribe(Region::kEu, "topic", &pool,
+                   [&](const BrokerMessage&) { eu_count.fetch_add(1); });
+  pubsub.Publish(Region::kUs, "topic", "m");
+  EXPECT_TRUE(WaitUntil([&] { return us_count.load() == 2 && eu_count.load() == 1; }));
+  pool.Shutdown();
+}
+
+TEST_F(BrokersTest, PubSubIgnoresOtherTopics) {
+  PubSubStore pubsub(PubSubStore::DefaultOptions("ps2", kRegions));
+  ThreadPool pool(1, "subs");
+  std::atomic<int> count{0};
+  pubsub.Subscribe(Region::kUs, "t1", &pool, [&](const BrokerMessage&) { count.fetch_add(1); });
+  pubsub.Publish(Region::kUs, "t2", "m");
+  pubsub.Publish(Region::kUs, "t1", "m");
+  EXPECT_TRUE(WaitUntil([&] { return count.load() == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(count.load(), 1);
+  pool.Shutdown();
+}
+
+TEST_F(BrokersTest, PubSubCrossRegionDeliveryLags) {
+  PubSubStore pubsub(PubSubStore::DefaultOptions("ps3", kRegions));
+  ThreadPool pool(1, "subs");
+  std::atomic<int64_t> delivery_us{0};
+  std::atomic<bool> delivered{false};
+  const TimePoint publish_time = SystemClock::Instance().Now();
+  pubsub.Subscribe(Region::kEu, "t", &pool, [&](const BrokerMessage&) {
+    delivery_us = ToMicros(std::chrono::duration_cast<Duration>(
+        SystemClock::Instance().Now() - publish_time));
+    delivered = true;
+  });
+  pubsub.Publish(Region::kUs, "t", "m");
+  EXPECT_TRUE(WaitUntil([&] { return delivered.load(); }));
+  // ~180 model ms + WAN at scale 0.01 => >=1ms wall.
+  EXPECT_GE(delivery_us.load(), 1000);
+  pool.Shutdown();
+}
+
+TEST_F(BrokersTest, ManyMessagesAllDelivered) {
+  QueueStore queue(QueueStore::DefaultOptions("q7", kRegions));
+  ThreadPool pool(4, "consumer");
+  std::atomic<int> received{0};
+  queue.Subscribe(Region::kEu, "burst", &pool,
+                  [&](const BrokerMessage&) { received.fetch_add(1); });
+  for (int i = 0; i < 200; ++i) {
+    queue.Publish(Region::kUs, "burst", std::to_string(i));
+  }
+  EXPECT_TRUE(WaitUntil([&] { return received.load() == 200; }, std::chrono::seconds(10)));
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,193 @@
+#include "src/store/replicated_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace antipode {
+namespace {
+
+ReplicatedStoreOptions FastOptions(std::string name, double median_millis = 20.0) {
+  ReplicatedStoreOptions options;
+  options.name = std::move(name);
+  options.regions = {Region::kUs, Region::kEu};
+  options.replication.median_millis = median_millis;
+  options.replication.sigma = 0.05;
+  return options;
+}
+
+class ReplicatedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.05); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(ReplicatedStoreTest, WriteIsImmediatelyVisibleAtOrigin) {
+  ReplicatedStore store(FastOptions("rs1"));
+  const uint64_t version = store.Put(Region::kUs, "k", "v");
+  EXPECT_EQ(version, 1u);
+  auto entry = store.Get(Region::kUs, "k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->bytes, "v");
+  EXPECT_EQ(entry->version, 1u);
+  EXPECT_EQ(entry->origin, Region::kUs);
+}
+
+TEST_F(ReplicatedStoreTest, RemoteReplicaLagsThenConverges) {
+  ReplicatedStore store(FastOptions("rs2", 100.0));
+  store.Put(Region::kUs, "k", "v");
+  EXPECT_FALSE(store.Get(Region::kEu, "k").has_value());
+  EXPECT_TRUE(store.WaitVisible(Region::kEu, "k", 1, std::chrono::seconds(5)).ok());
+  auto entry = store.Get(Region::kEu, "k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->bytes, "v");
+}
+
+TEST_F(ReplicatedStoreTest, VersionsAreMonotonicPerKey) {
+  ReplicatedStore store(FastOptions("rs3"));
+  EXPECT_EQ(store.Put(Region::kUs, "a", "1"), 1u);
+  EXPECT_EQ(store.Put(Region::kUs, "a", "2"), 2u);
+  EXPECT_EQ(store.Put(Region::kUs, "b", "1"), 1u);
+  EXPECT_EQ(store.Put(Region::kEu, "a", "3"), 3u);
+}
+
+TEST_F(ReplicatedStoreTest, IsVisibleChecksWatermark) {
+  ReplicatedStore store(FastOptions("rs4", 200.0));
+  store.Put(Region::kUs, "k", "v");
+  EXPECT_TRUE(store.IsVisible(Region::kUs, "k", 1));
+  EXPECT_FALSE(store.IsVisible(Region::kEu, "k", 1));
+  EXPECT_FALSE(store.IsVisible(Region::kUs, "k", 2));
+}
+
+TEST_F(ReplicatedStoreTest, NewerVersionSupersedesWait) {
+  ReplicatedStore store(FastOptions("rs5", 30.0));
+  store.Put(Region::kUs, "k", "v1");
+  store.Put(Region::kUs, "k", "v2");
+  // Waiting for version 1 must succeed even if the replica first applies v2.
+  EXPECT_TRUE(store.WaitVisible(Region::kEu, "k", 1, std::chrono::seconds(5)).ok());
+}
+
+TEST_F(ReplicatedStoreTest, StaleReplayDoesNotRegress) {
+  ReplicaTable table;
+  table.Apply(StoredEntry{"k", "new", 5, Region::kUs, {}});
+  table.Apply(StoredEntry{"k", "old", 3, Region::kUs, {}});
+  auto entry = table.Get("k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->bytes, "new");
+  EXPECT_EQ(entry->version, 5u);
+}
+
+TEST_F(ReplicatedStoreTest, WaitVisibleTimesOut) {
+  ReplicatedStore store(FastOptions("rs6", 100000.0));
+  store.Put(Region::kUs, "k", "v");
+  Status status = store.WaitVisible(Region::kEu, "k", 1, Millis(50));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ReplicatedStoreTest, WaitOnMissingKeyTimesOut) {
+  ReplicatedStore store(FastOptions("rs7"));
+  Status status = store.WaitVisible(Region::kUs, "never-written", 1, Millis(30));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ReplicatedStoreTest, StrongGetSeesLatestBeforeReplication) {
+  ReplicatedStore store(FastOptions("rs8", 100000.0));
+  store.Put(Region::kUs, "k", "v");
+  auto entry = store.StrongGet(Region::kEu, "k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->bytes, "v");
+  EXPECT_FALSE(store.Get(Region::kEu, "k").has_value());
+}
+
+TEST_F(ReplicatedStoreTest, ScanPrefixReturnsMatchingEntries) {
+  ReplicatedStore store(FastOptions("rs9"));
+  store.Put(Region::kUs, "t/1", "a");
+  store.Put(Region::kUs, "t/2", "b");
+  store.Put(Region::kUs, "u/1", "c");
+  ReplicaTable table;
+  table.Apply(StoredEntry{"t/1", "a", 1, Region::kUs, {}});
+  table.Apply(StoredEntry{"t/2", "b", 1, Region::kUs, {}});
+  table.Apply(StoredEntry{"u/1", "c", 1, Region::kUs, {}});
+  EXPECT_EQ(table.ScanPrefix("t/").size(), 2u);
+  EXPECT_EQ(table.ScanPrefix("u/").size(), 1u);
+  EXPECT_EQ(table.ScanPrefix("v/").size(), 0u);
+  EXPECT_EQ(table.Size(), 3u);
+}
+
+TEST_F(ReplicatedStoreTest, ApplyHookFiresForEveryRegion) {
+  ReplicatedStore store(FastOptions("rs10", 20.0));
+  std::atomic<int> us_applies{0};
+  std::atomic<int> eu_applies{0};
+  store.SetApplyHook([&](Region region, const StoredEntry&) {
+    (region == Region::kUs ? us_applies : eu_applies).fetch_add(1);
+  });
+  store.Put(Region::kUs, "k", "v");
+  store.DrainReplication();
+  EXPECT_EQ(us_applies.load(), 1);
+  EXPECT_EQ(eu_applies.load(), 1);
+}
+
+TEST_F(ReplicatedStoreTest, MetricsCountWritesAndReads) {
+  ReplicatedStore store(FastOptions("rs11"));
+  store.Put(Region::kUs, "k", std::string(100, 'x'));
+  store.Get(Region::kUs, "k");
+  store.Get(Region::kUs, "missing");
+  EXPECT_EQ(store.metrics().writes(), 1u);
+  EXPECT_EQ(store.metrics().reads(), 2u);
+  EXPECT_EQ(store.metrics().read_misses(), 1u);
+  EXPECT_NEAR(store.metrics().MeanObjectBytes(), 100.0, 5.0);
+}
+
+TEST_F(ReplicatedStoreTest, PerWriteOverheadShowsInMetrics) {
+  auto options = FastOptions("rs12");
+  options.per_write_overhead_bytes = 1000;
+  ReplicatedStore store(std::move(options));
+  store.Put(Region::kUs, "k", std::string(100, 'x'));
+  EXPECT_NEAR(store.metrics().MeanObjectBytes(), 1100.0, 50.0);
+}
+
+TEST_F(ReplicatedStoreTest, ExtraOverheadPerPut) {
+  ReplicatedStore store(FastOptions("rs13"));
+  store.Put(Region::kUs, "k", std::string(100, 'x'), 500);
+  EXPECT_NEAR(store.metrics().MeanObjectBytes(), 600.0, 25.0);
+}
+
+TEST_F(ReplicatedStoreTest, DrainReplicationWaitsForAllApplies) {
+  ReplicatedStore store(FastOptions("rs14", 50.0));
+  for (int i = 0; i < 20; ++i) {
+    store.Put(Region::kUs, "k" + std::to_string(i), "v");
+  }
+  store.DrainReplication();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(store.IsVisible(Region::kEu, "k" + std::to_string(i), 1));
+  }
+}
+
+TEST_F(ReplicatedStoreTest, ConcurrentWritersGetDistinctVersions) {
+  ReplicatedStore store(FastOptions("rs15"));
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> versions(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&store, &versions, t] { versions[static_cast<size_t>(t)] = store.Put(Region::kUs, "hot", "v"); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  std::sort(versions.begin(), versions.end());
+  for (size_t i = 0; i < versions.size(); ++i) {
+    EXPECT_EQ(versions[i], i + 1);
+  }
+}
+
+TEST_F(ReplicatedStoreTest, ReplicationLagRecorded) {
+  ReplicatedStore store(FastOptions("rs16", 80.0));
+  store.Put(Region::kUs, "k", "v");
+  const Histogram lag = store.metrics().ReplicationLag();
+  EXPECT_EQ(lag.count(), 1u);
+  EXPECT_GT(lag.Mean(), 50.0);  // base 80ms + WAN
+  store.DrainReplication();
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,135 @@
+// Extended datastore operations: KV TTL/counters/multi-get, document
+// updates/deletes, SQL deletes/counts, object listing.
+
+#include <gtest/gtest.h>
+
+#include "src/store/doc_store.h"
+#include "src/store/kv_store.h"
+#include "src/store/object_store.h"
+#include "src/store/sql_store.h"
+
+namespace antipode {
+namespace {
+
+const std::vector<Region> kRegions = {Region::kUs, Region::kEu};
+
+class StoreExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.02); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(StoreExtensionsTest, KvTtlExpiresKey) {
+  KvStore kv(KvStore::DefaultOptions("ext-kv1", kRegions));
+  kv.SetWithTtl(Region::kUs, "ephemeral", "v", 50.0);
+  EXPECT_TRUE(kv.Exists(Region::kUs, "ephemeral"));
+  // 50 model ms at scale 0.02 => 1 ms wall; wait comfortably longer.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (kv.Exists(Region::kUs, "ephemeral") && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(kv.Exists(Region::kUs, "ephemeral"));
+}
+
+TEST_F(StoreExtensionsTest, KvTtlExpiryReplicates) {
+  KvStore kv(KvStore::DefaultOptions("ext-kv2", kRegions));
+  kv.SetWithTtl(Region::kUs, "k", "v", 10.0);
+  // Version 2 is the tombstone; wait until it replicates to EU.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!kv.IsVisible(Region::kEu, "k", 2) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(kv.Exists(Region::kEu, "k"));
+}
+
+TEST_F(StoreExtensionsTest, KvIncrementFromZero) {
+  KvStore kv(KvStore::DefaultOptions("ext-kv3", kRegions));
+  EXPECT_EQ(kv.Increment(Region::kUs, "counter"), 1);
+  EXPECT_EQ(kv.Increment(Region::kUs, "counter"), 2);
+  EXPECT_EQ(kv.Increment(Region::kUs, "counter", 10), 12);
+  EXPECT_EQ(kv.Increment(Region::kUs, "counter", -2), 10);
+  EXPECT_EQ(kv.GetValue(Region::kUs, "counter"), "10");
+}
+
+TEST_F(StoreExtensionsTest, KvIncrementTreatsGarbageAsZero) {
+  KvStore kv(KvStore::DefaultOptions("ext-kv4", kRegions));
+  kv.Set(Region::kUs, "k", "not-a-number");
+  EXPECT_EQ(kv.Increment(Region::kUs, "k"), 1);
+}
+
+TEST_F(StoreExtensionsTest, KvMGet) {
+  KvStore kv(KvStore::DefaultOptions("ext-kv5", kRegions));
+  kv.Set(Region::kUs, "a", "1");
+  kv.Set(Region::kUs, "c", "3");
+  auto values = kv.MGet(Region::kUs, {"a", "b", "c"});
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "1");
+  EXPECT_EQ(values[1], std::nullopt);
+  EXPECT_EQ(values[2], "3");
+}
+
+TEST_F(StoreExtensionsTest, DocUpdateField) {
+  DocStore docs(DocStore::DefaultOptions("ext-doc1", kRegions));
+  docs.InsertDoc(Region::kUs, "c", "d", Document{{"a", Value("old")}, {"b", Value("keep")}});
+  ASSERT_TRUE(docs.UpdateField(Region::kUs, "c", "d", "a", Value("new")).ok());
+  auto doc = docs.FindById(Region::kUs, "c", "d");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("a"), Value("new"));
+  EXPECT_EQ(doc->Get("b"), Value("keep"));
+}
+
+TEST_F(StoreExtensionsTest, DocUpdateMissingFails) {
+  DocStore docs(DocStore::DefaultOptions("ext-doc2", kRegions));
+  EXPECT_EQ(docs.UpdateField(Region::kUs, "c", "nope", "a", Value("x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StoreExtensionsTest, DocDeleteAndCount) {
+  DocStore docs(DocStore::DefaultOptions("ext-doc3", kRegions));
+  docs.InsertDoc(Region::kUs, "c", "d1", Document{});
+  docs.InsertDoc(Region::kUs, "c", "d2", Document{});
+  EXPECT_EQ(docs.CountCollection(Region::kUs, "c"), 2u);
+  docs.DeleteDoc(Region::kUs, "c", "d1");
+  EXPECT_EQ(docs.CountCollection(Region::kUs, "c"), 1u);
+  EXPECT_FALSE(docs.FindById(Region::kUs, "c", "d1").has_value());
+}
+
+TEST_F(StoreExtensionsTest, SqlDeleteRow) {
+  SqlStore sql(SqlStore::DefaultOptions("ext-sql1", kRegions));
+  sql.CreateTable("t", {"id"}, "id");
+  sql.Insert(Region::kUs, "t", Row{{"id", Value("r1")}});
+  ASSERT_TRUE(sql.DeleteRow(Region::kUs, "t", Value("r1")).ok());
+  EXPECT_FALSE(sql.SelectByPk(Region::kUs, "t", Value("r1")).has_value());
+}
+
+TEST_F(StoreExtensionsTest, SqlDeleteFromUnknownTableFails) {
+  SqlStore sql(SqlStore::DefaultOptions("ext-sql2", kRegions));
+  EXPECT_EQ(sql.DeleteRow(Region::kUs, "ghosts", Value("x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StoreExtensionsTest, SqlCountWhere) {
+  SqlStore sql(SqlStore::DefaultOptions("ext-sql3", kRegions));
+  sql.CreateTable("t", {"id", "group"}, "id");
+  sql.Insert(Region::kUs, "t", Row{{"id", Value("1")}, {"group", Value("a")}});
+  sql.Insert(Region::kUs, "t", Row{{"id", Value("2")}, {"group", Value("a")}});
+  sql.Insert(Region::kUs, "t", Row{{"id", Value("3")}, {"group", Value("b")}});
+  EXPECT_EQ(sql.CountWhere(Region::kUs, "t", "group", Value("a")), 2u);
+}
+
+TEST_F(StoreExtensionsTest, ObjectListAndDelete) {
+  ObjectStore s3(ObjectStore::DefaultOptions("ext-s31", kRegions));
+  s3.PutObject(Region::kUs, "bucket", "k1", "v1");
+  s3.PutObject(Region::kUs, "bucket", "k2", "v2");
+  s3.PutObject(Region::kUs, "other", "k3", "v3");
+  auto keys = s3.ListObjects(Region::kUs, "bucket");
+  EXPECT_EQ(keys, (std::vector<std::string>{"k1", "k2"}));
+  s3.DeleteObject(Region::kUs, "bucket", "k1");
+  EXPECT_EQ(s3.ListObjects(Region::kUs, "bucket"), std::vector<std::string>{"k2"});
+  EXPECT_FALSE(s3.ObjectExists(Region::kUs, "bucket", "k1"));
+  EXPECT_TRUE(s3.ObjectExists(Region::kUs, "bucket", "k2"));
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,91 @@
+#include "src/store/value.h"
+
+#include <gtest/gtest.h>
+
+namespace antipode {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(static_cast<int64_t>(5)).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(true).is_bool());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+  EXPECT_EQ(Value(static_cast<int64_t>(-7)).as_int(), -7);
+  EXPECT_DOUBLE_EQ(Value(3.14).as_double(), 3.14);
+  EXPECT_TRUE(Value(true).as_bool());
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_FALSE(Value("x") == Value("y"));
+  EXPECT_FALSE(Value(static_cast<int64_t>(1)) == Value(1.0));  // different types
+}
+
+TEST(ValueTest, SerializeRoundTripEachType) {
+  for (const Value& value : {Value("text"), Value(static_cast<int64_t>(-42)), Value(6.022e23),
+                             Value(false), Value(std::string(300, 'z'))}) {
+    Serializer s;
+    value.SerializeTo(s);
+    Deserializer d(s.data());
+    auto restored = Value::DeserializeFrom(d);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, value);
+  }
+}
+
+TEST(ValueTest, ByteSizeScalesWithStrings) {
+  EXPECT_GT(Value(std::string(100, 'a')).ByteSize(), Value("a").ByteSize());
+  EXPECT_EQ(Value(static_cast<int64_t>(1)).ByteSize(), 9u);
+}
+
+TEST(DocumentTest, SetGetEraseHas) {
+  Document doc;
+  EXPECT_FALSE(doc.Has("f"));
+  doc.Set("f", Value("v"));
+  EXPECT_TRUE(doc.Has("f"));
+  EXPECT_EQ(doc.Get("f"), Value("v"));
+  doc.Erase("f");
+  EXPECT_FALSE(doc.Has("f"));
+  EXPECT_EQ(doc.Get("f"), std::nullopt);
+}
+
+TEST(DocumentTest, InitializerList) {
+  Document doc{{"a", Value(static_cast<int64_t>(1))}, {"b", Value("two")}};
+  EXPECT_EQ(doc.FieldCount(), 2u);
+  EXPECT_EQ(doc.Get("b"), Value("two"));
+}
+
+TEST(DocumentTest, SerializeRoundTrip) {
+  Document doc{{"name", Value("alice")},
+               {"age", Value(static_cast<int64_t>(30))},
+               {"score", Value(0.99)},
+               {"active", Value(true)}};
+  auto restored = Document::Deserialize(doc.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, doc);
+}
+
+TEST(DocumentTest, EmptyDocumentRoundTrip) {
+  Document doc;
+  auto restored = Document::Deserialize(doc.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->FieldCount(), 0u);
+}
+
+TEST(DocumentTest, DeserializeGarbageFails) {
+  auto restored = Document::Deserialize("\xFF\xFF\xFF garbage");
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST(DocumentTest, ByteSizeGrowsWithFields) {
+  Document small{{"a", Value("1")}};
+  Document big{{"a", Value("1")}, {"b", Value(std::string(500, 'x'))}};
+  EXPECT_GT(big.ByteSize(), small.ByteSize() + 400);
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,89 @@
+#include "src/trace/call_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace antipode {
+namespace {
+
+TEST(CallGraphTest, GeneratesNonEmptyGraphs) {
+  CallGraphGenerator generator(TraceGenOptions{});
+  for (int i = 0; i < 100; ++i) {
+    CallGraphStats stats = generator.Next();
+    EXPECT_GT(stats.total_calls, 0u);
+    EXPECT_LE(stats.stateful_calls, stats.total_calls);
+    EXPECT_LE(stats.unique_stateful_services.size(), stats.stateful_calls);
+    EXPECT_EQ(stats.stateful_service_sequence.size(), stats.stateful_calls);
+  }
+}
+
+TEST(CallGraphTest, DeterministicForSeed) {
+  CallGraphGenerator a(TraceGenOptions{});
+  CallGraphGenerator b(TraceGenOptions{});
+  for (int i = 0; i < 20; ++i) {
+    CallGraphStats sa = a.Next();
+    CallGraphStats sb = b.Next();
+    EXPECT_EQ(sa.total_calls, sb.total_calls);
+    EXPECT_EQ(sa.stateful_calls, sb.stateful_calls);
+  }
+}
+
+TEST(CallGraphTest, RespectsCallCap) {
+  TraceGenOptions options;
+  options.max_calls_per_request = 50;
+  CallGraphGenerator generator(options);
+  for (int i = 0; i < 200; ++i) {
+    CallGraphStats stats = generator.Next();
+    EXPECT_LE(stats.total_calls, options.max_calls_per_request);
+  }
+}
+
+TEST(CallGraphTest, DepthBounded) {
+  TraceGenOptions options;
+  CallGraphGenerator generator(options);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(generator.Next().max_depth, options.max_depth + 1);
+  }
+}
+
+TEST(CallGraphTest, ServiceIdsWithinPopulation) {
+  TraceGenOptions options;
+  CallGraphGenerator generator(options);
+  for (int i = 0; i < 50; ++i) {
+    for (uint32_t service : generator.Next().unique_stateful_services) {
+      EXPECT_LT(service, options.num_stateful_services);
+    }
+  }
+}
+
+TEST(CallGraphTest, AnalysisMatchesAlibabaShape) {
+  CallGraphGenerator generator(TraceGenOptions{});
+  TraceAnalysis analysis = AnalyzeTrace(generator, 5000);
+
+  // The published calibration targets (§2.1 / Fig. 1), with test slack.
+  auto fraction_at_least = [](const Histogram& h, double threshold) {
+    double below = 0.0;
+    for (const auto& [value, cumulative] : h.Cdf()) {
+      if (value < threshold) {
+        below = cumulative;
+      } else {
+        break;
+      }
+    }
+    return 1.0 - below;
+  };
+  EXPECT_GT(fraction_at_least(analysis.stateful_calls_per_request, 20), 0.18);
+  EXPECT_GT(fraction_at_least(analysis.unique_stateful_per_request, 5), 0.42);
+  EXPECT_GT(analysis.depth_per_request.Mean(), 3.5);
+}
+
+TEST(CallGraphTest, MetadataSizesMatchPaperScale) {
+  CallGraphGenerator generator(TraceGenOptions{});
+  TraceAnalysis analysis = AnalyzeTrace(generator, 5000);
+  // §7.4: ≈200 B average, <≈1 KB at p99 (generous slack for sampling noise).
+  EXPECT_GT(analysis.lineage_bytes_per_request.Mean(), 50.0);
+  EXPECT_LT(analysis.lineage_bytes_per_request.Mean(), 500.0);
+  EXPECT_LT(analysis.lineage_bytes_per_request.Percentile(0.99), 2048.0);
+}
+
+}  // namespace
+}  // namespace antipode
