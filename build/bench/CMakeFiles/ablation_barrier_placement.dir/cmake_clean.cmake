@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_barrier_placement.dir/ablation_barrier_placement.cpp.o"
+  "CMakeFiles/ablation_barrier_placement.dir/ablation_barrier_placement.cpp.o.d"
+  "ablation_barrier_placement"
+  "ablation_barrier_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_barrier_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

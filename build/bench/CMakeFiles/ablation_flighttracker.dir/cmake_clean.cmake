@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flighttracker.dir/ablation_flighttracker.cpp.o"
+  "CMakeFiles/ablation_flighttracker.dir/ablation_flighttracker.cpp.o.d"
+  "ablation_flighttracker"
+  "ablation_flighttracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flighttracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tracking.dir/ablation_tracking.cpp.o"
+  "CMakeFiles/ablation_tracking.dir/ablation_tracking.cpp.o.d"
+  "ablation_tracking"
+  "ablation_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

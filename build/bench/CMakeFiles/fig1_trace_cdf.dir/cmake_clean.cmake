@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_trace_cdf.dir/fig1_trace_cdf.cpp.o"
+  "CMakeFiles/fig1_trace_cdf.dir/fig1_trace_cdf.cpp.o.d"
+  "fig1_trace_cdf"
+  "fig1_trace_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trace_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

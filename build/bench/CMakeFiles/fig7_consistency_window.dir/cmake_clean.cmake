@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_consistency_window.dir/fig7_consistency_window.cpp.o"
+  "CMakeFiles/fig7_consistency_window.dir/fig7_consistency_window.cpp.o.d"
+  "fig7_consistency_window"
+  "fig7_consistency_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_consistency_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_consistency_window.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_deathstarbench.dir/fig8_deathstarbench.cpp.o"
+  "CMakeFiles/fig8_deathstarbench.dir/fig8_deathstarbench.cpp.o.d"
+  "fig8_deathstarbench"
+  "fig8_deathstarbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_deathstarbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

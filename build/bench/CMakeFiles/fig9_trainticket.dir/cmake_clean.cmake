@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_trainticket.dir/fig9_trainticket.cpp.o"
+  "CMakeFiles/fig9_trainticket.dir/fig9_trainticket.cpp.o.d"
+  "fig9_trainticket"
+  "fig9_trainticket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_trainticket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

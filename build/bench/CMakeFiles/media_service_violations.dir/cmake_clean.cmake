@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_service_violations.dir/media_service_violations.cpp.o"
+  "CMakeFiles/media_service_violations.dir/media_service_violations.cpp.o.d"
+  "media_service_violations"
+  "media_service_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_service_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for media_service_violations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for media_service_violations.
+# This may be replaced when dependencies are built.

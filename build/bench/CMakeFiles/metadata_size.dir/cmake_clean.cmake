@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_size.dir/metadata_size.cpp.o"
+  "CMakeFiles/metadata_size.dir/metadata_size.cpp.o.d"
+  "metadata_size"
+  "metadata_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

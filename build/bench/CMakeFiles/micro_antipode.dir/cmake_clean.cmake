@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_antipode.dir/micro_antipode.cpp.o"
+  "CMakeFiles/micro_antipode.dir/micro_antipode.cpp.o.d"
+  "micro_antipode"
+  "micro_antipode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_antipode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

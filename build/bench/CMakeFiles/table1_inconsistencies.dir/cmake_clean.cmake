@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_inconsistencies.dir/table1_inconsistencies.cpp.o"
+  "CMakeFiles/table1_inconsistencies.dir/table1_inconsistencies.cpp.o.d"
+  "table1_inconsistencies"
+  "table1_inconsistencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_inconsistencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_object_overhead.dir/table3_object_overhead.cpp.o"
+  "CMakeFiles/table3_object_overhead.dir/table3_object_overhead.cpp.o.d"
+  "table3_object_overhead"
+  "table3_object_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_object_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_transfer.dir/acl_transfer.cpp.o"
+  "CMakeFiles/acl_transfer.dir/acl_transfer.cpp.o.d"
+  "acl_transfer"
+  "acl_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

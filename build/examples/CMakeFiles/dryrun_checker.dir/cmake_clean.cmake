@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dryrun_checker.dir/dryrun_checker.cpp.o"
+  "CMakeFiles/dryrun_checker.dir/dryrun_checker.cpp.o.d"
+  "dryrun_checker"
+  "dryrun_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dryrun_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

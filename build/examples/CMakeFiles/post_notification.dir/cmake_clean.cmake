@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_notification.dir/post_notification.cpp.o"
+  "CMakeFiles/post_notification.dir/post_notification.cpp.o.d"
+  "post_notification"
+  "post_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_ryw.dir/session_ryw.cpp.o"
+  "CMakeFiles/session_ryw.dir/session_ryw.cpp.o.d"
+  "session_ryw"
+  "session_ryw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_ryw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

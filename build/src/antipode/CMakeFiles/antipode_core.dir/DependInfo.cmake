@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/antipode/barrier.cc" "src/antipode/CMakeFiles/antipode_core.dir/barrier.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/barrier.cc.o.d"
+  "/root/repo/src/antipode/checker.cc" "src/antipode/CMakeFiles/antipode_core.dir/checker.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/checker.cc.o.d"
+  "/root/repo/src/antipode/doc_shim.cc" "src/antipode/CMakeFiles/antipode_core.dir/doc_shim.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/doc_shim.cc.o.d"
+  "/root/repo/src/antipode/dynamo_shim.cc" "src/antipode/CMakeFiles/antipode_core.dir/dynamo_shim.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/dynamo_shim.cc.o.d"
+  "/root/repo/src/antipode/framing.cc" "src/antipode/CMakeFiles/antipode_core.dir/framing.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/framing.cc.o.d"
+  "/root/repo/src/antipode/history_checker.cc" "src/antipode/CMakeFiles/antipode_core.dir/history_checker.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/history_checker.cc.o.d"
+  "/root/repo/src/antipode/kv_shim.cc" "src/antipode/CMakeFiles/antipode_core.dir/kv_shim.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/kv_shim.cc.o.d"
+  "/root/repo/src/antipode/lineage.cc" "src/antipode/CMakeFiles/antipode_core.dir/lineage.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/lineage.cc.o.d"
+  "/root/repo/src/antipode/lineage_api.cc" "src/antipode/CMakeFiles/antipode_core.dir/lineage_api.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/lineage_api.cc.o.d"
+  "/root/repo/src/antipode/object_shim.cc" "src/antipode/CMakeFiles/antipode_core.dir/object_shim.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/object_shim.cc.o.d"
+  "/root/repo/src/antipode/queue_shim.cc" "src/antipode/CMakeFiles/antipode_core.dir/queue_shim.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/queue_shim.cc.o.d"
+  "/root/repo/src/antipode/session.cc" "src/antipode/CMakeFiles/antipode_core.dir/session.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/session.cc.o.d"
+  "/root/repo/src/antipode/shim.cc" "src/antipode/CMakeFiles/antipode_core.dir/shim.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/shim.cc.o.d"
+  "/root/repo/src/antipode/sql_shim.cc" "src/antipode/CMakeFiles/antipode_core.dir/sql_shim.cc.o" "gcc" "src/antipode/CMakeFiles/antipode_core.dir/sql_shim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/antipode_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/antipode_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/antipode_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/antipode_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

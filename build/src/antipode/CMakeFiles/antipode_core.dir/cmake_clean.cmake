@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_core.dir/barrier.cc.o"
+  "CMakeFiles/antipode_core.dir/barrier.cc.o.d"
+  "CMakeFiles/antipode_core.dir/checker.cc.o"
+  "CMakeFiles/antipode_core.dir/checker.cc.o.d"
+  "CMakeFiles/antipode_core.dir/doc_shim.cc.o"
+  "CMakeFiles/antipode_core.dir/doc_shim.cc.o.d"
+  "CMakeFiles/antipode_core.dir/dynamo_shim.cc.o"
+  "CMakeFiles/antipode_core.dir/dynamo_shim.cc.o.d"
+  "CMakeFiles/antipode_core.dir/framing.cc.o"
+  "CMakeFiles/antipode_core.dir/framing.cc.o.d"
+  "CMakeFiles/antipode_core.dir/history_checker.cc.o"
+  "CMakeFiles/antipode_core.dir/history_checker.cc.o.d"
+  "CMakeFiles/antipode_core.dir/kv_shim.cc.o"
+  "CMakeFiles/antipode_core.dir/kv_shim.cc.o.d"
+  "CMakeFiles/antipode_core.dir/lineage.cc.o"
+  "CMakeFiles/antipode_core.dir/lineage.cc.o.d"
+  "CMakeFiles/antipode_core.dir/lineage_api.cc.o"
+  "CMakeFiles/antipode_core.dir/lineage_api.cc.o.d"
+  "CMakeFiles/antipode_core.dir/object_shim.cc.o"
+  "CMakeFiles/antipode_core.dir/object_shim.cc.o.d"
+  "CMakeFiles/antipode_core.dir/queue_shim.cc.o"
+  "CMakeFiles/antipode_core.dir/queue_shim.cc.o.d"
+  "CMakeFiles/antipode_core.dir/session.cc.o"
+  "CMakeFiles/antipode_core.dir/session.cc.o.d"
+  "CMakeFiles/antipode_core.dir/shim.cc.o"
+  "CMakeFiles/antipode_core.dir/shim.cc.o.d"
+  "CMakeFiles/antipode_core.dir/sql_shim.cc.o"
+  "CMakeFiles/antipode_core.dir/sql_shim.cc.o.d"
+  "libantipode_core.a"
+  "libantipode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/hotel_reservation/hotel_reservation.cc" "src/apps/CMakeFiles/antipode_apps.dir/hotel_reservation/hotel_reservation.cc.o" "gcc" "src/apps/CMakeFiles/antipode_apps.dir/hotel_reservation/hotel_reservation.cc.o.d"
+  "/root/repo/src/apps/media_service/media_service.cc" "src/apps/CMakeFiles/antipode_apps.dir/media_service/media_service.cc.o" "gcc" "src/apps/CMakeFiles/antipode_apps.dir/media_service/media_service.cc.o.d"
+  "/root/repo/src/apps/post_notification/post_notification.cc" "src/apps/CMakeFiles/antipode_apps.dir/post_notification/post_notification.cc.o" "gcc" "src/apps/CMakeFiles/antipode_apps.dir/post_notification/post_notification.cc.o.d"
+  "/root/repo/src/apps/social_network/social_network.cc" "src/apps/CMakeFiles/antipode_apps.dir/social_network/social_network.cc.o" "gcc" "src/apps/CMakeFiles/antipode_apps.dir/social_network/social_network.cc.o.d"
+  "/root/repo/src/apps/train_ticket/train_ticket.cc" "src/apps/CMakeFiles/antipode_apps.dir/train_ticket/train_ticket.cc.o" "gcc" "src/apps/CMakeFiles/antipode_apps.dir/train_ticket/train_ticket.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/apps/CMakeFiles/antipode_apps.dir/workload.cc.o" "gcc" "src/apps/CMakeFiles/antipode_apps.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/antipode/CMakeFiles/antipode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/antipode_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/antipode_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/antipode_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/antipode_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/antipode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

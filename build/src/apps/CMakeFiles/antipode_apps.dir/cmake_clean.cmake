@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_apps.dir/hotel_reservation/hotel_reservation.cc.o"
+  "CMakeFiles/antipode_apps.dir/hotel_reservation/hotel_reservation.cc.o.d"
+  "CMakeFiles/antipode_apps.dir/media_service/media_service.cc.o"
+  "CMakeFiles/antipode_apps.dir/media_service/media_service.cc.o.d"
+  "CMakeFiles/antipode_apps.dir/post_notification/post_notification.cc.o"
+  "CMakeFiles/antipode_apps.dir/post_notification/post_notification.cc.o.d"
+  "CMakeFiles/antipode_apps.dir/social_network/social_network.cc.o"
+  "CMakeFiles/antipode_apps.dir/social_network/social_network.cc.o.d"
+  "CMakeFiles/antipode_apps.dir/train_ticket/train_ticket.cc.o"
+  "CMakeFiles/antipode_apps.dir/train_ticket/train_ticket.cc.o.d"
+  "CMakeFiles/antipode_apps.dir/workload.cc.o"
+  "CMakeFiles/antipode_apps.dir/workload.cc.o.d"
+  "libantipode_apps.a"
+  "libantipode_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_baseline.dir/flight_tracker.cc.o"
+  "CMakeFiles/antipode_baseline.dir/flight_tracker.cc.o.d"
+  "CMakeFiles/antipode_baseline.dir/vector_clock.cc.o"
+  "CMakeFiles/antipode_baseline.dir/vector_clock.cc.o.d"
+  "libantipode_baseline.a"
+  "libantipode_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

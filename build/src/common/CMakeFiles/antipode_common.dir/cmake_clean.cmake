@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_common.dir/clock.cc.o"
+  "CMakeFiles/antipode_common.dir/clock.cc.o.d"
+  "CMakeFiles/antipode_common.dir/histogram.cc.o"
+  "CMakeFiles/antipode_common.dir/histogram.cc.o.d"
+  "CMakeFiles/antipode_common.dir/logging.cc.o"
+  "CMakeFiles/antipode_common.dir/logging.cc.o.d"
+  "CMakeFiles/antipode_common.dir/random.cc.o"
+  "CMakeFiles/antipode_common.dir/random.cc.o.d"
+  "CMakeFiles/antipode_common.dir/status.cc.o"
+  "CMakeFiles/antipode_common.dir/status.cc.o.d"
+  "CMakeFiles/antipode_common.dir/thread_pool.cc.o"
+  "CMakeFiles/antipode_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/antipode_common.dir/timer_service.cc.o"
+  "CMakeFiles/antipode_common.dir/timer_service.cc.o.d"
+  "libantipode_common.a"
+  "libantipode_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/context/baggage.cc" "src/context/CMakeFiles/antipode_context.dir/baggage.cc.o" "gcc" "src/context/CMakeFiles/antipode_context.dir/baggage.cc.o.d"
+  "/root/repo/src/context/merge.cc" "src/context/CMakeFiles/antipode_context.dir/merge.cc.o" "gcc" "src/context/CMakeFiles/antipode_context.dir/merge.cc.o.d"
+  "/root/repo/src/context/request_context.cc" "src/context/CMakeFiles/antipode_context.dir/request_context.cc.o" "gcc" "src/context/CMakeFiles/antipode_context.dir/request_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/antipode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

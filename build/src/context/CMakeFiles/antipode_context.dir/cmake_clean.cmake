@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_context.dir/baggage.cc.o"
+  "CMakeFiles/antipode_context.dir/baggage.cc.o.d"
+  "CMakeFiles/antipode_context.dir/merge.cc.o"
+  "CMakeFiles/antipode_context.dir/merge.cc.o.d"
+  "CMakeFiles/antipode_context.dir/request_context.cc.o"
+  "CMakeFiles/antipode_context.dir/request_context.cc.o.d"
+  "libantipode_context.a"
+  "libantipode_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_net.dir/latency_model.cc.o"
+  "CMakeFiles/antipode_net.dir/latency_model.cc.o.d"
+  "CMakeFiles/antipode_net.dir/network.cc.o"
+  "CMakeFiles/antipode_net.dir/network.cc.o.d"
+  "CMakeFiles/antipode_net.dir/region.cc.o"
+  "CMakeFiles/antipode_net.dir/region.cc.o.d"
+  "CMakeFiles/antipode_net.dir/topology.cc.o"
+  "CMakeFiles/antipode_net.dir/topology.cc.o.d"
+  "libantipode_net.a"
+  "libantipode_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

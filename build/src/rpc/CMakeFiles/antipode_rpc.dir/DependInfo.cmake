@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/rpc.cc" "src/rpc/CMakeFiles/antipode_rpc.dir/rpc.cc.o" "gcc" "src/rpc/CMakeFiles/antipode_rpc.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/antipode_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/antipode_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/antipode_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

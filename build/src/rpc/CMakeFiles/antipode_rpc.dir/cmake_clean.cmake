@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_rpc.dir/rpc.cc.o"
+  "CMakeFiles/antipode_rpc.dir/rpc.cc.o.d"
+  "libantipode_rpc.a"
+  "libantipode_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libantipode_rpc.a"
+)

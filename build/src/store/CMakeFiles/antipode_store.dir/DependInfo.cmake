@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/doc_store.cc" "src/store/CMakeFiles/antipode_store.dir/doc_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/doc_store.cc.o.d"
+  "/root/repo/src/store/dynamo_store.cc" "src/store/CMakeFiles/antipode_store.dir/dynamo_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/dynamo_store.cc.o.d"
+  "/root/repo/src/store/kv_store.cc" "src/store/CMakeFiles/antipode_store.dir/kv_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/kv_store.cc.o.d"
+  "/root/repo/src/store/object_store.cc" "src/store/CMakeFiles/antipode_store.dir/object_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/object_store.cc.o.d"
+  "/root/repo/src/store/pubsub_store.cc" "src/store/CMakeFiles/antipode_store.dir/pubsub_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/pubsub_store.cc.o.d"
+  "/root/repo/src/store/queue_store.cc" "src/store/CMakeFiles/antipode_store.dir/queue_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/queue_store.cc.o.d"
+  "/root/repo/src/store/replicated_store.cc" "src/store/CMakeFiles/antipode_store.dir/replicated_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/replicated_store.cc.o.d"
+  "/root/repo/src/store/replication_profile.cc" "src/store/CMakeFiles/antipode_store.dir/replication_profile.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/replication_profile.cc.o.d"
+  "/root/repo/src/store/sql_store.cc" "src/store/CMakeFiles/antipode_store.dir/sql_store.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/sql_store.cc.o.d"
+  "/root/repo/src/store/value.cc" "src/store/CMakeFiles/antipode_store.dir/value.cc.o" "gcc" "src/store/CMakeFiles/antipode_store.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/antipode_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/antipode_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_store.dir/doc_store.cc.o"
+  "CMakeFiles/antipode_store.dir/doc_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/dynamo_store.cc.o"
+  "CMakeFiles/antipode_store.dir/dynamo_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/kv_store.cc.o"
+  "CMakeFiles/antipode_store.dir/kv_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/object_store.cc.o"
+  "CMakeFiles/antipode_store.dir/object_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/pubsub_store.cc.o"
+  "CMakeFiles/antipode_store.dir/pubsub_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/queue_store.cc.o"
+  "CMakeFiles/antipode_store.dir/queue_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/replicated_store.cc.o"
+  "CMakeFiles/antipode_store.dir/replicated_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/replication_profile.cc.o"
+  "CMakeFiles/antipode_store.dir/replication_profile.cc.o.d"
+  "CMakeFiles/antipode_store.dir/sql_store.cc.o"
+  "CMakeFiles/antipode_store.dir/sql_store.cc.o.d"
+  "CMakeFiles/antipode_store.dir/value.cc.o"
+  "CMakeFiles/antipode_store.dir/value.cc.o.d"
+  "libantipode_store.a"
+  "libantipode_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

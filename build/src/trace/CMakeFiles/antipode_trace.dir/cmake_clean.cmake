@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_trace.dir/call_graph.cc.o"
+  "CMakeFiles/antipode_trace.dir/call_graph.cc.o.d"
+  "libantipode_trace.a"
+  "libantipode_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antipode_tests.dir/antipode/barrier_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/barrier_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/checker_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/checker_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/framing_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/framing_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/history_checker_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/history_checker_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/lineage_api_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/lineage_api_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/lineage_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/lineage_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/session_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/session_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/shim_property_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/shim_property_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/shims_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/shims_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/stress_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/stress_test.cc.o.d"
+  "CMakeFiles/antipode_tests.dir/antipode/xcy_property_test.cc.o"
+  "CMakeFiles/antipode_tests.dir/antipode/xcy_property_test.cc.o.d"
+  "antipode_tests"
+  "antipode_tests.pdb"
+  "antipode_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antipode_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/apps_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/apps_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/end_to_end_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/end_to_end_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/media_hotel_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/media_hotel_test.cc.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+  "apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_tests.dir/baseline/baseline_test.cc.o"
+  "CMakeFiles/baseline_tests.dir/baseline/baseline_test.cc.o.d"
+  "CMakeFiles/baseline_tests.dir/baseline/flight_tracker_test.cc.o"
+  "CMakeFiles/baseline_tests.dir/baseline/flight_tracker_test.cc.o.d"
+  "baseline_tests"
+  "baseline_tests.pdb"
+  "baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/blocking_queue_test.cc" "tests/CMakeFiles/common_tests.dir/common/blocking_queue_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/blocking_queue_test.cc.o.d"
+  "/root/repo/tests/common/clock_test.cc" "tests/CMakeFiles/common_tests.dir/common/clock_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/clock_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/common_tests.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/serialization_test.cc" "tests/CMakeFiles/common_tests.dir/common/serialization_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/serialization_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/common/timer_service_test.cc" "tests/CMakeFiles/common_tests.dir/common/timer_service_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/timer_service_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/antipode_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/antipode/CMakeFiles/antipode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/antipode_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/antipode_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/antipode_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/antipode_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/antipode_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/antipode_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/antipode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

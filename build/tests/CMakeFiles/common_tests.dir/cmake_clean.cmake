@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/blocking_queue_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/blocking_queue_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/clock_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/clock_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/histogram_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/random_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/random_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/serialization_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/serialization_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/thread_pool_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/timer_service_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/timer_service_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_tests.dir/context/context_test.cc.o"
+  "CMakeFiles/context_tests.dir/context/context_test.cc.o.d"
+  "context_tests"
+  "context_tests.pdb"
+  "context_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_tests.dir/rpc/rpc_test.cc.o"
+  "CMakeFiles/rpc_tests.dir/rpc/rpc_test.cc.o.d"
+  "rpc_tests"
+  "rpc_tests.pdb"
+  "rpc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_tests.dir/store/brokers_test.cc.o"
+  "CMakeFiles/store_tests.dir/store/brokers_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/store/failure_injection_test.cc.o"
+  "CMakeFiles/store_tests.dir/store/failure_injection_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/store/replicated_store_test.cc.o"
+  "CMakeFiles/store_tests.dir/store/replicated_store_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/store/store_extensions_test.cc.o"
+  "CMakeFiles/store_tests.dir/store/store_extensions_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/store/stores_test.cc.o"
+  "CMakeFiles/store_tests.dir/store/stores_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/store/value_test.cc.o"
+  "CMakeFiles/store_tests.dir/store/value_test.cc.o.d"
+  "store_tests"
+  "store_tests.pdb"
+  "store_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

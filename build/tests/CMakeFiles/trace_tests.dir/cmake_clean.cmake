@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/call_graph_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/call_graph_test.cc.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+  "trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
