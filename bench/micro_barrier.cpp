@@ -1,0 +1,193 @@
+// Barrier latency: sum-of-lags vs max-of-lags.
+//
+// Three stores with staggered replication lags (fast / medium / slow). A
+// request writes one key in each and must enforce all three before its
+// cross-region reader proceeds. Two enforcement strategies:
+//
+//   eager     write store0; barrier; write store1; barrier; write store2;
+//             barrier — per-write enforcement, the only safe pattern when
+//             barriers wait one dependency at a time. Replication of write
+//             i+1 cannot even start until write i's lag has been paid, so
+//             the request costs the SUM of the lags.
+//   deferred  write all three, then ONE parallel barrier over the whole
+//             lineage. All replication timers run concurrently and the
+//             fan-out gathers them, so the request costs the MAX of the lags.
+//
+// A second phase measures thundering-herd wakeups: waiters parked on cold
+// keys while a writer hammers hot keys. With the per-key waiter registry an
+// apply notifies only waiters of the written key (waiters_notified/applies
+// stays O(matching)); the legacy single-condvar design would have woken every
+// resident waiter per apply (notify_all_wakeups/applies).
+//
+// Flags: --requests=<n> (default 200), --scale=<f> (default 0.02).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/antipode/antipode.h"
+#include "src/common/histogram.h"
+#include "src/store/kv_store.h"
+
+namespace antipode {
+namespace {
+
+const std::vector<Region> kRegions = {Region::kUs, Region::kEu};
+constexpr int kStores = 3;
+constexpr double kMedians[kStores] = {40.0, 120.0, 360.0};
+
+struct Bed {
+  std::vector<std::unique_ptr<KvStore>> stores;
+  std::vector<std::unique_ptr<KvShim>> shims;
+  ShimRegistry registry;
+
+  explicit Bed(const std::string& tag) {
+    for (int i = 0; i < kStores; ++i) {
+      auto options = KvStore::DefaultOptions(tag + std::to_string(i), kRegions);
+      options.replication.median_millis = kMedians[i];
+      options.replication.sigma = 0.05;
+      stores.push_back(std::make_unique<KvStore>(std::move(options)));
+      shims.push_back(std::make_unique<KvShim>(stores.back().get()));
+      registry.Register(shims.back().get());
+    }
+  }
+};
+
+double RunEager(int requests, Histogram* hist) {
+  Bed bed("eager");
+  const BarrierOptions options{.registry = &bed.registry,
+                               .wait_mode = BarrierWaitMode::kSequential};
+  for (int r = 0; r < requests; ++r) {
+    const TimePoint start = SystemClock::Instance().Now();
+    Lineage lineage(static_cast<uint64_t>(r) + 1);
+    for (int i = 0; i < kStores; ++i) {
+      lineage = bed.shims[static_cast<size_t>(i)]->Write(
+          Region::kUs, "k" + std::to_string(r), "v", std::move(lineage));
+      // Enforce before the next service hop, one store at a time.
+      if (!Barrier(lineage, Region::kEu, options).ok()) {
+        std::fprintf(stderr, "eager barrier failed\n");
+        std::exit(1);
+      }
+    }
+    hist->Record(TimeScale::ToModelMillis(
+        std::chrono::duration_cast<Duration>(SystemClock::Instance().Now() - start)));
+  }
+  double max_store_lag_p50 = 0.0;
+  for (auto& store : bed.stores) {
+    max_store_lag_p50 = std::max(max_store_lag_p50, store->metrics().ReplicationLag().Percentile(0.5));
+  }
+  return max_store_lag_p50;
+}
+
+double RunDeferred(int requests, Histogram* hist) {
+  Bed bed("defer");
+  const BarrierOptions options{.registry = &bed.registry};
+  for (int r = 0; r < requests; ++r) {
+    const TimePoint start = SystemClock::Instance().Now();
+    Lineage lineage(static_cast<uint64_t>(r) + 1);
+    for (int i = 0; i < kStores; ++i) {
+      lineage = bed.shims[static_cast<size_t>(i)]->Write(
+          Region::kUs, "k" + std::to_string(r), "v", std::move(lineage));
+    }
+    // One parallel barrier over the whole lineage: cost = max of the lags.
+    if (!Barrier(lineage, Region::kEu, options).ok()) {
+      std::fprintf(stderr, "deferred barrier failed\n");
+      std::exit(1);
+    }
+    hist->Record(TimeScale::ToModelMillis(
+        std::chrono::duration_cast<Duration>(SystemClock::Instance().Now() - start)));
+  }
+  double max_store_lag_p50 = 0.0;
+  for (auto& store : bed.stores) {
+    max_store_lag_p50 = std::max(max_store_lag_p50, store->metrics().ReplicationLag().Percentile(0.5));
+  }
+  return max_store_lag_p50;
+}
+
+void RunWakeups(int writes) {
+  auto options = KvStore::DefaultOptions("wake", kRegions);
+  options.replication.median_millis = 80.0;
+  options.replication.sigma = 0.1;
+  KvStore store(std::move(options));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+
+  // Park waiters on keys nobody will write during the burst.
+  constexpr int kParked = 64;
+  for (int i = 0; i < kParked; ++i) {
+    store.WaitVisibleAsync(Region::kEu, "cold" + std::to_string(i), 1,
+                           SystemClock::Instance().Now() + std::chrono::minutes(5),
+                           [](Status) {});
+  }
+  Lineage lineage(1);
+  for (int i = 0; i < writes; ++i) {
+    lineage = shim.Write(Region::kUs, "hot" + std::to_string(i % 16), "v", std::move(lineage));
+  }
+  if (!Barrier(lineage, Region::kEu, BarrierOptions{.registry = &registry}).ok()) {
+    std::fprintf(stderr, "wakeup-phase barrier failed\n");
+    std::exit(1);
+  }
+  store.DrainReplication();
+  const WakeupStats stats = store.TotalWakeups();
+  const double per_apply_new =
+      stats.applies == 0 ? 0.0
+                         : static_cast<double>(stats.waiters_notified) /
+                               static_cast<double>(stats.applies);
+  const double per_apply_legacy =
+      stats.applies == 0 ? 0.0
+                         : static_cast<double>(stats.notify_all_wakeups) /
+                               static_cast<double>(stats.applies);
+  std::printf("\n# wakeups (%d parked cold waiters, %d hot writes)\n", kParked, writes);
+  std::printf("%-28s %12s\n", "metric", "value");
+  std::printf("%-28s %12llu\n", "applies",
+              static_cast<unsigned long long>(stats.applies));
+  std::printf("%-28s %12.2f  (per-key registry: only matching waiters)\n",
+              "wakeups/apply (new)", per_apply_new);
+  std::printf("%-28s %12.2f  (legacy notify_all: every resident waiter)\n",
+              "wakeups/apply (legacy)", per_apply_legacy);
+  // Release the parked waiters before the store is torn down.
+  for (int i = 0; i < kParked; ++i) {
+    store.Set(Region::kUs, "cold" + std::to_string(i), "v");
+  }
+  store.DrainReplication();
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args(argc, argv);
+  args.SetupTimeScale();
+  const int requests = args.GetInt("requests", 200);
+  std::printf("# 3 stores, replication lag medians %g / %g / %g model ms (sigma 0.05)\n",
+              kMedians[0], kMedians[1], kMedians[2]);
+  std::printf("# per-request: 3 writes (one per store) + cross-region enforcement\n\n");
+
+  Histogram eager;
+  Histogram deferred;
+  RunEager(requests, &eager);
+  const double max_lag_p50 = RunDeferred(requests, &deferred);
+  const double sum_medians = kMedians[0] + kMedians[1] + kMedians[2];
+
+  std::printf("%-24s %10s %10s %10s\n", "strategy", "p50 ms", "p99 ms", "mean ms");
+  std::printf("%-24s %10.1f %10.1f %10.1f   (sequential waits: ~sum of lags, Σ medians=%.0f)\n",
+              "eager per-write", eager.Percentile(0.5), eager.Percentile(0.99), eager.Mean(),
+              sum_medians);
+  std::printf("%-24s %10.1f %10.1f %10.1f   (parallel fan-out: ~max of lags)\n",
+              "deferred parallel", deferred.Percentile(0.5), deferred.Percentile(0.99),
+              deferred.Mean());
+  const double ratio = deferred.Percentile(0.5) / eager.Percentile(0.5);
+  std::printf("\n# deferred/eager p50 ratio: %.2f\n", ratio);
+  std::printf("# slowest store replication-lag p50: %.1f model ms; deferred p50 within %.0f%%\n",
+              max_lag_p50,
+              max_lag_p50 > 0 ? 100.0 * (deferred.Percentile(0.5) - max_lag_p50) / max_lag_p50
+                              : 0.0);
+
+  RunWakeups(args.GetInt("writes", 400));
+  return 0;
+}
+
+}  // namespace
+}  // namespace antipode
+
+int main(int argc, char** argv) { return antipode::Main(argc, argv); }

@@ -1,27 +1,116 @@
 #include "src/antipode/barrier.h"
 
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
 #include "src/antipode/lineage_api.h"
 
 namespace antipode {
 namespace {
 
-Duration RemainingBudget(TimePoint deadline) {
-  if (deadline == TimePoint::max()) {
-    return Duration::max();
+// Join point for a fan-out of asynchronous waits: counts completions, keeps
+// the first error, fires `done` exactly once when the last wait lands.
+class WaitGather {
+ public:
+  WaitGather(size_t outstanding, std::function<void(Status)> done)
+      : outstanding_(outstanding), done_(std::move(done)) {}
+
+  void Complete(const Status& status) {
+    std::function<void(Status)> fire;
+    Status result;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && first_error_.ok()) {
+        first_error_ = status;
+      }
+      if (--outstanding_ > 0) {
+        return;
+      }
+      fire = std::move(done_);
+      result = first_error_;
+    }
+    fire(result);
   }
-  const TimePoint now = SystemClock::Instance().Now();
-  if (now >= deadline) {
-    return Duration::zero();
+
+ private:
+  std::mutex mu_;
+  size_t outstanding_;
+  Status first_error_ = Status::Ok();
+  std::function<void(Status)> done_;
+};
+
+// Fans one shim WaitAsync per ⟨region, dependency⟩, all sharing `deadline`.
+// Returns non-Ok (and never calls `done`) only for the fail-fast path —
+// a dependency on an unregistered store under strict resolution. Otherwise
+// `done` fires exactly once, possibly synchronously for already-visible sets.
+Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& regions,
+                          TimePoint deadline, const BarrierOptions& options,
+                          std::function<void(Status)> done) {
+  // Dependencies are sorted, so each store's run is contiguous: one registry
+  // lookup per store, not per dependency.
+  std::vector<std::pair<Shim*, const WriteId*>> plan;
+  plan.reserve(lineage.Size());
+  Shim* shim = nullptr;
+  const std::string* current_store = nullptr;
+  for (const auto& dep : lineage.deps()) {
+    if (current_store == nullptr || dep.store != *current_store) {
+      current_store = &dep.store;
+      shim = options.registry->Lookup(dep.store);
+      if (shim == nullptr && !options.ignore_unknown_stores) {
+        return Status::FailedPrecondition("no shim registered for store: " + dep.store);
+      }
+    }
+    if (shim != nullptr) {
+      plan.emplace_back(shim, &dep);
+    }
   }
-  return std::chrono::duration_cast<Duration>(deadline - now);
+
+  const size_t waits = plan.size() * regions.size();
+  if (waits == 0) {
+    done(Status::Ok());
+    return Status::Ok();
+  }
+  auto gather = std::make_shared<WaitGather>(waits, std::move(done));
+  for (Region region : regions) {
+    for (const auto& [wait_shim, dep] : plan) {
+      wait_shim->WaitAsync(region, *dep, deadline,
+                           [gather](Status status) { gather->Complete(status); });
+    }
+  }
+  return Status::Ok();
 }
 
-}  // namespace
+// Blocks the calling thread on the gathered fan-out.
+Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& regions,
+                       TimePoint deadline, const BarrierOptions& options) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::Ok();
+  };
+  auto latch = std::make_shared<Latch>();
+  Status launched = LaunchBarrierWaits(lineage, regions, deadline, options, [latch](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->status = std::move(status);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  if (!launched.ok()) {
+    return launched;
+  }
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return latch->status;
+}
 
-Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& options) {
-  const TimePoint deadline = options.timeout == Duration::max()
-                                 ? TimePoint::max()
-                                 : SystemClock::Instance().Now() + options.timeout;
+// The legacy one-dependency-at-a-time loop, kept as a baseline. Still uses
+// the single shared deadline: each wait gets the budget remaining until it.
+Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadline,
+                         const BarrierOptions& options) {
   for (const auto& dep : lineage.deps()) {
     Shim* shim = options.registry->Lookup(dep.store);
     if (shim == nullptr) {
@@ -42,6 +131,16 @@ Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& opti
   return Status::Ok();
 }
 
+}  // namespace
+
+Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& options) {
+  const TimePoint deadline = DeadlineAfter(options.timeout);
+  if (options.wait_mode == BarrierWaitMode::kSequential) {
+    return BarrierSequential(lineage, region, deadline, options);
+  }
+  return BarrierParallel(lineage, {region}, deadline, options);
+}
+
 Status BarrierCtx(Region region, const BarrierOptions& options) {
   auto lineage = LineageApi::Current();
   if (!lineage.has_value()) {
@@ -52,20 +151,42 @@ Status BarrierCtx(Region region, const BarrierOptions& options) {
 
 Status BarrierGlobal(const Lineage& lineage, const std::vector<Region>& regions,
                      const BarrierOptions& options) {
-  for (Region region : regions) {
-    Status status = Barrier(lineage, region, options);
-    if (!status.ok()) {
-      return status;
+  const TimePoint deadline = DeadlineAfter(options.timeout);
+  if (options.wait_mode == BarrierWaitMode::kSequential) {
+    for (Region region : regions) {
+      Status status = BarrierSequential(lineage, region, deadline, options);
+      if (!status.ok()) {
+        return status;
+      }
     }
+    return Status::Ok();
   }
-  return Status::Ok();
+  return BarrierParallel(lineage, regions, deadline, options);
 }
 
 void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
                   std::function<void(Status)> done, const BarrierOptions& options) {
-  executor->Submit([lineage = std::move(lineage), region, done = std::move(done), options] {
-    done(Barrier(lineage, region, options));
-  });
+  const TimePoint deadline = DeadlineAfter(options.timeout);
+  if (options.wait_mode == BarrierWaitMode::kSequential) {
+    executor->Submit([lineage = std::move(lineage), region, deadline, done = std::move(done),
+                      options] { done(BarrierSequential(lineage, region, deadline, options)); });
+    return;
+  }
+  // Event-driven: no thread blocks while dependencies replicate; the gather
+  // bounces the result onto `executor` so `done` never runs on a timer or
+  // apply thread. A finite deadline cancels outstanding waits, so `done` is
+  // guaranteed to fire by then even if a dependency never arrives.
+  auto finish = std::make_shared<std::function<void(Status)>>(
+      [executor, done = std::move(done)](Status status) {
+        if (!executor->Submit([done, status] { done(status); })) {
+          done(status);  // executor shut down: deliver inline
+        }
+      });
+  Status launched = LaunchBarrierWaits(lineage, {region}, deadline, options,
+                                       [finish](Status status) { (*finish)(std::move(status)); });
+  if (!launched.ok()) {
+    (*finish)(launched);
+  }
 }
 
 BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region,

@@ -7,6 +7,14 @@
 // Region-local by default: visibility is enforced only at the caller's
 // replica (the geo-replication optimization of §6.3); `BarrierGlobal` waits
 // at an explicit set of regions instead.
+//
+// Execution model: dependencies are grouped by datastore (they are contiguous
+// in the lineage's sorted dependency vector), one asynchronous wait is issued
+// per ⟨region, dependency⟩ — all sharing a single deadline computed once —
+// and the results are gathered; the first error wins. The barrier therefore
+// costs the *maximum* of the outstanding waits, never their sum, and a
+// timeout bounds the whole set rather than handing later dependencies a
+// dwindling budget. See DESIGN.md "Barrier execution model".
 
 #ifndef SRC_ANTIPODE_BARRIER_H_
 #define SRC_ANTIPODE_BARRIER_H_
@@ -20,12 +28,23 @@
 
 namespace antipode {
 
+enum class BarrierWaitMode {
+  // Group by store, fan every wait out concurrently, gather at one shared
+  // deadline. The default.
+  kParallel,
+  // Wait for one dependency at a time in lineage order. Kept as the
+  // measurable baseline (bench/micro_barrier) and for debugging; semantics
+  // are identical, latency and timeout sharpness are worse.
+  kSequential,
+};
+
 struct BarrierOptions {
   Duration timeout = Duration::max();
   ShimRegistry* registry = &ShimRegistry::Default();
   // Dependencies on datastores without a registered shim: skip them (true,
   // the incremental-deployment default) or fail the barrier (false).
   bool ignore_unknown_stores = true;
+  BarrierWaitMode wait_mode = BarrierWaitMode::kParallel;
 };
 
 // Blocks until all of `lineage`'s dependencies are visible at `region`.
@@ -35,12 +54,13 @@ Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& opti
 Status BarrierCtx(Region region, const BarrierOptions& options = {});
 
 // Enforces visibility at every region in `regions` (global enforcement — the
-// expensive alternative the region-local optimization avoids).
+// expensive alternative the region-local optimization avoids). In parallel
+// mode the fan-out covers every ⟨region, dependency⟩ pair at once.
 Status BarrierGlobal(const Lineage& lineage, const std::vector<Region>& regions,
                      const BarrierOptions& options = {});
 
 // Asynchronous barrier: returns immediately; `done` runs on `executor` once
-// the dependencies are visible (or the timeout fires).
+// the dependencies are visible (or the deadline cancels the waits).
 void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
                   std::function<void(Status)> done, const BarrierOptions& options = {});
 

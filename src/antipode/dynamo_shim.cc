@@ -24,6 +24,35 @@ Status DynamoShim::Wait(Region region, const WriteId& id, Duration timeout) {
   }
 }
 
+void DynamoShim::WaitAsync(Region region, const WriteId& id, TimePoint deadline,
+                           WaitCallback done) {
+  auto state = std::make_shared<ProbeState>(ProbeState{region, id, deadline, std::move(done)});
+  if (!BlockingWaitPool().Submit([this, state] { ProbeLoop(state); })) {
+    state->done(Status::Unavailable("shim wait pool shut down"));
+  }
+}
+
+void DynamoShim::ProbeLoop(const std::shared_ptr<ProbeState>& state) {
+  auto entry = dynamo_->StrongGet(state->region, state->id.key);
+  if (entry.has_value() && entry->version >= state->id.version) {
+    state->done(Status::Ok());
+    return;
+  }
+  if (state->deadline != TimePoint::max() &&
+      SystemClock::Instance().Now() >= state->deadline) {
+    state->done(Status::DeadlineExceeded("dynamo wait: " + state->id.ToString()));
+    return;
+  }
+  // Re-arm after the poll interval. The probe runs on the pool, so the timer
+  // dispatcher never pays the strong read's WAN round trip; between probes no
+  // thread is parked.
+  TimerService::Shared().ScheduleAfter(TimeScale::FromModelMillis(10.0), [this, state] {
+    if (!BlockingWaitPool().Submit([this, state] { ProbeLoop(state); })) {
+      state->done(Status::Unavailable("shim wait pool shut down"));
+    }
+  });
+}
+
 bool DynamoShim::IsVisible(Region region, const WriteId& id) {
   // Dry-run probes the *local* replica: it reports whether an
   // eventually-consistent reader in this region would already observe the

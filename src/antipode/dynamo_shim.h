@@ -25,6 +25,11 @@ class DynamoShim : public Shim {
   // Strong-read based wait: probes the authoritative copy (one WAN round
   // trip) instead of blocking on local replication.
   Status Wait(Region region, const WriteId& id, Duration timeout) override;
+  // Async variant: each strong-read probe runs on the shared wait pool and
+  // re-arms itself through the timer service, so between probes no thread is
+  // parked. The shim must outlive all outstanding waits.
+  void WaitAsync(Region region, const WriteId& id, TimePoint deadline,
+                 WaitCallback done) override;
   bool IsVisible(Region region, const WriteId& id) override;
 
   struct ReadResult {
@@ -46,6 +51,15 @@ class DynamoShim : public Shim {
                                                const std::string& key) const;
 
  private:
+  struct ProbeState {
+    Region region;
+    WriteId id;
+    TimePoint deadline;
+    WaitCallback done;
+  };
+  // One strong-read probe; completes or re-arms itself via the timer service.
+  void ProbeLoop(const std::shared_ptr<ProbeState>& state);
+
   ReadResult DecodeEntry(const std::optional<StoredEntry>& entry, const std::string& key) const;
 
   DynamoStore* dynamo_;

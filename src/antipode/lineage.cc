@@ -1,37 +1,88 @@
 #include "src/antipode/lineage.h"
 
+#include <algorithm>
+#include <tuple>
+
+#include "src/common/logging.h"
 #include "src/common/serialization.h"
 
 namespace antipode {
+namespace {
+
+// Orders by ⟨store, key⟩ only — the compaction invariant guarantees at most
+// one version per pair, so this is the lookup order for Append/Transfer.
+bool StoreKeyLess(const WriteId& a, const WriteId& b) {
+  return std::tie(a.store, a.key) < std::tie(b.store, b.key);
+}
+
+bool SameStoreKey(const WriteId& a, const WriteId& b) {
+  return a.store == b.store && a.key == b.key;
+}
+
+}  // namespace
 
 void Lineage::Append(WriteId dep) {
-  // Locate an existing entry for the same ⟨store, key⟩: entries are ordered
-  // by (store, key, version), so it is the predecessor range of
-  // (store, key, +inf).
-  auto it = deps_.lower_bound(WriteId{dep.store, dep.key, 0});
-  if (it != deps_.end() && it->store == dep.store && it->key == dep.key) {
-    if (it->version >= dep.version) {
-      return;  // an equal-or-newer version already subsumes this dependency
+  auto it = std::lower_bound(deps_.begin(), deps_.end(), dep, StoreKeyLess);
+  if (it != deps_.end() && SameStoreKey(*it, dep)) {
+    if (it->version < dep.version) {
+      it->version = dep.version;
     }
+    return;
+  }
+  deps_.insert(it, std::move(dep));
+}
+
+void Lineage::Remove(const WriteId& dep) {
+  auto it = std::lower_bound(deps_.begin(), deps_.end(), dep);
+  if (it != deps_.end() && *it == dep) {
     deps_.erase(it);
   }
-  deps_.insert(std::move(dep));
+}
+
+bool Lineage::Contains(const WriteId& dep) const {
+  return std::binary_search(deps_.begin(), deps_.end(), dep);
 }
 
 void Lineage::Transfer(const Lineage& other) {
-  for (const auto& dep : other.deps_) {
-    Append(dep);
+  if (other.deps_.empty()) {
+    return;
   }
+  if (deps_.empty()) {
+    deps_ = other.deps_;
+    return;
+  }
+  // Linear merge of two sorted, per-key-compacted runs.
+  std::vector<WriteId> merged;
+  merged.reserve(deps_.size() + other.deps_.size());
+  auto a = deps_.begin();
+  auto b = other.deps_.begin();
+  while (a != deps_.end() && b != other.deps_.end()) {
+    if (SameStoreKey(*a, *b)) {
+      WriteId dep = *a;
+      dep.version = std::max(a->version, b->version);
+      merged.push_back(std::move(dep));
+      ++a;
+      ++b;
+    } else if (StoreKeyLess(*a, *b)) {
+      merged.push_back(*a++);
+    } else {
+      merged.push_back(*b++);
+    }
+  }
+  merged.insert(merged.end(), a, deps_.end());
+  merged.insert(merged.end(), b, other.deps_.end());
+  deps_ = std::move(merged);
 }
 
 std::vector<WriteId> Lineage::DepsForStore(const std::string& store) const {
-  std::vector<WriteId> out;
-  for (const auto& dep : deps_) {
-    if (dep.store == store) {
-      out.push_back(dep);
-    }
+  // Store runs are contiguous in the sorted vector.
+  auto lo = std::lower_bound(deps_.begin(), deps_.end(), store,
+                             [](const WriteId& dep, const std::string& s) { return dep.store < s; });
+  auto hi = lo;
+  while (hi != deps_.end() && hi->store == store) {
+    ++hi;
   }
-  return out;
+  return std::vector<WriteId>(lo, hi);
 }
 
 std::string Lineage::Serialize() const {
@@ -42,6 +93,14 @@ std::string Lineage::Serialize() const {
     dep.SerializeTo(s);
   }
   return s.Release();
+}
+
+size_t Lineage::WireSize() const {
+  size_t n = VarintWireSize(id_) + VarintWireSize(deps_.size());
+  for (const auto& dep : deps_) {
+    n += dep.WireSize();
+  }
+  return n;
 }
 
 Result<Lineage> Lineage::Deserialize(std::string_view data) {
@@ -55,13 +114,32 @@ Result<Lineage> Lineage::Deserialize(std::string_view data) {
     return count.status();
   }
   Lineage lineage(*id);
+  // Every serialized dependency is >= 3 bytes, which bounds a trustworthy
+  // reserve even when `count` is adversarial garbage.
+  lineage.deps_.reserve(std::min<uint64_t>(*count, d.Remaining() / 3 + 1));
+  bool canonical = true;
   for (uint64_t i = 0; i < *count; ++i) {
     auto dep = WriteId::DeserializeFrom(d);
     if (!dep.ok()) {
       return dep.status();
     }
-    lineage.Append(std::move(*dep));
+    // Trusted fast path: our own Serialize emits deps sorted by ⟨store, key⟩
+    // with one version per pair, so an in-order wire can be appended directly
+    // instead of re-running the O(log n) compaction probe per element.
+    if (canonical &&
+        (lineage.deps_.empty() || StoreKeyLess(lineage.deps_.back(), *dep))) {
+      lineage.deps_.push_back(std::move(*dep));
+    } else {
+      canonical = false;
+      lineage.Append(std::move(*dep));
+    }
   }
+#ifndef NDEBUG
+  if (!canonical) {
+    LOG_WARNING << "Lineage::Deserialize: wire not in canonical order (foreign encoder?); "
+                   "fell back to compacting inserts";
+  }
+#endif
   return lineage;
 }
 

@@ -6,12 +6,16 @@
 // The dependency set is deliberately small: it is truncated when a lineage
 // ends (`stop`, or simply the end of the request) and only crosses lineage
 // boundaries through an explicit `transfer` (§5.1).
+//
+// Representation: a flat vector kept sorted by ⟨store, key, version⟩ with at
+// most one entry per ⟨store, key⟩. Lineages stay under ~200 bytes (paper
+// §7.4), so a contiguous vector beats a node-based set on every hot path —
+// append, transfer, serialize — by avoiding per-element allocations.
 
 #ifndef SRC_ANTIPODE_LINEAGE_H_
 #define SRC_ANTIPODE_LINEAGE_H_
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -36,15 +40,16 @@ class Lineage {
   // one — keeping only the highest version per key is lossless for barrier
   // and keeps lineages small on linchpin objects that are written repeatedly.
   void Append(WriteId dep);
-  void Remove(const WriteId& dep) { deps_.erase(dep); }
+  void Remove(const WriteId& dep);
   // Folds `other`'s dependencies into this lineage (with the same per-key
   // compaction), explicitly establishing cross-lineage transitivity.
   void Transfer(const Lineage& other);
 
-  bool Contains(const WriteId& dep) const { return deps_.count(dep) > 0; }
+  bool Contains(const WriteId& dep) const;
   bool Empty() const { return deps_.empty(); }
   size_t Size() const { return deps_.size(); }
-  const std::set<WriteId>& deps() const { return deps_; }
+  // Sorted by ⟨store, key, version⟩; dependencies of one store are contiguous.
+  const std::vector<WriteId>& deps() const { return deps_; }
 
   // Dependencies belonging to one datastore (what a shim's `wait` enforces).
   std::vector<WriteId> DepsForStore(const std::string& store) const;
@@ -55,13 +60,14 @@ class Lineage {
   // reports (≤200 B in DeathStarBench, ≈200 B average on Alibaba graphs).
   std::string Serialize() const;
   static Result<Lineage> Deserialize(std::string_view data);
-  size_t WireSize() const { return Serialize().size(); }
+  // Computed arithmetically; always equals Serialize().size().
+  size_t WireSize() const;
 
   std::string ToString() const;
 
  private:
   uint64_t id_ = 0;
-  std::set<WriteId> deps_;
+  std::vector<WriteId> deps_;
 };
 
 }  // namespace antipode

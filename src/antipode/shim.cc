@@ -3,24 +3,34 @@
 namespace antipode {
 
 Status Shim::WaitLineage(Region region, const Lineage& lineage, Duration timeout) {
-  const TimePoint deadline = timeout == Duration::max()
-                                 ? TimePoint::max()
-                                 : SystemClock::Instance().Now() + timeout;
+  const TimePoint deadline = DeadlineAfter(timeout);
   for (const auto& dep : lineage.DepsForStore(store_name())) {
-    Duration remaining = Duration::max();
-    if (deadline != TimePoint::max()) {
-      const TimePoint now = SystemClock::Instance().Now();
-      if (now >= deadline) {
-        return Status::DeadlineExceeded("lineage wait: " + dep.ToString());
-      }
-      remaining = std::chrono::duration_cast<Duration>(deadline - now);
+    if (deadline != TimePoint::max() && RemainingBudget(deadline) == Duration::zero()) {
+      return Status::DeadlineExceeded("lineage wait: " + dep.ToString());
     }
-    Status status = Wait(region, dep, remaining);
+    Status status = Wait(region, dep, RemainingBudget(deadline));
     if (!status.ok()) {
       return status;
     }
   }
   return Status::Ok();
+}
+
+ThreadPool& Shim::BlockingWaitPool() {
+  static auto* pool = new ThreadPool(16, "shim-wait");
+  return *pool;
+}
+
+void Shim::WaitAsync(Region region, const WriteId& id, TimePoint deadline, WaitCallback done) {
+  // Compatibility adapter: park the blocking Wait on the shared pool. The
+  // remaining budget is derived from the caller's single shared deadline.
+  auto done_ptr = std::make_shared<WaitCallback>(std::move(done));
+  const bool submitted = BlockingWaitPool().Submit([this, region, id, deadline, done_ptr] {
+    (*done_ptr)(Wait(region, id, RemainingBudget(deadline)));
+  });
+  if (!submitted) {
+    (*done_ptr)(Status::Unavailable("shim wait pool shut down"));
+  }
 }
 
 ShimRegistry& ShimRegistry::Default() {

@@ -7,6 +7,7 @@
 #ifndef SRC_ANTIPODE_SHIM_H_
 #define SRC_ANTIPODE_SHIM_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include "src/antipode/lineage.h"
 #include "src/common/clock.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/net/region.h"
 
 namespace antipode {
@@ -33,6 +35,21 @@ class Shim {
   // watermark; DynamoDB's shim uses strongly consistent reads (§6.4).
   virtual Status Wait(Region region, const WriteId& id, Duration timeout) = 0;
 
+  // Invoked exactly once with the outcome of an asynchronous wait.
+  using WaitCallback = std::function<void(Status)>;
+
+  // Asynchronous `wait`: `done` fires once `id` is visible at `region` (Ok)
+  // or once `deadline` passes (DeadlineExceeded) — whichever comes first.
+  // Parallel barriers fan one WaitAsync per dependency and gather, so every
+  // dependency shares the same deadline instead of a dwindling per-dep budget.
+  //
+  // The default adapter runs the blocking Wait on a small shared thread pool,
+  // so out-of-tree shims that only implement Wait keep working; shims whose
+  // store exposes an event-driven watermark should override this to avoid
+  // parking a thread per dependency.
+  virtual void WaitAsync(Region region, const WriteId& id, TimePoint deadline,
+                         WaitCallback done);
+
   // Non-blocking visibility probe (used by barrier's dry-run mode).
   virtual bool IsVisible(Region region, const WriteId& id) = 0;
 
@@ -40,6 +57,11 @@ class Shim {
   // datastore. Deadline-based so the timeout bounds the whole set.
   Status WaitLineage(Region region, const Lineage& lineage,
                      Duration timeout = Duration::max());
+
+ protected:
+  // Shared executor for blocking-wait adapters (default WaitAsync, polling
+  // shims). Lazily constructed, intentionally leaked at process exit.
+  static ThreadPool& BlockingWaitPool();
 };
 
 // Maps datastore names to shims so barrier can resolve the write identifiers

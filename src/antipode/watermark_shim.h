@@ -20,6 +20,13 @@ class WatermarkShim : public Shim {
     return store_->WaitVisible(region, id.key, id.version, timeout);
   }
 
+  // Event-driven: rides the store's per-key waiter registry instead of
+  // parking a pool thread, so a barrier can have thousands outstanding.
+  void WaitAsync(Region region, const WriteId& id, TimePoint deadline,
+                 WaitCallback done) override {
+    store_->WaitVisibleAsync(region, id.key, id.version, deadline, std::move(done));
+  }
+
   bool IsVisible(Region region, const WriteId& id) override {
     return store_->IsVisible(region, id.key, id.version);
   }

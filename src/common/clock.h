@@ -57,6 +57,26 @@ class SystemClock final : public Clock {
   }
 };
 
+// Deadline arithmetic shared by every wait path. Duration::max() is the
+// "no timeout" sentinel and maps to TimePoint::max(); computing the deadline
+// once and passing it to every wait in a batch is what gives a barrier a
+// single shared budget instead of per-dependency budgets.
+inline TimePoint DeadlineAfter(Duration timeout) {
+  return timeout == Duration::max() ? TimePoint::max()
+                                    : SystemClock::Instance().Now() + timeout;
+}
+
+inline Duration RemainingBudget(TimePoint deadline) {
+  if (deadline == TimePoint::max()) {
+    return Duration::max();
+  }
+  const TimePoint now = SystemClock::Instance().Now();
+  if (now >= deadline) {
+    return Duration::zero();
+  }
+  return std::chrono::duration_cast<Duration>(deadline - now);
+}
+
 inline int64_t ToMicros(Duration d) { return d.count(); }
 inline double ToMillis(Duration d) { return static_cast<double>(d.count()) / 1000.0; }
 inline Duration Micros(int64_t us) { return Duration(us); }

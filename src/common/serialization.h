@@ -14,6 +14,17 @@
 
 namespace antipode {
 
+// Number of bytes WriteVarint emits for `v` — lets callers size wire formats
+// arithmetically without materializing a serialization.
+inline size_t VarintWireSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 class Serializer {
  public:
   void WriteUint8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }

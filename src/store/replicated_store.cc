@@ -7,65 +7,189 @@
 
 namespace antipode {
 
+ReplicaTable::Shard& ReplicaTable::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+std::shared_ptr<ReplicaTable::Waiter> ReplicaTable::RegisterWaiter(const std::string& key,
+                                                                   uint64_t version,
+                                                                   VisibilityCallback&& cb) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end() && it->second.version >= version) {
+    return nullptr;  // already visible — caller completes synchronously, cb stays with caller
+  }
+  auto waiter = std::make_shared<Waiter>();
+  waiter->version = version;
+  waiter->cb = std::move(cb);
+  auto& list = shard.waiters[key];
+  // Lazily drop abandoned waiters (timed-out syncs, expired asyncs) so a key
+  // that is waited on but never written cannot accumulate zombies unboundedly.
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [](const std::shared_ptr<Waiter>& w) {
+                              return w->fired.load(std::memory_order_acquire);
+                            }),
+             list.end());
+  list.push_back(waiter);
+  resident_waiters_->fetch_add(1, std::memory_order_relaxed);
+  return waiter;
+}
+
 void ReplicaTable::Apply(const StoredEntry& entry) {
+  std::vector<std::shared_ptr<Waiter>> due;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(entry.key);
-    if (it != entries_.end() && it->second.version >= entry.version) {
+    Shard& shard = ShardFor(entry.key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(entry.key);
+    if (it != shard.entries.end() && it->second.version >= entry.version) {
       return;  // stale replay
     }
-    entries_[entry.key] = entry;
+    shard.entries[entry.key] = entry;
+    auto wit = shard.waiters.find(entry.key);
+    if (wit != shard.waiters.end()) {
+      auto& list = wit->second;
+      auto keep = list.begin();
+      for (auto& waiter : list) {
+        if (waiter->fired.load(std::memory_order_acquire)) {
+          continue;  // abandoned; drop it
+        }
+        if (entry.version >= waiter->version &&
+            !waiter->fired.exchange(true, std::memory_order_acq_rel)) {
+          due.push_back(std::move(waiter));
+          continue;
+        }
+        *keep++ = std::move(waiter);
+      }
+      list.erase(keep, list.end());
+      if (list.empty()) {
+        shard.waiters.erase(wit);
+      }
+    }
   }
-  cv_.notify_all();
+  // Thundering-herd accounting: the old design's table-wide notify_all would
+  // have woken every resident waiter; the registry wakes only `due`.
+  applies_.fetch_add(1, std::memory_order_relaxed);
+  waiters_notified_.fetch_add(due.size(), std::memory_order_relaxed);
+  notify_all_wakeups_.fetch_add(resident_waiters_->load(std::memory_order_relaxed) + due.size(),
+                                std::memory_order_relaxed);
+  resident_waiters_->fetch_sub(due.size(), std::memory_order_relaxed);
+  // Callbacks run outside the shard lock: they may take unrelated locks
+  // (barrier gathers, sync-wait condvars) but must not re-enter this table.
+  for (auto& waiter : due) {
+    waiter->cb(Status::Ok());
+  }
 }
 
 std::optional<StoredEntry> ReplicaTable::Get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
     return std::nullopt;
   }
   return it->second;
 }
 
 uint64_t ReplicaTable::VersionOf(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  return it == entries_.end() ? 0 : it->second.version;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? 0 : it->second.version;
 }
 
 Status ReplicaTable::WaitVersion(const std::string& key, uint64_t version,
                                  TimePoint deadline) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto visible = [&] {
-    auto it = entries_.find(key);
-    return it != entries_.end() && it->second.version >= version;
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::Ok();
   };
+  auto sync = std::make_shared<SyncState>();
+  std::shared_ptr<Waiter> waiter =
+      RegisterWaiter(key, version, [sync](Status status) {
+        {
+          std::lock_guard<std::mutex> lock(sync->mu);
+          sync->status = std::move(status);
+          sync->done = true;
+        }
+        sync->cv.notify_one();
+      });
+  if (waiter == nullptr) {
+    return Status::Ok();  // already visible
+  }
+  std::unique_lock<std::mutex> lock(sync->mu);
   if (deadline == TimePoint::max()) {
-    cv_.wait(lock, visible);
-    return Status::Ok();
+    sync->cv.wait(lock, [&] { return sync->done; });
+    return sync->status;
   }
-  if (cv_.wait_until(lock, deadline, visible)) {
-    return Status::Ok();
+  if (sync->cv.wait_until(lock, deadline, [&] { return sync->done; })) {
+    return sync->status;
   }
-  return Status::DeadlineExceeded("write not visible before deadline: " + key);
+  // Timed out. Claim the waiter so the apply path drops it; losing the claim
+  // means an apply is concurrently delivering success — take that instead.
+  if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
+    resident_waiters_->fetch_sub(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("write not visible before deadline: " + key);
+  }
+  sync->cv.wait(lock, [&] { return sync->done; });
+  return sync->status;
+}
+
+void ReplicaTable::WaitVersionAsync(const std::string& key, uint64_t version, TimePoint deadline,
+                                    TimerService* timers, VisibilityCallback cb) const {
+  std::shared_ptr<Waiter> waiter = RegisterWaiter(key, version, std::move(cb));
+  if (waiter == nullptr) {
+    cb(Status::Ok());  // already visible; RegisterWaiter left cb untouched
+    return;
+  }
+  if (deadline == TimePoint::max() || timers == nullptr) {
+    return;  // unbounded wait: fires only from the apply path
+  }
+  // The timer owns only the waiter and the resident counter (both shared), so
+  // it stays safe even if it outlives this table.
+  auto resident = resident_waiters_;
+  timers->ScheduleAt(deadline, [waiter, resident, key] {
+    if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
+      resident->fetch_sub(1, std::memory_order_relaxed);
+      waiter->cb(Status::DeadlineExceeded("write not visible before deadline: " + key));
+    }
+  });
 }
 
 std::vector<StoredEntry> ReplicaTable::ScanPrefix(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<StoredEntry> out;
-  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) {
-      break;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.lower_bound(prefix); it != shard.entries.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) {
+        break;
+      }
+      out.push_back(it->second);
     }
-    out.push_back(it->second);
   }
+  // Shards partition by hash; restore the global key order scans rely on.
+  std::sort(out.begin(), out.end(),
+            [](const StoredEntry& a, const StoredEntry& b) { return a.key < b.key; });
   return out;
 }
 
 size_t ReplicaTable::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+WakeupStats ReplicaTable::Wakeups() const {
+  WakeupStats stats;
+  stats.applies = applies_.load(std::memory_order_relaxed);
+  stats.waiters_notified = waiters_notified_.load(std::memory_order_relaxed);
+  stats.notify_all_wakeups = notify_all_wakeups_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 namespace {
@@ -150,10 +274,12 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
     timers_->ScheduleAfter(TimeScale::FromModelMillis(lag_millis),
                            [this, destination, entry] {
                              ApplyAt(destination, entry);
-                             {
-                               std::lock_guard<std::mutex> lock(inflight_mu_);
-                               --inflight_applies_;
-                             }
+                             // Notify under the lock: a drainer may destroy the
+                             // store (and this condvar) the moment the count
+                             // reaches zero, so the broadcast must complete
+                             // before the mutex is released.
+                             std::lock_guard<std::mutex> lock(inflight_mu_);
+                             --inflight_applies_;
                              inflight_cv_.notify_all();
                            });
   }
@@ -230,10 +356,26 @@ bool ReplicatedStore::IsVisible(Region region, const std::string& key, uint64_t 
 
 Status ReplicatedStore::WaitVisible(Region region, const std::string& key, uint64_t version,
                                     Duration timeout) const {
-  const TimePoint deadline = timeout == Duration::max()
-                                 ? TimePoint::max()
-                                 : SystemClock::Instance().Now() + timeout;
-  return replica(region).WaitVersion(key, version, deadline);
+  return replica(region).WaitVersion(key, version, DeadlineAfter(timeout));
+}
+
+void ReplicatedStore::WaitVisibleAsync(Region region, const std::string& key, uint64_t version,
+                                       TimePoint deadline, VisibilityCallback cb) const {
+  replica(region).WaitVersionAsync(key, version, deadline, timers_, std::move(cb));
+}
+
+WakeupStats ReplicatedStore::TotalWakeups() const {
+  WakeupStats total;
+  for (const auto& table : replicas_) {
+    if (table == nullptr) {
+      continue;
+    }
+    const WakeupStats stats = table->Wakeups();
+    total.applies += stats.applies;
+    total.waiters_notified += stats.waiters_notified;
+    total.notify_all_wakeups += stats.notify_all_wakeups;
+  }
+  return total;
 }
 
 }  // namespace antipode

@@ -6,13 +6,19 @@
 // `ReplicationProfile` and the apply is scheduled on the shared TimerService.
 // Versions are monotonically increasing per key (the versioned key-object
 // model the paper assumes, §6.1), so "is ⟨key, version⟩ visible at region r"
-// is a single watermark comparison and `WaitVisible` is a condvar wait —
-// exactly what a shim's `wait` needs.
+// is a single watermark comparison.
+//
+// Waiting is event-driven and per-key: each `ReplicaTable` is lock-striped
+// into shards, and every shard keeps a registry of waiters keyed by the key
+// they are blocked on. An apply wakes exactly the waiters of the key that
+// changed — never the whole table — and `WaitVisibleAsync` lets a barrier
+// fan waits out across many stores without parking a thread per dependency.
 
 #ifndef SRC_STORE_REPLICATED_STORE_H_
 #define SRC_STORE_REPLICATED_STORE_H_
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <map>
@@ -20,6 +26,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -39,10 +46,24 @@ struct StoredEntry {
   TimePoint write_time{};  // when the write hit the origin
 };
 
-// One region's copy of the data. Thread-safe.
+// Invoked exactly once per registered wait: Ok when the watched version
+// became visible, DeadlineExceeded when the deadline fired first.
+using VisibilityCallback = std::function<void(Status)>;
+
+// Wakeup accounting for the apply path (thundering-herd diagnostics).
+struct WakeupStats {
+  uint64_t applies = 0;            // applies that stored a new version
+  uint64_t waiters_notified = 0;   // waiters actually woken (key matched)
+  uint64_t notify_all_wakeups = 0; // what a table-wide notify_all would have
+                                   // woken: waiters resident at apply time
+};
+
+// One region's copy of the data. Thread-safe; lock-striped by key so hot keys
+// in one shard never serialize readers/writers of another.
 class ReplicaTable {
  public:
-  // Applies an entry if it is newer than what the replica holds.
+  // Applies an entry if it is newer than what the replica holds, then fires
+  // (outside the shard lock) the callbacks of waiters the entry satisfies.
   void Apply(const StoredEntry& entry);
 
   std::optional<StoredEntry> Get(const std::string& key) const;
@@ -50,18 +71,62 @@ class ReplicaTable {
   // Highest version of `key` applied here (0 when absent).
   uint64_t VersionOf(const std::string& key) const;
 
-  // Blocks until VersionOf(key) >= version or the deadline passes.
+  // Blocks until VersionOf(key) >= version or the deadline passes. Built on
+  // the waiter registry: the thread is woken only by applies of `key`.
   Status WaitVersion(const std::string& key, uint64_t version, TimePoint deadline) const;
 
-  // All entries whose key starts with `prefix` (used by SQL scans).
+  // Event-driven wait: invokes `cb` exactly once — synchronously when the
+  // version is already visible, from the apply path when it becomes visible,
+  // or from a timer (scheduled on `timers`) when the deadline fires first.
+  // No polling, no spurious wakeups. The callback must be short (it may run
+  // on the timer dispatcher thread) and must not re-enter this table.
+  // Waiters must not outlive the table: callers drain their waits (visibility
+  // or deadline) before the owning store is destroyed.
+  void WaitVersionAsync(const std::string& key, uint64_t version, TimePoint deadline,
+                        TimerService* timers, VisibilityCallback cb) const;
+
+  // All entries whose key starts with `prefix`, sorted by key (SQL scans).
   std::vector<StoredEntry> ScanPrefix(const std::string& prefix) const;
 
   size_t Size() const;
 
+  WakeupStats Wakeups() const;
+  // Waiters currently blocked (sync + async) across all shards.
+  uint64_t ResidentWaiters() const { return resident_waiters_->load(std::memory_order_relaxed); }
+
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::map<std::string, StoredEntry> entries_;
+  struct Waiter {
+    uint64_t version = 0;
+    // First claimer (apply, deadline timer, or timed-out sync waiter) wins;
+    // only the winner may invoke `cb` or abandon the waiter.
+    std::atomic<bool> fired{false};
+    VisibilityCallback cb;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, StoredEntry> entries;
+    std::unordered_map<std::string, std::vector<std::shared_ptr<Waiter>>> waiters;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(const std::string& key) const;
+  // Registers a waiter for ⟨key, version⟩ unless already visible; returns
+  // nullptr in the visible case and leaves `cb` unconsumed (the visibility
+  // check and the registration share the shard lock, so an apply can never
+  // slip between them).
+  std::shared_ptr<Waiter> RegisterWaiter(const std::string& key, uint64_t version,
+                                         VisibilityCallback&& cb) const;
+
+  mutable std::array<Shard, kNumShards> shards_;
+
+  // Shared (not a raw member) so deadline timers can decrement it safely even
+  // if they fire after the table is gone.
+  std::shared_ptr<std::atomic<uint64_t>> resident_waiters_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  mutable std::atomic<uint64_t> applies_{0};
+  mutable std::atomic<uint64_t> waiters_notified_{0};
+  mutable std::atomic<uint64_t> notify_all_wakeups_{0};
 };
 
 struct ReplicatedStoreOptions {
@@ -106,12 +171,23 @@ class ReplicatedStore {
   Status WaitVisible(Region region, const std::string& key, uint64_t version,
                      Duration timeout = Duration::max()) const;
 
+  // Event-driven variant: `cb` fires exactly once, from the apply path when
+  // the write becomes visible (immediately if it already is) or with
+  // DeadlineExceeded when `deadline` passes first. Callers must not destroy
+  // the store while waits are outstanding — barriers bound every wait with a
+  // deadline or complete it via DrainReplication before teardown.
+  void WaitVisibleAsync(Region region, const std::string& key, uint64_t version,
+                        TimePoint deadline, VisibilityCallback cb) const;
+
   const std::string& name() const { return options_.name; }
   const std::vector<Region>& regions() const { return options_.regions; }
   StoreMetrics& metrics() { return metrics_; }
   const StoreMetrics& metrics() const { return metrics_; }
   size_t per_write_overhead_bytes() const { return options_.per_write_overhead_bytes; }
   void set_per_write_overhead_bytes(size_t bytes) { options_.per_write_overhead_bytes = bytes; }
+
+  // Apply-path wakeup accounting summed over the regional replicas.
+  WakeupStats TotalWakeups() const;
 
   // Hook invoked (on the timer thread) every time an entry becomes visible at
   // a region — including the synchronous local apply. Queue/pub-sub layers

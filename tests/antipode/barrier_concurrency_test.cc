@@ -1,0 +1,302 @@
+// Concurrency stress for the parallel barrier path: writers and barrier
+// threads racing across several stores, Pause/Resume races, timeout versus
+// visibility races on the waiter registry's fired-claim protocol, and
+// BarrierAsync cancellation by deadline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/antipode/antipode.h"
+#include "src/common/random.h"
+#include "src/common/thread_pool.h"
+#include "src/context/request_context.h"
+#include "src/store/kv_store.h"
+
+namespace antipode {
+namespace {
+
+const std::vector<Region> kRegions = {Region::kUs, Region::kEu};
+
+class BarrierConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.005); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+struct Fixture {
+  std::vector<std::unique_ptr<KvStore>> stores;
+  std::vector<std::unique_ptr<KvShim>> shims;
+  ShimRegistry registry;
+
+  explicit Fixture(int num_stores, double base_median = 20.0) {
+    for (int i = 0; i < num_stores; ++i) {
+      auto options = KvStore::DefaultOptions("bct" + std::to_string(i), kRegions);
+      options.replication.median_millis = base_median * (1 + i);
+      options.replication.sigma = 0.4;
+      stores.push_back(std::make_unique<KvStore>(std::move(options)));
+      shims.push_back(std::make_unique<KvShim>(stores.back().get()));
+      registry.Register(shims.back().get());
+    }
+  }
+};
+
+// Many writer threads and barrier threads hammering four stores at once; each
+// barrier spans a write in every store, so every barrier exercises the
+// concurrent fan-out and per-key waiter registration.
+TEST_F(BarrierConcurrencyTest, WritersAndBarriersAcrossStores) {
+  Fixture fx(4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        RequestContext context;
+        ScopedContext scoped(std::move(context));
+        LineageApi::Root();
+        const std::string key =
+            "k" + std::to_string(t) + "-" + std::to_string(rng.NextBelow(8));
+        for (auto& shim : fx.shims) {
+          shim->WriteCtx(Region::kUs, key, "v" + std::to_string(i));
+        }
+        Status status = BarrierCtx(Region::kEu, BarrierOptions{.registry = &fx.registry});
+        if (!status.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (auto& shim : fx.shims) {
+          if (!shim->Read(Region::kEu, key).value.has_value()) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Pause/Resume racing with barriers: a paused replica makes waits hang until
+// Resume releases the backlog; no barrier may conclude while its dependency
+// is still invisible, and all must conclude after Resume.
+TEST_F(BarrierConcurrencyTest, PauseResumeRaces) {
+  Fixture fx(3, 5.0);
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    Rng rng(99);
+    while (!stop.load()) {
+      auto& store = *fx.stores[rng.NextBelow(fx.stores.size())];
+      store.PauseReplication(Region::kEu);
+      SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(5.0));
+      store.ResumeReplication(Region::kEu);
+      SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(5.0));
+    }
+  });
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        RequestContext context;
+        ScopedContext scoped(std::move(context));
+        LineageApi::Root();
+        const std::string key = "p" + std::to_string(t) + "-" + std::to_string(i);
+        for (auto& shim : fx.shims) {
+          shim->WriteCtx(Region::kUs, key, "v");
+        }
+        if (!BarrierCtx(Region::kEu, BarrierOptions{.registry = &fx.registry}).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (auto& shim : fx.shims) {
+          if (!shim->Read(Region::kEu, key).value.has_value()) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  stop = true;
+  toggler.join();
+  for (auto& store : fx.stores) {
+    store->ResumeReplication(Region::kEu);
+    store->DrainReplication();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Timeout racing visibility: barriers run with a deadline near the median
+// replication lag, so the waiter's deadline timer and the apply path race to
+// claim the waiter. Either outcome is legal — Ok with the write visible, or
+// DeadlineExceeded — but never a wrong success or a hang.
+TEST_F(BarrierConcurrencyTest, TimeoutVersusVisibilityRaces) {
+  Fixture fx(3, 10.0);
+  std::atomic<int> ok_count{0};
+  std::atomic<int> timeout_count{0};
+  std::atomic<int> wrong{0};
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 30; ++i) {
+        RequestContext context;
+        ScopedContext scoped(std::move(context));
+        LineageApi::Root();
+        const std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+        for (auto& shim : fx.shims) {
+          shim->WriteCtx(Region::kUs, key, "v");
+        }
+        Status status = BarrierCtx(
+            Region::kEu, BarrierOptions{.timeout = TimeScale::FromModelMillis(20.0),
+                                        .registry = &fx.registry});
+        if (status.ok()) {
+          ok_count.fetch_add(1);
+          // Success must mean genuinely visible everywhere.
+          for (auto& shim : fx.shims) {
+            if (!shim->Read(Region::kEu, key).value.has_value()) {
+              wrong.fetch_add(1);
+            }
+          }
+        } else if (status.code() == StatusCode::kDeadlineExceeded) {
+          timeout_count.fetch_add(1);
+        } else {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (auto& store : fx.stores) {
+    store->DrainReplication();
+  }
+  EXPECT_EQ(wrong.load(), 0);
+  // The deadline sits inside the lag distribution, so both outcomes occur.
+  EXPECT_GT(ok_count.load() + timeout_count.load(), 0);
+}
+
+// BarrierAsync with a deadline that cannot be met (replication paused): the
+// callback must still fire — cancelled by the deadline — and firing must be
+// exactly once even when Resume floods applies right as deadlines expire.
+TEST_F(BarrierConcurrencyTest, AsyncCancellationByDeadline) {
+  Fixture fx(3, 5.0);
+  for (auto& store : fx.stores) {
+    store->PauseReplication(Region::kEu);
+  }
+  ThreadPool executor(4, "barrier-cb");
+
+  constexpr int kBarriers = 40;
+  std::mutex mu;
+  std::condition_variable cv;
+  int completed = 0;
+  std::vector<std::atomic<int>> fire_counts(kBarriers);
+  std::vector<Status> results(kBarriers);
+
+  for (int b = 0; b < kBarriers; ++b) {
+    Lineage lineage(static_cast<uint64_t>(b) + 1);
+    {
+      RequestContext context;
+      ScopedContext scoped(std::move(context));
+      LineageApi::Root();
+      for (auto& shim : fx.shims) {
+        shim->WriteCtx(Region::kUs, "a" + std::to_string(b), "v");
+      }
+      lineage = *LineageApi::Current();
+    }
+    BarrierAsync(
+        std::move(lineage), Region::kEu, &executor,
+        [&, b](Status status) {
+          fire_counts[static_cast<size_t>(b)].fetch_add(1);
+          std::lock_guard<std::mutex> lock(mu);
+          results[static_cast<size_t>(b)] = std::move(status);
+          ++completed;
+          cv.notify_one();
+        },
+        BarrierOptions{.timeout = TimeScale::FromModelMillis(15.0), .registry = &fx.registry});
+  }
+  // Resume mid-flight so applies race the expiring deadline timers.
+  SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(10.0));
+  for (auto& store : fx.stores) {
+    store->ResumeReplication(Region::kEu);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30), [&] { return completed == kBarriers; }));
+  }
+  for (auto& store : fx.stores) {
+    store->DrainReplication();
+  }
+  int timeouts = 0;
+  for (int b = 0; b < kBarriers; ++b) {
+    EXPECT_EQ(fire_counts[static_cast<size_t>(b)].load(), 1) << b;
+    const Status& status = results[static_cast<size_t>(b)];
+    EXPECT_TRUE(status.ok() || status.code() == StatusCode::kDeadlineExceeded)
+        << status.ToString();
+    if (!status.ok()) {
+      ++timeouts;
+    }
+  }
+  // With replication paused past most deadlines, at least some must cancel.
+  EXPECT_GT(timeouts, 0);
+}
+
+// The whole point of the registry rework: applies wake only waiters of the
+// written key, not every waiter in the store.
+TEST_F(BarrierConcurrencyTest, AppliesWakeOnlyMatchingWaiters) {
+  auto options = KvStore::DefaultOptions("bct-wake", kRegions);
+  options.replication.median_millis = 40.0;
+  options.replication.sigma = 0.1;
+  KvStore store(std::move(options));
+  KvShim shim(&store);
+
+  // Park many waiters on a key that will never be written.
+  constexpr int kParked = 32;
+  std::atomic<int> parked_fired{0};
+  for (int i = 0; i < kParked; ++i) {
+    store.WaitVisibleAsync(Region::kEu, "cold", 1,
+                           SystemClock::Instance().Now() + std::chrono::seconds(20),
+                           [&](Status) { parked_fired.fetch_add(1); });
+  }
+  // Write a burst of hot keys and barrier on them.
+  Lineage lineage(1);
+  for (int i = 0; i < 50; ++i) {
+    lineage = shim.Write(Region::kUs, "hot" + std::to_string(i), "v", std::move(lineage));
+  }
+  ShimRegistry registry;
+  registry.Register(&shim);
+  ASSERT_TRUE(Barrier(lineage, Region::kEu, BarrierOptions{.registry = &registry}).ok());
+  store.DrainReplication();
+
+  const WakeupStats stats = store.TotalWakeups();
+  ASSERT_GT(stats.applies, 0u);
+  // Per-key notification: each apply woke at most the waiters of its own key,
+  // so the average is O(1) even with 32 cold waiters parked. The legacy
+  // notify_all figure counts every resident waiter per apply.
+  EXPECT_LT(stats.waiters_notified, stats.applies * 2);
+  EXPECT_GT(stats.notify_all_wakeups, stats.waiters_notified);
+  EXPECT_EQ(parked_fired.load(), 0);
+  // Release the parked waiters so their callbacks can't outlive the test.
+  store.Set(Region::kUs, "cold", "v");
+  store.DrainReplication();
+  while (parked_fired.load() < kParked) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+}  // namespace antipode
