@@ -97,7 +97,7 @@ Outcome RunPlacement(Placement placement, int requests) {
       BarrierCtx(Region::kUs, BarrierOptions{.registry = &registry});
     }
     const bool found =
-        post_shim.SelectByPkCtx(Region::kUs, "posts", Value(post_id)).has_value();
+        post_shim.SelectByPkCtx(Region::kUs, "posts", Value(post_id)).ok();
     read_latency.Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
         SystemClock::Instance().Now() - read_begin)));
     if (!found) {

@@ -70,7 +70,7 @@ Outcome Run(Mode mode, int requests) {
     }
     reader_wait.Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
         SystemClock::Instance().Now() - begin)));
-    const bool found = post_shim.Read(Region::kUs, "post-" + message.payload).value.has_value();
+    const bool found = post_shim.Read(Region::kUs, "post-" + message.payload).ok();
     if (!found) {
       violations.fetch_add(1);
     }

@@ -34,6 +34,16 @@ class BenchArgs {
     return static_cast<int>(GetDouble(name, fallback));
   }
 
+  std::string GetString(const char* name, const std::string& fallback = "") const {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::string(argv_[i] + prefix.size());
+      }
+    }
+    return fallback;
+  }
+
   // Applies --scale and announces the configuration.
   void SetupTimeScale(double default_scale = 0.02) const {
     const double scale = GetDouble("scale", default_scale);

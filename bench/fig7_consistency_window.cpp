@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/post_notification/post_notification.h"
+#include "src/obs/metrics.h"
 
 using namespace antipode;
 
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   BenchArgs args(argc, argv);
   args.SetupTimeScale();
   const int requests = args.GetInt("requests", 200);
+  const bool dump_metrics = args.GetInt("metrics", 0) != 0;
+  MetricsRegistry::Default().SnapshotAndReset();  // drop warm-up residue
 
   const std::vector<PostStorageKind> storages = {
       PostStorageKind::kMysql, PostStorageKind::kDynamo, PostStorageKind::kRedis,
@@ -46,6 +49,19 @@ int main(int argc, char** argv) {
                 std::string(PostStorageName(storage)).c_str(), windows[0].Percentile(0.5),
                 windows[0].Mean(), windows[0].Percentile(0.99), windows[1].Percentile(0.5),
                 windows[1].Mean(), windows[1].Percentile(0.99));
+    // Per-storage metrics window (barrier stall = what Antipode paid to close
+    // the inconsistency), drained so the next storage starts from zero.
+    const MetricsSnapshot window = MetricsRegistry::Default().SnapshotAndReset();
+    const Histogram stall = window.HistogramTotal("barrier.stall_model_ms");
+    std::printf("# metrics %s: barrier.calls=%llu barrier_stall_model_ms{p50=%.0f p99=%.0f} "
+                "store.writes=%llu\n",
+                std::string(PostStorageName(storage)).c_str(),
+                static_cast<unsigned long long>(window.CounterTotal("barrier.calls")),
+                stall.Percentile(0.5), stall.Percentile(0.99),
+                static_cast<unsigned long long>(window.CounterTotal("store.writes")));
+    if (dump_metrics) {
+      std::printf("%s\n", window.ToString().c_str());
+    }
     std::fflush(stdout);
   }
   return 0;

@@ -10,6 +10,8 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/social_network/social_network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 using namespace antipode;
 
@@ -17,6 +19,16 @@ int main(int argc, char** argv) {
   BenchArgs args(argc, argv);
   args.SetupTimeScale(0.1);
   const double duration = args.GetDouble("duration", 2.5);
+
+  // --trace-out=<path>: collect spans for the whole sweep and export them as
+  // a Chrome trace (chrome://tracing, ui.perfetto.dev), or JSONL when the
+  // path ends in ".jsonl". --trace-sample=N traces one request in N.
+  const std::string trace_out = args.GetString("trace-out");
+  if (!trace_out.empty()) {
+    Tracer::Default().Enable(static_cast<uint64_t>(args.GetInt("trace-sample", 8)));
+  }
+  const bool dump_metrics = args.GetInt("metrics", 0) != 0;
+  MetricsRegistry::Default().SnapshotAndReset();  // drop warm-up residue
 
   const std::vector<double> loads = {50, 75, 100, 125, 150, 175};
   const std::vector<std::pair<Region, const char*>> pairs = {{Region::kEu, "US->EU"},
@@ -63,8 +75,35 @@ int main(int argc, char** argv) {
 
     std::printf("\n# §7.3 %s: violation rate original=%.2f%% antipode=%.2f%%\n", pair_name,
                 100.0 * peak_results[0].ViolationRate(), 100.0 * peak_results[1].ViolationRate());
-    std::printf("# §7.4 %s: max lineage metadata = %.0f bytes\n\n", pair_name,
+    std::printf("# §7.4 %s: max lineage metadata = %.0f bytes\n", pair_name,
                 peak_results[1].max_lineage_bytes);
+
+    // One metrics window per replication pair, drained so the next pair
+    // starts from zero.
+    const MetricsSnapshot window = MetricsRegistry::Default().SnapshotAndReset();
+    const Histogram stall = window.HistogramTotal("barrier.stall_model_ms");
+    std::printf("# metrics %s: rpc.calls=%llu barrier.calls=%llu barrier.errors=%llu "
+                "barrier_stall_model_ms{p50=%.1f p99=%.1f}\n\n",
+                pair_name, static_cast<unsigned long long>(window.CounterTotal("rpc.calls")),
+                static_cast<unsigned long long>(window.CounterTotal("barrier.calls")),
+                static_cast<unsigned long long>(window.CounterTotal("barrier.errors")),
+                stall.Percentile(0.5), stall.Percentile(0.99));
+    if (dump_metrics) {
+      std::printf("%s\n", window.ToString().c_str());
+    }
+  }
+
+  if (!trace_out.empty()) {
+    const bool jsonl = trace_out.size() > 6 &&
+                       trace_out.compare(trace_out.size() - 6, 6, ".jsonl") == 0;
+    const Status status = jsonl ? Tracer::Default().ExportJsonl(trace_out)
+                                : Tracer::Default().ExportChromeTrace(trace_out);
+    if (status.ok()) {
+      std::printf("# trace: wrote %zu spans to %s (%s)\n", Tracer::Default().NumEvents(),
+                  trace_out.c_str(), jsonl ? "jsonl" : "chrome trace-event json");
+    } else {
+      std::printf("# trace: export failed: %s\n", status.ToString().c_str());
+    }
   }
   return 0;
 }

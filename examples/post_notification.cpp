@@ -68,7 +68,7 @@ struct Deployment {
                                    BarrierOptions{.registry = &registry});
                            auto row = post_shim.SelectByPkCtx(Region::kEu, "posts",
                                                               Value(message.payload));
-                           if (row.has_value()) {
+                           if (row.ok()) {
                              delivered.fetch_add(1);
                            } else {
                              missing.fetch_add(1);

@@ -47,8 +47,7 @@ bool RunOnce(bool use_antipode) {
                            Barrier(message.lineage, Region::kEu,
                                    BarrierOptions{.registry = &registry});
                          }
-                         post_found = post_shim.Read(Region::kEu, message.payload)
-                                          .value.has_value();
+                         post_found = post_shim.Read(Region::kEu, message.payload).ok();
                          done = true;
                        });
 

@@ -38,13 +38,14 @@ int main() {
     alice.AbsorbCtx();  // the session now depends on this write
   }
 
-  // Request 2 (EU, moments later): Alice opens her profile page.
-  const bool stale_without_guard =
-      shim.Read(Region::kEu, "profile:alice").value.value_or("<none>") != "bio v2";
+  // Request 2 (EU, moments later): Alice opens her profile page. A shim read
+  // returns Result<ReadResult>: NotFound while the write has not replicated.
+  auto before_guard = shim.Read(Region::kEu, "profile:alice");
+  const bool stale_without_guard = !before_guard.ok() || before_guard->value != "bio v2";
 
   alice.GuardRead(Region::kEu, BarrierOptions{.registry = &registry});
-  const std::string after_guard =
-      shim.Read(Region::kEu, "profile:alice").value.value_or("<none>");
+  auto guarded = shim.Read(Region::kEu, "profile:alice");
+  const std::string after_guard = guarded.ok() ? guarded->value : "<none>";
 
   std::printf("immediately after failover: EU read was %s\n",
               stale_without_guard ? "STALE (read-your-writes violated)" : "fresh");

@@ -1,10 +1,14 @@
 #include "src/antipode/barrier.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "src/antipode/lineage_api.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace antipode {
 namespace {
@@ -40,6 +44,130 @@ class WaitGather {
   std::function<void(Status)> done_;
 };
 
+// Per-barrier trace bookkeeping shared by the per-dependency wait callbacks
+// (which run on apply/timer threads) and the completion wrapper. Tracks which
+// dependency stalled the longest — the barrier's critical path.
+struct BarrierTraceState {
+  uint64_t trace_id = 0;
+  uint64_t barrier_span_id = 0;
+  uint64_t parent_span_id = 0;
+  TimePoint start{};
+  Region region = Region::kLocal;
+
+  std::mutex mu;
+  double max_stall_ms = -1.0;
+  std::string critical_store;
+  std::string critical_key;
+
+  void Observe(double stall_ms, const WriteId& dep) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (stall_ms > max_stall_ms) {
+      max_stall_ms = stall_ms;
+      critical_store = dep.store;
+      critical_key = dep.key;
+    }
+  }
+};
+
+// Opens trace state for one barrier invocation when tracing is on and the
+// caller's request is part of a sampled trace; nullptr otherwise (the common,
+// free case). Barrier spans are assembled manually because their waits start
+// and finish on different threads.
+std::shared_ptr<BarrierTraceState> MaybeStartBarrierTrace(Region region) {
+  Tracer& tracer = Tracer::Default();
+  if (!tracer.enabled()) {
+    return nullptr;
+  }
+  const SpanContext parent = CurrentSpanContext();
+  if (!parent.valid()) {
+    return nullptr;
+  }
+  auto trace = std::make_shared<BarrierTraceState>();
+  trace->trace_id = parent.trace_id;
+  trace->barrier_span_id = tracer.NextSpanId();
+  trace->parent_span_id = parent.span_id;
+  trace->start = SystemClock::Instance().Now();
+  trace->region = region;
+  return trace;
+}
+
+// Emits the "antipode/barrier" parent span once the fan-out has gathered,
+// annotated with the dependency count, outcome, and critical path.
+void FinishBarrierTrace(const BarrierTraceState& trace, size_t num_deps, const char* mode,
+                        const Status& status) {
+  TraceEvent event;
+  event.name = "antipode/barrier";
+  event.category = "barrier";
+  event.trace_id = trace.trace_id;
+  event.span_id = trace.barrier_span_id;
+  event.parent_span_id = trace.parent_span_id;
+  event.region = trace.region;
+  event.start = trace.start;
+  event.end = SystemClock::Instance().Now();
+  event.annotations.emplace_back("deps", std::to_string(num_deps));
+  event.annotations.emplace_back("mode", mode);
+  event.annotations.emplace_back("status", std::string(StatusCodeName(status.code())));
+  if (trace.max_stall_ms >= 0.0) {
+    event.annotations.emplace_back("critical_path_store", trace.critical_store);
+    event.annotations.emplace_back("critical_path_key", trace.critical_key);
+    event.annotations.emplace_back("critical_stall_model_ms",
+                                   std::to_string(trace.max_stall_ms));
+  }
+  Tracer::Default().Record(std::move(event));
+}
+
+// Emits one "barrier/wait" child span for a finished dependency wait.
+void RecordWaitSpan(const BarrierTraceState& trace, const WriteId& dep, Region region,
+                    TimePoint end, double stall_ms, const Status& status) {
+  TraceEvent event;
+  event.name = "barrier/wait";
+  event.category = "barrier";
+  event.trace_id = trace.trace_id;
+  event.span_id = Tracer::Default().NextSpanId();
+  event.parent_span_id = trace.barrier_span_id;
+  event.region = region;
+  event.start = trace.start;
+  event.end = end;
+  event.annotations.emplace_back("store", dep.store);
+  event.annotations.emplace_back("key", dep.key);
+  event.annotations.emplace_back("version", std::to_string(dep.version));
+  event.annotations.emplace_back("stall_model_ms", std::to_string(stall_ms));
+  event.annotations.emplace_back("status", std::string(StatusCodeName(status.code())));
+  Tracer::Default().Record(std::move(event));
+}
+
+// Barrier throughput/latency metrics, cached per region so the per-call cost
+// after warm-up is two relaxed increments and one histogram record (racing
+// initializers store identical registry pointers, atomically for TSan).
+struct BarrierInstruments {
+  std::atomic<Counter*> calls{nullptr};
+  std::atomic<Counter*> errors{nullptr};
+  std::atomic<HistogramMetric*> stall{nullptr};
+};
+
+void CountBarrier(Region region, const Status& status, double stall_model_ms) {
+  static BarrierInstruments per_region[kNumRegions];
+  BarrierInstruments& slot = per_region[RegionIndex(region)];
+  Counter* calls = slot.calls.load(std::memory_order_acquire);
+  Counter* errors = slot.errors.load(std::memory_order_acquire);
+  HistogramMetric* stall = slot.stall.load(std::memory_order_acquire);
+  if (calls == nullptr) {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    const std::string region_name(RegionName(region));
+    calls = registry.GetCounter("barrier.calls", {{"region", region_name}});
+    errors = registry.GetCounter("barrier.errors", {{"region", region_name}});
+    stall = registry.GetHistogram("barrier.stall_model_ms", {{"region", region_name}});
+    slot.calls.store(calls, std::memory_order_release);
+    slot.errors.store(errors, std::memory_order_release);
+    slot.stall.store(stall, std::memory_order_release);
+  }
+  calls->Increment();
+  if (!status.ok()) {
+    errors->Increment();
+  }
+  stall->Record(stall_model_ms);
+}
+
 // Fans one shim WaitAsync per ⟨region, dependency⟩, all sharing `deadline`.
 // Returns non-Ok (and never calls `done`) only for the fail-fast path —
 // a dependency on an unregistered store under strict resolution. Otherwise
@@ -66,16 +194,46 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
     }
   }
 
+  const Region primary = regions.empty() ? Region::kLocal : regions.front();
+  const TimePoint start = SystemClock::Instance().Now();
+  std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(primary);
+
+  const size_t num_deps = plan.size();
+  auto finish = [primary, start, num_deps, trace, done = std::move(done)](Status status) {
+    if (trace != nullptr) {
+      FinishBarrierTrace(*trace, num_deps, "parallel", status);
+    }
+    CountBarrier(primary, status,
+                 TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
+                     SystemClock::Instance().Now() - start)));
+    done(status);
+  };
+
   const size_t waits = plan.size() * regions.size();
   if (waits == 0) {
-    done(Status::Ok());
+    finish(Status::Ok());
     return Status::Ok();
   }
-  auto gather = std::make_shared<WaitGather>(waits, std::move(done));
+  auto gather = std::make_shared<WaitGather>(waits, std::move(finish));
   for (Region region : regions) {
     for (const auto& [wait_shim, dep] : plan) {
-      wait_shim->WaitAsync(region, *dep, deadline,
-                           [gather](Status status) { gather->Complete(status); });
+      if (trace != nullptr) {
+        // Traced waits copy their WriteId: the callback may outlive the
+        // lineage (BarrierAsync) and needs it to label the wait span.
+        wait_shim->WaitAsync(region, *dep, deadline,
+                             [gather, trace, region, dep = *dep](Status status) {
+                               const TimePoint end = SystemClock::Instance().Now();
+                               const double stall_ms =
+                                   TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
+                                       end - trace->start));
+                               trace->Observe(stall_ms, dep);
+                               RecordWaitSpan(*trace, dep, region, end, stall_ms, status);
+                               gather->Complete(status);
+                             });
+      } else {
+        wait_shim->WaitAsync(region, *dep, deadline,
+                             [gather](Status status) { gather->Complete(status); });
+      }
     }
   }
   return Status::Ok();
@@ -111,30 +269,71 @@ Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& region
 // the single shared deadline: each wait gets the budget remaining until it.
 Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadline,
                          const BarrierOptions& options) {
+  const TimePoint start = SystemClock::Instance().Now();
+  std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(region);
+  Status result = Status::Ok();
   for (const auto& dep : lineage.deps()) {
     Shim* shim = options.registry->Lookup(dep.store);
     if (shim == nullptr) {
       if (options.ignore_unknown_stores) {
         continue;
       }
-      return Status::FailedPrecondition("no shim registered for store: " + dep.store);
+      result = Status::FailedPrecondition("no shim registered for store: " + dep.store);
+      break;
     }
     const Duration budget = RemainingBudget(deadline);
     if (deadline != TimePoint::max() && budget == Duration::zero()) {
-      return Status::DeadlineExceeded("barrier deadline before " + dep.ToString());
+      result = Status::DeadlineExceeded("barrier deadline before " + dep.ToString());
+      break;
     }
+    const TimePoint wait_start = SystemClock::Instance().Now();
     Status status = shim->Wait(region, dep, budget);
+    if (trace != nullptr) {
+      const TimePoint end = SystemClock::Instance().Now();
+      const double stall_ms =
+          TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(end - wait_start));
+      trace->Observe(stall_ms, dep);
+      RecordWaitSpan(*trace, dep, region, end, stall_ms, status);
+    }
     if (!status.ok()) {
-      return status;
+      result = status;
+      break;
     }
   }
-  return Status::Ok();
+  if (trace != nullptr) {
+    FinishBarrierTrace(*trace, lineage.Size(), "sequential", result);
+  }
+  CountBarrier(region, result,
+               TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
+                   SystemClock::Instance().Now() - start)));
+  return result;
+}
+
+// Non-blocking dry-run folded into the standard barrier entry points: maps
+// the structured BarrierDryRunResult onto the Status vocabulary.
+Status DryRunStatus(const Lineage& lineage, Region region, const BarrierOptions& options) {
+  const BarrierDryRunResult result = BarrierDryRun(lineage, region, options.registry);
+  if (!result.unresolved.empty() && !options.ignore_unknown_stores) {
+    return Status::FailedPrecondition("no shim registered for store: " +
+                                      result.unresolved.front().store);
+  }
+  if (result.unmet.empty()) {
+    return Status::Ok();
+  }
+  std::string detail = "barrier dry-run: unmet dependencies:";
+  for (const auto& dep : result.unmet) {
+    detail += " " + dep.ToString();
+  }
+  return Status::FailedPrecondition(std::move(detail));
 }
 
 }  // namespace
 
 Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& options) {
-  const TimePoint deadline = DeadlineAfter(options.timeout);
+  if (options.dry_run) {
+    return DryRunStatus(lineage, region, options);
+  }
+  const TimePoint deadline = options.EffectiveDeadline();
   if (options.wait_mode == BarrierWaitMode::kSequential) {
     return BarrierSequential(lineage, region, deadline, options);
   }
@@ -151,7 +350,16 @@ Status BarrierCtx(Region region, const BarrierOptions& options) {
 
 Status BarrierGlobal(const Lineage& lineage, const std::vector<Region>& regions,
                      const BarrierOptions& options) {
-  const TimePoint deadline = DeadlineAfter(options.timeout);
+  if (options.dry_run) {
+    for (Region region : regions) {
+      Status status = DryRunStatus(lineage, region, options);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return Status::Ok();
+  }
+  const TimePoint deadline = options.EffectiveDeadline();
   if (options.wait_mode == BarrierWaitMode::kSequential) {
     for (Region region : regions) {
       Status status = BarrierSequential(lineage, region, deadline, options);
@@ -166,7 +374,14 @@ Status BarrierGlobal(const Lineage& lineage, const std::vector<Region>& regions,
 
 void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
                   std::function<void(Status)> done, const BarrierOptions& options) {
-  const TimePoint deadline = DeadlineAfter(options.timeout);
+  if (options.dry_run) {
+    Status status = DryRunStatus(lineage, region, options);
+    if (!executor->Submit([done, status] { done(status); })) {
+      done(status);
+    }
+    return;
+  }
+  const TimePoint deadline = options.EffectiveDeadline();
   if (options.wait_mode == BarrierWaitMode::kSequential) {
     executor->Submit([lineage = std::move(lineage), region, deadline, done = std::move(done),
                       options] { done(BarrierSequential(lineage, region, deadline, options)); });

@@ -39,12 +39,28 @@ enum class BarrierWaitMode {
 };
 
 struct BarrierOptions {
+  // Relative budget for the whole barrier (every dependency shares it).
   Duration timeout = Duration::max();
+  // Absolute budget; preferred when several waits must share one deadline
+  // computed once by the caller. When both are set the earlier bound wins.
+  TimePoint deadline = TimePoint::max();
   ShimRegistry* registry = &ShimRegistry::Default();
   // Dependencies on datastores without a registered shim: skip them (true,
   // the incremental-deployment default) or fail the barrier (false).
   bool ignore_unknown_stores = true;
   BarrierWaitMode wait_mode = BarrierWaitMode::kParallel;
+  // Inspect instead of enforce: return immediately with Ok when every
+  // dependency is already visible, FailedPrecondition (listing the unmet
+  // dependencies) otherwise. Never blocks. `BarrierDryRun` is the richer
+  // structured form of the same probe.
+  bool dry_run = false;
+
+  // The single absolute bound every wait in the barrier shares: the earlier
+  // of `deadline` and now + `timeout`.
+  TimePoint EffectiveDeadline() const {
+    const TimePoint from_timeout = DeadlineAfter(timeout);
+    return deadline < from_timeout ? deadline : from_timeout;
+  }
 };
 
 // Blocks until all of `lineage`'s dependencies are visible at `region`.

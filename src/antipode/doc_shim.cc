@@ -12,18 +12,18 @@ Lineage DocShim::InsertDoc(Region region, const std::string& collection, const s
   return lineage;
 }
 
-DocShim::ReadResult DocShim::FindById(Region region, const std::string& collection,
-                                      const std::string& id) const {
-  ReadResult out;
+Result<DocShim::ReadResult> DocShim::FindById(Region region, const std::string& collection,
+                                              const std::string& id) const {
   const std::string key = DocStore::DocKey(collection, id);
   auto entry = docs_->Get(region, key);
   if (!entry.has_value() || entry->bytes.empty()) {
-    return out;
+    return Status::NotFound("doc read miss: " + key);
   }
   auto doc = Document::Deserialize(entry->bytes);
   if (!doc.ok()) {
-    return out;
+    return doc.status();
   }
+  ReadResult out;
   auto lineage_field = doc->Get(kLineageField);
   if (lineage_field.has_value() && lineage_field->is_string()) {
     auto lineage = Lineage::Deserialize(lineage_field->as_string());
@@ -37,19 +37,21 @@ DocShim::ReadResult DocShim::FindById(Region region, const std::string& collecti
   return out;
 }
 
-void DocShim::InsertDocCtx(Region region, const std::string& collection, const std::string& id,
-                           Document doc) {
+Status DocShim::InsertDocCtx(Region region, const std::string& collection, const std::string& id,
+                             Document doc) {
   Lineage lineage = LineageApi::Current().value_or(Lineage());
   LineageApi::Install(InsertDoc(region, collection, id, std::move(doc), std::move(lineage)));
+  return Status::Ok();
 }
 
-std::optional<Document> DocShim::FindByIdCtx(Region region, const std::string& collection,
-                                             const std::string& id) const {
-  ReadResult result = FindById(region, collection, id);
-  if (result.doc.has_value()) {
-    LineageApi::Transfer(result.lineage);
+Result<Document> DocShim::FindByIdCtx(Region region, const std::string& collection,
+                                      const std::string& id) const {
+  auto result = FindById(region, collection, id);
+  if (!result.ok()) {
+    return result.status();
   }
-  return std::move(result.doc);
+  LineageApi::Transfer(result->lineage);
+  return std::move(result->doc);
 }
 
 }  // namespace antipode

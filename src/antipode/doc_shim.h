@@ -3,7 +3,6 @@
 #ifndef SRC_ANTIPODE_DOC_SHIM_H_
 #define SRC_ANTIPODE_DOC_SHIM_H_
 
-#include <optional>
 #include <string>
 
 #include "src/antipode/lineage_api.h"
@@ -17,18 +16,21 @@ class DocShim : public WatermarkShim {
   explicit DocShim(DocStore* store) : WatermarkShim(store), docs_(store) {}
 
   struct ReadResult {
-    std::optional<Document> doc;  // lineage field stripped
+    Document doc;  // lineage field stripped
     Lineage lineage;
   };
 
   Lineage InsertDoc(Region region, const std::string& collection, const std::string& id,
                     Document doc, Lineage lineage);
-  ReadResult FindById(Region region, const std::string& collection, const std::string& id) const;
+  // NotFound when the document is absent at `region`; InvalidArgument when
+  // the stored bytes do not decode as a document.
+  Result<ReadResult> FindById(Region region, const std::string& collection,
+                              const std::string& id) const;
 
-  void InsertDocCtx(Region region, const std::string& collection, const std::string& id,
-                    Document doc);
-  std::optional<Document> FindByIdCtx(Region region, const std::string& collection,
-                                      const std::string& id) const;
+  Status InsertDocCtx(Region region, const std::string& collection, const std::string& id,
+                      Document doc);
+  Result<Document> FindByIdCtx(Region region, const std::string& collection,
+                               const std::string& id) const;
 
  private:
   DocStore* docs_;

@@ -71,16 +71,16 @@ Result<Lineage> DynamoShim::PutItem(Region region, const std::string& table,
   return lineage;
 }
 
-DynamoShim::ReadResult DynamoShim::DecodeEntry(const std::optional<StoredEntry>& entry,
-                                               const std::string& key) const {
-  ReadResult out;
+Result<DynamoShim::ReadResult> DynamoShim::DecodeEntry(const std::optional<StoredEntry>& entry,
+                                                       const std::string& key) const {
   if (!entry.has_value() || entry->bytes.empty()) {
-    return out;
+    return Status::NotFound("dynamo read miss: " + key);
   }
   auto doc = Document::Deserialize(entry->bytes);
   if (!doc.ok()) {
-    return out;
+    return doc.status();
   }
+  ReadResult out;
   auto lineage_field = doc->Get(kLineageField);
   if (lineage_field.has_value() && lineage_field->is_string()) {
     auto lineage = Lineage::Deserialize(lineage_field->as_string());
@@ -94,14 +94,15 @@ DynamoShim::ReadResult DynamoShim::DecodeEntry(const std::optional<StoredEntry>&
   return out;
 }
 
-DynamoShim::ReadResult DynamoShim::GetItem(Region region, const std::string& table,
-                                           const std::string& key) const {
+Result<DynamoShim::ReadResult> DynamoShim::GetItem(Region region, const std::string& table,
+                                                   const std::string& key) const {
   const std::string item_key = DynamoStore::ItemKey(table, key);
   return DecodeEntry(dynamo_->Get(region, item_key), item_key);
 }
 
-DynamoShim::ReadResult DynamoShim::GetItemConsistent(Region region, const std::string& table,
-                                                     const std::string& key) const {
+Result<DynamoShim::ReadResult> DynamoShim::GetItemConsistent(Region region,
+                                                             const std::string& table,
+                                                             const std::string& key) const {
   const std::string item_key = DynamoStore::ItemKey(table, key);
   return DecodeEntry(dynamo_->StrongGet(region, item_key), item_key);
 }
@@ -117,22 +118,24 @@ Status DynamoShim::PutItemCtx(Region region, const std::string& table, const std
   return Status::Ok();
 }
 
-std::optional<Document> DynamoShim::GetItemCtx(Region region, const std::string& table,
-                                               const std::string& key) const {
-  ReadResult result = GetItem(region, table, key);
-  if (result.item.has_value()) {
-    LineageApi::Transfer(result.lineage);
+Result<Document> DynamoShim::GetItemCtx(Region region, const std::string& table,
+                                        const std::string& key) const {
+  auto result = GetItem(region, table, key);
+  if (!result.ok()) {
+    return result.status();
   }
-  return std::move(result.item);
+  LineageApi::Transfer(result->lineage);
+  return std::move(result->item);
 }
 
-std::optional<Document> DynamoShim::GetItemConsistentCtx(Region region, const std::string& table,
-                                                         const std::string& key) const {
-  ReadResult result = GetItemConsistent(region, table, key);
-  if (result.item.has_value()) {
-    LineageApi::Transfer(result.lineage);
+Result<Document> DynamoShim::GetItemConsistentCtx(Region region, const std::string& table,
+                                                  const std::string& key) const {
+  auto result = GetItemConsistent(region, table, key);
+  if (!result.ok()) {
+    return result.status();
   }
-  return std::move(result.item);
+  LineageApi::Transfer(result->lineage);
+  return std::move(result->item);
 }
 
 }  // namespace antipode

@@ -33,22 +33,25 @@ class DynamoShim : public Shim {
   bool IsVisible(Region region, const WriteId& id) override;
 
   struct ReadResult {
-    std::optional<Document> item;  // lineage field stripped
+    Document item;  // lineage field stripped
     Lineage lineage;
   };
 
   Result<Lineage> PutItem(Region region, const std::string& table, const std::string& key,
                           Document item, Lineage lineage);
-  ReadResult GetItem(Region region, const std::string& table, const std::string& key) const;
-  ReadResult GetItemConsistent(Region region, const std::string& table,
-                               const std::string& key) const;
+  // NotFound when the item is absent; InvalidArgument when the stored bytes
+  // do not decode as a document.
+  Result<ReadResult> GetItem(Region region, const std::string& table,
+                             const std::string& key) const;
+  Result<ReadResult> GetItemConsistent(Region region, const std::string& table,
+                                       const std::string& key) const;
 
   Status PutItemCtx(Region region, const std::string& table, const std::string& key,
                     Document item);
-  std::optional<Document> GetItemCtx(Region region, const std::string& table,
-                                     const std::string& key) const;
-  std::optional<Document> GetItemConsistentCtx(Region region, const std::string& table,
-                                               const std::string& key) const;
+  Result<Document> GetItemCtx(Region region, const std::string& table,
+                              const std::string& key) const;
+  Result<Document> GetItemConsistentCtx(Region region, const std::string& table,
+                                        const std::string& key) const;
 
  private:
   struct ProbeState {
@@ -60,7 +63,8 @@ class DynamoShim : public Shim {
   // One strong-read probe; completes or re-arms itself via the timer service.
   void ProbeLoop(const std::shared_ptr<ProbeState>& state);
 
-  ReadResult DecodeEntry(const std::optional<StoredEntry>& entry, const std::string& key) const;
+  Result<ReadResult> DecodeEntry(const std::optional<StoredEntry>& entry,
+                                 const std::string& key) const;
 
   DynamoStore* dynamo_;
 };

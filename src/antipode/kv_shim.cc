@@ -11,12 +11,12 @@ Lineage KvShim::Write(Region region, const std::string& key, std::string_view va
   return lineage;
 }
 
-KvShim::ReadResult KvShim::Read(Region region, const std::string& key) const {
-  ReadResult out;
+Result<KvShim::ReadResult> KvShim::Read(Region region, const std::string& key) const {
   auto entry = kv_->Get(region, key);
   if (!entry.has_value() || entry->bytes.empty()) {
-    return out;
+    return Status::NotFound("kv read miss: " + key);
   }
+  ReadResult out;
   FramedValue framed = UnframeValue(entry->bytes);
   out.value = std::move(framed.value);
   out.lineage = std::move(framed.lineage);
@@ -24,17 +24,19 @@ KvShim::ReadResult KvShim::Read(Region region, const std::string& key) const {
   return out;
 }
 
-void KvShim::WriteCtx(Region region, const std::string& key, std::string_view value) {
+Status KvShim::WriteCtx(Region region, const std::string& key, std::string_view value) {
   Lineage lineage = LineageApi::Current().value_or(Lineage());
   LineageApi::Install(Write(region, key, value, std::move(lineage)));
+  return Status::Ok();
 }
 
-std::optional<std::string> KvShim::ReadCtx(Region region, const std::string& key) const {
-  ReadResult result = Read(region, key);
-  if (result.value.has_value()) {
-    LineageApi::Transfer(result.lineage);
+Result<std::string> KvShim::ReadCtx(Region region, const std::string& key) const {
+  auto result = Read(region, key);
+  if (!result.ok()) {
+    return result.status();
   }
-  return std::move(result.value);
+  LineageApi::Transfer(result->lineage);
+  return std::move(result->value);
 }
 
 }  // namespace antipode

@@ -4,7 +4,6 @@
 #ifndef SRC_ANTIPODE_KV_SHIM_H_
 #define SRC_ANTIPODE_KV_SHIM_H_
 
-#include <optional>
 #include <string>
 
 #include "src/antipode/lineage_api.h"
@@ -18,7 +17,7 @@ class KvShim : public WatermarkShim {
   explicit KvShim(KvStore* store) : WatermarkShim(store), kv_(store) {}
 
   struct ReadResult {
-    std::optional<std::string> value;
+    std::string value;
     Lineage lineage;  // ℒ(writer) including the write's own identifier
   };
 
@@ -26,14 +25,14 @@ class KvShim : public WatermarkShim {
   // new write identifier.
   Lineage Write(Region region, const std::string& key, std::string_view value, Lineage lineage);
 
-  // ⟨v, ℒ⟩ ← read(k).
-  ReadResult Read(Region region, const std::string& key) const;
+  // ⟨v, ℒ⟩ ← read(k). NotFound when the key is absent at `region`.
+  Result<ReadResult> Read(Region region, const std::string& key) const;
 
   // Context-bound variants: Write uses and updates the current request
   // lineage; Read transfers the writer's lineage into the current context
   // (the reads-from-lineage rule of §4.2).
-  void WriteCtx(Region region, const std::string& key, std::string_view value);
-  std::optional<std::string> ReadCtx(Region region, const std::string& key) const;
+  Status WriteCtx(Region region, const std::string& key, std::string_view value);
+  Result<std::string> ReadCtx(Region region, const std::string& key) const;
 
  private:
   KvStore* kv_;

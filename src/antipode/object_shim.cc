@@ -11,14 +11,14 @@ Lineage ObjectShim::PutObject(Region region, const std::string& bucket, const st
   return lineage;
 }
 
-ObjectShim::ReadResult ObjectShim::GetObject(Region region, const std::string& bucket,
-                                             const std::string& key) const {
-  ReadResult out;
+Result<ObjectShim::ReadResult> ObjectShim::GetObject(Region region, const std::string& bucket,
+                                                     const std::string& key) const {
   const std::string object_key = ObjectStore::ObjectKey(bucket, key);
   auto entry = objects_->Get(region, object_key);
   if (!entry.has_value() || entry->bytes.empty()) {
-    return out;
+    return Status::NotFound("object read miss: " + object_key);
   }
+  ReadResult out;
   FramedValue framed = UnframeValue(entry->bytes);
   out.value = std::move(framed.value);
   out.lineage = std::move(framed.lineage);
@@ -26,19 +26,21 @@ ObjectShim::ReadResult ObjectShim::GetObject(Region region, const std::string& b
   return out;
 }
 
-void ObjectShim::PutObjectCtx(Region region, const std::string& bucket, const std::string& key,
-                              std::string_view value) {
+Status ObjectShim::PutObjectCtx(Region region, const std::string& bucket, const std::string& key,
+                                std::string_view value) {
   Lineage lineage = LineageApi::Current().value_or(Lineage());
   LineageApi::Install(PutObject(region, bucket, key, value, std::move(lineage)));
+  return Status::Ok();
 }
 
-std::optional<std::string> ObjectShim::GetObjectCtx(Region region, const std::string& bucket,
-                                                    const std::string& key) const {
-  ReadResult result = GetObject(region, bucket, key);
-  if (result.value.has_value()) {
-    LineageApi::Transfer(result.lineage);
+Result<std::string> ObjectShim::GetObjectCtx(Region region, const std::string& bucket,
+                                             const std::string& key) const {
+  auto result = GetObject(region, bucket, key);
+  if (!result.ok()) {
+    return result.status();
   }
-  return std::move(result.value);
+  LineageApi::Transfer(result->lineage);
+  return std::move(result->value);
 }
 
 }  // namespace antipode

@@ -3,7 +3,6 @@
 #ifndef SRC_ANTIPODE_OBJECT_SHIM_H_
 #define SRC_ANTIPODE_OBJECT_SHIM_H_
 
-#include <optional>
 #include <string>
 
 #include "src/antipode/lineage_api.h"
@@ -17,18 +16,20 @@ class ObjectShim : public WatermarkShim {
   explicit ObjectShim(ObjectStore* store) : WatermarkShim(store), objects_(store) {}
 
   struct ReadResult {
-    std::optional<std::string> value;
+    std::string value;
     Lineage lineage;
   };
 
   Lineage PutObject(Region region, const std::string& bucket, const std::string& key,
                     std::string_view value, Lineage lineage);
-  ReadResult GetObject(Region region, const std::string& bucket, const std::string& key) const;
+  // NotFound when the object is absent at `region`.
+  Result<ReadResult> GetObject(Region region, const std::string& bucket,
+                               const std::string& key) const;
 
-  void PutObjectCtx(Region region, const std::string& bucket, const std::string& key,
-                    std::string_view value);
-  std::optional<std::string> GetObjectCtx(Region region, const std::string& bucket,
-                                          const std::string& key) const;
+  Status PutObjectCtx(Region region, const std::string& bucket, const std::string& key,
+                      std::string_view value);
+  Result<std::string> GetObjectCtx(Region region, const std::string& bucket,
+                                   const std::string& key) const;
 
  private:
   ObjectStore* objects_;

@@ -2,6 +2,7 @@
 
 #include "src/antipode/framing.h"
 #include "src/context/request_context.h"
+#include "src/obs/trace.h"
 
 namespace antipode {
 
@@ -20,6 +21,11 @@ void DispatchFramedMessage(const std::string& store_name, const BrokerMessage& m
   RequestContext context;
   ScopedContext scoped(std::move(context));
   LineageApi::Install(consumed.lineage);
+  // Join the producer's trace (the span context rode the broker message), so
+  // the consumer's barrier and reads land in the same end-to-end trace.
+  if (message.trace_id != 0 && Tracer::Default().enabled()) {
+    SetCurrentSpanContext(SpanContext{message.trace_id, message.parent_span_id});
+  }
   handler(consumed);
 }
 
@@ -30,9 +36,10 @@ Lineage QueueShim::Publish(Region region, const std::string& queue, std::string_
   return lineage;
 }
 
-void QueueShim::PublishCtx(Region region, const std::string& queue, std::string_view payload) {
+Status QueueShim::PublishCtx(Region region, const std::string& queue, std::string_view payload) {
   Lineage lineage = LineageApi::Current().value_or(Lineage());
   LineageApi::Install(Publish(region, queue, payload, std::move(lineage)));
+  return Status::Ok();
 }
 
 void QueueShim::Subscribe(Region region, const std::string& queue, ThreadPool* executor,
@@ -51,9 +58,10 @@ Lineage PubSubShim::Publish(Region region, const std::string& topic, std::string
   return lineage;
 }
 
-void PubSubShim::PublishCtx(Region region, const std::string& topic, std::string_view payload) {
+Status PubSubShim::PublishCtx(Region region, const std::string& topic, std::string_view payload) {
   Lineage lineage = LineageApi::Current().value_or(Lineage());
   LineageApi::Install(Publish(region, topic, payload, std::move(lineage)));
+  return Status::Ok();
 }
 
 void PubSubShim::Subscribe(Region region, const std::string& topic, ThreadPool* executor,

@@ -35,7 +35,7 @@ class QueueShim : public WatermarkShim {
   // ℒ' ← publish(queue, ⟨payload, ℒ⟩).
   Lineage Publish(Region region, const std::string& queue, std::string_view payload,
                   Lineage lineage);
-  void PublishCtx(Region region, const std::string& queue, std::string_view payload);
+  Status PublishCtx(Region region, const std::string& queue, std::string_view payload);
 
   // Subscribes a consumer whose handler runs under a fresh RequestContext
   // carrying the message's lineage (so barrier/reads inside the handler see
@@ -53,7 +53,7 @@ class PubSubShim : public WatermarkShim {
 
   Lineage Publish(Region region, const std::string& topic, std::string_view payload,
                   Lineage lineage);
-  void PublishCtx(Region region, const std::string& topic, std::string_view payload);
+  Status PublishCtx(Region region, const std::string& topic, std::string_view payload);
 
   void Subscribe(Region region, const std::string& topic, ThreadPool* executor,
                  ShimMessageHandler handler);

@@ -2,8 +2,9 @@
 
 namespace antipode {
 
-Status Shim::WaitLineage(Region region, const Lineage& lineage, Duration timeout) {
-  const TimePoint deadline = DeadlineAfter(timeout);
+Status Shim::WaitLineage(Region region, const Lineage& lineage,
+                         const LineageWaitOptions& options) {
+  const TimePoint deadline = options.EffectiveDeadline();
   for (const auto& dep : lineage.DepsForStore(store_name())) {
     if (deadline != TimePoint::max() && RemainingBudget(deadline) == Duration::zero()) {
       return Status::DeadlineExceeded("lineage wait: " + dep.ToString());
@@ -14,6 +15,10 @@ Status Shim::WaitLineage(Region region, const Lineage& lineage, Duration timeout
     }
   }
   return Status::Ok();
+}
+
+Status Shim::WaitLineage(Region region, const Lineage& lineage, Duration timeout) {
+  return WaitLineage(region, lineage, LineageWaitOptions{.timeout = timeout});
 }
 
 ThreadPool& Shim::BlockingWaitPool() {
@@ -38,9 +43,16 @@ ShimRegistry& ShimRegistry::Default() {
   return *registry;
 }
 
-void ShimRegistry::Register(Shim* shim) {
+Status ShimRegistry::Register(Shim* shim) {
   std::lock_guard<std::mutex> lock(mu_);
-  shims_[shim->store_name()] = shim;
+  auto [it, inserted] = shims_.emplace(shim->store_name(), shim);
+  if (!inserted) {
+    if (!options_.allow_replace) {
+      return Status::AlreadyExists("shim already registered for store: " + shim->store_name());
+    }
+    it->second = shim;
+  }
+  return Status::Ok();
 }
 
 void ShimRegistry::Unregister(const std::string& store_name) {

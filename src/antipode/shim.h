@@ -22,6 +22,19 @@
 
 namespace antipode {
 
+// How long a lineage-wide wait may take. `deadline` is preferred when the
+// caller already computed one shared bound; when both are set the earlier
+// bound wins (same folding rule as BarrierOptions).
+struct LineageWaitOptions {
+  Duration timeout = Duration::max();
+  TimePoint deadline = TimePoint::max();
+
+  TimePoint EffectiveDeadline() const {
+    const TimePoint from_timeout = DeadlineAfter(timeout);
+    return deadline < from_timeout ? deadline : from_timeout;
+  }
+};
+
 class Shim {
  public:
   virtual ~Shim() = default;
@@ -50,13 +63,20 @@ class Shim {
   virtual void WaitAsync(Region region, const WriteId& id, TimePoint deadline,
                          WaitCallback done);
 
-  // Non-blocking visibility probe (used by barrier's dry-run mode).
+  // Non-blocking visibility probe. This is the one documented boolean
+  // surface: barrier's dry-run mode and the consistency checker use it; every
+  // blocking/async wait reports through Status instead.
   virtual bool IsVisible(Region region, const WriteId& id) = 0;
 
   // wait(ℒ): waits for every dependency of `lineage` that belongs to this
-  // datastore. Deadline-based so the timeout bounds the whole set.
+  // datastore. Deadline-based so the bound covers the whole set instead of
+  // handing later dependencies a dwindling budget.
   Status WaitLineage(Region region, const Lineage& lineage,
-                     Duration timeout = Duration::max());
+                     const LineageWaitOptions& options = {});
+
+  // Pre-options form, kept for one release.
+  [[deprecated("pass LineageWaitOptions{.timeout = ...} instead")]]
+  Status WaitLineage(Region region, const Lineage& lineage, Duration timeout);
 
  protected:
   // Shared executor for blocking-wait adapters (default WaitAsync, polling
@@ -64,20 +84,43 @@ class Shim {
   static ThreadPool& BlockingWaitPool();
 };
 
+// ShimRegistry construction knobs (namespace-scope for the same
+// complete-class-context reason as LineageWaitOptions).
+struct ShimRegistryOptions {
+  // Label carried on the registry's metrics ("default" for the process-wide
+  // instance, "test"/"bench" for private ones).
+  std::string name = "default";
+  // Re-registering a store name: replace the shim silently (true, the
+  // historical behaviour — deployments swap shims at startup) or reject with
+  // AlreadyExists (false, catches accidental double registration in tests).
+  bool allow_replace = true;
+};
+
 // Maps datastore names to shims so barrier can resolve the write identifiers
 // in a lineage without end-to-end knowledge of the application.
 class ShimRegistry {
  public:
+  using Options = ShimRegistryOptions;
+
+  ShimRegistry() = default;
+  explicit ShimRegistry(Options options) : options_(std::move(options)) {}
+
   // A process-wide default registry.
   static ShimRegistry& Default();
 
-  void Register(Shim* shim);
+  // Ok on success; AlreadyExists when the name is taken and the registry was
+  // built with `allow_replace = false`. Callers that register at startup may
+  // ignore the result (the default registry always replaces).
+  Status Register(Shim* shim);
   void Unregister(const std::string& store_name);
   Shim* Lookup(const std::string& store_name) const;
   void Clear();
   std::vector<std::string> RegisteredStores() const;
 
+  const Options& options() const { return options_; }
+
  private:
+  Options options_;
   mutable std::mutex mu_;
   std::map<std::string, Shim*> shims_;
 };

@@ -34,18 +34,18 @@ Result<Lineage> SqlShim::Insert(Region region, const std::string& table, Row row
   return lineage;
 }
 
-SqlShim::ReadResult SqlShim::SelectByPk(Region region, const std::string& table,
-                                        const Value& pk) const {
-  ReadResult out;
+Result<SqlShim::ReadResult> SqlShim::SelectByPk(Region region, const std::string& table,
+                                                const Value& pk) const {
   const std::string key = SqlStore::RowKey(table, pk);
   auto entry = sql_->Get(region, key);
   if (!entry.has_value() || entry->bytes.empty()) {
-    return out;
+    return Status::NotFound("sql read miss: " + key);
   }
   auto row = Row::Deserialize(entry->bytes);
   if (!row.ok()) {
-    return out;
+    return row.status();
   }
+  ReadResult out;
   auto lineage_field = row->Get(kLineageField);
   if (lineage_field.has_value() && lineage_field->is_string()) {
     auto lineage = Lineage::Deserialize(lineage_field->as_string());
@@ -69,13 +69,14 @@ Status SqlShim::InsertCtx(Region region, const std::string& table, Row row) {
   return Status::Ok();
 }
 
-std::optional<Row> SqlShim::SelectByPkCtx(Region region, const std::string& table,
-                                          const Value& pk) const {
-  ReadResult result = SelectByPk(region, table, pk);
-  if (result.row.has_value()) {
-    LineageApi::Transfer(result.lineage);
+Result<Row> SqlShim::SelectByPkCtx(Region region, const std::string& table,
+                                   const Value& pk) const {
+  auto result = SelectByPk(region, table, pk);
+  if (!result.ok()) {
+    return result.status();
   }
-  return std::move(result.row);
+  LineageApi::Transfer(result->lineage);
+  return std::move(result->row);
 }
 
 }  // namespace antipode

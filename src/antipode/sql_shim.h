@@ -5,7 +5,6 @@
 #ifndef SRC_ANTIPODE_SQL_SHIM_H_
 #define SRC_ANTIPODE_SQL_SHIM_H_
 
-#include <optional>
 #include <string>
 
 #include "src/antipode/lineage_api.h"
@@ -22,18 +21,19 @@ class SqlShim : public WatermarkShim {
   Status InstrumentTable(const std::string& table, bool with_index = true);
 
   struct ReadResult {
-    std::optional<Row> row;  // lineage column stripped
+    Row row;  // lineage column stripped
     Lineage lineage;
   };
 
   // ℒ' ← insert(table, ⟨row, ℒ⟩).
   Result<Lineage> Insert(Region region, const std::string& table, Row row, Lineage lineage);
 
-  ReadResult SelectByPk(Region region, const std::string& table, const Value& pk) const;
+  // NotFound when no row with `pk` is visible at `region`; InvalidArgument
+  // when the stored bytes do not decode as a row.
+  Result<ReadResult> SelectByPk(Region region, const std::string& table, const Value& pk) const;
 
   Status InsertCtx(Region region, const std::string& table, Row row);
-  std::optional<Row> SelectByPkCtx(Region region, const std::string& table,
-                                   const Value& pk) const;
+  Result<Row> SelectByPkCtx(Region region, const std::string& table, const Value& pk) const;
 
  private:
   SqlStore* sql_;

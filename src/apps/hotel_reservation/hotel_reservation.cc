@@ -39,7 +39,7 @@ HotelReservationResult RunHotelReservation(const HotelReservationConfig& config)
     if (!checker.CheckCtx("confirmation-read", config.region)) {
       result.checker_inconsistent++;
     }
-    if (!shim.FindByIdCtx(config.region, "reservations", id).has_value()) {
+    if (!shim.FindByIdCtx(config.region, "reservations", id).ok()) {
       result.violations++;
     }
   }

@@ -63,7 +63,10 @@ MediaServiceResult RunMediaService(const MediaServiceConfig& config) {
 
     std::optional<Document> review;
     if (antipode) {
-      review = review_shim.FindByIdCtx(render_region, "reviews", *review_id);
+      auto found_review = review_shim.FindByIdCtx(render_region, "reviews", *review_id);
+      if (found_review.ok()) {
+        review = std::move(*found_review);
+      }
     } else {
       review = reviews.FindById(render_region, "reviews", *review_id);
     }
@@ -74,8 +77,7 @@ MediaServiceResult RunMediaService(const MediaServiceConfig& config) {
       bool found = false;
       if (media_key.has_value() && media_key->is_string()) {
         if (antipode) {
-          found = media_shim.GetObjectCtx(render_region, "media", media_key->as_string())
-                      .has_value();
+          found = media_shim.GetObjectCtx(render_region, "media", media_key->as_string()).ok();
         } else {
           found = media.GetObject(render_region, "media", media_key->as_string()).has_value();
         }

@@ -58,7 +58,7 @@ class MysqlPostStorage final : public PostStorageBackend {
 
   bool ReadPost(Region region, const std::string& post_id, bool antipode) override {
     if (antipode) {
-      return shim_.SelectByPkCtx(region, "posts", Value(post_id)).has_value();
+      return shim_.SelectByPkCtx(region, "posts", Value(post_id)).ok();
     }
     return store_.SelectByPk(region, "posts", Value(post_id)).has_value();
   }
@@ -90,7 +90,7 @@ class DynamoPostStorage final : public PostStorageBackend {
     if (antipode) {
       // Post-barrier reads use strongly consistent reads — Dynamo's wait is
       // implemented with them (§6.4), so consistency carries into the read.
-      return shim_.GetItemConsistentCtx(region, "posts", post_id).has_value();
+      return shim_.GetItemConsistentCtx(region, "posts", post_id).ok();
     }
     return store_.GetItem(region, "posts", post_id).has_value();
   }
@@ -119,7 +119,7 @@ class RedisPostStorage final : public PostStorageBackend {
 
   bool ReadPost(Region region, const std::string& post_id, bool antipode) override {
     if (antipode) {
-      return shim_.ReadCtx(region, PostKey(post_id)).has_value();
+      return shim_.ReadCtx(region, PostKey(post_id)).ok();
     }
     return store_.GetValue(region, PostKey(post_id)).has_value();
   }
@@ -150,7 +150,7 @@ class S3PostStorage final : public PostStorageBackend {
 
   bool ReadPost(Region region, const std::string& post_id, bool antipode) override {
     if (antipode) {
-      return shim_.GetObjectCtx(region, "posts", post_id).has_value();
+      return shim_.GetObjectCtx(region, "posts", post_id).ok();
     }
     return store_.GetObject(region, "posts", post_id).has_value();
   }

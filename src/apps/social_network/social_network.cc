@@ -249,7 +249,7 @@ class SocialNetworkApp {
 
     bool found = false;
     if (config_.antipode) {
-      found = post_shim_.FindByIdCtx(config_.remote_region, "posts", task.post_id).has_value();
+      found = post_shim_.FindByIdCtx(config_.remote_region, "posts", task.post_id).ok();
     } else {
       found = posts_.FindById(config_.remote_region, "posts", task.post_id).has_value();
     }

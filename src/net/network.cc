@@ -1,11 +1,39 @@
 #include "src/net/network.h"
 
 #include "src/common/clock.h"
+#include "src/obs/metrics.h"
 
 namespace antipode {
 namespace {
 
 constexpr double kMillisPerMib = 10.0;
+
+// One instrument set per (from, to) pair, resolved lazily and cached so the
+// registry lock is never taken on the per-message path after warm-up.
+// Concurrent initializers resolve the same stable registry pointers, so the
+// racing stores are idempotent (and atomic, for TSan's sake).
+struct LinkMetrics {
+  std::atomic<Counter*> messages{nullptr};
+  std::atomic<Counter*> bytes{nullptr};
+};
+
+void CountMessage(Region from, Region to, size_t payload_bytes) {
+  static LinkMetrics links[kNumRegions][kNumRegions];
+  LinkMetrics& link = links[RegionIndex(from)][RegionIndex(to)];
+  Counter* messages = link.messages.load(std::memory_order_acquire);
+  Counter* bytes = link.bytes.load(std::memory_order_acquire);
+  if (messages == nullptr) {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    const std::string from_name(RegionName(from));
+    const std::string to_name(RegionName(to));
+    bytes = registry.GetCounter("net.bytes", {{"from", from_name}, {"to", to_name}});
+    messages = registry.GetCounter("net.messages", {{"from", from_name}, {"to", to_name}});
+    link.bytes.store(bytes, std::memory_order_release);
+    link.messages.store(messages, std::memory_order_release);
+  }
+  messages->Increment();
+  bytes->Increment(payload_bytes);
+}
 
 }  // namespace
 
@@ -15,6 +43,7 @@ double SimulatedNetwork::PayloadMillis(size_t payload_bytes) {
 
 void SimulatedNetwork::Deliver(Region from, Region to, size_t payload_bytes,
                                std::function<void()> handler) {
+  CountMessage(from, to, payload_bytes);
   const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
   timers_->ScheduleAfter(TimeScale::FromModelMillis(millis), std::move(handler));
 }
@@ -28,6 +57,7 @@ void SimulatedNetwork::SleepRtt(Region from, Region to, size_t request_bytes,
 }
 
 void SimulatedNetwork::SleepOneWay(Region from, Region to, size_t payload_bytes) {
+  CountMessage(from, to, payload_bytes);
   const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
   SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(millis));
 }

@@ -1,0 +1,193 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace antipode {
+namespace {
+
+std::string CanonicalLabels(MetricLabels labels) {
+  std::vector<std::pair<std::string, std::string>> sorted(labels.begin(), labels.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricSample::ToString() const {
+  std::ostringstream os;
+  os << name;
+  if (!labels.empty()) {
+    os << '{' << labels << '}';
+  }
+  switch (kind) {
+    case MetricKind::kCounter:
+      os << " = " << counter_value;
+      break;
+    case MetricKind::kGauge:
+      os << " = " << gauge_value;
+      break;
+    case MetricKind::kHistogram:
+      os << " " << histogram.Summary();
+      break;
+  }
+  return os.str();
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name, std::string_view labels) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && sample.labels == labels) {
+      return &sample;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
+  uint64_t total = 0;
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && sample.kind == MetricKind::kCounter) {
+      total += sample.counter_value;
+    }
+  }
+  return total;
+}
+
+Histogram MetricsSnapshot::HistogramTotal(std::string_view name) const {
+  Histogram total;
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && sample.kind == MetricKind::kHistogram) {
+      total.Merge(sample.histogram);
+    }
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const MetricSample& sample : samples) {
+    out += sample.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: see Tracer
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetOrCreate(std::string_view name,
+                                                          MetricLabels labels, MetricKind kind) {
+  std::string key = std::string(name) + '|' + CanonicalLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    // Same name+labels with a different kind is a programming error; return
+    // the existing instrument of the requested kind or a fresh orphan is
+    // worse — assert via null-safe fallthrough in the typed getters.
+    return &it->second;
+  }
+  Instrument instrument;
+  instrument.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      instrument.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      instrument.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      instrument.histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  return &instruments_.emplace(std::move(key), std::move(instrument)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, MetricLabels labels) {
+  Instrument* instrument = GetOrCreate(name, labels, MetricKind::kCounter);
+  return instrument->counter ? instrument->counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  Instrument* instrument = GetOrCreate(name, labels, MetricKind::kGauge);
+  return instrument->gauge ? instrument->gauge.get() : nullptr;
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(std::string_view name, MetricLabels labels) {
+  Instrument* instrument = GetOrCreate(name, labels, MetricKind::kHistogram);
+  return instrument->histogram ? instrument->histogram.get() : nullptr;
+}
+
+namespace {
+
+MetricSample SampleOf(const std::string& key, MetricKind kind) {
+  MetricSample sample;
+  const size_t bar = key.find('|');
+  sample.name = key.substr(0, bar);
+  sample.labels = bar == std::string::npos ? "" : key.substr(bar + 1);
+  sample.kind = kind;
+  return sample;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.samples.reserve(instruments_.size());
+  for (const auto& [key, instrument] : instruments_) {
+    MetricSample sample = SampleOf(key, instrument.kind);
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        sample.counter_value = instrument.counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge_value = instrument.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        sample.histogram = instrument.histogram->Snapshot();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotAndReset() {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.samples.reserve(instruments_.size());
+  for (auto& [key, instrument] : instruments_) {
+    MetricSample sample = SampleOf(key, instrument.kind);
+    switch (instrument.kind) {
+      case MetricKind::kCounter:
+        sample.counter_value = instrument.counter->Drain();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge_value = instrument.gauge->value();  // gauges are levels, not flows
+        break;
+      case MetricKind::kHistogram:
+        sample.histogram = instrument.histogram->Drain();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+size_t MetricsRegistry::NumInstruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+}  // namespace antipode

@@ -1,0 +1,155 @@
+// Process-wide metrics: counters, gauges, and histograms, labelled by
+// free-form dimensions (store, region, service, …). This is the single
+// observability sink the ISSUE's evaluation harness consumes: stores
+// (`StoreMetrics`), the RPC and network layers, and the barrier all record
+// here, and benches print one `Snapshot()`/`Dump()` instead of ad-hoc
+// per-subsystem counters.
+//
+// Concurrency contract: recording uses relaxed atomics (counters/gauges) or a
+// per-instrument mutex (histograms) and never takes the registry lock, so hot
+// paths stay cheap. `Snapshot()` is a consistent per-instrument read;
+// `SnapshotAndReset()` drains each instrument atomically (counter exchange,
+// histogram swap-under-lock), so concurrent recordings are never lost or
+// double-counted across snapshots — the coherent reset `StoreMetrics::Reset`
+// lacked (its old multi-field `= 0` raced concurrent `RecordWrite`s).
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace antipode {
+
+// Label dimensions, canonicalized to "k1=v1,k2=v2" (sorted by key).
+using MetricLabels = std::initializer_list<std::pair<std::string, std::string>>;
+
+// Monotonic counter. Relaxed increments; Drain() is an atomic exchange so a
+// concurrent Add lands either before the drain or in the next window.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  uint64_t Drain() { return value_.exchange(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value (resident waiters, queue depth, …).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Distribution instrument. Record/Snapshot/Drain share one mutex, so a drain
+// observes every record that happened-before it and none twice.
+class HistogramMetric {
+ public:
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(value);
+  }
+
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+  Histogram Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Histogram out = hist_;
+    hist_.Reset();
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One instrument's state at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string labels;  // canonical "k=v,k=v" form; empty for unlabelled
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  Histogram histogram;
+
+  std::string ToString() const;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  // Lookup by exact name (+ canonical labels); nullptr when absent.
+  const MetricSample* Find(std::string_view name, std::string_view labels = "") const;
+  // Sum of counter values across every labelling of `name`.
+  uint64_t CounterTotal(std::string_view name) const;
+  // Merge of every histogram labelling of `name`.
+  Histogram HistogramTotal(std::string_view name) const;
+
+  std::string ToString() const;
+};
+
+// Owner of all instruments. Instrument pointers are stable for the registry's
+// lifetime — callers look up once and cache (see StoreMetrics).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, MetricLabels labels = {});
+  Gauge* GetGauge(std::string_view name, MetricLabels labels = {});
+  HistogramMetric* GetHistogram(std::string_view name, MetricLabels labels = {});
+
+  // Consistent per-instrument read; instruments keep their values.
+  MetricsSnapshot Snapshot() const;
+  // Atomically drains every instrument into the returned snapshot: values
+  // recorded concurrently appear either here or in the next snapshot, never
+  // both and never nowhere.
+  MetricsSnapshot SnapshotAndReset();
+
+  // Human-readable table of the current snapshot (benches print this).
+  std::string Dump() const { return Snapshot().ToString(); }
+
+  size_t NumInstruments() const;
+
+ private:
+  struct Instrument {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Instrument* GetOrCreate(std::string_view name, MetricLabels labels, MetricKind kind);
+
+  mutable std::mutex mu_;
+  // key = name + '|' + canonical labels
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_OBS_METRICS_H_

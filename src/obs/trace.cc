@@ -1,0 +1,352 @@
+#include "src/obs/trace.h"
+
+#include <charconv>
+#include <fstream>
+#include <thread>
+
+#include "src/context/request_context.h"
+
+namespace antipode {
+namespace {
+
+std::string ToHex(uint64_t value) {
+  char buf[17];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value, 16);
+  return std::string(buf, ptr);
+}
+
+uint64_t FromHex(std::string_view text) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return 0;
+  }
+  return value;
+}
+
+// Minimal JSON string escaping (annotation values are short ASCII-ish
+// identifiers; anything non-printable is escaped numerically).
+void WriteJsonString(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+int64_t MicrosSince(TimePoint epoch, TimePoint t) {
+  if (t < epoch) {
+    return 0;
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(t - epoch).count();
+}
+
+}  // namespace
+
+void InjectSpanContext(Baggage& baggage, const SpanContext& context) {
+  if (!context.valid()) {
+    baggage.Erase(kTraceIdBaggageKey);
+    baggage.Erase(kSpanIdBaggageKey);
+    return;
+  }
+  baggage.Set(kTraceIdBaggageKey, ToHex(context.trace_id));
+  baggage.Set(kSpanIdBaggageKey, ToHex(context.span_id));
+}
+
+SpanContext ExtractSpanContext(const Baggage& baggage) {
+  SpanContext context;
+  auto trace = baggage.Get(kTraceIdBaggageKey);
+  if (!trace.has_value()) {
+    return context;
+  }
+  context.trace_id = FromHex(*trace);
+  auto span = baggage.Get(kSpanIdBaggageKey);
+  if (span.has_value()) {
+    context.span_id = FromHex(*span);
+  }
+  return context;
+}
+
+SpanContext CurrentSpanContext() {
+  RequestContext* current = RequestContext::Current();
+  if (current == nullptr) {
+    return SpanContext{};
+  }
+  return ExtractSpanContext(current->baggage());
+}
+
+void SetCurrentSpanContext(const SpanContext& context) {
+  RequestContext* current = RequestContext::Current();
+  if (current == nullptr) {
+    return;
+  }
+  InjectSpanContext(current->baggage(), context);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives late span flushes
+  return *tracer;
+}
+
+void Tracer::Enable(uint64_t sample_period) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch_ == TimePoint{}) {
+      epoch_ = SystemClock::Instance().Now();
+    }
+  }
+  sample_period_.store(sample_period == 0 ? 1 : sample_period, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+bool Tracer::SampleRoot() {
+  const uint64_t period = sample_period_.load(std::memory_order_relaxed);
+  if (period <= 1) {
+    return true;
+  }
+  return root_counter_.fetch_add(1, std::memory_order_relaxed) % period == 0;
+}
+
+uint64_t Tracer::NextTraceId() {
+  // SplitMix-style scramble of a counter: unique and well-spread without any
+  // global RNG state (ids only need to be distinct, not unpredictable).
+  uint64_t z = next_id_.fetch_add(1, std::memory_order_relaxed) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+uint64_t Tracer::NextSpanId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) {
+    return;  // raced a Disable; drop rather than grow the buffer forever
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  TimePoint epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    epoch = epoch_;
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    const int64_t ts = MicrosSince(epoch, event.start);
+    const int64_t dur = std::max<int64_t>(1, MicrosSince(epoch, event.end) - ts);
+    // pid = 1 (one process); tid = region, so each region renders as its own
+    // track and cross-region flows (write → remote apply) are side by side.
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << RegionIndex(event.region) << ",\"ts\":" << ts
+       << ",\"dur\":" << dur << ",\"name\":";
+    WriteJsonString(os, event.name);
+    os << ",\"cat\":";
+    WriteJsonString(os, event.category.empty() ? "span" : event.category);
+    os << ",\"args\":{\"trace_id\":";
+    WriteJsonString(os, ToHex(event.trace_id));
+    os << ",\"span_id\":";
+    WriteJsonString(os, ToHex(event.span_id));
+    os << ",\"parent_span_id\":";
+    WriteJsonString(os, ToHex(event.parent_span_id));
+    os << ",\"region\":";
+    WriteJsonString(os, RegionName(event.region));
+    for (const auto& [key, value] : event.annotations) {
+      os << ",";
+      WriteJsonString(os, key);
+      os << ":";
+      WriteJsonString(os, value);
+    }
+    os << "}}";
+  }
+  // Name the region tracks.
+  for (int i = 0; i < kNumRegions; ++i) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    WriteJsonString(os, std::string("region ") + std::string(RegionName(Region(i))));
+    os << "}}";
+  }
+  os << "]}\n";
+}
+
+void Tracer::WriteJsonl(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  TimePoint epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    epoch = epoch_;
+  }
+  for (const TraceEvent& event : events) {
+    const int64_t start_us = MicrosSince(epoch, event.start);
+    const int64_t end_us = MicrosSince(epoch, event.end);
+    os << "{\"name\":";
+    WriteJsonString(os, event.name);
+    os << ",\"cat\":";
+    WriteJsonString(os, event.category);
+    os << ",\"trace_id\":";
+    WriteJsonString(os, ToHex(event.trace_id));
+    os << ",\"span_id\":";
+    WriteJsonString(os, ToHex(event.span_id));
+    os << ",\"parent_span_id\":";
+    WriteJsonString(os, ToHex(event.parent_span_id));
+    os << ",\"region\":";
+    WriteJsonString(os, RegionName(event.region));
+    os << ",\"start_model_ms\":" << TimeScale::ToModelMillis(Micros(start_us))
+       << ",\"dur_model_ms\":" << TimeScale::ToModelMillis(Micros(end_us - start_us));
+    for (const auto& [key, value] : event.annotations) {
+      os << ",";
+      WriteJsonString(os, key);
+      os << ":";
+      WriteJsonString(os, value);
+    }
+    os << "}\n";
+  }
+}
+
+Status Tracer::ExportChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Unavailable("cannot open trace output: " + path);
+  }
+  WriteChromeTrace(out);
+  return out.good() ? Status::Ok() : Status::Internal("short write: " + path);
+}
+
+Status Tracer::ExportJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Unavailable("cannot open trace output: " + path);
+  }
+  WriteJsonl(out);
+  return out.good() ? Status::Ok() : Status::Internal("short write: " + path);
+}
+
+Span Span::Start(std::string name, Options options) {
+  Span span;
+  Tracer* tracer = options.tracer;
+  if (!tracer->enabled()) {
+    return span;
+  }
+  SpanContext parent = options.parent.valid() ? options.parent : CurrentSpanContext();
+  if (!parent.valid() && !tracer->SampleRoot()) {
+    return span;
+  }
+  span.recording_ = true;
+  span.tracer_ = tracer;
+  span.context_.trace_id = parent.valid() ? parent.trace_id : tracer->NextTraceId();
+  span.context_.span_id = tracer->NextSpanId();
+  span.event_.name = std::move(name);
+  span.event_.category = std::move(options.category);
+  span.event_.trace_id = span.context_.trace_id;
+  span.event_.span_id = span.context_.span_id;
+  span.event_.parent_span_id = parent.span_id;
+  span.event_.region = options.region;
+  span.event_.start = SystemClock::Instance().Now();
+  // Make this span the current one so nested spans and store writes pick it
+  // up as their parent; End() restores the previous context.
+  if (RequestContext::Current() != nullptr) {
+    span.previous_ = CurrentSpanContext();
+    span.restore_context_ = true;
+    SetCurrentSpanContext(span.context_);
+  }
+  return span;
+}
+
+Span::Span(Span&& other) noexcept
+    : recording_(other.recording_),
+      restore_context_(other.restore_context_),
+      context_(other.context_),
+      previous_(other.previous_),
+      tracer_(other.tracer_),
+      event_(std::move(other.event_)) {
+  other.recording_ = false;
+  other.restore_context_ = false;
+}
+
+Span::~Span() { End(); }
+
+void Span::Annotate(std::string key, std::string value) {
+  if (!recording_) {
+    return;
+  }
+  event_.annotations.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::Annotate(std::string key, uint64_t value) {
+  Annotate(std::move(key), std::to_string(value));
+}
+
+void Span::Annotate(std::string key, double value) {
+  if (!recording_) {
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  event_.annotations.emplace_back(std::move(key), buf);
+}
+
+void Span::End() {
+  if (!recording_) {
+    return;
+  }
+  recording_ = false;
+  event_.end = SystemClock::Instance().Now();
+  if (restore_context_) {
+    SetCurrentSpanContext(previous_);
+    restore_context_ = false;
+  }
+  tracer_->Record(std::move(event_));
+}
+
+}  // namespace antipode

@@ -1,0 +1,174 @@
+// In-process distributed tracing (paper-evaluation substrate): spans with
+// trace/span ids, a region, and typed annotations, collected by a process-wide
+// `Tracer` and exported as Chrome trace-event JSON (chrome://tracing /
+// ui.perfetto.dev) or a JSONL stream the bench harness can post-process.
+//
+// Propagation model: a span context (trace id + span id) rides the
+// `RequestContext` baggage under `kTraceIdBaggageKey`/`kSpanIdBaggageKey`, so
+// it crosses every `RpcClient::Call` hop for free and is stamped onto
+// replication shipments by `ReplicatedStore::Put`. One trace therefore links
+// client RPC → handler → store write → replication apply → barrier wait.
+//
+// Overhead discipline: every entry point first checks `Tracer::enabled()`
+// (one relaxed atomic load) and produces an inert span when tracing is off or
+// the root was not sampled, so instrumented hot paths cost ~a branch when
+// sampling is disabled (bench/micro_barrier guards this).
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/context/baggage.h"
+#include "src/net/region.h"
+
+namespace antipode {
+
+// Baggage keys the span context travels under (hex-encoded uint64s).
+inline constexpr char kTraceIdBaggageKey[] = "obs-trace-id";
+inline constexpr char kSpanIdBaggageKey[] = "obs-span-id";
+
+// Identifies one span within one trace. `trace_id == 0` means "not traced":
+// spans started from an invalid parent context are inert unless they are
+// roots that pass the sampler.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// Injects `context` into `baggage` (removes the keys when invalid).
+void InjectSpanContext(Baggage& baggage, const SpanContext& context);
+// Extracts a span context from `baggage`; invalid when the keys are absent.
+SpanContext ExtractSpanContext(const Baggage& baggage);
+
+// The span context installed on the current thread's RequestContext baggage
+// (invalid when no context is installed or it carries none).
+SpanContext CurrentSpanContext();
+// Writes `context` into the current RequestContext's baggage; no-op without
+// an installed context.
+void SetCurrentSpanContext(const SpanContext& context);
+
+// A finished span as recorded by the Tracer.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  Region region = Region::kLocal;
+  TimePoint start{};
+  TimePoint end{};
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+class Span;
+
+// Process-wide span collector. Disabled (and therefore nearly free) by
+// default; benches enable it behind a --trace-out flag.
+class Tracer {
+ public:
+  static Tracer& Default();
+
+  // Starts collecting. `sample_period` = trace one of every N roots (children
+  // of a sampled trace are always recorded); 1 traces everything.
+  void Enable(uint64_t sample_period = 1);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // True when the next root span should be traced (advances the sampler).
+  bool SampleRoot();
+
+  uint64_t NextTraceId();
+  uint64_t NextSpanId();
+
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> Snapshot() const;
+  size_t NumEvents() const;
+  void Clear();
+
+  // Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...}, ...]}.
+  void WriteChromeTrace(std::ostream& os) const;
+  // One JSON object per line, full fidelity (trace/span/parent ids, region,
+  // model-millisecond timestamps, annotations).
+  void WriteJsonl(std::ostream& os) const;
+
+  Status ExportChromeTrace(const std::string& path) const;
+  Status ExportJsonl(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> sample_period_{1};
+  std::atomic<uint64_t> root_counter_{0};
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  TimePoint epoch_{};  // set on first Enable; timestamps are relative to it
+};
+
+// RAII span. `Span::Start` opens a child of the current request's span
+// context (or a sampled new root when there is none) and installs itself as
+// the current context; destruction (or `End`) restores the previous context
+// and hands the finished event to the tracer. Inert spans (tracing disabled,
+// unsampled root) skip all of that.
+//
+// Spans are thread-affine: start and end one on the same thread. For work
+// whose start and end live on different threads (barrier waits, replication
+// shipments), build a `TraceEvent` directly and `Tracer::Record` it.
+struct SpanOptions {
+  std::string category;
+  Region region = Region::kLocal;
+  // Start as a child of this context instead of the thread's current one
+  // (used when the parent arrives out-of-band, e.g. off a queue frame).
+  SpanContext parent{};
+  Tracer* tracer = &Tracer::Default();
+};
+
+class Span {
+ public:
+  using Options = SpanOptions;
+
+  static Span Start(std::string name, Options options = {});
+
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&&) = delete;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  // False for inert spans; annotations on inert spans are dropped.
+  bool recording() const { return recording_; }
+  SpanContext context() const { return context_; }
+
+  void Annotate(std::string key, std::string value);
+  void Annotate(std::string key, uint64_t value);
+  void Annotate(std::string key, double value);
+
+  // Finishes the span (idempotent; the destructor calls it).
+  void End();
+
+ private:
+  Span() = default;
+
+  bool recording_ = false;
+  bool restore_context_ = false;  // had a RequestContext to scribble on
+  SpanContext context_{};
+  SpanContext previous_{};
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_{};
+};
+
+}  // namespace antipode
+
+#endif  // SRC_OBS_TRACE_H_

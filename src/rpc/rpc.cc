@@ -1,5 +1,8 @@
 #include "src/rpc/rpc.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace antipode {
 
 RpcService::RpcService(std::string name, Region region, size_t num_threads)
@@ -47,6 +50,36 @@ struct HandlerOutcome {
 
 }  // namespace
 
+namespace {
+
+// Runs `handler` under a ScopedContext built from the request, wrapped in a
+// server-side span whose parent rides in the request's baggage. The server
+// span installs itself into the scoped context before the handler runs, so
+// store writes and nested calls inside the handler become its children.
+HandlerOutcome RunHandler(const RpcHandler& handler, const std::string& payload,
+                          const std::string& context_blob, const std::string& service,
+                          const std::string& method, Region region) {
+  HandlerOutcome out;
+  if (context_blob.empty()) {
+    out.result = handler(payload);
+    out.context_blob = RequestContext::SerializeCurrent();
+    return out;
+  }
+  ScopedContext scoped(RequestContext::Deserialize(context_blob));
+  {
+    Span span = Span::Start("rpc/server", {.category = "rpc", .region = region});
+    if (span.recording()) {
+      span.Annotate("service", service);
+      span.Annotate("method", method);
+    }
+    out.result = handler(payload);
+  }
+  out.context_blob = scoped.context().Serialize();
+  return out;
+}
+
+}  // namespace
+
 Result<std::string> RpcClient::Call(const std::string& service, const std::string& method,
                                     const std::string& payload) {
   RpcService* target = registry_->Lookup(service);
@@ -58,6 +91,15 @@ Result<std::string> RpcClient::Call(const std::string& service, const std::strin
     return Status::NotFound("no such method: " + service + "/" + method);
   }
 
+  const TimePoint call_start = SystemClock::Instance().Now();
+  Span span = Span::Start("rpc/call", {.category = "rpc", .region = caller_region_});
+  if (span.recording()) {
+    span.Annotate("service", service);
+    span.Annotate("method", method);
+  }
+
+  // Serialized after the client span is installed, so the callee sees it as
+  // its parent.
   const std::string context_blob = RequestContext::SerializeCurrent();
   const size_t request_bytes = payload.size() + context_blob.size();
 
@@ -66,18 +108,13 @@ Result<std::string> RpcClient::Call(const std::string& service, const std::strin
 
   auto outcome = std::make_shared<std::promise<HandlerOutcome>>();
   auto future = outcome->get_future();
-  const bool submitted = target->executor().Submit([handler, payload, context_blob, outcome] {
-    HandlerOutcome out;
-    if (context_blob.empty()) {
-      out.result = (*handler)(payload);
-      out.context_blob = RequestContext::SerializeCurrent();
-    } else {
-      ScopedContext scoped(RequestContext::Deserialize(context_blob));
-      out.result = (*handler)(payload);
-      out.context_blob = scoped.context().Serialize();
-    }
-    outcome->set_value(std::move(out));
-  });
+  const Region target_region = target->region();
+  const bool submitted =
+      target->executor().Submit([handler, payload, context_blob, outcome, service, method,
+                                 target_region] {
+        outcome->set_value(
+            RunHandler(*handler, payload, context_blob, service, method, target_region));
+      });
   if (!submitted) {
     return Status::Unavailable("service shut down: " + service);
   }
@@ -94,7 +131,21 @@ Result<std::string> RpcClient::Call(const std::string& service, const std::strin
   if (current != nullptr && !out.context_blob.empty()) {
     const RequestContext remote = RequestContext::Deserialize(out.context_blob);
     BaggageMergerRegistry::Instance().MergeInto(*current, remote.baggage());
+    // The handler's span context must not leak back as the caller's current
+    // span (unregistered mergers copy baggage keys wholesale).
+    if (span.recording()) {
+      SetCurrentSpanContext(span.context());
+    }
   }
+
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("rpc.calls", {{"service", service}})->Increment();
+  if (!out.result.ok()) {
+    metrics.GetCounter("rpc.errors", {{"service", service}})->Increment();
+  }
+  metrics.GetHistogram("rpc.latency_model_ms", {{"service", service}})
+      ->Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
+          SystemClock::Instance().Now() - call_start)));
   return out.result;
 }
 
@@ -109,16 +160,14 @@ Status RpcClient::Cast(const std::string& service, const std::string& method,
     return Status::NotFound("no such method: " + service + "/" + method);
   }
   const std::string context_blob = RequestContext::SerializeCurrent();
+  const Region target_region = target->region();
+  MetricsRegistry::Default().GetCounter("rpc.casts", {{"service", service}})->Increment();
   registry_->network()->Deliver(
       caller_region_, target->region(), payload.size() + context_blob.size(),
-      [target, handler, payload, context_blob] {
-        target->executor().Submit([handler, payload, context_blob] {
-          if (context_blob.empty()) {
-            (*handler)(payload);
-          } else {
-            ScopedContext scoped(RequestContext::Deserialize(context_blob));
-            (*handler)(payload);
-          }
+      [target, handler, payload, context_blob, service, method, target_region] {
+        target->executor().Submit([handler, payload, context_blob, service, method,
+                                   target_region] {
+          RunHandler(*handler, payload, context_blob, service, method, target_region);
         });
       });
   return Status::Ok();

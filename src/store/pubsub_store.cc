@@ -55,7 +55,9 @@ void PubSubStore::OnApply(Region region, const StoredEntry& entry) {
     targets = it->second;
   }
   for (auto& [executor, handler] : targets) {
-    BrokerMessage message{topic, entry.bytes, entry.key, entry.version, region};
+    BrokerMessage message{topic,         entry.bytes,    entry.key,
+                          entry.version, region,         entry.trace_id,
+                          entry.parent_span_id};
     executor->Submit([handler, message] { handler(message); });
   }
 }

@@ -63,7 +63,9 @@ void QueueStore::OnApply(Region region, const StoredEntry& entry) {
     executor = it->second.first;
     handler = it->second.second;
   }
-  BrokerMessage message{channel, entry.bytes, entry.key, entry.version, region};
+  BrokerMessage message{channel,       entry.bytes,    entry.key,
+                        entry.version, region,         entry.trace_id,
+                        entry.parent_span_id};
   executor->Submit([handler = std::move(handler), message = std::move(message)] {
     handler(message);
   });

@@ -27,6 +27,10 @@ struct BrokerMessage {
   std::string key;      // storage key of the message entry
   uint64_t version = 0;
   Region delivered_at = Region::kLocal;
+  // Producer-side span context (stamped onto the stored entry by Put), so a
+  // consumer execution can join the publishing request's trace.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 using MessageHandler = std::function<void(const BrokerMessage&)>;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "src/net/network.h"
+#include "src/obs/trace.h"
 
 namespace antipode {
 
@@ -211,7 +213,8 @@ ReplicatedStore::ReplicatedStore(ReplicatedStoreOptions options, RegionTopology*
     : options_(std::move(options)),
       topology_(topology),
       timers_(timers),
-      profile_(PerStoreProfile(options_.replication, options_.name), topology) {
+      profile_(PerStoreProfile(options_.replication, options_.name), topology),
+      metrics_(options_.name) {
   replicas_.resize(kNumRegions);
   for (Region region : options_.regions) {
     replicas_[static_cast<size_t>(RegionIndex(region))] = std::make_unique<ReplicaTable>();
@@ -242,12 +245,22 @@ uint64_t ReplicatedStore::NextVersion(const std::string& key) {
 uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string bytes,
                               size_t extra_overhead_bytes) {
   assert(HasRegion(origin) && "write at a region without a replica");
+  Span span = Span::Start("store/put", {.category = "store", .region = origin});
   StoredEntry entry;
   entry.key = key;
   entry.bytes = std::move(bytes);
   entry.version = NextVersion(key);
   entry.origin = origin;
   entry.write_time = SystemClock::Instance().Now();
+  if (span.recording()) {
+    span.Annotate("store", options_.name);
+    span.Annotate("key", key);
+    span.Annotate("version", entry.version);
+    // Replication shipments inherit the put span, so remote applies land in
+    // this trace as its children.
+    entry.trace_id = span.context().trace_id;
+    entry.parent_span_id = span.context().span_id;
+  }
 
   metrics_.RecordWrite(entry.bytes.size(),
                        options_.per_write_overhead_bytes + extra_overhead_bytes);
@@ -272,7 +285,8 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
       ++inflight_applies_;
     }
     timers_->ScheduleAfter(TimeScale::FromModelMillis(lag_millis),
-                           [this, destination, entry] {
+                           [this, destination, lag_millis, entry] {
+                             RecordReplicationSpan(destination, lag_millis, entry);
                              ApplyAt(destination, entry);
                              // Notify under the lock: a drainer may destroy the
                              // store (and this condvar) the moment the count
@@ -287,6 +301,34 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
 }
 
 ReplicatedStore::~ReplicatedStore() { DrainReplication(); }
+
+// Replication shipments start and finish on different threads (Put vs the
+// timer dispatcher), so the span is assembled manually: it covers write-time
+// to arrival-time at the destination and is parented under the put span the
+// entry was stamped with.
+void ReplicatedStore::RecordReplicationSpan(Region destination, double lag_millis,
+                                            const StoredEntry& entry) const {
+  Tracer& tracer = Tracer::Default();
+  if (!tracer.enabled() || entry.trace_id == 0) {
+    return;
+  }
+  TraceEvent event;
+  event.name = "replication/apply";
+  event.category = "replication";
+  event.trace_id = entry.trace_id;
+  event.span_id = tracer.NextSpanId();
+  event.parent_span_id = entry.parent_span_id;
+  event.region = destination;
+  event.start = entry.write_time;
+  event.end = SystemClock::Instance().Now();
+  event.annotations.emplace_back("store", options_.name);
+  event.annotations.emplace_back("key", entry.key);
+  event.annotations.emplace_back("version", std::to_string(entry.version));
+  char lag[32];
+  std::snprintf(lag, sizeof(lag), "%.3f", lag_millis);
+  event.annotations.emplace_back("lag_model_ms", lag);
+  tracer.Record(std::move(event));
+}
 
 void ReplicatedStore::ApplyAt(Region region, const StoredEntry& entry) {
   {

@@ -44,6 +44,11 @@ struct StoredEntry {
   uint64_t version = 0;
   Region origin = Region::kLocal;
   TimePoint write_time{};  // when the write hit the origin
+  // Span context of the originating Put (0 when the write was not traced);
+  // replication shipments carry it so every remote apply is recorded as a
+  // child of the write's span, in the write's trace.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 // Invoked exactly once per registered wait: Ok when the watched version
@@ -236,6 +241,12 @@ class ReplicatedStore {
   // Applies the entry at `region` (or buffers it while the region's inbound
   // replication is paused), then fires the apply hook.
   void ApplyAt(Region region, const StoredEntry& entry);
+
+  // Emits the "replication/apply" trace span for a shipment that just
+  // arrived at `destination` (no-op when tracing is off or the write was not
+  // traced).
+  void RecordReplicationSpan(Region destination, double lag_millis,
+                             const StoredEntry& entry) const;
 
   mutable std::mutex pause_mu_;
   std::array<bool, kNumRegions> paused_{};

@@ -1,0 +1,14 @@
+#include "src/store/store_metrics.h"
+
+namespace antipode {
+
+StoreMetrics::StoreMetrics(const std::string& store_name, MetricsRegistry* registry)
+    : writes_(registry->GetCounter("store.writes", {{"store", store_name}})),
+      reads_(registry->GetCounter("store.reads", {{"store", store_name}})),
+      read_misses_(registry->GetCounter("store.read_misses", {{"store", store_name}})),
+      bytes_written_(registry->GetCounter("store.bytes_written", {{"store", store_name}})),
+      object_sizes_(registry->GetHistogram("store.object_bytes", {{"store", store_name}})),
+      replication_lag_(
+          registry->GetHistogram("store.replication_lag_model_ms", {{"store", store_name}})) {}
+
+}  // namespace antipode

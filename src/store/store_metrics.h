@@ -1,63 +1,81 @@
-// Per-store counters and object-size accounting. The Table 3 experiment
-// (object-size increase with Antipode metadata) is computed directly from
-// these: run the same workload with and without the shim and compare
-// `MeanObjectBytes`.
+// Per-store observability facade over the process-wide `MetricsRegistry`.
+//
+// Historically this class owned its own ad-hoc atomics; they now live in the
+// registry (labelled by store), so one `MetricsRegistry::Snapshot()` sees
+// every store alongside the RPC/network instruments, and `Reset()` is the
+// registry's coherent drain instead of the old non-atomic multi-field wipe
+// (which raced concurrent `RecordWrite`s: a reset could zero `writes_` after
+// a writer bumped it but before it recorded `bytes_written_`, leaving the
+// counters mutually inconsistent). Instrument pointers are resolved once at
+// construction, so the record paths never touch the registry lock.
+//
+// The Table 3 experiment (object-size increase with Antipode metadata) is
+// computed directly from these: run the same workload with and without the
+// shim and compare `MeanObjectBytes`.
 
 #ifndef SRC_STORE_STORE_METRICS_H_
 #define SRC_STORE_STORE_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "src/common/histogram.h"
+#include "src/obs/metrics.h"
 
 namespace antipode {
 
 class StoreMetrics {
  public:
+  // Instruments are registered under the given store label. The default
+  // constructor exists for containers/tests; it labels the store "unnamed".
+  explicit StoreMetrics(const std::string& store_name = "unnamed",
+                        MetricsRegistry* registry = &MetricsRegistry::Default());
+
   // `payload_bytes` is what the client handed the store; `overhead_bytes`
   // captures schema-level extras (e.g. a secondary index entry on the lineage
   // column) that inflate the stored object beyond its payload.
   void RecordWrite(size_t payload_bytes, size_t overhead_bytes = 0) {
-    writes_.fetch_add(1, std::memory_order_relaxed);
-    bytes_written_.fetch_add(payload_bytes + overhead_bytes, std::memory_order_relaxed);
-    object_sizes_.Record(static_cast<double>(payload_bytes + overhead_bytes));
+    writes_->Increment();
+    bytes_written_->Increment(payload_bytes + overhead_bytes);
+    object_sizes_->Record(static_cast<double>(payload_bytes + overhead_bytes));
   }
 
   void RecordRead(bool hit) {
-    reads_.fetch_add(1, std::memory_order_relaxed);
+    reads_->Increment();
     if (!hit) {
-      read_misses_.fetch_add(1, std::memory_order_relaxed);
+      read_misses_->Increment();
     }
   }
 
-  void RecordReplicationLagMillis(double model_millis) { replication_lag_.Record(model_millis); }
+  void RecordReplicationLagMillis(double model_millis) { replication_lag_->Record(model_millis); }
 
-  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
-  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
-  uint64_t read_misses() const { return read_misses_.load(std::memory_order_relaxed); }
-  uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_->value(); }
+  uint64_t reads() const { return reads_->value(); }
+  uint64_t read_misses() const { return read_misses_->value(); }
+  uint64_t bytes_written() const { return bytes_written_->value(); }
 
-  double MeanObjectBytes() const { return object_sizes_.Snapshot().Mean(); }
-  Histogram ObjectSizes() const { return object_sizes_.Snapshot(); }
-  Histogram ReplicationLag() const { return replication_lag_.Snapshot(); }
+  double MeanObjectBytes() const { return object_sizes_->Snapshot().Mean(); }
+  Histogram ObjectSizes() const { return object_sizes_->Snapshot(); }
+  Histogram ReplicationLag() const { return replication_lag_->Snapshot(); }
 
+  // Coherent reset: each instrument is drained atomically, so a concurrent
+  // RecordWrite lands entirely in this window or entirely in the next one.
   void Reset() {
-    writes_ = 0;
-    reads_ = 0;
-    read_misses_ = 0;
-    bytes_written_ = 0;
-    object_sizes_.Reset();
-    replication_lag_.Reset();
+    writes_->Drain();
+    reads_->Drain();
+    read_misses_->Drain();
+    bytes_written_->Drain();
+    object_sizes_->Drain();
+    replication_lag_->Drain();
   }
 
  private:
-  std::atomic<uint64_t> writes_{0};
-  std::atomic<uint64_t> reads_{0};
-  std::atomic<uint64_t> read_misses_{0};
-  std::atomic<uint64_t> bytes_written_{0};
-  ConcurrentHistogram object_sizes_;
-  ConcurrentHistogram replication_lag_;
+  Counter* writes_;
+  Counter* reads_;
+  Counter* read_misses_;
+  Counter* bytes_written_;
+  HistogramMetric* object_sizes_;
+  HistogramMetric* replication_lag_;
 };
 
 }  // namespace antipode

@@ -73,7 +73,7 @@ TEST_F(BarrierConcurrencyTest, WritersAndBarriersAcrossStores) {
           continue;
         }
         for (auto& shim : fx.shims) {
-          if (!shim->Read(Region::kEu, key).value.has_value()) {
+          if (!shim->Read(Region::kEu, key).ok()) {
             failures.fetch_add(1);
           }
         }
@@ -120,7 +120,7 @@ TEST_F(BarrierConcurrencyTest, PauseResumeRaces) {
           continue;
         }
         for (auto& shim : fx.shims) {
-          if (!shim->Read(Region::kEu, key).value.has_value()) {
+          if (!shim->Read(Region::kEu, key).ok()) {
             failures.fetch_add(1);
           }
         }
@@ -167,7 +167,7 @@ TEST_F(BarrierConcurrencyTest, TimeoutVersusVisibilityRaces) {
           ok_count.fetch_add(1);
           // Success must mean genuinely visible everywhere.
           for (auto& shim : fx.shims) {
-            if (!shim->Read(Region::kEu, key).value.has_value()) {
+            if (!shim->Read(Region::kEu, key).ok()) {
               wrong.fetch_add(1);
             }
           }

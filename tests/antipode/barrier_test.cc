@@ -186,6 +186,65 @@ TEST_F(BarrierTest, DryRunReportsUnresolvedStores) {
   EXPECT_TRUE(report.unmet.empty());
 }
 
+TEST_F(BarrierTest, OptionsDryRunProbesWithoutBlocking) {
+  KvStore store(SlowKv("b11", 200.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+
+  // The non-blocking probe: unmet remotely, met at the origin, never waits.
+  const TimePoint start = SystemClock::Instance().Now();
+  Status remote = Barrier(lineage, Region::kEu,
+                          BarrierOptions{.registry = &registry, .dry_run = true});
+  EXPECT_EQ(remote.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(remote.message().find("b11"), std::string::npos);
+  EXPECT_TRUE(Barrier(lineage, Region::kUs,
+                      BarrierOptions{.registry = &registry, .dry_run = true})
+                  .ok());
+  EXPECT_LT(SystemClock::Instance().Now() - start, Millis(50));
+
+  // Unknown stores fail the probe when not ignored.
+  Lineage ghost(1);
+  ghost.Append(WriteId{"ghost-store", "k", 1});
+  EXPECT_TRUE(Barrier(ghost, Region::kUs,
+                      BarrierOptions{.registry = &registry, .dry_run = true})
+                  .ok());
+  EXPECT_EQ(Barrier(ghost, Region::kUs,
+                    BarrierOptions{.registry = &registry,
+                                   .ignore_unknown_stores = false,
+                                   .dry_run = true})
+                .code(),
+            StatusCode::kFailedPrecondition);
+  store.DrainReplication();
+}
+
+TEST_F(BarrierTest, OptionsAbsoluteDeadlineBoundsTheWait) {
+  KvStore store(SlowKv("b12", 500.0));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+
+  // An already-expired absolute deadline loses immediately, even though the
+  // relative timeout is unbounded.
+  const TimePoint past = SystemClock::Instance().Now() - Millis(1);
+  Status status =
+      Barrier(lineage, Region::kEu, BarrierOptions{.deadline = past, .registry = &registry});
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+
+  // The earlier of {timeout, deadline} wins: a generous deadline does not
+  // extend a short timeout.
+  const TimePoint start = SystemClock::Instance().Now();
+  status = Barrier(lineage, Region::kEu,
+                   BarrierOptions{.timeout = TimeScale::FromModelMillis(20.0),
+                                  .deadline = start + TimeScale::FromModelMillis(5000.0),
+                                  .registry = &registry});
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(SystemClock::Instance().Now() - start, TimeScale::FromModelMillis(400.0));
+  store.DrainReplication();
+}
+
 TEST_F(BarrierTest, SupersededWriteSatisfiesBarrier) {
   KvStore store(SlowKv("b10", 30.0));
   KvShim shim(&store);

@@ -153,8 +153,8 @@ TEST(HistoryCheckerTest, AgreesWithRuntimeOnRealExecutions) {
     }
     auto result = shim.Read(Region::kEu, "post");
     checker.ObserveRead(2, store.name(), "irrelevant-trigger", 1, lineage);
-    checker.ObserveRead(2, store.name(), "post",
-                        result.value.has_value() ? 1 : 0, result.lineage);
+    checker.ObserveRead(2, store.name(), "post", result.ok() ? 1 : 0,
+                        result.ok() ? result->lineage : Lineage());
 
     EXPECT_EQ(checker.Consistent(), use_barrier);
   }

@@ -83,7 +83,9 @@ TEST_F(SessionTest, GuardReadProvidesReadYourWrites) {
   EXPECT_TRUE(store.IsVisible(Region::kEu, "profile:alice", 1));
   // The value was written through the shim, so read it back through it too
   // (the raw store holds the framed value+lineage encoding).
-  EXPECT_EQ(shim.Read(Region::kEu, "profile:alice").value, "new bio");
+  auto read = shim.Read(Region::kEu, "profile:alice");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "new bio");
 }
 
 TEST_F(SessionTest, IsReadConsistentProbesWithoutBlocking) {

@@ -62,7 +62,10 @@ class KvAdapter final : public ShimAdapter {
   }
   ReadResult Read(Region region, const std::string& key) override {
     auto result = shim_.Read(region, key);
-    return {std::move(result.value), std::move(result.lineage)};
+    if (!result.ok()) {
+      return {};
+    }
+    return {std::move(result->value), std::move(result->lineage)};
   }
   std::string StorageKey(const std::string& key) const override { return key; }
 
@@ -94,12 +97,13 @@ class SqlAdapter final : public ShimAdapter {
   ReadResult Read(Region region, const std::string& key) override {
     auto result = shim_.SelectByPk(region, "t", Value(key));
     ReadResult out;
-    out.lineage = std::move(result.lineage);
-    if (result.row.has_value()) {
-      auto v = result.row->Get("v");
-      if (v.has_value() && v->is_string()) {
-        out.value = v->as_string();
-      }
+    if (!result.ok()) {
+      return out;
+    }
+    out.lineage = std::move(result->lineage);
+    auto v = result->row.Get("v");
+    if (v.has_value() && v->is_string()) {
+      out.value = v->as_string();
     }
     return out;
   }
@@ -130,12 +134,13 @@ class DocAdapter final : public ShimAdapter {
   ReadResult Read(Region region, const std::string& key) override {
     auto result = shim_.FindById(region, "c", key);
     ReadResult out;
-    out.lineage = std::move(result.lineage);
-    if (result.doc.has_value()) {
-      auto v = result.doc->Get("v");
-      if (v.has_value() && v->is_string()) {
-        out.value = v->as_string();
-      }
+    if (!result.ok()) {
+      return out;
+    }
+    out.lineage = std::move(result->lineage);
+    auto v = result->doc.Get("v");
+    if (v.has_value() && v->is_string()) {
+      out.value = v->as_string();
     }
     return out;
   }
@@ -164,7 +169,10 @@ class ObjectAdapter final : public ShimAdapter {
   }
   ReadResult Read(Region region, const std::string& key) override {
     auto result = shim_.GetObject(region, "b", key);
-    return {std::move(result.value), std::move(result.lineage)};
+    if (!result.ok()) {
+      return {};
+    }
+    return {std::move(result->value), std::move(result->lineage)};
   }
   std::string StorageKey(const std::string& key) const override { return "b/" + key; }
 
@@ -193,12 +201,13 @@ class DynamoAdapter final : public ShimAdapter {
   ReadResult Read(Region region, const std::string& key) override {
     auto result = shim_.GetItem(region, "t", key);
     ReadResult out;
-    out.lineage = std::move(result.lineage);
-    if (result.item.has_value()) {
-      auto v = result.item->Get("v");
-      if (v.has_value() && v->is_string()) {
-        out.value = v->as_string();
-      }
+    if (!result.ok()) {
+      return out;
+    }
+    out.lineage = std::move(result->lineage);
+    auto v = result->item.Get("v");
+    if (v.has_value() && v->is_string()) {
+      out.value = v->as_string();
     }
     return out;
   }

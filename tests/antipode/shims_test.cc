@@ -36,20 +36,20 @@ TEST_F(ShimsTest, KvReadReturnsValueAndWriterLineage) {
   writer_lineage.Append(WriteId{"otherstore", "dep", 5});
   shim.Write(Region::kUs, "k", "v", writer_lineage);
   auto result = shim.Read(Region::kUs, "k");
-  ASSERT_TRUE(result.value.has_value());
-  EXPECT_EQ(*result.value, "v");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, "v");
   // The read's lineage contains the writer's dependency set plus the write's
   // own identifier (reads-from-lineage, §4.2).
-  EXPECT_TRUE(result.lineage.Contains(WriteId{"otherstore", "dep", 5}));
-  EXPECT_TRUE(result.lineage.Contains(WriteId{"kvs2", "k", 1}));
+  EXPECT_TRUE(result->lineage.Contains(WriteId{"otherstore", "dep", 5}));
+  EXPECT_TRUE(result->lineage.Contains(WriteId{"kvs2", "k", 1}));
 }
 
 TEST_F(ShimsTest, KvReadMissingKey) {
   KvStore store(KvStore::DefaultOptions("kvs3", kRegions));
   KvShim shim(&store);
   auto result = shim.Read(Region::kUs, "nope");
-  EXPECT_FALSE(result.value.has_value());
-  EXPECT_TRUE(result.lineage.Empty());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(ShimsTest, KvCtxVariantsFlowThroughContext) {
@@ -63,7 +63,9 @@ TEST_F(ShimsTest, KvCtxVariantsFlowThroughContext) {
   // A different request reading the value inherits the writer's lineage.
   ScopedContext reader(RequestContext(2));
   LineageApi::Root();
-  EXPECT_EQ(shim.ReadCtx(Region::kUs, "k"), "v");
+  auto read = shim.ReadCtx(Region::kUs, "k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "v");
   EXPECT_TRUE(LineageApi::Current()->Contains(WriteId{"kvs4", "k", 1}));
 }
 
@@ -96,7 +98,9 @@ TEST_F(ShimsTest, WaitLineageFiltersByStore) {
   Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
   lineage.Append(WriteId{"unrelated-store", "x", 99});
   // Only kvs7 deps are enforced; the unrelated store's id is ignored here.
-  EXPECT_TRUE(shim.WaitLineage(Region::kUs, lineage, std::chrono::seconds(1)).ok());
+  EXPECT_TRUE(shim.WaitLineage(Region::kUs, lineage,
+                               LineageWaitOptions{.timeout = std::chrono::seconds(1)})
+                  .ok());
 }
 
 // ---- SqlShim ----------------------------------------------------------------
@@ -115,11 +119,11 @@ TEST_F(ShimsTest, SqlShimStripsLineageColumnOnRead) {
   EXPECT_TRUE(updated->Contains(WriteId{"sqls1", "posts/p1", 1}));
 
   auto result = shim.SelectByPk(Region::kUs, "posts", Value("p1"));
-  ASSERT_TRUE(result.row.has_value());
-  EXPECT_FALSE(result.row->Has(kLineageField));
-  EXPECT_EQ(result.row->Get("text"), Value("t"));
-  EXPECT_TRUE(result.lineage.Contains(WriteId{"acl", "alice", 2}));
-  EXPECT_TRUE(result.lineage.Contains(WriteId{"sqls1", "posts/p1", 1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->row.Has(kLineageField));
+  EXPECT_EQ(result->row.Get("text"), Value("t"));
+  EXPECT_TRUE(result->lineage.Contains(WriteId{"acl", "alice", 2}));
+  EXPECT_TRUE(result->lineage.Contains(WriteId{"sqls1", "posts/p1", 1}));
 }
 
 TEST_F(ShimsTest, SqlShimInstrumentAddsIndexOverhead) {
@@ -151,10 +155,10 @@ TEST_F(ShimsTest, DocShimRoundTripWithLineageField) {
   EXPECT_TRUE(lineage.Contains(WriteId{"docs1", "posts/p1", 1}));
 
   auto result = shim.FindById(Region::kUs, "posts", "p1");
-  ASSERT_TRUE(result.doc.has_value());
-  EXPECT_FALSE(result.doc->Has(kLineageField));
-  EXPECT_TRUE(result.lineage.Contains(WriteId{"upstream", "u", 3}));
-  EXPECT_TRUE(result.lineage.Contains(WriteId{"docs1", "posts/p1", 1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->doc.Has(kLineageField));
+  EXPECT_TRUE(result->lineage.Contains(WriteId{"upstream", "u", 3}));
+  EXPECT_TRUE(result->lineage.Contains(WriteId{"docs1", "posts/p1", 1}));
 }
 
 TEST_F(ShimsTest, DocShimCtxTransfersOnRead) {
@@ -168,7 +172,7 @@ TEST_F(ShimsTest, DocShimCtxTransfersOnRead) {
   ScopedContext reader(RequestContext(2));
   LineageApi::Root();
   auto doc = shim.FindByIdCtx(Region::kUs, "c", "d");
-  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc.ok());
   EXPECT_TRUE(LineageApi::Current()->Contains(WriteId{"docs2", "c/d", 1}));
 }
 
@@ -180,9 +184,9 @@ TEST_F(ShimsTest, ObjectShimRoundTrip) {
   Lineage lineage = shim.PutObject(Region::kUs, "b", "k", "bytes", Lineage(1));
   EXPECT_TRUE(lineage.Contains(WriteId{"objs1", "b/k", 1}));
   auto result = shim.GetObject(Region::kUs, "b", "k");
-  ASSERT_TRUE(result.value.has_value());
-  EXPECT_EQ(*result.value, "bytes");
-  EXPECT_TRUE(result.lineage.Contains(WriteId{"objs1", "b/k", 1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, "bytes");
+  EXPECT_TRUE(result->lineage.Contains(WriteId{"objs1", "b/k", 1}));
 }
 
 // ---- DynamoShim ---------------------------------------------------------------
@@ -201,8 +205,8 @@ TEST_F(ShimsTest, DynamoShimWaitUsesStrongReads) {
   EXPECT_FALSE(shim.IsVisible(Region::kEu, id));
   // And consistent reads then observe the item.
   auto result = shim.GetItemConsistent(Region::kEu, "t", "k");
-  EXPECT_TRUE(result.item.has_value());
-  EXPECT_FALSE(shim.GetItem(Region::kEu, "t", "k").item.has_value());
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(shim.GetItem(Region::kEu, "t", "k").ok());
 }
 
 TEST_F(ShimsTest, DynamoShimWaitTimesOutOnMissingItem) {
@@ -217,8 +221,8 @@ TEST_F(ShimsTest, DynamoShimStripsLineageField) {
   DynamoShim shim(&store);
   shim.PutItem(Region::kUs, "t", "k", Document{{"a", Value("1")}}, Lineage(1));
   auto result = shim.GetItem(Region::kUs, "t", "k");
-  ASSERT_TRUE(result.item.has_value());
-  EXPECT_FALSE(result.item->Has(kLineageField));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->item.Has(kLineageField));
 }
 
 // ---- Queue / PubSub shims -----------------------------------------------------
@@ -279,6 +283,23 @@ TEST_F(ShimsTest, RegistryRegisterLookupUnregister) {
   EXPECT_EQ(registry.RegisteredStores(), std::vector<std::string>{"regs1"});
   registry.Unregister("regs1");
   EXPECT_EQ(registry.Lookup("regs1"), nullptr);
+}
+
+TEST_F(ShimsTest, RegistryOptionsRejectDuplicateRegistration) {
+  KvStore store(KvStore::DefaultOptions("regs4", kRegions));
+  KvShim first(&store);
+  KvShim second(&store);
+  ShimRegistry registry(ShimRegistry::Options{.name = "strict", .allow_replace = false});
+  EXPECT_TRUE(registry.Register(&first).ok());
+  auto replaced = registry.Register(&second);
+  EXPECT_EQ(replaced.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.Lookup("regs4"), &first);
+
+  // The default (replace-allowed) registry keeps the historical semantics.
+  ShimRegistry lax;
+  EXPECT_TRUE(lax.Register(&first).ok());
+  EXPECT_TRUE(lax.Register(&second).ok());
+  EXPECT_EQ(lax.Lookup("regs4"), &second);
 }
 
 TEST_F(ShimsTest, RegistryClear) {

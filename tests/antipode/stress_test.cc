@@ -51,7 +51,7 @@ TEST_F(StressTest, ConcurrentWritersAndBarriers) {
           continue;
         }
         // Post-barrier, the write (or newer) must be readable remotely.
-        if (!shim.Read(Region::kEu, key).value.has_value()) {
+        if (!shim.Read(Region::kEu, key).ok()) {
           failures.fetch_add(1);
         }
       }

@@ -101,9 +101,9 @@ TEST_P(XcyPropertyTest, ReadsFromLineageInheritsDependencies) {
   // Reader at the origin (visible immediately): observing the last write
   // must surface every earlier write of the chain (I2).
   auto result = shim.Read(Region::kUs, last_key);
-  ASSERT_TRUE(result.value.has_value());
+  ASSERT_TRUE(result.ok());
   for (int w = 0; w < param.writes_per_request; ++w) {
-    EXPECT_TRUE(result.lineage.Contains(
+    EXPECT_TRUE(result->lineage.Contains(
         WriteId{tag, tag + "-k" + std::to_string(w), 1}))
         << w;
   }

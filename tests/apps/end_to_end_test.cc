@@ -102,12 +102,11 @@ TEST_F(EndToEndTest, LineageAccumulatesAcrossFourSubstratesAndBarrierEnforcesAll
                          ASSERT_TRUE(status.ok());
                          const std::string& id = message.payload;
                          const bool order_ok =
-                             order_shim.SelectByPk(Region::kEu, "orders", Value(id))
-                                 .row.has_value();
+                             order_shim.SelectByPk(Region::kEu, "orders", Value(id)).ok();
                          const bool invoice_ok =
-                             invoice_shim.FindById(Region::kEu, "invoices", id).doc.has_value();
+                             invoice_shim.FindById(Region::kEu, "invoices", id).ok();
                          const bool tracking_ok =
-                             tracking_shim.Read(Region::kEu, "track:" + id).value.has_value();
+                             tracking_shim.Read(Region::kEu, "track:" + id).ok();
                          std::lock_guard<std::mutex> lock(mu);
                          lineage_deps = message.lineage.Size();
                          all_visible = order_ok && invoice_ok && tracking_ok;
@@ -176,12 +175,12 @@ TEST_F(EndToEndTest, HistoryCheckerValidatesInstrumentedRun) {
             Barrier(lineage, Region::kEu, BarrierOptions{.registry = &registry}).ok());
       }
       auto result = shim.Read(Region::kEu, key);
-      if (!result.value.has_value()) {
+      if (!result.ok()) {
         ++violations_seen;
       }
       checker.ObserveRead(2, store.name(), "trigger-" + key, 1, lineage);
-      checker.ObserveRead(2, store.name(), key, result.value.has_value() ? 1 : 0,
-                          result.lineage);
+      checker.ObserveRead(2, store.name(), key, result.ok() ? 1 : 0,
+                          result.ok() ? result->lineage : Lineage());
     }
     if (use_barrier) {
       EXPECT_TRUE(checker.Consistent());

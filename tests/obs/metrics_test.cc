@@ -1,0 +1,169 @@
+// MetricsRegistry: instrument identity under label canonicalization, snapshot
+// lookups, and — the property the old `StoreMetrics::Reset` lacked — coherent
+// snapshot-and-reset under concurrent recording: every recorded increment
+// lands in exactly one snapshot window, never zero, never two.
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/store/store_metrics.h"
+
+namespace antipode {
+namespace {
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  counter->Increment();
+  counter->Increment(4);
+  EXPECT_EQ(counter->value(), 5u);
+
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(7);
+  gauge->Add(-2);
+  EXPECT_EQ(gauge->value(), 5);
+
+  HistogramMetric* histogram = registry.GetHistogram("h");
+  histogram->Record(1.0);
+  histogram->Record(3.0);
+  EXPECT_EQ(histogram->Snapshot().count(), 2u);
+  EXPECT_EQ(registry.NumInstruments(), 3u);
+}
+
+TEST(MetricsTest, LabelsAreCanonicalizedByKey) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reqs", {{"region", "us"}, {"store", "kv"}});
+  Counter* b = registry.GetCounter("reqs", {{"store", "kv"}, {"region", "us"}});
+  EXPECT_EQ(a, b);  // same instrument regardless of label order
+  Counter* c = registry.GetCounter("reqs", {{"store", "kv"}, {"region", "eu"}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.NumInstruments(), 2u);
+
+  a->Increment(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* sample = snapshot.Find("reqs", "region=us,store=kv");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->counter_value, 3u);
+  EXPECT_EQ(snapshot.Find("reqs", "region=nope"), nullptr);
+}
+
+TEST(MetricsTest, SnapshotTotalsAcrossLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("writes", {{"store", "a"}})->Increment(2);
+  registry.GetCounter("writes", {{"store", "b"}})->Increment(3);
+  registry.GetHistogram("lat", {{"store", "a"}})->Record(1.0);
+  registry.GetHistogram("lat", {{"store", "b"}})->Record(9.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterTotal("writes"), 5u);
+  const Histogram merged = snapshot.HistogramTotal("lat");
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.max(), 9.0);
+  EXPECT_NE(snapshot.ToString().find("writes"), std::string::npos);
+}
+
+// The headline concurrency property: N recorder threads hammer one counter
+// and one histogram while the main thread repeatedly drains. The drained
+// windows plus the final drain must account for every recording exactly once.
+TEST(MetricsTest, SnapshotAndResetIsCoherentUnderConcurrentRecording) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits", {{"region", "us"}});
+  HistogramMetric* histogram = registry.GetHistogram("size", {{"region", "us"}});
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Record(1.0);
+      }
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  uint64_t drained_counter = 0;
+  uint64_t drained_histogram = 0;
+  for (int round = 0; round < 50; ++round) {
+    const MetricsSnapshot window = registry.SnapshotAndReset();
+    const MetricSample* hits = window.Find("hits", "region=us");
+    const MetricSample* size = window.Find("size", "region=us");
+    ASSERT_NE(hits, nullptr);
+    ASSERT_NE(size, nullptr);
+    drained_counter += hits->counter_value;
+    drained_histogram += size->histogram.count();
+    std::this_thread::yield();
+  }
+  for (auto& thread : recorders) {
+    thread.join();
+  }
+  const MetricsSnapshot last = registry.SnapshotAndReset();
+  drained_counter += last.Find("hits", "region=us")->counter_value;
+  drained_histogram += last.Find("size", "region=us")->histogram.count();
+
+  EXPECT_EQ(drained_counter, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(drained_histogram, uint64_t{kThreads} * kPerThread);
+  // Everything was drained: a fresh snapshot is empty.
+  EXPECT_EQ(registry.Snapshot().CounterTotal("hits"), 0u);
+}
+
+TEST(MetricsTest, ConcurrentGetOrCreateReturnsOneInstrument) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      seen[static_cast<size_t>(t)] =
+          registry.GetCounter("raced", {{"region", "eu"}});
+      seen[static_cast<size_t>(t)]->Increment();
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads));
+}
+
+// StoreMetrics rides the registry: the same labelled instruments are visible
+// through a registry snapshot, and Reset() is the coherent drain.
+TEST(MetricsTest, StoreMetricsRecordsIntoRegistry) {
+  MetricsRegistry registry;
+  StoreMetrics metrics("mysql-posts", &registry);
+  metrics.RecordWrite(100, 20);
+  metrics.RecordRead(/*hit=*/true);
+  metrics.RecordRead(/*hit=*/false);
+
+  EXPECT_EQ(metrics.writes(), 1u);
+  EXPECT_EQ(metrics.reads(), 2u);
+  EXPECT_EQ(metrics.read_misses(), 1u);
+  EXPECT_EQ(metrics.bytes_written(), 120u);
+  EXPECT_DOUBLE_EQ(metrics.MeanObjectBytes(), 120.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* writes = snapshot.Find("store.writes", "store=mysql-posts");
+  ASSERT_NE(writes, nullptr);
+  EXPECT_EQ(writes->counter_value, 1u);
+
+  metrics.Reset();
+  EXPECT_EQ(metrics.writes(), 0u);
+  EXPECT_EQ(metrics.bytes_written(), 0u);
+  EXPECT_EQ(registry.Snapshot().CounterTotal("store.writes"), 0u);
+}
+
+}  // namespace
+}  // namespace antipode
