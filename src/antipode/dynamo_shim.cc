@@ -43,14 +43,19 @@ void DynamoShim::ProbeLoop(const std::shared_ptr<ProbeState>& state) {
     state->done(Status::DeadlineExceeded("dynamo wait: " + state->id.ToString()));
     return;
   }
-  // Re-arm after the poll interval. The probe runs on the pool, so the timer
-  // dispatcher never pays the strong read's WAN round trip; between probes no
-  // thread is parked.
-  TimerService::Shared().ScheduleAfter(TimeScale::FromModelMillis(10.0), [this, state] {
-    if (!BlockingWaitPool().Submit([this, state] { ProbeLoop(state); })) {
-      state->done(Status::Unavailable("shim wait pool shut down"));
-    }
-  });
+  // Re-arm after the poll interval on the store's injected timer service (a
+  // private deployment must not leak probes onto the shared engine). The
+  // probe runs on the pool, so the timer dispatcher never pays the strong
+  // read's WAN round trip; between probes no thread is parked.
+  const bool armed = dynamo_->timers()->ScheduleAfter(
+      TimeScale::FromModelMillis(10.0), [this, state] {
+        if (!BlockingWaitPool().Submit([this, state] { ProbeLoop(state); })) {
+          state->done(Status::Unavailable("shim wait pool shut down"));
+        }
+      });
+  if (!armed) {
+    state->done(Status::Unavailable("timer service shut down during dynamo wait"));
+  }
 }
 
 bool DynamoShim::IsVisible(Region region, const WriteId& id) {

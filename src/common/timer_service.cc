@@ -1,10 +1,51 @@
 #include "src/common/timer_service.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
+
+#include "src/obs/metrics.h"
 
 namespace antipode {
 
-TimerService::TimerService() : dispatcher_([this] { DispatchLoop(); }) {}
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested != TimerServiceOptions::kDefaultWorkers) {
+    return requested;
+  }
+  const size_t cores = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(cores, 2, 8);
+}
+
+}  // namespace
+
+TimerService::TimerService(const Options& options) {
+  const size_t num_shards = std::max<size_t>(1, options.num_shards);
+  const size_t num_workers = ResolveWorkers(options.num_workers);
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  callbacks_run_ = registry.GetCounter("timer.callbacks_run");
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const std::string label = std::to_string(i);
+    shard->queue_depth = registry.GetGauge("timer.queue_depth", {{"shard", label}});
+    shard->dispatch_lag = registry.GetHistogram("timer.dispatch_lag_ms", {{"shard", label}});
+    shards_.push_back(std::move(shard));
+  }
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads start only after every shard/worker slot exists: a dispatcher may
+  // route to any worker queue the moment it runs.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(*w); });
+  }
+  for (auto& shard : shards_) {
+    shard->dispatcher = std::thread([this, s = shard.get()] { DispatchLoop(*s); });
+  }
+}
 
 TimerService::~TimerService() { Shutdown(); }
 
@@ -13,65 +54,117 @@ TimerService& TimerService::Shared() {
   return *service;
 }
 
-void TimerService::ScheduleAfter(Duration delay, std::function<void()> fn) {
-  ScheduleAt(SystemClock::Instance().Now() + delay, std::move(fn));
+bool TimerService::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(SystemClock::Instance().Now() + delay, std::move(fn));
 }
 
-void TimerService::ScheduleAt(TimePoint when, std::function<void()> fn) {
+bool TimerService::ScheduleAfter(Duration delay, AffinityToken affinity,
+                                 std::function<void()> fn) {
+  return ScheduleAt(SystemClock::Instance().Now() + delay, affinity, std::move(fn));
+}
+
+bool TimerService::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  return ScheduleAt(when, round_robin_.fetch_add(1, std::memory_order_relaxed), std::move(fn));
+}
+
+bool TimerService::ScheduleAt(TimePoint when, AffinityToken affinity, std::function<void()> fn) {
+  Shard& shard = *shards_[affinity % shards_.size()];
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      return;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      return false;
     }
-    entries_.push(Entry{when, next_sequence_++, std::move(fn)});
+    shard.entries.push(Entry{when, shard.next_sequence++, affinity, std::move(fn)});
+    shard.queue_depth->Add(1);
   }
-  cv_.notify_one();
+  shard.cv.notify_one();
+  return true;
 }
 
 void TimerService::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      return;
-    }
-    shutdown_ = true;
+  shutdown_.store(true, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    // Take-and-release the shard lock so a dispatcher is either not yet
+    // waiting (and will see the flag) or inside the wait (and gets woken).
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->cv.notify_all();
   }
-  cv_.notify_all();
-  if (dispatcher_.joinable()) {
-    dispatcher_.join();
+  std::lock_guard<std::mutex> join_lock(shutdown_mu_);
+  for (auto& shard : shards_) {
+    if (shard->dispatcher.joinable()) {
+      shard->dispatcher.join();
+    }
+  }
+  // Dispatchers are quiesced: nothing pushes to worker queues anymore. Close
+  // lets each worker drain what was already dispatched (due timers still
+  // fire), then exit.
+  for (auto& worker : workers_) {
+    worker->tasks.Close();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
   }
 }
 
 size_t TimerService::PendingCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  for (const auto& worker : workers_) {
+    total += worker->tasks.Size();
+  }
+  return total;
 }
 
-void TimerService::DispatchLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void TimerService::DispatchLoop(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu);
   while (true) {
-    if (entries_.empty()) {
-      if (shutdown_) {
+    if (shard.entries.empty()) {
+      if (shutdown_.load(std::memory_order_relaxed)) {
         return;
       }
-      cv_.wait(lock, [&] { return shutdown_ || !entries_.empty(); });
+      shard.cv.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_relaxed) || !shard.entries.empty();
+      });
       continue;
     }
-    const TimePoint next = entries_.top().when;
+    const TimePoint next = shard.entries.top().when;
     const TimePoint now = SystemClock::Instance().Now();
     if (next > now) {
-      if (shutdown_) {
-        return;  // drop timers that are not yet due
+      if (shutdown_.load(std::memory_order_relaxed)) {
+        // Drop timers that are not yet due.
+        shard.queue_depth->Add(-static_cast<int64_t>(shard.entries.size()));
+        return;
       }
-      cv_.wait_until(lock, next);
+      shard.cv.wait_until(lock, next);
       continue;
     }
-    // Move the callback out so it can run unlocked.
-    auto fn = std::move(const_cast<Entry&>(entries_.top()).fn);
-    entries_.pop();
+    Entry entry = std::move(const_cast<Entry&>(shard.entries.top()));
+    shard.entries.pop();
+    shard.queue_depth->Add(-1);
     lock.unlock();
-    fn();
+    shard.dispatch_lag->Record(ToMillis(std::chrono::duration_cast<Duration>(now - next)));
+    if (workers_.empty()) {
+      entry.fn();
+      callbacks_run_->Increment();
+    } else {
+      // Same affinity → same worker queue, so equal-deadline FIFO within a
+      // token survives the handoff (this shard is the only producer of the
+      // token's entries, and the worker executes its queue serially).
+      workers_[entry.affinity % workers_.size()]->tasks.Push(std::move(entry.fn));
+    }
     lock.lock();
+  }
+}
+
+void TimerService::WorkerLoop(Worker& worker) {
+  while (auto task = worker.tasks.Pop()) {
+    (*task)();
+    callbacks_run_->Increment();
   }
 }
 

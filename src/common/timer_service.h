@@ -1,28 +1,68 @@
-// A shared timer wheel: schedules closures to run at a future time point on a
-// dedicated dispatcher thread. The simulated network and every store's
-// replication engine use this instead of spawning a thread per in-flight
-// message, which keeps thousands of concurrent replication events cheap.
+// A sharded multi-worker timer engine: schedules closures to run at a future
+// time point. The simulated network and every store's replication engine use
+// this instead of spawning a thread per in-flight message, which keeps
+// thousands of concurrent replication events cheap.
 //
-// Callbacks run on the dispatcher thread and must be short; anything heavy
-// should bounce to a ThreadPool.
+// Architecture: N timer shards, each with its own min-heap, mutex, condition
+// variable, and dispatcher thread, feed a pool of M workers. Dispatchers only
+// pop due entries and route them; callbacks *execute* on the workers, so one
+// slow callback stalls a single worker instead of the whole engine and due
+// events on different shards fire in parallel.
+//
+// Affinity tokens: every schedule call carries a token (defaulting to a fresh
+// round-robin value per call). A token maps to a fixed shard and a fixed
+// worker, so all callbacks scheduled with the same token execute serially, in
+// deadline order, FIFO for equal deadlines. The replication engine keys its
+// shipments by (store, key, destination) to keep per-key apply order intact;
+// callers that need no ordering just omit the token and get maximum spread.
+// There is NO cross-token ordering guarantee, even within one shard.
+//
+// `num_workers == 0` selects the legacy inline mode: each shard's dispatcher
+// runs its callbacks itself (one shard + zero workers reproduces the old
+// single-thread engine exactly; benches use it as the scaling baseline).
 
 #ifndef SRC_COMMON_TIMER_SERVICE_H_
 #define SRC_COMMON_TIMER_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "src/common/blocking_queue.h"
 #include "src/common/clock.h"
 
 namespace antipode {
 
+class Counter;
+class Gauge;
+class HistogramMetric;
+
+struct TimerServiceOptions {
+  // Timer shards: independent heaps + dispatcher threads. More shards reduce
+  // contention on ScheduleAfter and let due events fire in parallel.
+  size_t num_shards = 4;
+  // Callback workers. 0 = run callbacks inline on each shard's dispatcher
+  // (legacy single-thread behaviour when num_shards == 1).
+  size_t num_workers = kDefaultWorkers;
+
+  // SIZE_MAX sentinel resolved at construction to min(8, max(2, cores)).
+  static constexpr size_t kDefaultWorkers = SIZE_MAX;
+};
+
 class TimerService {
  public:
-  TimerService();
+  using Options = TimerServiceOptions;
+  // Routes same-token callbacks to the same shard and worker (serial, FIFO
+  // for equal deadlines). kNoAffinity picks a fresh round-robin token.
+  using AffinityToken = uint64_t;
+
+  TimerService() : TimerService(Options{}) {}
+  explicit TimerService(const Options& options);
   ~TimerService();
 
   TimerService(const TimerService&) = delete;
@@ -32,19 +72,29 @@ class TimerService {
   static TimerService& Shared();
 
   // Runs `fn` once `delay` has elapsed (immediately when delay <= 0).
-  void ScheduleAfter(Duration delay, std::function<void()> fn);
-  void ScheduleAt(TimePoint when, std::function<void()> fn);
+  // Returns false — and drops `fn` without running it — after Shutdown;
+  // callers doing completion accounting must roll back on false.
+  bool ScheduleAfter(Duration delay, std::function<void()> fn);
+  bool ScheduleAfter(Duration delay, AffinityToken affinity, std::function<void()> fn);
+  bool ScheduleAt(TimePoint when, std::function<void()> fn);
+  bool ScheduleAt(TimePoint when, AffinityToken affinity, std::function<void()> fn);
 
-  // Stops the dispatcher; pending timers that are already due still fire,
-  // future ones are dropped. Idempotent.
+  // Stops the engine; pending timers that are already due still fire (their
+  // callbacks run to completion before Shutdown returns), future ones are
+  // dropped. Idempotent and safe to race with ScheduleAfter.
   void Shutdown();
 
+  // Entries still in the shard heaps plus callbacks queued on workers.
   size_t PendingCount() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_workers() const { return workers_.size(); }
 
  private:
   struct Entry {
     TimePoint when;
-    uint64_t sequence;  // FIFO tie-break for equal deadlines
+    uint64_t sequence;  // FIFO tie-break for equal deadlines (per shard)
+    AffinityToken affinity;
     std::function<void()> fn;
   };
   struct EntryLater {
@@ -55,15 +105,32 @@ class TimerService {
       return a.sequence > b.sequence;
     }
   };
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<Entry, std::vector<Entry>, EntryLater> entries;
+    uint64_t next_sequence = 0;
+    std::thread dispatcher;
+    // Per-shard instruments (shared across TimerService instances with the
+    // same shard index; registry pointers are stable, increments additive).
+    Gauge* queue_depth = nullptr;
+    HistogramMetric* dispatch_lag = nullptr;
+  };
+  struct Worker {
+    BlockingQueue<std::function<void()>> tasks;
+    std::thread thread;
+  };
 
-  void DispatchLoop();
+  void DispatchLoop(Shard& shard);
+  void WorkerLoop(Worker& worker);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> entries_;
-  uint64_t next_sequence_ = 0;
-  bool shutdown_ = false;
-  std::thread dispatcher_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Counter* callbacks_run_ = nullptr;
+
+  std::atomic<AffinityToken> round_robin_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mu_;  // serializes the join phase of concurrent Shutdowns
 };
 
 }  // namespace antipode

@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include <mutex>
+
 #include "src/common/clock.h"
 #include "src/obs/metrics.h"
 
@@ -8,31 +10,28 @@ namespace {
 
 constexpr double kMillisPerMib = 10.0;
 
-// One instrument set per (from, to) pair, resolved lazily and cached so the
-// registry lock is never taken on the per-message path after warm-up.
-// Concurrent initializers resolve the same stable registry pointers, so the
-// racing stores are idempotent (and atomic, for TSan's sake).
+// One instrument set per (from, to) pair, resolved exactly once under a
+// per-link once-flag: after warm-up the per-message path is two relaxed
+// counter increments — no registry lock, no region-name std::string
+// constructions, and no duplicated lookups from racing initializers.
 struct LinkMetrics {
-  std::atomic<Counter*> messages{nullptr};
-  std::atomic<Counter*> bytes{nullptr};
+  std::once_flag once;
+  Counter* messages = nullptr;
+  Counter* bytes = nullptr;
 };
 
 void CountMessage(Region from, Region to, size_t payload_bytes) {
   static LinkMetrics links[kNumRegions][kNumRegions];
   LinkMetrics& link = links[RegionIndex(from)][RegionIndex(to)];
-  Counter* messages = link.messages.load(std::memory_order_acquire);
-  Counter* bytes = link.bytes.load(std::memory_order_acquire);
-  if (messages == nullptr) {
+  std::call_once(link.once, [&link, from, to] {
     MetricsRegistry& registry = MetricsRegistry::Default();
     const std::string from_name(RegionName(from));
     const std::string to_name(RegionName(to));
-    bytes = registry.GetCounter("net.bytes", {{"from", from_name}, {"to", to_name}});
-    messages = registry.GetCounter("net.messages", {{"from", from_name}, {"to", to_name}});
-    link.bytes.store(bytes, std::memory_order_release);
-    link.messages.store(messages, std::memory_order_release);
-  }
-  messages->Increment();
-  bytes->Increment(payload_bytes);
+    link.bytes = registry.GetCounter("net.bytes", {{"from", from_name}, {"to", to_name}});
+    link.messages = registry.GetCounter("net.messages", {{"from", from_name}, {"to", to_name}});
+  });
+  link.messages->Increment();
+  link.bytes->Increment(payload_bytes);
 }
 
 }  // namespace
@@ -46,6 +45,14 @@ void SimulatedNetwork::Deliver(Region from, Region to, size_t payload_bytes,
   CountMessage(from, to, payload_bytes);
   const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
   timers_->ScheduleAfter(TimeScale::FromModelMillis(millis), std::move(handler));
+}
+
+void SimulatedNetwork::Deliver(Region from, Region to, size_t payload_bytes,
+                               TimerService::AffinityToken affinity,
+                               std::function<void()> handler) {
+  CountMessage(from, to, payload_bytes);
+  const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
+  timers_->ScheduleAfter(TimeScale::FromModelMillis(millis), affinity, std::move(handler));
 }
 
 void SimulatedNetwork::SleepRtt(Region from, Region to, size_t request_bytes,

@@ -28,6 +28,13 @@ class SimulatedNetwork {
   // (modelled at 10 ms per MiB, ~0.8 Gbit/s effective WAN throughput).
   void Deliver(Region from, Region to, size_t payload_bytes, std::function<void()> handler);
 
+  // Like above, but handlers sharing `affinity` run serially in deadline
+  // order on the timer engine (FIFO at equal deadlines) — the knob callers
+  // use to keep a logical flow (e.g. casts to one service) ordered while
+  // unrelated deliveries fire in parallel.
+  void Deliver(Region from, Region to, size_t payload_bytes,
+               TimerService::AffinityToken affinity, std::function<void()> handler);
+
   // Blocks the calling thread for one sampled round trip (plus payload cost
   // in each direction).
   void SleepRtt(Region from, Region to, size_t request_bytes, size_t response_bytes);

@@ -162,8 +162,13 @@ Status RpcClient::Cast(const std::string& service, const std::string& method,
   const std::string context_blob = RequestContext::SerializeCurrent();
   const Region target_region = target->region();
   MetricsRegistry::Default().GetCounter("rpc.casts", {{"service", service}})->Increment();
+  // Casts from this caller to one service share an affinity token, so their
+  // delivery (and hence executor submission) order is preserved even though
+  // the timer engine runs unrelated callbacks concurrently.
+  const TimerService::AffinityToken affinity =
+      std::hash<std::string>{}(service) ^ (static_cast<uint64_t>(RegionIndex(caller_region_)) << 32);
   registry_->network()->Deliver(
-      caller_region_, target->region(), payload.size() + context_blob.size(),
+      caller_region_, target->region(), payload.size() + context_blob.size(), affinity,
       [target, handler, payload, context_blob, service, method, target_region] {
         target->executor().Submit([handler, payload, context_blob, service, method,
                                    target_region] {

@@ -7,7 +7,9 @@ namespace antipode {
 uint64_t KvStore::SetWithTtl(Region region, const std::string& key, std::string value,
                              double ttl_model_millis) {
   const uint64_t version = Set(region, key, std::move(value));
-  TimerService::Shared().ScheduleAfter(
+  // Expiry rides the store's injected timer service (not the process-wide
+  // one), so deployments built around a private TimerService shut down clean.
+  timers()->ScheduleAfter(
       TimeScale::FromModelMillis(ttl_model_millis), [this, alive = alive_, region, key] {
         std::lock_guard<std::mutex> lock(alive->mu);
         if (!alive->alive) {

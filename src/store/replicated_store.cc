@@ -214,7 +214,8 @@ ReplicatedStore::ReplicatedStore(ReplicatedStoreOptions options, RegionTopology*
       topology_(topology),
       timers_(timers),
       profile_(PerStoreProfile(options_.replication, options_.name), topology),
-      metrics_(options_.name) {
+      metrics_(options_.name),
+      name_hash_(std::hash<std::string>{}(options_.name)) {
   replicas_.resize(kNumRegions);
   for (Region region : options_.regions) {
     replicas_[static_cast<size_t>(RegionIndex(region))] = std::make_unique<ReplicaTable>();
@@ -238,66 +239,87 @@ ReplicaTable& ReplicatedStore::replica(Region region) {
 }
 
 uint64_t ReplicatedStore::NextVersion(const std::string& key) {
-  std::lock_guard<std::mutex> lock(version_mu_);
-  return ++versions_[key];
+  VersionShard& shard = version_shards_[std::hash<std::string>{}(key) % kVersionShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ++shard.versions[key];
+}
+
+TimerService::AffinityToken ReplicatedStore::ShipmentAffinity(const std::string& key,
+                                                              Region destination) const {
+  // Golden-ratio scramble keeps ⟨key, us⟩ and ⟨key, eu⟩ on different workers.
+  return (std::hash<std::string>{}(key) ^ name_hash_) +
+         0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(RegionIndex(destination) + 1);
 }
 
 uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string bytes,
                               size_t extra_overhead_bytes) {
   assert(HasRegion(origin) && "write at a region without a replica");
-  Span span = Span::Start("store/put", {.category = "store", .region = origin});
-  StoredEntry entry;
-  entry.key = key;
-  entry.bytes = std::move(bytes);
-  entry.version = NextVersion(key);
-  entry.origin = origin;
-  entry.write_time = SystemClock::Instance().Now();
-  if (span.recording()) {
-    span.Annotate("store", options_.name);
-    span.Annotate("key", key);
-    span.Annotate("version", entry.version);
+  // Span construction is hoisted behind the enabled() load so the untraced
+  // path allocates nothing for tracing — not even the name/category strings.
+  std::optional<Span> span;
+  if (Tracer::Default().enabled()) {
+    span.emplace(Span::Start("store/put", {.category = "store", .region = origin}));
+  }
+  // One allocation for the entry, shared (immutably) by the local applies and
+  // every destination's shipment lambda; the per-region key+bytes copies the
+  // old by-value captures paid are gone. The last apply to fire frees it.
+  auto entry = std::make_shared<StoredEntry>();
+  entry->key = key;
+  entry->bytes = std::move(bytes);
+  entry->version = NextVersion(key);
+  entry->origin = origin;
+  entry->write_time = SystemClock::Instance().Now();
+  if (span.has_value() && span->recording()) {
+    span->Annotate("store", options_.name);
+    span->Annotate("key", key);
+    span->Annotate("version", entry->version);
     // Replication shipments inherit the put span, so remote applies land in
     // this trace as its children.
-    entry.trace_id = span.context().trace_id;
-    entry.parent_span_id = span.context().span_id;
+    entry->trace_id = span->context().trace_id;
+    entry->parent_span_id = span->context().span_id;
   }
 
-  metrics_.RecordWrite(entry.bytes.size(),
+  metrics_.RecordWrite(entry->bytes.size(),
                        options_.per_write_overhead_bytes + extra_overhead_bytes);
 
   // Synchronous apply at the origin and at the authority table. Origin
   // applies bypass the pause gate: the write is local, not replicated.
-  authority_.Apply(entry);
-  replica(origin).Apply(entry);
+  authority_.Apply(*entry);
+  replica(origin).Apply(*entry);
   if (apply_hook_) {
-    apply_hook_(origin, entry);
+    apply_hook_(origin, *entry);
   }
 
-  // Asynchronous shipping to the other replicas.
+  // Asynchronous shipping to the other replicas; `shared` is const from here
+  // on (the tables copy what they keep), so all shipments can alias it.
+  std::shared_ptr<const StoredEntry> shared = std::move(entry);
   for (Region destination : options_.regions) {
     if (destination == origin) {
       continue;
     }
-    const double lag_millis = profile_.SampleMillis(origin, destination, entry.bytes.size());
+    const double lag_millis = profile_.SampleMillis(origin, destination, shared->bytes.size());
     metrics_.RecordReplicationLagMillis(lag_millis);
-    {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
-      ++inflight_applies_;
+    inflight_->count.fetch_add(1, std::memory_order_relaxed);
+    const bool scheduled = timers_->ScheduleAfter(
+        TimeScale::FromModelMillis(lag_millis), ShipmentAffinity(key, destination),
+        [this, destination, lag_millis, shared, inflight = inflight_] {
+          RecordReplicationSpan(destination, lag_millis, *shared);
+          ApplyAt(destination, *shared);
+          // Only a decrement that reaches zero touches the drain lock. Past
+          // this decrement a drainer may destroy the store, so the wakeup
+          // goes through the co-owned inflight block — never `this`.
+          if (inflight->count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(inflight->mu);
+            inflight->cv.notify_all();
+          }
+        });
+    if (!scheduled) {
+      // Timer service already shut down: the shipment was dropped, so undo
+      // the accounting or DrainReplication would wait forever.
+      inflight_->count.fetch_sub(1, std::memory_order_acq_rel);
     }
-    timers_->ScheduleAfter(TimeScale::FromModelMillis(lag_millis),
-                           [this, destination, lag_millis, entry] {
-                             RecordReplicationSpan(destination, lag_millis, entry);
-                             ApplyAt(destination, entry);
-                             // Notify under the lock: a drainer may destroy the
-                             // store (and this condvar) the moment the count
-                             // reaches zero, so the broadcast must complete
-                             // before the mutex is released.
-                             std::lock_guard<std::mutex> lock(inflight_mu_);
-                             --inflight_applies_;
-                             inflight_cv_.notify_all();
-                           });
   }
-  return entry.version;
+  return shared->version;
 }
 
 ReplicatedStore::~ReplicatedStore() { DrainReplication(); }
@@ -370,8 +392,18 @@ bool ReplicatedStore::IsReplicationPaused(Region region) const {
 }
 
 void ReplicatedStore::DrainReplication() const {
-  std::unique_lock<std::mutex> lock(inflight_mu_);
-  inflight_cv_.wait(lock, [&] { return inflight_applies_ == 0; });
+  // Fast path: nothing in flight, skip the lock entirely. (Safe even if the
+  // final decrement's notify is still running: it only touches the shared
+  // inflight block, which the shipment lambda co-owns.)
+  if (inflight_->count.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(inflight_->mu);
+  // No lost wakeup: a shipment that decrements to zero after the predicate
+  // loads a non-zero count must acquire inflight_->mu to notify, which orders
+  // its notify after this wait begins.
+  inflight_->cv.wait(lock,
+                     [&] { return inflight_->count.load(std::memory_order_acquire) == 0; });
 }
 
 std::optional<StoredEntry> ReplicatedStore::Get(Region region, const std::string& key) const {

@@ -3,7 +3,14 @@
 // A `ReplicatedStore` keeps one `ReplicaTable` per region. A write lands
 // synchronously at its origin region and is shipped asynchronously to every
 // other replica: the visibility delay is sampled from the store's
-// `ReplicationProfile` and the apply is scheduled on the shared TimerService.
+// `ReplicationProfile` and the apply is scheduled on the timer engine with a
+// per-⟨store, key, destination⟩ affinity token, so same-key applies at one
+// region execute serially and in order while everything else parallelizes.
+// Shipments are zero-copy: `Put` allocates the `StoredEntry` once as a
+// `shared_ptr<const StoredEntry>` aliased by every destination's callback
+// (the replica tables copy what they keep), and the entry lives until the
+// last shipment referencing it has applied — callbacks never reach into the
+// store for it, so entry lifetime never races store internals.
 // Versions are monotonically increasing per key (the versioned key-object
 // model the paper assumes, §6.1), so "is ⟨key, version⟩ visible at region r"
 // is a single watermark comparison.
@@ -186,6 +193,10 @@ class ReplicatedStore {
 
   const std::string& name() const { return options_.name; }
   const std::vector<Region>& regions() const { return options_.regions; }
+  // The timer service replication (and store-level timers like TTL expiry)
+  // runs on. Layers above the store (shims) reuse it so a deployment built
+  // around a private TimerService never leaks work onto the shared one.
+  TimerService* timers() const { return timers_; }
   StoreMetrics& metrics() { return metrics_; }
   const StoreMetrics& metrics() const { return metrics_; }
   size_t per_write_overhead_bytes() const { return options_.per_write_overhead_bytes; }
@@ -224,19 +235,42 @@ class ReplicatedStore {
  private:
   uint64_t NextVersion(const std::string& key);
 
+  // Timer affinity for a shipment: all shipments of `key` to `destination`
+  // land on the same engine shard + worker, so per-⟨key, region⟩ applies
+  // execute serially in deadline order (FIFO at equal deadlines).
+  TimerService::AffinityToken ShipmentAffinity(const std::string& key,
+                                               Region destination) const;
+
   ReplicatedStoreOptions options_;
   RegionTopology* topology_;
   TimerService* timers_;
   ReplicationProfile profile_;
   StoreMetrics metrics_;
   ApplyHook apply_hook_;
+  size_t name_hash_ = 0;  // decorrelates affinity tokens across stores
 
-  mutable std::mutex version_mu_;
-  std::map<std::string, uint64_t> versions_;
+  // Per-key version counters, striped so concurrent writers of different
+  // keys never contend on one global mutex/map.
+  static constexpr size_t kVersionShards = 16;
+  struct VersionShard {
+    std::mutex mu;
+    std::unordered_map<std::string, uint64_t> versions;
+  };
+  mutable std::array<VersionShard, kVersionShards> version_shards_;
 
-  mutable std::mutex inflight_mu_;
-  mutable std::condition_variable inflight_cv_;
-  size_t inflight_applies_ = 0;
+  // Lock-free in-flight shipment accounting: Put increments before
+  // scheduling, the shipment callback decrements after the apply. The mutex/
+  // condvar pair exists only for the drain path — a decrement that hits zero
+  // takes the lock solely to publish the wakeup (never per-shipment). The
+  // state lives behind a shared_ptr co-owned by every shipment lambda (the
+  // `resident_waiters_` idiom): the final decrement's notify may run after a
+  // drainer saw zero and destroyed the store, so it must not touch members.
+  struct InflightShipments {
+    std::atomic<size_t> count{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  std::shared_ptr<InflightShipments> inflight_ = std::make_shared<InflightShipments>();
 
   // Applies the entry at `region` (or buffers it while the region's inbound
   // replication is paused), then fires the apply hook.

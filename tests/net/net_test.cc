@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "src/net/latency_model.h"
 #include "src/net/network.h"
 #include "src/net/region.h"
 #include "src/net/topology.h"
+#include "src/obs/metrics.h"
 
 namespace antipode {
 namespace {
@@ -104,6 +109,70 @@ TEST_F(NetTest, PayloadAddsBandwidthCost) {
 TEST_F(NetTest, LocalRegionIsFast) {
   RegionTopology topology;
   EXPECT_LT(topology.MedianOneWayMillis(Region::kLocal, Region::kLocal), 0.1);
+}
+
+TEST_F(NetTest, AffinityDeliveriesPreserveOrder) {
+  TimeScale::Set(0.0);  // zero delay: all deliveries share one deadline
+  SimulatedNetwork network;
+  std::mutex mu;
+  std::vector<int> order;
+  constexpr TimerService::AffinityToken kFlow = 7;
+  for (int i = 0; i < 20; ++i) {
+    network.Deliver(Region::kUs, Region::kEu, 0, kFlow, [&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (order.size() == 20u) {
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+// Regression for the per-link instrument cache: the first CountMessage for a
+// link used to publish the cached counter pointers with a benign-but-racy
+// double store; it is now a std::once_flag per link. Hammering one cold link
+// from many threads must be TSan-clean and lose no increments. Named
+// *Metrics* so the tsan ctest preset picks it up.
+TEST(NetMetricsTest, ConcurrentColdLinkCounting) {
+  TimeScale::Set(0.0);
+  SimulatedNetwork network;
+  constexpr int kThreads = 8;
+  constexpr int kMessagesPerThread = 200;
+  const uint64_t before =
+      MetricsRegistry::Default().Snapshot().CounterTotal("net.messages");
+  std::atomic<int> delivered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&network, &delivered] {
+      for (int i = 0; i < kMessagesPerThread; ++i) {
+        // SG->LOCAL is cold in every other test, so all threads race the
+        // one-time initialization of this link's instrument cache.
+        network.Deliver(Region::kSg, Region::kLocal, 8, [&delivered] { delivered.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (delivered.load() < kThreads * kMessagesPerThread &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(delivered.load(), kThreads * kMessagesPerThread);
+  const uint64_t after =
+      MetricsRegistry::Default().Snapshot().CounterTotal("net.messages");
+  EXPECT_GE(after - before, static_cast<uint64_t>(kThreads * kMessagesPerThread));
+  TimeScale::Set(1.0);
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace antipode {
 namespace {
@@ -187,6 +191,83 @@ TEST_F(ReplicatedStoreTest, ReplicationLagRecorded) {
   EXPECT_EQ(lag.count(), 1u);
   EXPECT_GT(lag.Mean(), 50.0);  // base 80ms + WAN
   store.DrainReplication();
+}
+
+// Shipments of one key to one region carry the same timer affinity, so their
+// applies execute serially in deadline order. With a deterministic profile
+// (sigma = 0, WAN multiplier = 0) deadlines are monotonic in issue order and
+// the EU apply hook must observe versions 1..N exactly — no interleaving
+// worker may ever deliver version v after v+1.
+TEST_F(ReplicatedStoreTest, PerKeyRegionAppliesStayOrdered) {
+  auto options = FastOptions("rs17", 10.0);
+  options.replication.sigma = 0.0;
+  options.replication.network_delay_multiplier = 0.0;
+  ReplicatedStore store(std::move(options));
+  std::mutex mu;
+  std::vector<uint64_t> eu_versions;
+  store.SetApplyHook([&](Region region, const StoredEntry& entry) {
+    if (region == Region::kEu && entry.key == "hot") {
+      std::lock_guard<std::mutex> lock(mu);
+      eu_versions.push_back(entry.version);
+    }
+  });
+  constexpr uint64_t kWrites = 100;
+  for (uint64_t i = 0; i < kWrites; ++i) {
+    store.Put(Region::kUs, "hot", "v" + std::to_string(i));
+  }
+  store.DrainReplication();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(eu_versions.size(), kWrites);
+  for (uint64_t i = 0; i < kWrites; ++i) {
+    EXPECT_EQ(eu_versions[i], i + 1);
+  }
+}
+
+// TSan target for the atomic in-flight accounting: writers racing a drainer
+// (and each other) must never lose a shipment or let DrainReplication return
+// while applies are outstanding. Named *Stress* for the tsan ctest preset.
+TEST(ReplicatedStoreStressTest, DrainUnderLoad) {
+  TimeScale::Set(0.02);
+  ReplicatedStoreOptions options;
+  options.name = "drain-stress";
+  options.regions = {Region::kUs, Region::kEu, Region::kSg};
+  options.replication.median_millis = 30.0;
+  options.replication.sigma = 0.3;
+  ReplicatedStore store(std::move(options));
+
+  constexpr int kWriters = 4;
+  constexpr int kWritesPerWriter = 50;
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        store.Put(Region::kUs, "w" + std::to_string(w) + "/k" + std::to_string(i), "v");
+      }
+    });
+  }
+  // Drain concurrently with the writers: each return only claims that the
+  // shipments issued before it completed, which the final check verifies.
+  std::thread drainer([&store, &writers_done] {
+    while (!writers_done.load(std::memory_order_acquire)) {
+      store.DrainReplication();
+    }
+  });
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  drainer.join();
+  store.DrainReplication();
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kWritesPerWriter; ++i) {
+      const std::string key = "w" + std::to_string(w) + "/k" + std::to_string(i);
+      EXPECT_TRUE(store.IsVisible(Region::kEu, key, 1));
+      EXPECT_TRUE(store.IsVisible(Region::kSg, key, 1));
+    }
+  }
+  EXPECT_EQ(store.metrics().writes(), static_cast<uint64_t>(kWriters * kWritesPerWriter));
+  TimeScale::Set(1.0);
 }
 
 }  // namespace
