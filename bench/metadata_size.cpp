@@ -2,31 +2,137 @@
 // trace: assuming the worst case where *every* stateful operation of a
 // request joins the dependency chain, the paper found the lineage metadata
 // stays below 1 KB for 99% of requests and averages ≈200 bytes.
+//
+// A second phase measures how much of that metadata the visibility-cache
+// watermark sheds at the Serialize boundary (DESIGN.md §8): each stateful
+// call is a write with a per-store sequence number, replication to every
+// region completes `--lag` calls after the write, and the request serializes
+// its lineage `--delay` calls after its last write. Writes that have
+// replicated everywhere by then can never block any barrier, so
+// Lineage::PruneVisibleEverywhere drops them from the baggage.
+//
+// Flags: --requests=<n> (default 100000), --lag=<calls> (default 64),
+//        --delay=<calls> (default 32).
 
+#include <array>
 #include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/antipode/lineage.h"
+#include "src/antipode/visibility_cache.h"
 #include "src/trace/call_graph.h"
 
 using namespace antipode;
 
+namespace {
+
+constexpr uint32_t kTraceStores = 12;  // AnalyzeTrace shards services over 12 stores
+const std::vector<Region> kAllRegions = {Region::kUs, Region::kEu, Region::kSg};
+
+struct PendingApply {
+  std::string key;
+  uint64_t version = 0;
+  uint64_t seq = 0;
+  uint64_t written_at = 0;  // global call-clock tick of the write
+};
+
+void PrintHistogram(const char* title, const Histogram& bytes) {
+  std::printf("%-18s %10.0f %10.0f %10.0f %10.0f %10.0f\n", title, bytes.Mean(),
+              bytes.Percentile(0.50), bytes.Percentile(0.90), bytes.Percentile(0.99),
+              bytes.max());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   BenchArgs args(argc, argv);
   const auto requests = static_cast<uint32_t>(args.GetInt("requests", 100000));
+  const auto lag = static_cast<uint64_t>(args.GetInt("lag", 64));
+  const auto delay = static_cast<uint64_t>(args.GetInt("delay", 32));
 
   CallGraphGenerator generator(TraceGenOptions{});
-  TraceAnalysis analysis = AnalyzeTrace(generator, requests);
-  const Histogram& bytes = analysis.lineage_bytes_per_request;
+
+  // Private cache: one StoreVisibility per synthetic store, same "storeN"
+  // naming AnalyzeTrace uses, so PruneVisibleEverywhere resolves them by name.
+  VisibilityCache cache;
+  std::vector<std::shared_ptr<StoreVisibility>> stores;
+  std::array<uint64_t, kTraceStores> seq_counters{};
+  std::array<std::deque<PendingApply>, kTraceStores> in_flight;
+  for (uint32_t s = 0; s < kTraceStores; ++s) {
+    stores.push_back(cache.Register("store" + std::to_string(s), kAllRegions));
+  }
+
+  // Mirrors AnalyzeTrace's lineage construction (same key rng derivation) so
+  // the "before" column here matches the §7.4 analysis.
+  Rng key_rng(generator.options().seed ^ 0xABCDEF);
+  Histogram before_bytes;
+  Histogram after_bytes;
+  Histogram deps_before;
+  Histogram deps_after;
+  uint64_t clock = 0;
+
+  for (uint32_t i = 0; i < requests; ++i) {
+    CallGraphStats stats = generator.Next();
+    Lineage lineage(i + 1);
+    for (uint32_t service : stats.stateful_service_sequence) {
+      const uint32_t store_idx = service % kTraceStores;
+      WriteId id;
+      id.store = "store" + std::to_string(store_idx);
+      id.key = "s" + std::to_string(service) + "/k" + std::to_string(key_rng.NextBelow(2));
+      id.version = 1 + key_rng.NextBelow(1 << 20);
+      in_flight[store_idx].push_back(PendingApply{id.key, id.version,
+                                                  ++seq_counters[store_idx], clock});
+      ++clock;
+      lineage.Append(std::move(id));
+    }
+    before_bytes.Record(static_cast<double>(lineage.WireSize()));
+    deps_before.Record(static_cast<double>(lineage.Size()));
+
+    // The request serializes its lineage `delay` ticks after its last write:
+    // every write older than `lag` ticks at that point has applied at all
+    // regions, so flush those applies into the cache before pruning.
+    const uint64_t serialize_at = clock + delay;
+    const uint64_t horizon = serialize_at >= lag ? serialize_at - lag : 0;
+    for (uint32_t s = 0; s < kTraceStores; ++s) {
+      auto& queue = in_flight[s];
+      while (!queue.empty() && queue.front().written_at <= horizon) {
+        const PendingApply& apply = queue.front();
+        for (Region region : kAllRegions) {
+          stores[s]->NoteApply(region, apply.key, apply.version, apply.seq);
+        }
+        queue.pop_front();
+      }
+    }
+    lineage.PruneVisibleEverywhere(cache);
+    after_bytes.Record(static_cast<double>(lineage.WireSize()));
+    deps_after.Record(static_cast<double>(lineage.Size()));
+  }
 
   std::printf("# §7.4 worst-case lineage metadata size on the Alibaba-style trace "
               "(%u requests)\n",
               requests);
-  std::printf("%-10s %10s\n", "stat", "bytes");
-  std::printf("%-10s %10.0f\n", "mean", bytes.Mean());
-  std::printf("%-10s %10.0f\n", "p50", bytes.Percentile(0.50));
-  std::printf("%-10s %10.0f\n", "p90", bytes.Percentile(0.90));
-  std::printf("%-10s %10.0f\n", "p99", bytes.Percentile(0.99));
-  std::printf("%-10s %10.0f\n", "max", bytes.max());
-  std::printf("# paper: mean ~200 B, p99 < 1 KB\n");
+  std::printf("# watermark pruning model: replication lag %llu calls, serialize %llu "
+              "calls after last write\n",
+              static_cast<unsigned long long>(lag), static_cast<unsigned long long>(delay));
+  std::printf("%-18s %10s %10s %10s %10s %10s\n", "wire bytes", "mean", "p50", "p90", "p99",
+              "max");
+  PrintHistogram("before pruning", before_bytes);
+  PrintHistogram("after pruning", after_bytes);
+  std::printf("%-18s %10s %10s %10s %10s %10s\n", "deps", "mean", "p50", "p90", "p99", "max");
+  PrintHistogram("before pruning", deps_before);
+  PrintHistogram("after pruning", deps_after);
+  const double shed = before_bytes.Mean() > 0.0
+                          ? 100.0 * (before_bytes.Mean() - after_bytes.Mean()) / before_bytes.Mean()
+                          : 0.0;
+  std::printf("# mean wire bytes shed by watermark pruning: %.1f%%\n", shed);
+  std::printf("# paper: mean ~200 B, p99 < 1 KB (before pruning)\n");
+  if (after_bytes.Mean() >= before_bytes.Mean()) {
+    std::fprintf(stderr, "FAIL: pruning did not reduce mean wire size\n");
+    return 1;
+  }
   return 0;
 }

@@ -13,14 +13,27 @@
 //             lineage. All replication timers run concurrently and the
 //             fan-out gathers them, so the request costs the MAX of the lags.
 //
-// A second phase measures thundering-herd wakeups: waiters parked on cold
+// A second phase measures the all-deps-already-visible case — the steady
+// state when replication lag ≪ inter-request gap. Every write has long
+// replicated, so the barrier does no model-time waiting and the measurement
+// is pure wall-clock overhead: with the visibility cache every dependency is
+// answered by a striped-shard probe and the barrier returns with zero
+// registry/timer/pool traffic (`barrier.zero_wait`); without it (the PR 1
+// parallel path) every dependency still costs a gather slot, a registry
+// lookup under the shard lock, and a synchronous waiter-side completion.
+//
+// A third phase measures thundering-herd wakeups: waiters parked on cold
 // keys while a writer hammers hot keys. With the per-key waiter registry an
 // apply notifies only waiters of the written key (waiters_notified/applies
 // stays O(matching)); the legacy single-condvar design would have woken every
 // resident waiter per apply (notify_all_wakeups/applies).
 //
-// Flags: --requests=<n> (default 200), --scale=<f> (default 0.02).
+// Flags: --requests=<n> (default 200), --scale=<f> (default 0.02),
+//        --cache={on,off,both} (default both: the all-visible phase prints
+//        the cached-vs-uncached comparison; on/off also gates the cache in
+//        the eager/deferred phase).
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -29,6 +42,7 @@
 #include "bench/bench_util.h"
 #include "src/antipode/antipode.h"
 #include "src/common/histogram.h"
+#include "src/obs/metrics.h"
 #include "src/store/kv_store.h"
 
 namespace antipode {
@@ -55,10 +69,11 @@ struct Bed {
   }
 };
 
-double RunEager(int requests, Histogram* hist) {
+double RunEager(int requests, Histogram* hist, bool use_cache) {
   Bed bed("eager");
   const BarrierOptions options{.registry = &bed.registry,
-                               .wait_mode = BarrierWaitMode::kSequential};
+                               .wait_mode = BarrierWaitMode::kSequential,
+                               .use_cache = use_cache};
   for (int r = 0; r < requests; ++r) {
     const TimePoint start = SystemClock::Instance().Now();
     Lineage lineage(static_cast<uint64_t>(r) + 1);
@@ -81,9 +96,9 @@ double RunEager(int requests, Histogram* hist) {
   return max_store_lag_p50;
 }
 
-double RunDeferred(int requests, Histogram* hist) {
+double RunDeferred(int requests, Histogram* hist, bool use_cache) {
   Bed bed("defer");
-  const BarrierOptions options{.registry = &bed.registry};
+  const BarrierOptions options{.registry = &bed.registry, .use_cache = use_cache};
   for (int r = 0; r < requests; ++r) {
     const TimePoint start = SystemClock::Instance().Now();
     Lineage lineage(static_cast<uint64_t>(r) + 1);
@@ -104,6 +119,102 @@ double RunDeferred(int requests, Histogram* hist) {
     max_store_lag_p50 = std::max(max_store_lag_p50, store->metrics().ReplicationLag().Percentile(0.5));
   }
   return max_store_lag_p50;
+}
+
+// Forwards to a wrapped shim but hides its WaitManyAsync override and its
+// visibility() state, reproducing the PR 1 barrier path exactly: one
+// WaitAsync per dependency through the default fan-out adapter, no cache.
+class PerDepShim : public Shim {
+ public:
+  explicit PerDepShim(Shim* inner) : inner_(inner) {}
+  const std::string& store_name() const override { return inner_->store_name(); }
+  Status Wait(Region region, const WriteId& id, Duration timeout) override {
+    return inner_->Wait(region, id, timeout);
+  }
+  void WaitAsync(Region region, const WriteId& id, TimePoint deadline,
+                 WaitCallback done) override {
+    inner_->WaitAsync(region, id, deadline, std::move(done));
+  }
+  bool IsVisible(Region region, const WriteId& id) override {
+    return inner_->IsVisible(region, id);
+  }
+
+ private:
+  Shim* inner_;
+};
+
+// All-deps-already-visible: writes have long replicated, so the barrier does
+// no model-time waiting and the cost is pure wall-clock overhead. Measured in
+// real microseconds (steady clock), not model time. Returns the p50 in µs.
+// `mode`: 0 = cache on (batched misses), 1 = cache off (batched waits),
+// 2 = PR 1 baseline (cache off, per-dependency WaitAsync fan-out).
+double RunAllVisible(int barriers, int mode, Histogram* hist) {
+  const bool use_cache = mode == 0;
+  Bed bed(mode == 0 ? "vis-on" : mode == 1 ? "vis-off" : "vis-pr1");
+  // 8 keys per store → 24 dependencies per barrier, all at the same region.
+  Lineage lineage(1);
+  for (int i = 0; i < kStores; ++i) {
+    for (int k = 0; k < 8; ++k) {
+      lineage = bed.shims[static_cast<size_t>(i)]->Write(
+          Region::kUs, "k" + std::to_string(k), "v", std::move(lineage));
+    }
+  }
+  for (auto& store : bed.stores) {
+    store->DrainReplication();  // every dependency visible at every region
+  }
+  // PR 1 baseline: replace each registered shim with a wrapper that exposes
+  // only the per-dependency WaitAsync surface (no batching, no cache).
+  std::vector<std::unique_ptr<PerDepShim>> wrappers;
+  if (mode == 2) {
+    for (auto& shim : bed.shims) {
+      wrappers.push_back(std::make_unique<PerDepShim>(shim.get()));
+      bed.registry.Register(wrappers.back().get());
+    }
+  }
+  const BarrierOptions options{.registry = &bed.registry, .use_cache = use_cache};
+  // Warm-up: first barrier takes the sync-completion path and (with the cache
+  // on) everything after it is served from the apply-populated cache.
+  if (!Barrier(lineage, Region::kEu, options).ok()) {
+    std::fprintf(stderr, "all-visible warm-up barrier failed\n");
+    std::exit(1);
+  }
+  Counter* zero_wait = MetricsRegistry::Default().GetCounter("barrier.zero_wait");
+  const uint64_t zero_wait_before = zero_wait->value();
+  WakeupStats wakeups_before;
+  for (auto& store : bed.stores) {
+    const WakeupStats w = store->TotalWakeups();
+    wakeups_before.waiters_notified += w.waiters_notified;
+  }
+  for (int r = 0; r < barriers; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!Barrier(lineage, Region::kEu, options).ok()) {
+      std::fprintf(stderr, "all-visible barrier failed\n");
+      std::exit(1);
+    }
+    hist->Record(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                                         .count()) /
+                 1000.0);
+  }
+  const uint64_t zero_wait_delta = zero_wait->value() - zero_wait_before;
+  uint64_t waiters_notified = 0;
+  for (auto& store : bed.stores) {
+    waiters_notified += store->TotalWakeups().waiters_notified;
+  }
+  waiters_notified -= wakeups_before.waiters_notified;
+  const char* label = mode == 0   ? "all-visible cache=on"
+                      : mode == 1 ? "all-visible cache=off"
+                                  : "all-visible PR1 per-dep";
+  std::printf("%-24s %10.1f %10.1f %10.1f   zero_wait %llu/%d, waiters woken %llu\n", label,
+              hist->Percentile(0.5), hist->Percentile(0.99), hist->Mean(),
+              static_cast<unsigned long long>(zero_wait_delta), barriers,
+              static_cast<unsigned long long>(waiters_notified));
+  if (use_cache && zero_wait_delta != static_cast<uint64_t>(barriers)) {
+    std::fprintf(stderr, "FAIL: expected barrier.zero_wait == barrier count (%d), got %llu\n",
+                 barriers, static_cast<unsigned long long>(zero_wait_delta));
+    std::exit(1);
+  }
+  return hist->Percentile(0.5);
 }
 
 void RunWakeups(int writes) {
@@ -163,10 +274,13 @@ int Main(int argc, char** argv) {
               kMedians[0], kMedians[1], kMedians[2]);
   std::printf("# per-request: 3 writes (one per store) + cross-region enforcement\n\n");
 
+  const std::string cache_flag = args.GetString("cache", "both");
+  const bool cache_in_main_phase = cache_flag != "off";
+
   Histogram eager;
   Histogram deferred;
-  RunEager(requests, &eager);
-  const double max_lag_p50 = RunDeferred(requests, &deferred);
+  RunEager(requests, &eager, cache_in_main_phase);
+  const double max_lag_p50 = RunDeferred(requests, &deferred, cache_in_main_phase);
   const double sum_medians = kMedians[0] + kMedians[1] + kMedians[2];
 
   std::printf("%-24s %10s %10s %10s\n", "strategy", "p50 ms", "p99 ms", "mean ms");
@@ -182,6 +296,30 @@ int Main(int argc, char** argv) {
               max_lag_p50,
               max_lag_p50 > 0 ? 100.0 * (deferred.Percentile(0.5) - max_lag_p50) / max_lag_p50
                               : 0.0);
+
+  const int visible_barriers = args.GetInt("visible-barriers", 2000);
+  std::printf("\n# all-deps-already-visible (24 deps/barrier, wall-clock µs, %d barriers)\n",
+              visible_barriers);
+  std::printf("%-24s %10s %10s %10s\n", "scenario", "p50 us", "p99 us", "mean us");
+  double cached_p50 = 0.0;
+  double uncached_p50 = 0.0;
+  double pr1_p50 = 0.0;
+  if (cache_flag == "on" || cache_flag == "both") {
+    Histogram hist;
+    cached_p50 = RunAllVisible(visible_barriers, /*mode=*/0, &hist);
+  }
+  if (cache_flag == "off" || cache_flag == "both") {
+    Histogram hist;
+    uncached_p50 = RunAllVisible(visible_barriers, /*mode=*/1, &hist);
+  }
+  if (cache_flag == "both") {
+    Histogram hist;
+    pr1_p50 = RunAllVisible(visible_barriers, /*mode=*/2, &hist);
+  }
+  if (cache_flag == "both" && cached_p50 > 0.0) {
+    std::printf("# batched-uncached/cached p50 ratio: %.1fx\n", uncached_p50 / cached_p50);
+    std::printf("# PR1-per-dep/cached p50 ratio: %.1fx\n", pr1_p50 / cached_p50);
+  }
 
   RunWakeups(args.GetInt("writes", 400));
   return 0;

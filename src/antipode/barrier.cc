@@ -168,29 +168,95 @@ void CountBarrier(Region region, const Status& status, double stall_model_ms) {
   stall->Record(stall_model_ms);
 }
 
-// Fans one shim WaitAsync per ⟨region, dependency⟩, all sharing `deadline`.
+// Visibility-cache outcome counters. Process-global (not per region): the
+// cache itself is region-aware, the hit rate is one number operators watch.
+struct CacheInstruments {
+  Counter* hit;
+  Counter* miss;
+  Counter* zero_wait;
+};
+
+const CacheInstruments& CacheCounters() {
+  static const CacheInstruments counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    return CacheInstruments{registry.GetCounter("barrier.cache_hit"),
+                            registry.GetCounter("barrier.cache_miss"),
+                            registry.GetCounter("barrier.zero_wait")};
+  }();
+  return counters;
+}
+
+// Shared-pointer alias for the cache state a shim exposes; nullptr when the
+// shim's store does not publish applies.
+using VisibilityHandle = std::shared_ptr<StoreVisibility>;
+
+// O(1) completion for a lineage some prior barrier already enforced at every
+// requested region (Lineage::enforced_at): visibility is monotone, so the old
+// verdict can never go stale. The dependencies count as cache hits so the
+// hit-rate arithmetic stays coherent with the probe path.
+Status MemoizedOk(const Lineage& lineage, size_t num_regions, Region primary) {
+  const CacheInstruments& counters = CacheCounters();
+  if (!lineage.Empty()) {
+    counters.hit->Increment(lineage.Size() * num_regions);
+  }
+  counters.zero_wait->Increment();
+  CountBarrier(primary, Status::Ok(), 0.0);
+  return Status::Ok();
+}
+
+// Fans asynchronous waits for the dependencies the visibility cache cannot
+// prove visible, all sharing `deadline`. Cache-hit dependencies are filtered
+// out up front; when everything hits, `done` fires synchronously with zero
+// thread-pool, timer, or registry traffic (the `barrier.zero_wait` path).
+// Misses are batched per ⟨shim, region⟩ through WaitManyAsync so one store's
+// misses cost one deadline timer and one completion, not one per dependency.
+//
 // Returns non-Ok (and never calls `done`) only for the fail-fast path —
 // a dependency on an unregistered store under strict resolution. Otherwise
 // `done` fires exactly once, possibly synchronously for already-visible sets.
+// `memoizable` (optional) reports whether an Ok outcome proves every
+// dependency visible in the regions' local replicas — i.e. whether the caller
+// may set the lineage's enforcement memo. False when an unknown store was
+// skipped or a dependency needed a real wait through a shim whose wait does
+// not imply local visibility (dynamo-style authority reads).
 Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& regions,
                           TimePoint deadline, const BarrierOptions& options,
-                          std::function<void(Status)> done) {
+                          std::function<void(Status)> done, bool* memoizable = nullptr) {
+  if (memoizable != nullptr) {
+    *memoizable = true;
+  }
   // Dependencies are sorted, so each store's run is contiguous: one registry
-  // lookup per store, not per dependency.
-  std::vector<std::pair<Shim*, const WriteId*>> plan;
-  plan.reserve(lineage.Size());
-  Shim* shim = nullptr;
-  const std::string* current_store = nullptr;
-  for (const auto& dep : lineage.deps()) {
-    if (current_store == nullptr || dep.store != *current_store) {
-      current_store = &dep.store;
-      shim = options.registry->Lookup(dep.store);
-      if (shim == nullptr && !options.ignore_unknown_stores) {
-        return Status::FailedPrecondition("no shim registered for store: " + dep.store);
+  // lookup (and one cache-state fetch) per store, not per dependency.
+  struct StoreRun {
+    Shim* shim = nullptr;
+    VisibilityHandle vis;
+    const WriteId* begin = nullptr;
+    const WriteId* end = nullptr;
+  };
+  std::vector<StoreRun> runs;
+  {
+    Shim* shim = nullptr;
+    VisibilityHandle vis;
+    const std::string* current_store = nullptr;
+    for (const auto& dep : lineage.deps()) {
+      if (current_store == nullptr || dep.store != *current_store) {
+        current_store = &dep.store;
+        shim = options.registry->Lookup(dep.store);
+        if (shim == nullptr && !options.ignore_unknown_stores) {
+          return Status::FailedPrecondition("no shim registered for store: " + dep.store);
+        }
+        vis = shim != nullptr ? shim->visibility() : nullptr;
+        if (shim == nullptr && memoizable != nullptr) {
+          *memoizable = false;  // skipped dependency: outcome proves nothing about it
+        }
+        if (shim != nullptr) {
+          runs.push_back(StoreRun{shim, vis, &dep, &dep + 1});
+          continue;
+        }
       }
-    }
-    if (shim != nullptr) {
-      plan.emplace_back(shim, &dep);
+      if (shim != nullptr) {
+        runs.back().end = &dep + 1;
+      }
     }
   }
 
@@ -198,7 +264,50 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
   const TimePoint start = SystemClock::Instance().Now();
   std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(primary);
 
-  const size_t num_deps = plan.size();
+  // Filter every ⟨region, dependency⟩ pair against the cache; survivors are
+  // grouped per ⟨shim, region⟩ for one batched wait each. The WriteId copies
+  // are required anyway: wait callbacks may outlive the lineage
+  // (BarrierAsync) and the completion feeds the ids back into the cache.
+  struct WaitGroup {
+    Shim* shim = nullptr;
+    VisibilityHandle vis;
+    Region region = Region::kLocal;
+    std::vector<WriteId> ids;
+  };
+  std::vector<WaitGroup> groups;
+  size_t num_deps = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (Region region : regions) {
+    for (const StoreRun& run : runs) {
+      WaitGroup* group = nullptr;
+      for (const WriteId* dep = run.begin; dep != run.end; ++dep) {
+        ++num_deps;
+        if (options.use_cache) {
+          if (run.vis != nullptr && run.vis->IsVisible(region, dep->key, dep->version)) {
+            ++hits;
+            continue;
+          }
+          ++misses;
+        }
+        if (group == nullptr) {
+          groups.push_back(WaitGroup{run.shim, run.vis, region, {}});
+          group = &groups.back();
+          group->ids.reserve(static_cast<size_t>(run.end - dep));
+          if (memoizable != nullptr && !run.shim->wait_implies_visibility()) {
+            *memoizable = false;  // this wait succeeds via the authority, not the replica
+          }
+        }
+        group->ids.push_back(*dep);
+      }
+    }
+  }
+  if (options.use_cache && (hits != 0 || misses != 0)) {
+    const CacheInstruments& counters = CacheCounters();
+    if (hits != 0) counters.hit->Increment(hits);
+    if (misses != 0) counters.miss->Increment(misses);
+  }
+
   auto finish = [primary, start, num_deps, trace, done = std::move(done)](Status status) {
     if (trace != nullptr) {
       FinishBarrierTrace(*trace, num_deps, "parallel", status);
@@ -209,32 +318,62 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
     done(status);
   };
 
-  const size_t waits = plan.size() * regions.size();
-  if (waits == 0) {
+  if (groups.empty()) {
+    // Every dependency hit the cache (or the lineage resolved to nothing):
+    // the barrier completes without touching a registry, timer, or pool.
+    if (options.use_cache) {
+      CacheCounters().zero_wait->Increment();
+    }
     finish(Status::Ok());
     return Status::Ok();
   }
+
+  const bool traced = trace != nullptr;
+  const size_t waits =
+      traced ? [&] {
+        size_t n = 0;
+        for (const WaitGroup& g : groups) n += g.ids.size();
+        return n;
+      }()
+             : groups.size();
   auto gather = std::make_shared<WaitGather>(waits, std::move(finish));
-  for (Region region : regions) {
-    for (const auto& [wait_shim, dep] : plan) {
-      if (trace != nullptr) {
-        // Traced waits copy their WriteId: the callback may outlive the
-        // lineage (BarrierAsync) and needs it to label the wait span.
-        wait_shim->WaitAsync(region, *dep, deadline,
-                             [gather, trace, region, dep = *dep](Status status) {
-                               const TimePoint end = SystemClock::Instance().Now();
-                               const double stall_ms =
-                                   TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-                                       end - trace->start));
-                               trace->Observe(stall_ms, dep);
-                               RecordWaitSpan(*trace, dep, region, end, stall_ms, status);
-                               gather->Complete(status);
-                             });
-      } else {
-        wait_shim->WaitAsync(region, *dep, deadline,
-                             [gather](Status status) { gather->Complete(status); });
+  for (WaitGroup& group : groups) {
+    // A wait that succeeded proves its ids visible at the region — feed that
+    // back so the next barrier over the same lineage hits. Gated on the shim:
+    // dynamo-style waits succeed via the authority, not the local replica.
+    const bool feed_cache = group.vis != nullptr && group.shim->wait_implies_visibility();
+    if (traced) {
+      // Traced barriers keep the one-wait-per-dependency fan-out: each
+      // dependency gets its own "barrier/wait" span and critical-path sample.
+      const Region region = group.region;
+      for (WriteId& id : group.ids) {
+        group.shim->WaitAsync(
+            region, id, deadline,
+            [gather, trace, region, feed_cache, vis = group.vis, dep = id](Status status) {
+              const TimePoint end = SystemClock::Instance().Now();
+              const double stall_ms = TimeScale::ToModelMillis(
+                  std::chrono::duration_cast<Duration>(end - trace->start));
+              trace->Observe(stall_ms, dep);
+              RecordWaitSpan(*trace, dep, region, end, stall_ms, status);
+              if (status.ok() && feed_cache) {
+                vis->NoteVisible(region, dep.key, dep.version);
+              }
+              gather->Complete(status);
+            });
       }
+      continue;
     }
+    const Region region = group.region;
+    auto ids = std::make_shared<std::vector<WriteId>>(std::move(group.ids));
+    group.shim->WaitManyAsync(region, *ids, deadline,
+                              [gather, region, feed_cache, vis = group.vis, ids](Status status) {
+                                if (status.ok() && feed_cache) {
+                                  for (const WriteId& id : *ids) {
+                                    vis->NoteVisible(region, id.key, id.version);
+                                  }
+                                }
+                                gather->Complete(status);
+                              });
   }
   return Status::Ok();
 }
@@ -242,6 +381,19 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
 // Blocks the calling thread on the gathered fan-out.
 Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& regions,
                        TimePoint deadline, const BarrierOptions& options) {
+  if (options.use_cache) {
+    bool all_enforced = true;
+    for (Region region : regions) {
+      if (!lineage.enforced_at(region)) {
+        all_enforced = false;
+        break;
+      }
+    }
+    if (all_enforced) {
+      return MemoizedOk(lineage, regions.size(),
+                        regions.empty() ? Region::kLocal : regions.front());
+    }
+  }
   struct Latch {
     std::mutex mu;
     std::condition_variable cv;
@@ -249,19 +401,28 @@ Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& region
     Status status = Status::Ok();
   };
   auto latch = std::make_shared<Latch>();
-  Status launched = LaunchBarrierWaits(lineage, regions, deadline, options, [latch](Status status) {
-    {
-      std::lock_guard<std::mutex> lock(latch->mu);
-      latch->status = std::move(status);
-      latch->done = true;
-    }
-    latch->cv.notify_one();
-  });
+  bool memoizable = false;
+  Status launched = LaunchBarrierWaits(
+      lineage, regions, deadline, options,
+      [latch](Status status) {
+        {
+          std::lock_guard<std::mutex> lock(latch->mu);
+          latch->status = std::move(status);
+          latch->done = true;
+        }
+        latch->cv.notify_one();
+      },
+      &memoizable);
   if (!launched.ok()) {
     return launched;
   }
   std::unique_lock<std::mutex> lock(latch->mu);
   latch->cv.wait(lock, [&] { return latch->done; });
+  if (latch->status.ok() && memoizable && options.use_cache) {
+    for (Region region : regions) {
+      lineage.MarkEnforced(region);
+    }
+  }
   return latch->status;
 }
 
@@ -269,17 +430,35 @@ Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& region
 // the single shared deadline: each wait gets the budget remaining until it.
 Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadline,
                          const BarrierOptions& options) {
+  if (options.use_cache && lineage.enforced_at(region)) {
+    return MemoizedOk(lineage, 1, region);
+  }
   const TimePoint start = SystemClock::Instance().Now();
   std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(region);
   Status result = Status::Ok();
+  bool any_wait = false;
+  bool memoizable = true;
   for (const auto& dep : lineage.deps()) {
     Shim* shim = options.registry->Lookup(dep.store);
     if (shim == nullptr) {
       if (options.ignore_unknown_stores) {
+        memoizable = false;
         continue;
       }
       result = Status::FailedPrecondition("no shim registered for store: " + dep.store);
       break;
+    }
+    VisibilityHandle vis = options.use_cache ? shim->visibility() : nullptr;
+    if (options.use_cache) {
+      if (vis != nullptr && vis->IsVisible(region, dep.key, dep.version)) {
+        CacheCounters().hit->Increment();
+        continue;
+      }
+      CacheCounters().miss->Increment();
+    }
+    any_wait = true;
+    if (!shim->wait_implies_visibility()) {
+      memoizable = false;
     }
     const Duration budget = RemainingBudget(deadline);
     if (deadline != TimePoint::max() && budget == Duration::zero()) {
@@ -288,6 +467,9 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
     }
     const TimePoint wait_start = SystemClock::Instance().Now();
     Status status = shim->Wait(region, dep, budget);
+    if (status.ok() && vis != nullptr && shim->wait_implies_visibility()) {
+      vis->NoteVisible(region, dep.key, dep.version);
+    }
     if (trace != nullptr) {
       const TimePoint end = SystemClock::Instance().Now();
       const double stall_ms =
@@ -303,6 +485,12 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
   if (trace != nullptr) {
     FinishBarrierTrace(*trace, lineage.Size(), "sequential", result);
   }
+  if (options.use_cache && !any_wait && result.ok()) {
+    CacheCounters().zero_wait->Increment();
+  }
+  if (options.use_cache && result.ok() && memoizable) {
+    lineage.MarkEnforced(region);
+  }
   CountBarrier(region, result,
                TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
                    SystemClock::Instance().Now() - start)));
@@ -312,7 +500,8 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
 // Non-blocking dry-run folded into the standard barrier entry points: maps
 // the structured BarrierDryRunResult onto the Status vocabulary.
 Status DryRunStatus(const Lineage& lineage, Region region, const BarrierOptions& options) {
-  const BarrierDryRunResult result = BarrierDryRun(lineage, region, options.registry);
+  const BarrierDryRunResult result =
+      BarrierDryRun(lineage, region, options.registry, options.use_cache);
   if (!result.unresolved.empty() && !options.ignore_unknown_stores) {
     return Status::FailedPrecondition("no shim registered for store: " +
                                       result.unresolved.front().store);
@@ -387,6 +576,13 @@ void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
                       options] { done(BarrierSequential(lineage, region, deadline, options)); });
     return;
   }
+  if (options.use_cache && lineage.enforced_at(region)) {
+    Status status = MemoizedOk(lineage, 1, region);
+    if (!executor->Submit([done, status] { done(status); })) {
+      done(status);
+    }
+    return;
+  }
   // Event-driven: no thread blocks while dependencies replicate; the gather
   // bounces the result onto `executor` so `done` never runs on a timer or
   // apply thread. A finite deadline cancels outstanding waits, so `done` is
@@ -404,9 +600,17 @@ void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
   }
 }
 
-BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region,
-                                  ShimRegistry* registry) {
+BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region, ShimRegistry* registry,
+                                  bool use_cache) {
   BarrierDryRunResult result;
+  if (use_cache && lineage.enforced_at(region)) {
+    // A past barrier proved every dependency visible in this region's local
+    // replicas; IsVisible shares that semantics, so the probes would all pass.
+    if (!lineage.Empty()) {
+      CacheCounters().hit->Increment(lineage.Size());
+    }
+    return result;
+  }
   for (const auto& dep : lineage.deps()) {
     Shim* shim = registry->Lookup(dep.store);
     if (shim == nullptr) {
@@ -414,10 +618,29 @@ BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region,
       result.consistent = false;
       continue;
     }
+    std::shared_ptr<StoreVisibility> vis = use_cache ? shim->visibility() : nullptr;
+    if (vis != nullptr && vis->IsVisible(region, dep.key, dep.version)) {
+      CacheCounters().hit->Increment();
+      continue;
+    }
+    if (use_cache) {
+      CacheCounters().miss->Increment();
+    }
     if (!shim->IsVisible(region, dep)) {
       result.unmet.push_back(dep);
       result.consistent = false;
+      continue;
     }
+    // IsVisible is local-replica semantics for every shim (dynamo included),
+    // so a positive probe can always feed the cache.
+    if (vis != nullptr) {
+      vis->NoteVisible(region, dep.key, dep.version);
+    }
+  }
+  // Consistent ⇒ every dependency resolved and probed visible locally, which
+  // is exactly the enforcement memo's meaning.
+  if (use_cache && result.consistent) {
+    lineage.MarkEnforced(region);
   }
   return result;
 }

@@ -54,6 +54,12 @@ struct BarrierOptions {
   // dependencies) otherwise. Never blocks. `BarrierDryRun` is the richer
   // structured form of the same probe.
   bool dry_run = false;
+  // Probe the visibility cache before issuing any wait: dependencies the
+  // cache proves visible are skipped, and a barrier whose dependencies all
+  // hit returns Ok with zero thread-pool, timer, or registry traffic
+  // (`barrier.zero_wait`). Sound because visibility is monotone — a hit can
+  // never be invalidated (DESIGN.md §8). Off is the measurable baseline.
+  bool use_cache = true;
 
   // The single absolute bound every wait in the barrier shares: the earlier
   // of `deadline` and now + `timeout`.
@@ -90,7 +96,8 @@ struct BarrierDryRunResult {
   std::vector<WriteId> unresolved;
 };
 BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region,
-                                  ShimRegistry* registry = &ShimRegistry::Default());
+                                  ShimRegistry* registry = &ShimRegistry::Default(),
+                                  bool use_cache = true);
 
 }  // namespace antipode
 

@@ -32,6 +32,16 @@ class DynamoShim : public Shim {
                  WaitCallback done) override;
   bool IsVisible(Region region, const WriteId& id) override;
 
+  // Cache hits (fed by replica applies) may still skip strong-read waits:
+  // locally visible implies the authority has the write, since the authority
+  // is updated synchronously at Put before any shipment.
+  std::shared_ptr<StoreVisibility> visibility() const override { return dynamo_->visibility(); }
+
+  // ...but wait completions must not feed the cache: a successful strong read
+  // proves the authority has the write, not the local replica, and IsVisible
+  // (the dry-run/checker surface) is local-replica semantics here.
+  bool wait_implies_visibility() const override { return false; }
+
   struct ReadResult {
     Document item;  // lineage field stripped
     Lineage lineage;

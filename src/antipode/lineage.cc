@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
-#include "src/common/logging.h"
 #include "src/common/serialization.h"
+#include "src/obs/metrics.h"
 
 namespace antipode {
 namespace {
@@ -26,10 +26,12 @@ void Lineage::Append(WriteId dep) {
   if (it != deps_.end() && SameStoreKey(*it, dep)) {
     if (it->version < dep.version) {
       it->version = dep.version;
+      enforced_.store(0, std::memory_order_release);  // newer version unverified
     }
     return;
   }
   deps_.insert(it, std::move(dep));
+  enforced_.store(0, std::memory_order_release);
 }
 
 void Lineage::Remove(const WriteId& dep) {
@@ -49,8 +51,14 @@ void Lineage::Transfer(const Lineage& other) {
   }
   if (deps_.empty()) {
     deps_ = other.deps_;
+    enforced_.store(other.enforced_.load(std::memory_order_acquire),
+                    std::memory_order_release);
     return;
   }
+  // The union is enforced at a region only where both inputs were: every
+  // merged dependency (at its max version) comes from one of the two.
+  enforced_.fetch_and(other.enforced_.load(std::memory_order_acquire),
+                      std::memory_order_acq_rel);
   // Linear merge of two sorted, per-key-compacted runs.
   std::vector<WriteId> merged;
   merged.reserve(deps_.size() + other.deps_.size());
@@ -72,6 +80,37 @@ void Lineage::Transfer(const Lineage& other) {
   merged.insert(merged.end(), a, deps_.end());
   merged.insert(merged.end(), b, other.deps_.end());
   deps_ = std::move(merged);
+}
+
+size_t Lineage::PruneVisibleEverywhere(const VisibilityCache& cache) {
+  if (deps_.empty()) {
+    return 0;
+  }
+  // Stores are contiguous in the sorted vector: one cache lookup per store
+  // run, then a per-dependency probe. Compact in place.
+  std::shared_ptr<StoreVisibility> vis;
+  const std::string* current_store = nullptr;
+  auto keep = deps_.begin();
+  for (auto& dep : deps_) {
+    if (current_store == nullptr || dep.store != *current_store) {
+      current_store = &dep.store;
+      vis = cache.Find(dep.store);
+    }
+    if (vis != nullptr && vis->IsVisibleEverywhere(dep.key, dep.version)) {
+      continue;  // prune
+    }
+    if (&*keep != &dep) {
+      *keep = std::move(dep);
+    }
+    ++keep;
+  }
+  const size_t pruned = static_cast<size_t>(deps_.end() - keep);
+  deps_.erase(keep, deps_.end());
+  if (pruned != 0) {
+    static Counter* const pruned_deps = MetricsRegistry::Default().GetCounter("lineage.pruned_deps");
+    pruned_deps->Increment(pruned);
+  }
+  return pruned;
 }
 
 std::vector<WriteId> Lineage::DepsForStore(const std::string& store) const {
@@ -107,39 +146,48 @@ Result<Lineage> Lineage::Deserialize(std::string_view data) {
   Deserializer d(data);
   auto id = d.ReadVarint();
   if (!id.ok()) {
-    return id.status();
+    return Status::InvalidArgument("lineage wire truncated in id: " +
+                                   std::string(id.status().message()));
   }
   auto count = d.ReadVarint();
   if (!count.ok()) {
-    return count.status();
+    return Status::InvalidArgument("lineage wire truncated in dependency count: " +
+                                   std::string(count.status().message()));
   }
   Lineage lineage(*id);
   // Every serialized dependency is >= 3 bytes, which bounds a trustworthy
   // reserve even when `count` is adversarial garbage.
   lineage.deps_.reserve(std::min<uint64_t>(*count, d.Remaining() / 3 + 1));
-  bool canonical = true;
   for (uint64_t i = 0; i < *count; ++i) {
     auto dep = WriteId::DeserializeFrom(d);
     if (!dep.ok()) {
-      return dep.status();
+      // A short read is a framing error of the lineage blob, not a range
+      // problem of one field — report it as such, with position context.
+      return Status::InvalidArgument("lineage wire truncated at dependency " +
+                                     std::to_string(i) + " of " + std::to_string(*count) + ": " +
+                                     std::string(dep.status().message()));
     }
-    // Trusted fast path: our own Serialize emits deps sorted by ⟨store, key⟩
-    // with one version per pair, so an in-order wire can be appended directly
-    // instead of re-running the O(log n) compaction probe per element.
-    if (canonical &&
-        (lineage.deps_.empty() || StoreKeyLess(lineage.deps_.back(), *dep))) {
-      lineage.deps_.push_back(std::move(*dep));
-    } else {
-      canonical = false;
-      lineage.Append(std::move(*dep));
+    // Our own Serialize emits deps strictly sorted by ⟨store, key⟩ with one
+    // version per pair, which is what lets this loop append directly instead
+    // of re-running the O(log n) compaction probe per element. Anything
+    // unsorted or duplicated is therefore a corrupt or foreign wire —
+    // rejected, not silently repaired: repairing would let a malformed blob
+    // round-trip into a "valid" lineage that other replicas decode
+    // differently than this one intended.
+    if (!lineage.deps_.empty() && !StoreKeyLess(lineage.deps_.back(), *dep)) {
+      const bool duplicate = SameStoreKey(lineage.deps_.back(), *dep);
+      return Status::InvalidArgument(
+          std::string("lineage wire not canonical: ") +
+          (duplicate ? "duplicate ⟨store, key⟩ pair " : "out-of-order dependency ") +
+          dep->ToString() + " at index " + std::to_string(i));
     }
+    lineage.deps_.push_back(std::move(*dep));
   }
-#ifndef NDEBUG
-  if (!canonical) {
-    LOG_WARNING << "Lineage::Deserialize: wire not in canonical order (foreign encoder?); "
-                   "fell back to compacting inserts";
+  if (d.Remaining() != 0) {
+    return Status::InvalidArgument("lineage wire has " + std::to_string(d.Remaining()) +
+                                   " trailing bytes after " + std::to_string(*count) +
+                                   " dependencies");
   }
-#endif
   return lineage;
 }
 

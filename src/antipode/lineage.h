@@ -15,10 +15,12 @@
 #ifndef SRC_ANTIPODE_LINEAGE_H_
 #define SRC_ANTIPODE_LINEAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/antipode/visibility_cache.h"
 #include "src/antipode/write_id.h"
 #include "src/common/status.h"
 
@@ -28,6 +30,31 @@ class Lineage {
  public:
   Lineage() = default;
   explicit Lineage(uint64_t id) : id_(id) {}
+
+  // The enforcement memo is a per-object cache of a monotone fact, so copies
+  // and moves carry it along (same dependency set ⇒ same facts).
+  Lineage(const Lineage& other)
+      : id_(other.id_),
+        deps_(other.deps_),
+        enforced_(other.enforced_.load(std::memory_order_acquire)) {}
+  Lineage& operator=(const Lineage& other) {
+    id_ = other.id_;
+    deps_ = other.deps_;
+    enforced_.store(other.enforced_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+    return *this;
+  }
+  Lineage(Lineage&& other) noexcept
+      : id_(other.id_),
+        deps_(std::move(other.deps_)),
+        enforced_(other.enforced_.load(std::memory_order_acquire)) {}
+  Lineage& operator=(Lineage&& other) noexcept {
+    id_ = other.id_;
+    deps_ = std::move(other.deps_);
+    enforced_.store(other.enforced_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+    return *this;
+  }
 
   // Identifier of the root action this lineage stems from (0 = anonymous).
   uint64_t id() const { return id_; }
@@ -44,6 +71,38 @@ class Lineage {
   // Folds `other`'s dependencies into this lineage (with the same per-key
   // compaction), explicitly establishing cross-lineage transitivity.
   void Transfer(const Lineage& other);
+
+  // Drops every dependency the visibility cache proves visible at *all*
+  // regions of its store (per-key fact or min-across-regions watermark).
+  // Sound because such a dependency can never block any barrier anywhere —
+  // barriers only wait on invisible writes, and visibility is monotone — so
+  // removing it changes no barrier's outcome, only the bytes the lineage
+  // drags through baggage and shim-framed values (the §7.4 metadata size).
+  // Dependencies on stores unknown to the cache are kept. Returns the number
+  // pruned (also accumulated in the `lineage.pruned_deps` metric).
+  //
+  // Opt-in at Serialize/Transfer boundaries (e.g. via
+  // LineageApi::SetPruneOnInstall) rather than automatic: tests and
+  // debugging tooling legitimately inspect lineages for writes that have
+  // long replicated.
+  size_t PruneVisibleEverywhere(const VisibilityCache& cache = VisibilityCache::Default());
+
+  // Enforcement memo (DESIGN.md §8): bit r set ⇒ some past barrier verified
+  // every current dependency visible in region r's local replicas. Visibility
+  // is monotone and the dependency set is immutable between mutations, so the
+  // fact can never go stale — a repeat barrier over this lineage at r is O(1).
+  // Adding dependencies (Append/Transfer) clears the memo; removing them
+  // (Remove/Prune) keeps it, since a verified superset covers any subset.
+  // Only set by barriers whose every wait implies local-replica visibility
+  // (dynamo-style authority waits do not memoize), so dry-run probes may
+  // trust it too.
+  bool enforced_at(Region region) const {
+    return (enforced_.load(std::memory_order_acquire) >> RegionIndex(region)) & 1u;
+  }
+  void MarkEnforced(Region region) const {
+    enforced_.fetch_or(static_cast<uint8_t>(1u << RegionIndex(region)),
+                       std::memory_order_acq_rel);
+  }
 
   bool Contains(const WriteId& dep) const;
   bool Empty() const { return deps_.empty(); }
@@ -68,6 +127,9 @@ class Lineage {
  private:
   uint64_t id_ = 0;
   std::vector<WriteId> deps_;
+  // Bitmask over RegionIndex; mutable because it is a memo of externally
+  // observable state, not part of the lineage's value (operator== ignores it).
+  mutable std::atomic<uint8_t> enforced_{0};
 };
 
 }  // namespace antipode

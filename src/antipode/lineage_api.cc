@@ -10,6 +10,7 @@ namespace antipode {
 namespace {
 
 std::atomic<uint64_t> g_next_lineage_id{1};
+std::atomic<bool> g_prune_on_install{false};
 
 std::string UnionMerge(const std::string& existing, const std::string& incoming) {
   auto ours = Lineage::Deserialize(existing);
@@ -67,12 +68,27 @@ std::optional<Lineage> LineageApi::Current() {
   return std::move(*lineage);
 }
 
+bool LineageApi::SetPruneOnInstall(bool enabled) {
+  return g_prune_on_install.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool LineageApi::prune_on_install() {
+  return g_prune_on_install.load(std::memory_order_relaxed);
+}
+
 void LineageApi::Install(const Lineage& lineage) {
   EnsureMergerRegistered();
   RequestContext* context = RequestContext::Current();
-  if (context != nullptr) {
-    context->baggage().Set(kLineageBaggageKey, lineage.Serialize());
+  if (context == nullptr) {
+    return;
   }
+  if (g_prune_on_install.load(std::memory_order_relaxed)) {
+    Lineage pruned = lineage;
+    pruned.PruneVisibleEverywhere();
+    context->baggage().Set(kLineageBaggageKey, pruned.Serialize());
+    return;
+  }
+  context->baggage().Set(kLineageBaggageKey, lineage.Serialize());
 }
 
 void LineageApi::Append(const WriteId& dep) {

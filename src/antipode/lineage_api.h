@@ -46,6 +46,16 @@ class LineageApi {
   // explicitly carrying causality across lineage boundaries (§5.1).
   static void Transfer(const Lineage& from);
 
+  // When enabled, Install (the single Serialize boundary every Append/
+  // Transfer/Root funnels through, i.e. every point where the lineage is
+  // re-encoded into baggage) first runs Lineage::PruneVisibleEverywhere
+  // against the process-wide visibility cache, so baggage sheds dependencies
+  // that can no longer block any barrier. Off by default — pruning is an
+  // explicit deployment choice; tests and checkers inspect full lineages.
+  // Returns the previous setting.
+  static bool SetPruneOnInstall(bool enabled);
+  static bool prune_on_install();
+
   // Ensures the baggage union-merger for the lineage key is registered.
   // Called internally by every API entry point; exposed for tests.
   static void EnsureMergerRegistered();

@@ -38,6 +38,45 @@ void Shim::WaitAsync(Region region, const WriteId& id, TimePoint deadline, WaitC
   }
 }
 
+void Shim::WaitManyAsync(Region region, std::span<const WriteId> ids, TimePoint deadline,
+                         WaitCallback done) {
+  if (ids.empty()) {
+    done(Status::Ok());
+    return;
+  }
+  // Default adapter: fan out to per-id WaitAsync and gather. The launch token
+  // (pending starts at ids.size() + 1) keeps `done` from firing while waits
+  // are still being issued.
+  struct Gather {
+    std::atomic<size_t> pending;
+    std::mutex mu;
+    Status first_error = Status::Ok();
+    WaitCallback done;
+    explicit Gather(size_t n) : pending(n) {}
+    void Complete(Status status) {
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = std::move(status);
+      }
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Status final = Status::Ok();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          final = first_error;
+        }
+        done(std::move(final));
+      }
+    }
+  };
+  auto gather = std::make_shared<Gather>(ids.size() + 1);
+  gather->done = std::move(done);
+  for (const WriteId& id : ids) {
+    WaitAsync(region, id, deadline,
+              [gather](Status status) { gather->Complete(std::move(status)); });
+  }
+  gather->Complete(Status::Ok());  // release the launch token
+}
+
 ShimRegistry& ShimRegistry::Default() {
   static auto* registry = new ShimRegistry();
   return *registry;

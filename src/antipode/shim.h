@@ -11,10 +11,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/antipode/lineage.h"
+#include "src/antipode/visibility_cache.h"
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
@@ -62,6 +64,30 @@ class Shim {
   // parking a thread per dependency.
   virtual void WaitAsync(Region region, const WriteId& id, TimePoint deadline,
                          WaitCallback done);
+
+  // Batched asynchronous `wait`: `done` fires exactly once — Ok when every
+  // id in `ids` is visible at `region`, or the first error (in practice
+  // DeadlineExceeded) otherwise. Barriers group a store's missed dependencies
+  // into one call so replicated-store shims can register them as a single
+  // batch (one deadline timer, one completion) instead of a waiter fan-out.
+  //
+  // The default adapter fans out to WaitAsync and gathers, so every shim gets
+  // the batched surface for free. `ids` only needs to stay valid for the
+  // duration of the call (implementations copy what they keep).
+  virtual void WaitManyAsync(Region region, std::span<const WriteId> ids, TimePoint deadline,
+                             WaitCallback done);
+
+  // Visibility-cache state of the store this shim fronts, or nullptr when the
+  // store does not publish applies (foreign shims, caching disabled). The
+  // barrier fast path probes this before creating any waiter.
+  virtual std::shared_ptr<StoreVisibility> visibility() const { return nullptr; }
+
+  // Whether a successful Wait/WaitAsync at `region` implies ⟨key, version⟩ is
+  // visible in the region's local replica. True for watermark-style shims;
+  // false for shims that satisfy `wait` another way (DynamoDB's strong reads
+  // hit the authority, §6.4) — their wait completions must not feed the
+  // cache, or dry-run probes (which are local-replica semantics) would lie.
+  virtual bool wait_implies_visibility() const { return true; }
 
   // Non-blocking visibility probe. This is the one documented boolean
   // surface: barrier's dry-run mode and the consistency checker use it; every

@@ -1,0 +1,172 @@
+#include "src/antipode/visibility_cache.h"
+
+#include <algorithm>
+
+namespace antipode {
+
+StoreVisibility::StoreVisibility(std::string name, const std::vector<Region>& regions)
+    : name_(std::move(name)) {
+  for (Region r : regions) tracked_[RegionIndex(r)] = true;
+}
+
+void StoreVisibility::NoteApply(Region region, std::string_view key, uint64_t version,
+                                uint64_t seq) {
+  const size_t ri = RegionIndex(region);
+  // Per-key entry first, watermark second: once watermark(r) ≥ seq, a reader
+  // combining ⟨latest_version, latest_seq⟩ with the watermark must find the
+  // entry already updated, otherwise an old-write probe could miss forever.
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.keys.find(key);
+    if (it == shard.keys.end()) it = shard.keys.emplace(std::string(key), KeyEntry{}).first;
+    KeyEntry& entry = it->second;
+    if (version > entry.latest_version) {
+      entry.latest_version = version;
+      entry.latest_seq = seq;
+    }
+    entry.visible[ri] = std::max(entry.visible[ri], version);
+  }
+  // Advance the contiguous-prefix watermark. Applies race across keys, so
+  // out-of-order seqs park in `pending` until the gap fills.
+  SeqTracker& tracker = trackers_[ri];
+  std::lock_guard<std::mutex> lock(tracker.mu);
+  if (seq < tracker.next_expected) return;  // duplicate notification
+  if (seq != tracker.next_expected) {
+    tracker.pending.insert(seq);
+    return;
+  }
+  uint64_t next = seq + 1;
+  auto it = tracker.pending.begin();
+  while (it != tracker.pending.end() && *it == next) {
+    ++next;
+    it = tracker.pending.erase(it);
+  }
+  tracker.next_expected = next;
+  watermarks_[ri].store(next - 1, std::memory_order_release);
+}
+
+void StoreVisibility::NoteVisible(Region region, std::string_view key, uint64_t version) {
+  const size_t ri = RegionIndex(region);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  if (it == shard.keys.end()) it = shard.keys.emplace(std::string(key), KeyEntry{}).first;
+  KeyEntry& entry = it->second;
+  if (version > entry.latest_version) {
+    // Sequence number unknown: record the version but leave latest_seq = 0 so
+    // the watermark path stays conservative for this key.
+    entry.latest_version = version;
+    entry.latest_seq = 0;
+  }
+  entry.visible[ri] = std::max(entry.visible[ri], version);
+}
+
+bool StoreVisibility::IsVisible(Region region, std::string_view key, uint64_t version) const {
+  const size_t ri = RegionIndex(region);
+  if (!tracked_[ri]) return false;
+  uint64_t latest_version = 0;
+  uint64_t latest_seq = 0;
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.keys.find(key);
+    if (it == shard.keys.end()) return false;
+    const KeyEntry& entry = it->second;
+    if (entry.visible[ri] >= version) return true;
+    latest_version = entry.latest_version;
+    latest_seq = entry.latest_seq;
+  }
+  // Old-write coverage: if the key's newest write has applied at `region`
+  // (seq ≤ watermark), then so has every older write of the key — per-key
+  // applies are ordered — and `version` ≤ latest_version is one of those.
+  // The watermark is read after the entry, so a hit here is never stale.
+  return latest_seq != 0 && latest_version >= version &&
+         latest_seq <= watermarks_[ri].load(std::memory_order_acquire);
+}
+
+bool StoreVisibility::IsVisibleEverywhere(std::string_view key, uint64_t version) const {
+  uint64_t latest_version = 0;
+  uint64_t latest_seq = 0;
+  std::array<uint64_t, kNumRegions> visible{};
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.keys.find(key);
+    if (it == shard.keys.end()) return false;
+    const KeyEntry& entry = it->second;
+    latest_version = entry.latest_version;
+    latest_seq = entry.latest_seq;
+    visible = entry.visible;
+  }
+  bool any_tracked = false;
+  for (size_t ri = 0; ri < kNumRegions; ++ri) {
+    if (!tracked_[ri]) continue;
+    any_tracked = true;
+    if (visible[ri] >= version) continue;
+    if (latest_seq != 0 && latest_version >= version &&
+        latest_seq <= watermarks_[ri].load(std::memory_order_acquire)) {
+      continue;
+    }
+    return false;
+  }
+  return any_tracked;
+}
+
+uint64_t StoreVisibility::MinWatermark() const {
+  uint64_t min = UINT64_MAX;
+  bool any = false;
+  for (size_t ri = 0; ri < kNumRegions; ++ri) {
+    if (!tracked_[ri]) continue;
+    any = true;
+    min = std::min(min, watermarks_[ri].load(std::memory_order_acquire));
+  }
+  return any ? min : 0;
+}
+
+size_t StoreVisibility::KeyCount() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.keys.size();
+  }
+  return total;
+}
+
+VisibilityCache& VisibilityCache::Default() {
+  static VisibilityCache* cache = new VisibilityCache();
+  return *cache;
+}
+
+std::shared_ptr<StoreVisibility> VisibilityCache::Register(const std::string& name,
+                                                           const std::vector<Region>& regions) {
+  auto state = std::make_shared<StoreVisibility>(name, regions);
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_[name] = state;
+  return state;
+}
+
+void VisibilityCache::Unregister(const std::shared_ptr<StoreVisibility>& state) {
+  if (!state) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stores_.find(state->name());
+  if (it != stores_.end() && it->second == state) stores_.erase(it);
+}
+
+std::shared_ptr<StoreVisibility> VisibilityCache::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : it->second;
+}
+
+void VisibilityCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_.clear();
+}
+
+size_t VisibilityCache::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_.size();
+}
+
+}  // namespace antipode

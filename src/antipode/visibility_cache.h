@@ -1,0 +1,174 @@
+// Process-wide visibility cache: the read-mostly fast path in front of every
+// barrier wait (DESIGN.md §8). Visibility is monotone — once ⟨store, key,
+// version⟩ is visible at a region it stays visible — so a cache hit can never
+// be invalidated, which makes this the rare cache with no coherence protocol:
+// population only ever raises versions and watermarks.
+//
+// Two-level structure per store:
+//   * a lock-striped per-key table mapping key → (latest write, highest
+//     version known visible per region), populated event-driven from
+//     ReplicatedStore apply notifications and from completed shim waits;
+//   * a per-⟨store, region⟩ apply low-watermark over the store's write
+//     sequence numbers: W(r) = highest S such that every write with seq ≤ S
+//     has applied at r. One atomic load covers every old write of a key whose
+//     latest write sits at or below the watermark.
+//
+// A lookup is a striped-shard probe plus one atomic watermark load, with no
+// allocation. A miss is always safe: the caller falls back to the real wait,
+// which repopulates the cache on completion.
+//
+// The min-across-regions watermark additionally powers lineage pruning
+// (Lineage::PruneVisibleEverywhere): a dependency visible at every region of
+// its store can never block any barrier anywhere, so baggage can shed it.
+//
+// Layering: this header depends only on common + net, so the store layer can
+// publish apply notifications without a dependency cycle (the sources live in
+// src/antipode/ but compile into the `antipode_visibility` library that both
+// antipode_store and antipode_core link).
+
+#ifndef SRC_ANTIPODE_VISIBILITY_CACHE_H_
+#define SRC_ANTIPODE_VISIBILITY_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/region.h"
+
+namespace antipode {
+
+// Visibility state of one registered store. Thread-safe; all methods may race
+// freely with each other. Writers (NoteApply/NoteVisible) only ever raise
+// versions and watermarks, so readers can combine the per-key probe with the
+// watermark load without ordering hazards: a stale read yields a miss, never
+// a false hit.
+class StoreVisibility {
+ public:
+  StoreVisibility(std::string name, const std::vector<Region>& regions);
+
+  const std::string& name() const { return name_; }
+  bool TracksRegion(Region region) const { return tracked_[RegionIndex(region)]; }
+
+  // An apply notification: the write ⟨key, version⟩ with per-store sequence
+  // number `seq` became visible at `region`. Called by ReplicatedStore for
+  // every apply (local and replicated), exactly once per ⟨seq, region⟩.
+  void NoteApply(Region region, std::string_view key, uint64_t version, uint64_t seq);
+
+  // A completed wait observed ⟨key, version⟩ visible at `region` (sequence
+  // number unknown — e.g. a foreign shim's wait). Feeds only the per-key
+  // table, never the watermark.
+  void NoteVisible(Region region, std::string_view key, uint64_t version);
+
+  // True iff ⟨key, version⟩ is known visible at `region`. False means
+  // "unknown", not "invisible" — callers fall back to the real wait/probe.
+  bool IsVisible(Region region, std::string_view key, uint64_t version) const;
+
+  // True iff ⟨key, version⟩ is known visible at every region this store
+  // replicates to — the lineage-pruning soundness condition.
+  bool IsVisibleEverywhere(std::string_view key, uint64_t version) const;
+
+  // Apply low-watermark of `region`: every write with seq ≤ watermark has
+  // applied there. 0 until the first in-order apply.
+  uint64_t watermark(Region region) const {
+    return watermarks_[RegionIndex(region)].load(std::memory_order_acquire);
+  }
+
+  // min over tracked regions — the pruning bound.
+  uint64_t MinWatermark() const;
+
+  // Number of keys resident in the per-key table (tests/benches).
+  size_t KeyCount() const;
+
+ private:
+  struct KeyEntry {
+    // Highest version of the key ever notified, and the sequence number of
+    // the write that produced it (0 when only NoteVisible saw it). Paired
+    // updates happen under the shard lock.
+    uint64_t latest_version = 0;
+    uint64_t latest_seq = 0;
+    // Highest version directly observed visible per region.
+    std::array<uint64_t, kNumRegions> visible{};
+  };
+
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, KeyEntry, StringHash, StringEq> keys;
+  };
+
+  // Tracks watermark advance for one region: seqs arrive out of order (per
+  // key applies are ordered, cross-key they race), so the contiguous prefix
+  // is recovered through a pending set.
+  struct SeqTracker {
+    std::mutex mu;
+    uint64_t next_expected = 1;
+    std::set<uint64_t> pending;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(std::string_view key) const {
+    return shards_[StringHash{}(key) % kNumShards];
+  }
+
+  std::string name_;
+  std::array<bool, kNumRegions> tracked_{};
+  mutable std::array<Shard, kNumShards> shards_;
+  mutable std::array<SeqTracker, kNumRegions> trackers_;
+  std::array<std::atomic<uint64_t>, kNumRegions> watermarks_{};
+};
+
+// Registry of per-store visibility state, keyed by store name. Store names
+// are global identifiers in Antipode (lineage dependencies reference stores
+// by name), so one process-wide instance serves every barrier; private
+// instances exist for benches that model synthetic stores.
+class VisibilityCache {
+ public:
+  static VisibilityCache& Default();
+
+  VisibilityCache() = default;
+  VisibilityCache(const VisibilityCache&) = delete;
+  VisibilityCache& operator=(const VisibilityCache&) = delete;
+
+  // Registers (or re-registers) a store. Always starts cold: a re-created
+  // store must never inherit visibility facts from a previous same-named
+  // instance whose version counters restarted.
+  std::shared_ptr<StoreVisibility> Register(const std::string& name,
+                                            const std::vector<Region>& regions);
+
+  // Removes `state` if it is still the registered instance for its name (a
+  // newer same-named registration is left untouched).
+  void Unregister(const std::shared_ptr<StoreVisibility>& state);
+
+  // Current state for `name`; nullptr when unknown. Used by lineage pruning,
+  // which resolves stores by name; barriers reach the state through their
+  // shim instead (Shim::visibility()).
+  std::shared_ptr<StoreVisibility> Find(std::string_view name) const;
+
+  void Clear();
+  size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<StoreVisibility>, std::less<>> stores_;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_VISIBILITY_CACHE_H_

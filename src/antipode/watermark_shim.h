@@ -27,9 +27,23 @@ class WatermarkShim : public Shim {
     store_->WaitVisibleAsync(region, id.key, id.version, deadline, std::move(done));
   }
 
+  // One registry batch per store: already-visible ids register nothing, the
+  // rest share a single deadline timer and completion.
+  void WaitManyAsync(Region region, std::span<const WriteId> ids, TimePoint deadline,
+                     WaitCallback done) override {
+    std::vector<KeyVersion> items;
+    items.reserve(ids.size());
+    for (const WriteId& id : ids) {
+      items.push_back(KeyVersion{id.key, id.version});
+    }
+    store_->WaitVisibleBatchAsync(region, items, deadline, std::move(done));
+  }
+
   bool IsVisible(Region region, const WriteId& id) override {
     return store_->IsVisible(region, id.key, id.version);
   }
+
+  std::shared_ptr<StoreVisibility> visibility() const override { return store_->visibility(); }
 
  protected:
   ReplicatedStore* store_;

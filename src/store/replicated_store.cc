@@ -139,6 +139,86 @@ Status ReplicaTable::WaitVersion(const std::string& key, uint64_t version,
   return sync->status;
 }
 
+void ReplicaTable::WaitVersionsAsync(std::span<const KeyVersion> items, TimePoint deadline,
+                                     TimerService* timers, VisibilityCallback cb) const {
+  // Fast path: one read-only pass over the batch. In the steady state every
+  // version has long replicated, so the whole wait completes here without the
+  // gather, the per-item callback allocations, or any waiter registration.
+  // Racing applies are harmless — visibility is monotone, so a version seen
+  // visible here stays visible; a miss just falls through to the slow path,
+  // whose RegisterWaiter re-checks under the same shard lock.
+  {
+    bool all_visible = true;
+    std::string key_buf;
+    for (const KeyVersion& item : items) {
+      key_buf.assign(item.key);
+      Shard& shard = ShardFor(key_buf);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(key_buf);
+      if (it == shard.entries.end() || it->second.version < item.version) {
+        all_visible = false;
+        break;
+      }
+    }
+    if (all_visible) {
+      cb(Status::Ok());
+      return;
+    }
+  }
+  // Completion gather shared by every registered waiter plus one launch token
+  // held during registration, so `cb` cannot fire while waiters are still
+  // being added. First error (in practice only DeadlineExceeded) wins.
+  struct BatchGather {
+    std::atomic<size_t> pending{1};
+    std::mutex mu;
+    Status first_error = Status::Ok();
+    VisibilityCallback cb;
+    void Complete(Status status) {
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = std::move(status);
+      }
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Status final = Status::Ok();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          final = first_error;
+        }
+        cb(std::move(final));
+      }
+    }
+  };
+  auto gather = std::make_shared<BatchGather>();
+  gather->cb = std::move(cb);
+
+  // Waiters that actually registered share one deadline timer below.
+  std::vector<std::shared_ptr<Waiter>> registered;
+  for (const KeyVersion& item : items) {
+    const std::string key(item.key);
+    gather->pending.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<Waiter> waiter = RegisterWaiter(
+        key, item.version, [gather](Status status) { gather->Complete(std::move(status)); });
+    if (waiter == nullptr) {
+      gather->Complete(Status::Ok());  // already visible
+      continue;
+    }
+    registered.push_back(std::move(waiter));
+  }
+
+  if (!registered.empty() && deadline != TimePoint::max() && timers != nullptr) {
+    auto resident = resident_waiters_;
+    timers->ScheduleAt(deadline, [gather, resident, registered = std::move(registered)] {
+      for (const auto& waiter : registered) {
+        if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
+          resident->fetch_sub(1, std::memory_order_relaxed);
+          gather->Complete(Status::DeadlineExceeded("write not visible before deadline"));
+        }
+      }
+    });
+  }
+  gather->Complete(Status::Ok());  // release the launch token
+}
+
 void ReplicaTable::WaitVersionAsync(const std::string& key, uint64_t version, TimePoint deadline,
                                     TimerService* timers, VisibilityCallback cb) const {
   std::shared_ptr<Waiter> waiter = RegisterWaiter(key, version, std::move(cb));
@@ -220,6 +300,9 @@ ReplicatedStore::ReplicatedStore(ReplicatedStoreOptions options, RegionTopology*
   for (Region region : options_.regions) {
     replicas_[static_cast<size_t>(RegionIndex(region))] = std::make_unique<ReplicaTable>();
   }
+  if (options_.visibility_cache != nullptr) {
+    visibility_ = options_.visibility_cache->Register(options_.name, options_.regions);
+  }
 }
 
 bool ReplicatedStore::HasRegion(Region region) const {
@@ -269,6 +352,7 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
   entry->version = NextVersion(key);
   entry->origin = origin;
   entry->write_time = SystemClock::Instance().Now();
+  entry->seq = seq_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (span.has_value() && span->recording()) {
     span->Annotate("store", options_.name);
     span->Annotate("key", key);
@@ -286,6 +370,9 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
   // applies bypass the pause gate: the write is local, not replicated.
   authority_.Apply(*entry);
   replica(origin).Apply(*entry);
+  if (visibility_) {
+    visibility_->NoteApply(origin, entry->key, entry->version, entry->seq);
+  }
   if (apply_hook_) {
     apply_hook_(origin, *entry);
   }
@@ -322,7 +409,14 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
   return shared->version;
 }
 
-ReplicatedStore::~ReplicatedStore() { DrainReplication(); }
+ReplicatedStore::~ReplicatedStore() {
+  DrainReplication();
+  // Drop the name → state mapping so a later same-named store starts cold;
+  // outstanding shared_ptr holders (a barrier mid-probe) stay valid.
+  if (options_.visibility_cache != nullptr) {
+    options_.visibility_cache->Unregister(visibility_);
+  }
+}
 
 // Replication shipments start and finish on different threads (Put vs the
 // timer dispatcher), so the span is assembled manually: it covers write-time
@@ -360,7 +454,18 @@ void ReplicatedStore::ApplyAt(Region region, const StoredEntry& entry) {
       return;
     }
   }
+  ApplyReplicated(region, entry);
+}
+
+void ReplicatedStore::ApplyReplicated(Region region, const StoredEntry& entry) {
   replica(region).Apply(entry);
+  // Unconditional even when the replica apply was a stale replay (a newer
+  // version of the key outran this shipment): the watermark needs every
+  // ⟨seq, region⟩ exactly once, and NoteApply's per-key max logic already
+  // ignores the superseded version.
+  if (visibility_) {
+    visibility_->NoteApply(region, entry.key, entry.version, entry.seq);
+  }
   if (apply_hook_) {
     apply_hook_(region, entry);
   }
@@ -379,10 +484,7 @@ void ReplicatedStore::ResumeReplication(Region region) {
     backlog.swap(stalled_[static_cast<size_t>(RegionIndex(region))]);
   }
   for (const auto& entry : backlog) {
-    replica(region).Apply(entry);
-    if (apply_hook_) {
-      apply_hook_(region, entry);
-    }
+    ApplyReplicated(region, entry);
   }
 }
 
@@ -436,6 +538,11 @@ Status ReplicatedStore::WaitVisible(Region region, const std::string& key, uint6
 void ReplicatedStore::WaitVisibleAsync(Region region, const std::string& key, uint64_t version,
                                        TimePoint deadline, VisibilityCallback cb) const {
   replica(region).WaitVersionAsync(key, version, deadline, timers_, std::move(cb));
+}
+
+void ReplicatedStore::WaitVisibleBatchAsync(Region region, std::span<const KeyVersion> items,
+                                            TimePoint deadline, VisibilityCallback cb) const {
+  replica(region).WaitVersionsAsync(items, deadline, timers_, std::move(cb));
 }
 
 WakeupStats ReplicatedStore::TotalWakeups() const {

@@ -32,10 +32,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/antipode/visibility_cache.h"
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/timer_service.h"
@@ -56,6 +59,18 @@ struct StoredEntry {
   // child of the write's span, in the write's trace.
   uint64_t trace_id = 0;
   uint64_t parent_span_id = 0;
+  // Per-store write sequence number (1-based, dense): stamped by Put from a
+  // single atomic counter, independent of the per-key version. Drives the
+  // visibility cache's per-region apply low-watermark. Last field on purpose:
+  // existing aggregate initializers keep their meaning and default it to 0.
+  uint64_t seq = 0;
+};
+
+// One ⟨key, version⟩ target of a batched wait. The view must stay valid until
+// the batch call returns (waiters copy the key they register under).
+struct KeyVersion {
+  std::string_view key;
+  uint64_t version = 0;
 };
 
 // Invoked exactly once per registered wait: Ok when the watched version
@@ -96,6 +111,15 @@ class ReplicaTable {
   // or deadline) before the owning store is destroyed.
   void WaitVersionAsync(const std::string& key, uint64_t version, TimePoint deadline,
                         TimerService* timers, VisibilityCallback cb) const;
+
+  // Batched wait: `cb` fires exactly once, with Ok when every ⟨key, version⟩
+  // in `items` is visible, or DeadlineExceeded when the deadline passes with
+  // any of them outstanding. Already-visible items register no waiter, the
+  // rest share a single deadline timer — so a barrier with N missed deps on
+  // one store costs N registry slots but one timer and one completion, versus
+  // N of each through WaitVersionAsync. An empty batch completes Ok inline.
+  void WaitVersionsAsync(std::span<const KeyVersion> items, TimePoint deadline,
+                         TimerService* timers, VisibilityCallback cb) const;
 
   // All entries whose key starts with `prefix`, sorted by key (SQL scans).
   std::vector<StoredEntry> ScanPrefix(const std::string& prefix) const;
@@ -148,6 +172,11 @@ struct ReplicatedStoreOptions {
   // Fixed per-write schema overhead (bytes) added to metrics, e.g. secondary
   // index entries. Configured by shims that alter the data model.
   size_t per_write_overhead_bytes = 0;
+  // Visibility cache this store publishes apply notifications to (nullptr
+  // disables publication — the store still works, barriers just never hit).
+  // The process-wide default is right for deployments; benches that model
+  // private store fleets pass their own instance.
+  VisibilityCache* visibility_cache = &VisibilityCache::Default();
 };
 
 class ReplicatedStore {
@@ -190,6 +219,15 @@ class ReplicatedStore {
   // deadline or complete it via DrainReplication before teardown.
   void WaitVisibleAsync(Region region, const std::string& key, uint64_t version,
                         TimePoint deadline, VisibilityCallback cb) const;
+
+  // Batched variant over one region's replica; see
+  // ReplicaTable::WaitVersionsAsync for the contract.
+  void WaitVisibleBatchAsync(Region region, std::span<const KeyVersion> items,
+                             TimePoint deadline, VisibilityCallback cb) const;
+
+  // This store's visibility-cache state; nullptr when publication is
+  // disabled. Shims hand it to barriers for the zero-wait fast path.
+  const std::shared_ptr<StoreVisibility>& visibility() const { return visibility_; }
 
   const std::string& name() const { return options_.name; }
   const std::vector<Region>& regions() const { return options_.regions; }
@@ -249,6 +287,11 @@ class ReplicatedStore {
   ApplyHook apply_hook_;
   size_t name_hash_ = 0;  // decorrelates affinity tokens across stores
 
+  // Dense per-store write sequence (StoredEntry::seq source).
+  std::atomic<uint64_t> seq_counter_{0};
+  // Registered visibility state (nullptr when options_.visibility_cache is).
+  std::shared_ptr<StoreVisibility> visibility_;
+
   // Per-key version counters, striped so concurrent writers of different
   // keys never contend on one global mutex/map.
   static constexpr size_t kVersionShards = 16;
@@ -275,6 +318,11 @@ class ReplicatedStore {
   // Applies the entry at `region` (or buffers it while the region's inbound
   // replication is paused), then fires the apply hook.
   void ApplyAt(Region region, const StoredEntry& entry);
+
+  // The unconditional half of ApplyAt: replica apply + apply hook + visibility
+  // notification. ResumeReplication replays its backlog through this too, so
+  // the cache sees every ⟨seq, region⟩ exactly once regardless of stalls.
+  void ApplyReplicated(Region region, const StoredEntry& entry);
 
   // Emits the "replication/apply" trace span for a shipment that just
   // arrived at `destination` (no-op when tracing is off or the write was not

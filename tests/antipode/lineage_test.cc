@@ -142,6 +142,79 @@ TEST(LineageTest, DeserializeGarbageFails) {
   EXPECT_FALSE(Lineage::Deserialize("\xFF\xFF\xFF\xFF").ok());
 }
 
+// Malformed-wire regression suite: the deserializer's fast path trusts the
+// canonical ⟨store, key⟩ order our Serialize emits, so anything violating it
+// must be rejected as InvalidArgument — never silently repaired into a
+// lineage that other decoders would read differently.
+
+TEST(LineageTest, DeserializeRejectsTruncatedBuffer) {
+  Lineage lineage(7);
+  lineage.Append(Id("store", "key", 3));
+  lineage.Append(Id("store", "other", 1));
+  const std::string wire = lineage.Serialize();
+  // Every proper prefix (including empty) must fail cleanly.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto result = Lineage::Deserialize(std::string_view(wire).substr(0, len));
+    ASSERT_FALSE(result.ok()) << "prefix of length " << len << " decoded";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << "len=" << len;
+  }
+  ASSERT_TRUE(Lineage::Deserialize(wire).ok());
+}
+
+TEST(LineageTest, DeserializeRejectsTrailingBytes) {
+  Lineage lineage(7);
+  lineage.Append(Id("s", "k", 1));
+  auto result = Lineage::Deserialize(lineage.Serialize() + "x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+namespace {
+// Hand-assembles a wire blob with the dependencies in the given order,
+// bypassing Lineage's sorted invariant.
+std::string RawWire(uint64_t id, const std::vector<WriteId>& deps) {
+  Serializer s;
+  s.WriteVarint(id);
+  s.WriteVarint(deps.size());
+  for (const auto& dep : deps) {
+    dep.SerializeTo(s);
+  }
+  return s.Release();
+}
+}  // namespace
+
+TEST(LineageTest, DeserializeRejectsOutOfOrderDeps) {
+  auto result = Lineage::Deserialize(RawWire(1, {Id("s", "b", 1), Id("s", "a", 1)}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // Out of order across stores, too.
+  result = Lineage::Deserialize(RawWire(1, {Id("t", "k", 1), Id("s", "k", 1)}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LineageTest, DeserializeRejectsDuplicateStoreKeyPairs) {
+  // Exact duplicates and same-pair-different-version both violate the at most
+  // one version per ⟨store, key⟩ invariant.
+  auto result = Lineage::Deserialize(RawWire(1, {Id("s", "k", 1), Id("s", "k", 1)}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  result = Lineage::Deserialize(RawWire(1, {Id("s", "k", 1), Id("s", "k", 5)}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LineageTest, DeserializeRejectsCountBeyondPayload) {
+  // Claims 3 dependencies but carries 1.
+  Serializer s;
+  s.WriteVarint(1);
+  s.WriteVarint(3);
+  Id("s", "k", 1).SerializeTo(s);
+  auto result = Lineage::Deserialize(s.Release());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(LineageTest, ToStringListsDeps) {
   Lineage lineage(5);
   lineage.Append(Id("s", "k", 1));
