@@ -1,0 +1,224 @@
+// Chaos suite: the post-notification and media-service apps (Antipode on)
+// driven under seeded fault schedules, checking the recovery contract end to
+// end:
+//   * 0 XCY violations — barriers absorb every injected stall/outage/drop;
+//   * no hangs — every schedule's windows are finite, so the suite
+//     terminating at all is the liveness assertion (ctest enforces a
+//     timeout on the smoke run);
+//   * recovery-time and retry-amplification histograms — region-outage
+//     durations from store.region_outage_ms, per-call RPC attempt counts
+//     from a synthetic `chaos-probe` service that calls through the same
+//     retry machinery the fault rules shape.
+//
+// Three schedules (ISSUE 5): `partition` severs replication out of the
+// written stores, `outage` takes whole regions of them down and heals,
+// `drop-spike` combines broker delivery drops, transient apply errors, and a
+// WAN latency spike. Each is seeded: same --seed, same fault decisions.
+//
+// Flags: --scale, --requests, --seed, --quick (tiny run for CI smoke).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/media_service/media_service.h"
+#include "src/apps/post_notification/post_notification.h"
+#include "src/common/histogram.h"
+#include "src/fault/fault_injector.h"
+#include "src/obs/metrics.h"
+#include "src/rpc/rpc.h"
+
+using namespace antipode;
+
+namespace {
+
+// Window lengths in model ms, measured from FaultInjector::Arm. The app runs
+// span tens of thousands of model ms at the default scale, so the faults
+// bite during the early requests and heal mid-run; the tail runs clean.
+constexpr double kFaultWindowModelMs = 5000.0;
+constexpr double kQuickWindowModelMs = 1500.0;
+
+struct Schedule {
+  std::string name;
+  FaultPlan plan;
+};
+
+FaultRule StoreRule(FaultKind kind, const std::string& prefix, double end_ms,
+                    double probability = 1.0) {
+  FaultRule rule;
+  rule.kind = kind;
+  rule.store = prefix;
+  rule.end_model_ms = end_ms;
+  rule.probability = probability;
+  return rule;
+}
+
+FaultRule ProbeRule(FaultKind kind, double end_ms, double probability) {
+  FaultRule rule;
+  rule.kind = kind;
+  rule.service = "chaos-probe";
+  rule.end_model_ms = end_ms;
+  rule.probability = probability;
+  return rule;
+}
+
+// The three seeded schedules, scoped by store-name prefix to the stores the
+// two apps create ("Redis-post-*" / "SNS-notif-*" for post-notification;
+// "media-s3-*" / "reviews-mongo-*" / "events-rabbit-*" for media-service).
+std::vector<Schedule> BuildSchedules(uint64_t seed, double window_ms) {
+  std::vector<Schedule> schedules;
+
+  {
+    // Replication out of the written stores is partitioned from t=0; the
+    // notifier keeps flowing, so without barriers this is the classic XCY
+    // race amplified.
+    FaultPlan plan{"partition", seed, {}};
+    plan.rules.push_back(StoreRule(FaultKind::kLinkPartition, "Redis-post-", window_ms));
+    plan.rules.push_back(StoreRule(FaultKind::kLinkPartition, "media-s3-", window_ms));
+    plan.rules.push_back(StoreRule(FaultKind::kLinkPartition, "reviews-mongo-", window_ms));
+    plan.rules.push_back(ProbeRule(FaultKind::kRpcFailure, window_ms * 0.5, 0.7));
+    schedules.push_back({"partition", std::move(plan)});
+  }
+  {
+    // Whole-region outage of the written stores, healed mid-run: buffered
+    // backlogs replay and store.region_outage_ms records the recovery time.
+    FaultPlan plan{"outage-heal", seed + 1, {}};
+    plan.rules.push_back(StoreRule(FaultKind::kRegionOutage, "Redis-post-", window_ms));
+    plan.rules.push_back(StoreRule(FaultKind::kRegionOutage, "media-s3-", window_ms));
+    plan.rules.push_back(StoreRule(FaultKind::kRegionOutage, "reviews-mongo-", window_ms));
+    FaultRule delay = ProbeRule(FaultKind::kRpcDelay, window_ms * 0.5, 1.0);
+    delay.delay_add_model_ms = 120.0;  // pushes the probe past its attempt timeout
+    plan.rules.push_back(delay);
+    schedules.push_back({"outage-heal", std::move(plan)});
+  }
+  {
+    // Broker deliveries dropped (redelivered after the ack timeout), applies
+    // transiently erroring (retried internally), and a WAN latency spike.
+    FaultPlan plan{"drop-spike", seed + 2, {}};
+    plan.rules.push_back(
+        StoreRule(FaultKind::kQueueDropDelivery, "SNS-notif-", window_ms, 0.5));
+    plan.rules.push_back(
+        StoreRule(FaultKind::kQueueDropDelivery, "events-rabbit-", window_ms, 0.5));
+    plan.rules.push_back(StoreRule(FaultKind::kStoreApplyError, "Redis-post-", window_ms, 0.3));
+    plan.rules.push_back(
+        StoreRule(FaultKind::kStoreApplyError, "reviews-mongo-", window_ms, 0.3));
+    FaultRule spike;
+    spike.kind = FaultKind::kLinkDelay;
+    spike.end_model_ms = window_ms;
+    spike.delay_factor = 3.0;
+    spike.delay_add_model_ms = 10.0;
+    plan.rules.push_back(spike);
+    plan.rules.push_back(ProbeRule(FaultKind::kRpcFailure, window_ms * 0.5, 0.5));
+    schedules.push_back({"drop-spike", std::move(plan)});
+  }
+  return schedules;
+}
+
+// Sequential retrying calls against a throwaway service while the schedule's
+// rpc rules are live; returns the per-call attempt counts (1 = no retry).
+Histogram RunRpcProbe(int calls) {
+  ServiceRegistry registry;
+  RpcService* svc = registry.RegisterService("chaos-probe", Region::kUs, 2);
+  svc->RegisterMethod("ping",
+                      [](const std::string& payload) { return Result<std::string>(payload); });
+  RpcClient client(&registry, Region::kUs);  // default injector, like the apps
+  RpcCallOptions options;
+  options.timeout = TimeScale::FromModelMillis(80.0);
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff_model_ms = 40.0;
+
+  Histogram attempts;
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  for (int i = 0; i < calls; ++i) {
+    const uint64_t before = metrics.GetCounter("rpc.retries", {{"service", "chaos-probe"}})->value();
+    client.Call("chaos-probe", "ping", "p" + std::to_string(i), options);
+    const uint64_t after = metrics.GetCounter("rpc.retries", {{"service", "chaos-probe"}})->value();
+    attempts.Record(1.0 + static_cast<double>(after - before));
+  }
+  registry.ShutdownAll();
+  return attempts;
+}
+
+void PrintHistogram(const char* name, const Histogram& hist) {
+  std::printf("    %-24s n=%-5llu mean=%-8.1f p50=%-8.1f p99=%-8.1f max=%-8.1f\n", name,
+              static_cast<unsigned long long>(hist.count()), hist.Mean(), hist.Percentile(0.5),
+              hist.Percentile(0.99), hist.max());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args(argc, argv);
+  bool quick_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick" || arg.rfind("--quick=", 0) == 0) {
+      quick_flag = true;
+    }
+  }
+  args.SetupTimeScale();
+  const int requests = args.GetInt("requests", quick_flag ? 10 : 60);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+  const double window_ms = quick_flag ? kQuickWindowModelMs : kFaultWindowModelMs;
+  const int probe_calls = quick_flag ? 8 : 30;
+
+  std::printf("# chaos suite: %d requests/app, %d probe calls, window %.0f model ms, seed %llu\n",
+              requests, probe_calls, window_ms, static_cast<unsigned long long>(seed));
+
+  int total_violations = 0;
+  for (const Schedule& schedule : BuildSchedules(seed, window_ms)) {
+    std::printf("\n== schedule %s ==\n", schedule.name.c_str());
+    MetricsRegistry::Default().SnapshotAndReset();  // clean slate per schedule
+    FaultInjector::Default().Arm(schedule.plan);
+
+    // Probe first: the fault windows open at Arm, so the probe sees them
+    // live; the apps follow while store-level windows are still open.
+    Histogram probe_attempts = RunRpcProbe(probe_calls);
+
+    PostNotificationConfig post;
+    post.post_storage = PostStorageKind::kRedis;
+    post.notifier = NotifierKind::kSns;
+    post.antipode = true;
+    post.num_requests = requests;
+    post.seed = seed;
+    PostNotificationResult post_result = RunPostNotification(post);
+
+    MediaServiceConfig media;
+    media.antipode = true;
+    media.num_reviews = requests;
+    MediaServiceResult media_result = RunMediaService(media);
+
+    FaultInjector::Default().Disarm();
+    const MetricsSnapshot snapshot = MetricsRegistry::Default().SnapshotAndReset();
+
+    std::printf("  post-notification: requests=%d violations=%d\n", post_result.requests,
+                post_result.violations);
+    std::printf("  media-service:     reviews=%d violations=%d\n", media_result.reviews,
+                media_result.TotalViolations());
+    total_violations += post_result.violations + media_result.TotalViolations();
+
+    std::printf("  faults injected: %llu (redeliveries=%llu, rpc.retries=%llu, "
+                "rpc.deadline_exceeded=%llu)\n",
+                static_cast<unsigned long long>(snapshot.CounterTotal("fault.injected")),
+                static_cast<unsigned long long>(snapshot.CounterTotal("queue.redeliveries")),
+                static_cast<unsigned long long>(snapshot.CounterTotal("rpc.retries")),
+                static_cast<unsigned long long>(snapshot.CounterTotal("rpc.deadline_exceeded")));
+    PrintHistogram("recovery_ms (outage)", snapshot.HistogramTotal("store.region_outage_ms"));
+    PrintHistogram("consistency_window_ms",
+                   [&] {
+                     Histogram merged = post_result.consistency_window_model_ms;
+                     merged.Merge(media_result.consistency_window_model_ms);
+                     return merged;
+                   }());
+    PrintHistogram("probe_attempts/call", probe_attempts);
+  }
+
+  std::printf("\n# total violations across schedules: %d (expect 0)\n", total_violations);
+  if (total_violations != 0) {
+    std::printf("FAIL: XCY violations under fault injection\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

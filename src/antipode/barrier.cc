@@ -142,6 +142,7 @@ void RecordWaitSpan(const BarrierTraceState& trace, const WriteId& dep, Region r
 struct BarrierInstruments {
   std::atomic<Counter*> calls{nullptr};
   std::atomic<Counter*> errors{nullptr};
+  std::atomic<Counter*> deadline{nullptr};
   std::atomic<HistogramMetric*> stall{nullptr};
 };
 
@@ -150,20 +151,26 @@ void CountBarrier(Region region, const Status& status, double stall_model_ms) {
   BarrierInstruments& slot = per_region[RegionIndex(region)];
   Counter* calls = slot.calls.load(std::memory_order_acquire);
   Counter* errors = slot.errors.load(std::memory_order_acquire);
+  Counter* deadline = slot.deadline.load(std::memory_order_acquire);
   HistogramMetric* stall = slot.stall.load(std::memory_order_acquire);
   if (calls == nullptr) {
     MetricsRegistry& registry = MetricsRegistry::Default();
     const std::string region_name(RegionName(region));
     calls = registry.GetCounter("barrier.calls", {{"region", region_name}});
     errors = registry.GetCounter("barrier.errors", {{"region", region_name}});
+    deadline = registry.GetCounter("barrier.deadline_exceeded", {{"region", region_name}});
     stall = registry.GetHistogram("barrier.stall_model_ms", {{"region", region_name}});
     slot.calls.store(calls, std::memory_order_release);
     slot.errors.store(errors, std::memory_order_release);
+    slot.deadline.store(deadline, std::memory_order_release);
     slot.stall.store(stall, std::memory_order_release);
   }
   calls->Increment();
   if (!status.ok()) {
     errors->Increment();
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      deadline->Increment();
+    }
   }
   stall->Record(stall_model_ms);
 }

@@ -1,0 +1,359 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace antipode {
+namespace {
+
+// Bidirectional link match: a partition of US↔EU severs both directions.
+bool MatchesLinkBidirectional(const FaultRule& rule, Region from, Region to) {
+  const bool forward = (!rule.from.has_value() || *rule.from == from) &&
+                       (!rule.to.has_value() || *rule.to == to);
+  const bool reverse = (!rule.from.has_value() || *rule.from == to) &&
+                       (!rule.to.has_value() || *rule.to == from);
+  return forward || reverse;
+}
+
+bool MatchesDirectional(const FaultRule& rule, Region from, Region to) {
+  return (!rule.from.has_value() || *rule.from == from) &&
+         (!rule.to.has_value() || *rule.to == to);
+}
+
+bool MatchesTo(const FaultRule& rule, Region to) {
+  return !rule.to.has_value() || *rule.to == to;
+}
+
+// Prefix match: empty scope is a wildcard.
+bool MatchesPrefix(const std::string& scope, const std::string& name) {
+  return scope.empty() || name.compare(0, scope.size(), scope) == 0;
+}
+
+bool ActiveAt(const FaultRule& rule, double elapsed_model_ms) {
+  return elapsed_model_ms >= rule.start_model_ms && elapsed_model_ms < rule.end_model_ms;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkPartition:
+      return "link_partition";
+    case FaultKind::kLinkDrop:
+      return "link_drop";
+    case FaultKind::kLinkDelay:
+      return "link_delay";
+    case FaultKind::kRpcFailure:
+      return "rpc_failure";
+    case FaultKind::kRpcDropResponse:
+      return "rpc_drop_response";
+    case FaultKind::kRpcDelay:
+      return "rpc_delay";
+    case FaultKind::kStoreStall:
+      return "store_stall";
+    case FaultKind::kStoreApplyError:
+      return "store_apply_error";
+    case FaultKind::kRegionOutage:
+      return "region_outage";
+    case FaultKind::kStoreWaitError:
+      return "store_wait_error";
+    case FaultKind::kQueueDropDelivery:
+      return "queue_drop_delivery";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector() = default;
+
+FaultInjector& FaultInjector::Default() {
+  static auto* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool had_plan = armed_plan_ != nullptr;
+  armed_plan_ = std::make_unique<ArmedPlan>();
+  armed_plan_->plan = std::move(plan);
+  armed_plan_->armed_at = SystemClock::Instance().Now();
+  armed_plan_->rng = Rng(armed_plan_->plan.seed);
+  if (!had_plan) {
+    active_sources_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_plan_ != nullptr) {
+    armed_plan_.reset();
+    active_sources_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+double FaultInjector::ElapsedModelMsLocked() const {
+  return TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
+      SystemClock::Instance().Now() - armed_plan_->armed_at));
+}
+
+bool FaultInjector::DrawLocked(const FaultRule& rule) {
+  if (rule.probability >= 1.0) {
+    return true;
+  }
+  if (rule.probability <= 0.0) {
+    return false;
+  }
+  return armed_plan_->rng.NextBernoulli(rule.probability);
+}
+
+void FaultInjector::RecordInjected(FaultKind kind) {
+  // Called with mu_ held (counter lookup is cached per kind; the increment
+  // itself is a relaxed atomic).
+  Counter*& slot = injected_counters_[static_cast<size_t>(kind)];
+  if (slot == nullptr) {
+    slot = MetricsRegistry::Default().GetCounter("fault.injected",
+                                                 {{"kind", std::string(FaultKindName(kind))}});
+  }
+  slot->Increment();
+}
+
+LinkFault FaultInjector::OnDeliver(Region from, Region to) {
+  LinkFault fault;
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return fault;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_plan_ == nullptr) {
+    return fault;
+  }
+  const double elapsed = ElapsedModelMsLocked();
+  for (const FaultRule& rule : armed_plan_->plan.rules) {
+    if (!ActiveAt(rule, elapsed)) {
+      continue;
+    }
+    switch (rule.kind) {
+      case FaultKind::kLinkPartition:
+        // Network-level only when unscoped by store: a store-scoped partition
+        // stalls that store's replication, not unrelated traffic.
+        if (rule.store.empty() && MatchesLinkBidirectional(rule, from, to)) {
+          fault.drop = true;
+          RecordInjected(rule.kind);
+        }
+        break;
+      case FaultKind::kLinkDrop:
+        if (rule.store.empty() && MatchesDirectional(rule, from, to) && DrawLocked(rule)) {
+          fault.drop = true;
+          RecordInjected(rule.kind);
+        }
+        break;
+      case FaultKind::kLinkDelay:
+        if (rule.store.empty() && MatchesDirectional(rule, from, to)) {
+          fault.delay_factor *= rule.delay_factor;
+          fault.delay_add_model_ms += rule.delay_add_model_ms;
+          RecordInjected(rule.kind);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return fault;
+}
+
+LinkFault FaultInjector::OnReplicate(const std::string& store, Region from, Region to) {
+  LinkFault fault;
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return fault;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_plan_ == nullptr) {
+    return fault;
+  }
+  const double elapsed = ElapsedModelMsLocked();
+  for (const FaultRule& rule : armed_plan_->plan.rules) {
+    if (rule.kind != FaultKind::kLinkDelay || !ActiveAt(rule, elapsed)) {
+      continue;
+    }
+    if (MatchesPrefix(rule.store, store) && MatchesDirectional(rule, from, to)) {
+      fault.delay_factor *= rule.delay_factor;
+      fault.delay_add_model_ms += rule.delay_add_model_ms;
+      RecordInjected(rule.kind);
+    }
+  }
+  return fault;
+}
+
+StallDecision FaultInjector::StoreStall(const std::string& store, Region from, Region to) {
+  StallDecision decision;
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return decision;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  bool heal_known = true;
+  double heal_ms = 0.0;
+  if (manual_pauses_.count({store, RegionIndex(to)}) != 0) {
+    decision.stalled = true;
+    heal_known = false;
+  }
+  if (armed_plan_ != nullptr) {
+    const double elapsed = ElapsedModelMsLocked();
+    for (const FaultRule& rule : armed_plan_->plan.rules) {
+      bool match = false;
+      switch (rule.kind) {
+        case FaultKind::kStoreStall:
+          match = MatchesPrefix(rule.store, store) && MatchesDirectional(rule, from, to);
+          break;
+        case FaultKind::kRegionOutage:
+          match = MatchesPrefix(rule.store, store) && MatchesTo(rule, to);
+          break;
+        case FaultKind::kLinkPartition:
+          match = MatchesPrefix(rule.store, store) && MatchesLinkBidirectional(rule, from, to);
+          break;
+        default:
+          break;
+      }
+      if (!match || !ActiveAt(rule, elapsed)) {
+        continue;
+      }
+      decision.stalled = true;
+      RecordInjected(rule.kind);
+      if (rule.end_model_ms >= FaultRule::kNoEnd) {
+        heal_known = false;
+      } else {
+        heal_ms = std::max(heal_ms, rule.end_model_ms - elapsed);
+      }
+    }
+  }
+  if (decision.stalled && heal_known) {
+    decision.heal_known = true;
+    // A small epsilon past the window end so the replay's re-check sees the
+    // rule expired (the store re-buffers and re-schedules on residue anyway).
+    decision.heal_in = TimeScale::FromModelMillis(heal_ms + 1.0);
+  }
+  return decision;
+}
+
+bool FaultInjector::InjectApplyError(const std::string& store, Region to) {
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_plan_ == nullptr) {
+    return false;
+  }
+  const double elapsed = ElapsedModelMsLocked();
+  for (const FaultRule& rule : armed_plan_->plan.rules) {
+    if (rule.kind != FaultKind::kStoreApplyError || !ActiveAt(rule, elapsed)) {
+      continue;
+    }
+    if (MatchesPrefix(rule.store, store) && MatchesTo(rule, to) && DrawLocked(rule)) {
+      RecordInjected(rule.kind);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::InjectWaitError(const std::string& store, Region region) {
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_plan_ == nullptr) {
+    return false;
+  }
+  const double elapsed = ElapsedModelMsLocked();
+  for (const FaultRule& rule : armed_plan_->plan.rules) {
+    if (rule.kind != FaultKind::kStoreWaitError || !ActiveAt(rule, elapsed)) {
+      continue;
+    }
+    if (MatchesPrefix(rule.store, store) && MatchesTo(rule, region) && DrawLocked(rule)) {
+      RecordInjected(rule.kind);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::DropDelivery(const std::string& store, Region region) {
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_plan_ == nullptr) {
+    return false;
+  }
+  const double elapsed = ElapsedModelMsLocked();
+  for (const FaultRule& rule : armed_plan_->plan.rules) {
+    if (rule.kind != FaultKind::kQueueDropDelivery || !ActiveAt(rule, elapsed)) {
+      continue;
+    }
+    if (MatchesPrefix(rule.store, store) && MatchesTo(rule, region) && DrawLocked(rule)) {
+      RecordInjected(rule.kind);
+      return true;
+    }
+  }
+  return false;
+}
+
+RpcFault FaultInjector::OnRpc(const std::string& service) {
+  RpcFault fault;
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return fault;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_plan_ == nullptr) {
+    return fault;
+  }
+  const double elapsed = ElapsedModelMsLocked();
+  for (const FaultRule& rule : armed_plan_->plan.rules) {
+    if (!ActiveAt(rule, elapsed) || !MatchesPrefix(rule.service, service)) {
+      continue;
+    }
+    switch (rule.kind) {
+      case FaultKind::kRpcFailure:
+        if (DrawLocked(rule)) {
+          fault.fail_handler = true;
+          RecordInjected(rule.kind);
+        }
+        break;
+      case FaultKind::kRpcDropResponse:
+        if (DrawLocked(rule)) {
+          fault.drop_response = true;
+          RecordInjected(rule.kind);
+        }
+        break;
+      case FaultKind::kRpcDelay:
+        fault.delay_add_model_ms += rule.delay_add_model_ms;
+        RecordInjected(rule.kind);
+        break;
+      default:
+        break;
+    }
+  }
+  return fault;
+}
+
+void FaultInjector::PauseStore(const std::string& store, Region region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (manual_pauses_.insert({store, RegionIndex(region)}).second) {
+    active_sources_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::ResumeStore(const std::string& store, Region region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (manual_pauses_.erase({store, RegionIndex(region)}) != 0) {
+    active_sources_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::IsStorePaused(const std::string& store, Region region) const {
+  if (active_sources_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return manual_pauses_.count({store, RegionIndex(region)}) != 0;
+}
+
+}  // namespace antipode

@@ -1,0 +1,195 @@
+// Process-wide, deterministically-seeded fault injection.
+//
+// A `FaultPlan` is a declarative schedule of faults ("partition US↔EU links
+// of store X from t=2s to t=5s", "drop 5% of RPC responses to service Y",
+// "crash region EU's replica of store Z and replay the backlog on heal",
+// "3× latency spike on link A→B"). `FaultInjector::Arm` starts the plan's
+// clock; from then on the substrate layers consult the injector at their
+// injection points:
+//
+//   * `SimulatedNetwork::Deliver`       → `OnDeliver`   (drop / partition / jitter)
+//   * `ReplicatedStore::Put`            → `OnReplicate` (replication latency spike)
+//   * `ReplicatedStore::ApplyAt`        → `StoreStall`, `InjectApplyError`
+//   * `ReplicatedStore::WaitVisible*`   → `InjectWaitError`
+//   * `QueueStore`/`PubSubStore` apply  → `DropDelivery` (ack-timeout redelivery)
+//   * `RpcClient::Call`                 → `OnRpc` (handler failure, lost
+//                                         response, induced deadline overrun)
+//
+// Determinism: fault windows are evaluated against *model time elapsed since
+// Arm* (scaled wall clock, no wall-clock randomness), and every probabilistic
+// decision draws from one seeded Rng, so a schedule is reproducible for a
+// given seed and TimeScale. Partition/stall/outage rules are deterministic
+// within their window; probabilistic rules (drop, apply-error, …) are
+// seed-stable in distribution.
+//
+// Fault delivery semantics (see DESIGN.md §10):
+//   * Link partitions/stalls never lose replication writes — shipments that
+//     arrive at a partitioned replica are buffered by the store and replayed
+//     in arrival order on heal (the crash-and-restart model).
+//   * `kLinkDrop`/`kLinkPartition` drop fire-and-forget network messages
+//     (RPC casts); blocking RPC loss is modelled at the RPC layer
+//     (`kRpcDropResponse` + per-call deadline), where the caller can cope.
+//   * Injected wait errors surface as retryable `Unavailable`, never hangs.
+
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/net/region.h"
+
+namespace antipode {
+
+class Counter;
+
+enum class FaultKind : uint8_t {
+  // Network links (SimulatedNetwork messages; store replication stalls too —
+  // a partitioned replication link buffers instead of losing writes).
+  kLinkPartition = 0,  // drop every message on the matched link(s), both ways
+  kLinkDrop,           // drop each message with `probability`
+  kLinkDelay,          // scale/add latency on the matched link(s)
+  // RPC layer.
+  kRpcFailure,         // handler outcome replaced with Unavailable
+  kRpcDropResponse,    // handler runs, response is lost (caller times out)
+  kRpcDelay,           // extra response delay (induces deadline overruns)
+  // Replicated stores.
+  kStoreStall,         // buffer inbound applies on the matched ⟨from,to⟩ flow
+  kStoreApplyError,    // transient apply failure; the shipment retries
+  kRegionOutage,       // region down: all inbound applies buffer, heal replays
+  kStoreWaitError,     // visibility waits fail Unavailable (retryable)
+  // Brokers.
+  kQueueDropDelivery,  // consumer delivery lost; redelivered after ack timeout
+};
+
+inline constexpr int kNumFaultKinds = static_cast<int>(FaultKind::kQueueDropDelivery) + 1;
+
+std::string_view FaultKindName(FaultKind kind);
+
+// One schedule entry. Empty/unset matchers are wildcards; `store` and
+// `service` match by *prefix* (deployments suffix store names with a run
+// counter, so plans scope by the stable prefix, e.g. "Redis-post-").
+struct FaultRule {
+  FaultKind kind = FaultKind::kLinkPartition;
+  std::string store;                 // store-scoped faults; empty = any store
+  std::string service;               // rpc faults; empty = any service
+  std::optional<Region> from;        // link source / write origin
+  std::optional<Region> to;          // link destination / replica region
+  // Active window in model milliseconds relative to Arm(). The default window
+  // is [0, ∞): armed until Disarm.
+  double start_model_ms = 0.0;
+  double end_model_ms = kNoEnd;
+  // Per-decision probability for probabilistic kinds (drop, apply error,
+  // wait error, rpc failure/drop). Ignored by deterministic kinds.
+  double probability = 1.0;
+  // Latency shaping for kLinkDelay / kRpcDelay (and kLinkDelay applied to
+  // replication shipping): effective = sampled * factor + add.
+  double delay_factor = 1.0;
+  double delay_add_model_ms = 0.0;
+
+  static constexpr double kNoEnd = 1e300;
+};
+
+struct FaultPlan {
+  std::string name = "plan";
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+};
+
+// Decision results -----------------------------------------------------------
+
+struct LinkFault {
+  bool drop = false;
+  double delay_factor = 1.0;
+  double delay_add_model_ms = 0.0;
+};
+
+struct RpcFault {
+  bool fail_handler = false;
+  bool drop_response = false;
+  double delay_add_model_ms = 0.0;
+};
+
+struct StallDecision {
+  bool stalled = false;
+  // True when every rule stalling this flow has a finite window: the stall
+  // heals (absent new faults) `heal_in` from now, and the store schedules a
+  // backlog replay for that moment. Manual pauses heal only via Resume.
+  bool heal_known = false;
+  Duration heal_in = Duration::zero();
+};
+
+class FaultInjector {
+ public:
+  FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // The process-wide injector every substrate layer consults by default.
+  // Benches/tests that model private deployments construct their own and pass
+  // it through the layer options.
+  static FaultInjector& Default();
+
+  // Starts `plan`'s clock (windows are relative to now). Replaces any
+  // previously armed plan; manual pauses are unaffected.
+  void Arm(FaultPlan plan);
+  // Drops the armed plan. Stalled backlogs replay on the stores' next heal
+  // check (a store that buffered under a finite window already scheduled
+  // one; manual pauses still require Resume).
+  void Disarm();
+  bool armed() const { return active_sources_.load(std::memory_order_relaxed) != 0; }
+
+  // --- decision points (hot paths: one relaxed load when nothing is armed) --
+  LinkFault OnDeliver(Region from, Region to);
+  LinkFault OnReplicate(const std::string& store, Region from, Region to);
+  StallDecision StoreStall(const std::string& store, Region from, Region to);
+  bool InjectApplyError(const std::string& store, Region to);
+  bool InjectWaitError(const std::string& store, Region region);
+  bool DropDelivery(const std::string& store, Region region);
+  RpcFault OnRpc(const std::string& service);
+
+  // --- manual stalls (PauseReplication/ResumeReplication delegate here) -----
+  // Keyed by exact store name + region. State only: backlog buffering and
+  // replay live in the store, which consults StoreStall/IsStorePaused.
+  void PauseStore(const std::string& store, Region region);
+  void ResumeStore(const std::string& store, Region region);
+  bool IsStorePaused(const std::string& store, Region region) const;
+
+ private:
+  struct ArmedPlan {
+    FaultPlan plan;
+    TimePoint armed_at{};
+    Rng rng{1};
+  };
+
+  // Model milliseconds since Arm. Caller holds mu_.
+  double ElapsedModelMsLocked() const;
+  bool DrawLocked(const FaultRule& rule);
+  void RecordInjected(FaultKind kind);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<ArmedPlan> armed_plan_;                 // guarded by mu_
+  std::set<std::pair<std::string, int>> manual_pauses_;   // guarded by mu_
+
+  // (plan armed ? 1 : 0) + number of manual pauses; decision fast path.
+  std::atomic<int> active_sources_{0};
+
+  // fault.injected{kind=...} counters, fetched lazily (guarded by mu_).
+  std::array<Counter*, kNumFaultKinds> injected_counters_{};
+};
+
+}  // namespace antipode
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

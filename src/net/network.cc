@@ -34,16 +34,36 @@ void CountMessage(Region from, Region to, size_t payload_bytes) {
   link.bytes->Increment(payload_bytes);
 }
 
+// A dropped message is counted but its handler never runs — fire-and-forget
+// senders (casts) simply lose it, which is the point of the fault.
+void CountDrop(Region from, Region to) {
+  MetricsRegistry::Default()
+      .GetCounter("net.dropped", {{"from", std::string(RegionName(from))},
+                                  {"to", std::string(RegionName(to))}})
+      ->Increment();
+}
+
 }  // namespace
 
 double SimulatedNetwork::PayloadMillis(size_t payload_bytes) {
   return kMillisPerMib * static_cast<double>(payload_bytes) / (1024.0 * 1024.0);
 }
 
+LinkFault SimulatedNetwork::LinkFaultFor(Region from, Region to) {
+  return faults_ == nullptr ? LinkFault{} : faults_->OnDeliver(from, to);
+}
+
 void SimulatedNetwork::Deliver(Region from, Region to, size_t payload_bytes,
                                std::function<void()> handler) {
   CountMessage(from, to, payload_bytes);
-  const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
+  const LinkFault fault = LinkFaultFor(from, to);
+  if (fault.drop) {
+    CountDrop(from, to);
+    return;
+  }
+  const double millis = (topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes)) *
+                            fault.delay_factor +
+                        fault.delay_add_model_ms;
   timers_->ScheduleAfter(TimeScale::FromModelMillis(millis), std::move(handler));
 }
 
@@ -51,7 +71,14 @@ void SimulatedNetwork::Deliver(Region from, Region to, size_t payload_bytes,
                                TimerService::AffinityToken affinity,
                                std::function<void()> handler) {
   CountMessage(from, to, payload_bytes);
-  const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
+  const LinkFault fault = LinkFaultFor(from, to);
+  if (fault.drop) {
+    CountDrop(from, to);
+    return;
+  }
+  const double millis = (topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes)) *
+                            fault.delay_factor +
+                        fault.delay_add_model_ms;
   timers_->ScheduleAfter(TimeScale::FromModelMillis(millis), affinity, std::move(handler));
 }
 

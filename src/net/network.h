@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "src/common/timer_service.h"
+#include "src/fault/fault_injector.h"
 #include "src/net/topology.h"
 
 namespace antipode {
@@ -20,8 +21,9 @@ namespace antipode {
 class SimulatedNetwork {
  public:
   explicit SimulatedNetwork(RegionTopology* topology = &RegionTopology::Default(),
-                            TimerService* timers = &TimerService::Shared())
-      : topology_(topology), timers_(timers) {}
+                            TimerService* timers = &TimerService::Shared(),
+                            FaultInjector* faults = &FaultInjector::Default())
+      : topology_(topology), timers_(timers), faults_(faults) {}
 
   // Schedules `handler` to run after a sampled one-way delay from->to.
   // `payload_bytes` adds serialization/bandwidth cost for large messages
@@ -50,8 +52,13 @@ class SimulatedNetwork {
   static double PayloadMillis(size_t payload_bytes);
 
  private:
+  // The injected link fault for a message on from->to (drop / delay), or the
+  // no-fault default when no injector is armed.
+  LinkFault LinkFaultFor(Region from, Region to);
+
   RegionTopology* topology_;
   TimerService* timers_;
+  FaultInjector* faults_;
 };
 
 }  // namespace antipode

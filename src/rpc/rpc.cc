@@ -1,5 +1,10 @@
 #include "src/rpc/rpc.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <random>
+
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -41,25 +46,43 @@ void ServiceRegistry::ShutdownAll() {
   }
 }
 
+bool RpcService::TryGetCachedOutcome(uint64_t call_id, RpcServerOutcome* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dedup_cache_.find(call_id);
+  if (it == dedup_cache_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void RpcService::CacheOutcome(uint64_t call_id, RpcServerOutcome out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = dedup_cache_.emplace(call_id, std::move(out));
+  if (!inserted) {
+    return;  // a concurrent retry's execution already cached this call
+  }
+  dedup_order_.push_back(call_id);
+  while (dedup_order_.size() > kDedupCacheCapacity) {
+    dedup_cache_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
 namespace {
 
-struct HandlerOutcome {
-  Result<std::string> result{Status::Internal("handler never ran")};
-  std::string context_blob;
-};
-
-}  // namespace
-
-namespace {
+// Call ids are process-unique so retried attempts of one logical call — and
+// only those — share an id in a service's dedup cache.
+std::atomic<uint64_t> g_next_call_id{1};
 
 // Runs `handler` under a ScopedContext built from the request, wrapped in a
 // server-side span whose parent rides in the request's baggage. The server
 // span installs itself into the scoped context before the handler runs, so
 // store writes and nested calls inside the handler become its children.
-HandlerOutcome RunHandler(const RpcHandler& handler, const std::string& payload,
-                          const std::string& context_blob, const std::string& service,
-                          const std::string& method, Region region) {
-  HandlerOutcome out;
+RpcServerOutcome RunHandler(const RpcHandler& handler, const std::string& payload,
+                            const std::string& context_blob, const std::string& service,
+                            const std::string& method, Region region) {
+  RpcServerOutcome out;
   if (context_blob.empty()) {
     out.result = handler(payload);
     out.context_blob = RequestContext::SerializeCurrent();
@@ -82,6 +105,101 @@ HandlerOutcome RunHandler(const RpcHandler& handler, const std::string& payload,
 
 Result<std::string> RpcClient::Call(const std::string& service, const std::string& method,
                                     const std::string& payload) {
+  return Call(service, method, payload, RpcCallOptions{});
+}
+
+Result<std::string> RpcClient::CallOnce(RpcService* target, const RpcHandler* handler,
+                                        const std::string& service, const std::string& method,
+                                        const std::string& payload, uint64_t call_id, bool dedup,
+                                        TimePoint attempt_deadline) {
+  // Serialized after the client span is installed (by Call), so the callee
+  // sees it as its parent.
+  const std::string context_blob = RequestContext::SerializeCurrent();
+  const size_t request_bytes = payload.size() + context_blob.size();
+  const Region target_region = target->region();
+
+  const RpcFault fault = faults_ == nullptr ? RpcFault{} : faults_->OnRpc(service);
+  // A lost response with no deadline would hang the caller forever; the model
+  // refuses that, so response loss only fires against deadline-bounded calls.
+  const bool drop_response = fault.drop_response && attempt_deadline != TimePoint::max();
+
+  // Outbound one-way delay, paid by the (blocking) caller.
+  registry_->network()->SleepOneWay(caller_region_, target_region, request_bytes);
+  if (SystemClock::Instance().Now() >= attempt_deadline) {
+    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+  }
+
+  if (fault.fail_handler) {
+    // The request reaches a broken server: the handler never runs (so nothing
+    // is cached) and the caller sees a retryable transport-level failure.
+    return Status::Unavailable("injected rpc failure: " + service + "/" + method);
+  }
+
+  auto outcome = std::make_shared<std::promise<RpcServerOutcome>>();
+  auto future = outcome->get_future();
+  const bool submitted = target->executor().Submit(
+      [handler, payload, context_blob, outcome, service, method, target, target_region, call_id,
+       dedup, drop_response] {
+        RpcServerOutcome out;
+        if (dedup && target->TryGetCachedOutcome(call_id, &out)) {
+          MetricsRegistry::Default()
+              .GetCounter("rpc.dedup_hits", {{"service", service}})
+              ->Increment();
+        } else {
+          out = RunHandler(*handler, payload, context_blob, service, method, target_region);
+          // Only completed executions are cached: a transient handler error
+          // must be re-attempted, not replayed, by a retry.
+          if (dedup && out.result.ok()) {
+            target->CacheOutcome(call_id, out);
+          }
+        }
+        // A dropped response still executed (and cached) — the promise is
+        // simply never fulfilled, and the caller's deadline fires.
+        if (!drop_response) {
+          outcome->set_value(std::move(out));
+        }
+      });
+  if (!submitted) {
+    return Status::Unavailable("service shut down: " + service);
+  }
+
+  if (attempt_deadline == TimePoint::max()) {
+    future.wait();
+  } else if (future.wait_until(attempt_deadline) != std::future_status::ready) {
+    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+  }
+  RpcServerOutcome out = future.get();
+
+  const size_t response_bytes =
+      (out.result.ok() ? out.result.value().size() : 0) + out.context_blob.size();
+  registry_->network()->SleepOneWay(target_region, caller_region_, response_bytes);
+  if (fault.delay_add_model_ms > 0.0) {
+    SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(fault.delay_add_model_ms));
+  }
+  if (SystemClock::Instance().Now() >= attempt_deadline) {
+    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+  }
+
+  // Fold the handler's final baggage back into the caller's context so that
+  // lineage updates made inside the callee become visible here.
+  RequestContext* current = RequestContext::Current();
+  if (current != nullptr && !out.context_blob.empty()) {
+    const RequestContext remote = RequestContext::Deserialize(out.context_blob);
+    BaggageMergerRegistry::Instance().MergeInto(*current, remote.baggage());
+  }
+  return out.result;
+}
+
+namespace {
+
+bool RetryableCode(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+Result<std::string> RpcClient::Call(const std::string& service, const std::string& method,
+                                    const std::string& payload, const RpcCallOptions& options) {
   RpcService* target = registry_->Lookup(service);
   if (target == nullptr) {
     return Status::NotFound("no such service: " + service);
@@ -92,61 +210,62 @@ Result<std::string> RpcClient::Call(const std::string& service, const std::strin
   }
 
   const TimePoint call_start = SystemClock::Instance().Now();
+  const TimePoint call_deadline = DeadlineAfter(options.deadline);
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  const bool may_retry = options.idempotent && max_attempts > 1;
+  const uint64_t call_id = g_next_call_id.fetch_add(1, std::memory_order_relaxed);
+  std::mt19937_64 backoff_rng(options.retry.seed ^ call_id);
+
   Span span = Span::Start("rpc/call", {.category = "rpc", .region = caller_region_});
   if (span.recording()) {
     span.Annotate("service", service);
     span.Annotate("method", method);
   }
 
-  // Serialized after the client span is installed, so the callee sees it as
-  // its parent.
-  const std::string context_blob = RequestContext::SerializeCurrent();
-  const size_t request_bytes = payload.size() + context_blob.size();
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("rpc.calls", {{"service", service}})->Increment();
 
-  // Outbound one-way delay, paid by the (blocking) caller.
-  registry_->network()->SleepOneWay(caller_region_, target->region(), request_bytes);
-
-  auto outcome = std::make_shared<std::promise<HandlerOutcome>>();
-  auto future = outcome->get_future();
-  const Region target_region = target->region();
-  const bool submitted =
-      target->executor().Submit([handler, payload, context_blob, outcome, service, method,
-                                 target_region] {
-        outcome->set_value(
-            RunHandler(*handler, payload, context_blob, service, method, target_region));
-      });
-  if (!submitted) {
-    return Status::Unavailable("service shut down: " + service);
-  }
-
-  HandlerOutcome out = future.get();
-
-  const size_t response_bytes =
-      (out.result.ok() ? out.result.value().size() : 0) + out.context_blob.size();
-  registry_->network()->SleepOneWay(target->region(), caller_region_, response_bytes);
-
-  // Fold the handler's final baggage back into the caller's context so that
-  // lineage updates made inside the callee become visible here.
-  RequestContext* current = RequestContext::Current();
-  if (current != nullptr && !out.context_blob.empty()) {
-    const RequestContext remote = RequestContext::Deserialize(out.context_blob);
-    BaggageMergerRegistry::Instance().MergeInto(*current, remote.baggage());
-    // The handler's span context must not leak back as the caller's current
-    // span (unregistered mergers copy baggage keys wholesale).
-    if (span.recording()) {
-      SetCurrentSpanContext(span.context());
+  Result<std::string> result = Status::Internal("rpc never attempted");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      metrics.GetCounter("rpc.retries", {{"service", service}})->Increment();
+      const double base = options.retry.initial_backoff_model_ms *
+                          std::pow(options.retry.backoff_multiplier, attempt - 2);
+      std::uniform_real_distribution<double> jitter(1.0 - options.retry.jitter,
+                                                    1.0 + options.retry.jitter);
+      const Duration backoff = TimeScale::FromModelMillis(base * jitter(backoff_rng));
+      SystemClock::Instance().SleepFor(std::min(backoff, RemainingBudget(call_deadline)));
+    }
+    if (RemainingBudget(call_deadline) == Duration::zero()) {
+      result = Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+      break;
+    }
+    TimePoint attempt_deadline = call_deadline;
+    if (options.timeout != Duration::max()) {
+      attempt_deadline = std::min(attempt_deadline, DeadlineAfter(options.timeout));
+    }
+    result = CallOnce(target, handler, service, method, payload, call_id, may_retry,
+                      attempt_deadline);
+    if (result.ok() || !may_retry || !RetryableCode(result.status().code())) {
+      break;
     }
   }
 
-  MetricsRegistry& metrics = MetricsRegistry::Default();
-  metrics.GetCounter("rpc.calls", {{"service", service}})->Increment();
-  if (!out.result.ok()) {
+  // The handler's span context must not leak back as the caller's current
+  // span (unregistered mergers copy baggage keys wholesale).
+  if (span.recording()) {
+    SetCurrentSpanContext(span.context());
+  }
+  if (!result.ok()) {
     metrics.GetCounter("rpc.errors", {{"service", service}})->Increment();
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics.GetCounter("rpc.deadline_exceeded", {{"service", service}})->Increment();
+    }
   }
   metrics.GetHistogram("rpc.latency_model_ms", {{"service", service}})
       ->Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
           SystemClock::Instance().Now() - call_start)));
-  return out.result;
+  return result;
 }
 
 Status RpcClient::Cast(const std::string& service, const std::string& method,

@@ -1,5 +1,8 @@
 #include "src/store/pubsub_store.h"
 
+#include "src/obs/metrics.h"
+#include "src/store/queue_store.h"
+
 namespace antipode {
 namespace {
 
@@ -44,6 +47,16 @@ PubSubStore::PublishResult PubSubStore::PublishWithKey(Region origin, const std:
 }
 
 void PubSubStore::OnApply(Region region, const StoredEntry& entry) {
+  // Lost fan-out (subscriber crash before ack): redeliver after the ack
+  // timeout instead of losing the lineage-carrying notification.
+  if (fault_injector() != nullptr && fault_injector()->DropDelivery(name(), region)) {
+    MetricsRegistry::Default().GetCounter("queue.redeliveries", {{"store", name()}})->Increment();
+    auto copy = std::make_shared<const StoredEntry>(entry);
+    ScheduleStoreWork(TimeScale::FromModelMillis(kBrokerRedeliveryModelMillis),
+                      std::hash<std::string>{}(entry.key) ^ 0x5ca1ab1eULL,
+                      [this, region, copy] { OnApply(region, *copy); });
+    return;
+  }
   std::vector<std::pair<ThreadPool*, MessageHandler>> targets;
   const std::string topic = TopicOfKey(entry.key);
   {

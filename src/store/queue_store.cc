@@ -1,5 +1,7 @@
 #include "src/store/queue_store.h"
 
+#include "src/obs/metrics.h"
+
 namespace antipode {
 namespace {
 
@@ -51,6 +53,17 @@ QueueStore::PublishResult QueueStore::PublishWithKey(Region origin, const std::s
 }
 
 void QueueStore::OnApply(Region region, const StoredEntry& entry) {
+  // Lost delivery (consumer crash before ack): schedule a redelivery instead
+  // of losing the lineage-carrying message. The redelivery re-enters this
+  // gate, so repeated drops redeliver again until the fault window closes.
+  if (fault_injector() != nullptr && fault_injector()->DropDelivery(name(), region)) {
+    MetricsRegistry::Default().GetCounter("queue.redeliveries", {{"store", name()}})->Increment();
+    auto copy = std::make_shared<const StoredEntry>(entry);
+    ScheduleStoreWork(TimeScale::FromModelMillis(kBrokerRedeliveryModelMillis),
+                      std::hash<std::string>{}(entry.key) ^ 0x5ca1ab1eULL,
+                      [this, region, copy] { OnApply(region, *copy); });
+    return;
+  }
   ThreadPool* executor = nullptr;
   MessageHandler handler;
   const std::string channel = ChannelOfKey(entry.key);

@@ -21,6 +21,12 @@
 
 namespace antipode {
 
+// Ack timeout for broker deliveries: when the fault injector drops a
+// delivery (kQueueDropDelivery — the consumer never acked), the broker
+// redelivers the message this much model time later. Redelivery timers count
+// as in-flight replication, so DrainReplication covers them.
+inline constexpr double kBrokerRedeliveryModelMillis = 200.0;
+
 struct BrokerMessage {
   std::string channel;  // queue or topic name
   std::string payload;

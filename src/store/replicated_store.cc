@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace antipode {
@@ -384,29 +385,43 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
     if (destination == origin) {
       continue;
     }
-    const double lag_millis = profile_.SampleMillis(origin, destination, shared->bytes.size());
-    metrics_.RecordReplicationLagMillis(lag_millis);
-    inflight_->count.fetch_add(1, std::memory_order_relaxed);
-    const bool scheduled = timers_->ScheduleAfter(
-        TimeScale::FromModelMillis(lag_millis), ShipmentAffinity(key, destination),
-        [this, destination, lag_millis, shared, inflight = inflight_] {
-          RecordReplicationSpan(destination, lag_millis, *shared);
-          ApplyAt(destination, *shared);
-          // Only a decrement that reaches zero touches the drain lock. Past
-          // this decrement a drainer may destroy the store, so the wakeup
-          // goes through the co-owned inflight block — never `this`.
-          if (inflight->count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::lock_guard<std::mutex> lock(inflight->mu);
-            inflight->cv.notify_all();
-          }
-        });
-    if (!scheduled) {
-      // Timer service already shut down: the shipment was dropped, so undo
-      // the accounting or DrainReplication would wait forever.
-      inflight_->count.fetch_sub(1, std::memory_order_acq_rel);
+    double lag_millis = profile_.SampleMillis(origin, destination, shared->bytes.size());
+    if (options_.fault_injector != nullptr) {
+      // Injected latency spike on this replication link (kLinkDelay).
+      const LinkFault fault = options_.fault_injector->OnReplicate(options_.name, origin,
+                                                                   destination);
+      lag_millis = lag_millis * fault.delay_factor + fault.delay_add_model_ms;
     }
+    metrics_.RecordReplicationLagMillis(lag_millis);
+    ScheduleStoreWork(TimeScale::FromModelMillis(lag_millis), ShipmentAffinity(key, destination),
+                      [this, destination, lag_millis, shared] {
+                        RecordReplicationSpan(destination, lag_millis, *shared);
+                        ApplyAt(destination, *shared);
+                      });
   }
   return shared->version;
+}
+
+bool ReplicatedStore::ScheduleStoreWork(Duration delay, TimerService::AffinityToken affinity,
+                                        std::function<void()> fn) {
+  inflight_->count.fetch_add(1, std::memory_order_relaxed);
+  const bool scheduled = timers_->ScheduleAfter(
+      delay, affinity, [fn = std::move(fn), inflight = inflight_] {
+        fn();
+        // Only a decrement that reaches zero touches the drain lock. Past
+        // this decrement a drainer may destroy the store, so the wakeup
+        // goes through the co-owned inflight block — never `this`.
+        if (inflight->count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(inflight->mu);
+          inflight->cv.notify_all();
+        }
+      });
+  if (!scheduled) {
+    // Timer service already shut down: the work was dropped, so undo the
+    // accounting or DrainReplication would wait forever.
+    inflight_->count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return scheduled;
 }
 
 ReplicatedStore::~ReplicatedStore() {
@@ -415,6 +430,13 @@ ReplicatedStore::~ReplicatedStore() {
   // outstanding shared_ptr holders (a barrier mid-probe) stay valid.
   if (options_.visibility_cache != nullptr) {
     options_.visibility_cache->Unregister(visibility_);
+  }
+  // Manual pauses are keyed by store name in the (typically process-wide)
+  // injector; clear them so a later same-named store doesn't inherit a stall.
+  if (options_.fault_injector != nullptr) {
+    for (Region region : options_.regions) {
+      options_.fault_injector->ResumeStore(options_.name, region);
+    }
   }
 }
 
@@ -446,8 +468,37 @@ void ReplicatedStore::RecordReplicationSpan(Region destination, double lag_milli
   tracer.Record(std::move(event));
 }
 
+// Short, fixed retry delay for injected transient apply errors. Probability-
+// gated rules converge almost surely; a probability-1.0 rule retries until
+// its window closes.
+constexpr double kApplyRetryModelMillis = 5.0;
+
 void ReplicatedStore::ApplyAt(Region region, const StoredEntry& entry) {
-  {
+  FaultInjector* injector = options_.fault_injector;
+  if (injector != nullptr) {
+    const StallDecision stall = injector->StoreStall(options_.name, entry.origin, region);
+    if (stall.stalled) {
+      BufferStalled(region, entry, stall);
+      return;
+    }
+    if (injector->InjectApplyError(options_.name, region)) {
+      // Transient apply failure: the shipment retries after a short backoff.
+      // The retry shares the shipment's ⟨key, region⟩ affinity, and a newer
+      // version outrunning it is harmless (stale replays are ignored but
+      // still watermark through ApplyReplicated).
+      MetricsRegistry::Default()
+          .GetCounter("store.apply_retries", {{"store", options_.name}})
+          ->Increment();
+      auto copy = std::make_shared<const StoredEntry>(entry);
+      if (ScheduleStoreWork(TimeScale::FromModelMillis(kApplyRetryModelMillis),
+                            ShipmentAffinity(entry.key, region),
+                            [this, region, copy] { ApplyAt(region, *copy); })) {
+        return;
+      }
+      // Timer service gone (shutdown): fall through and apply inline rather
+      // than lose the write.
+    }
+  } else {
     std::lock_guard<std::mutex> lock(pause_mu_);
     if (paused_[static_cast<size_t>(RegionIndex(region))]) {
       stalled_[static_cast<size_t>(RegionIndex(region))].push_back(entry);
@@ -455,6 +506,69 @@ void ReplicatedStore::ApplyAt(Region region, const StoredEntry& entry) {
     }
   }
   ApplyReplicated(region, entry);
+}
+
+void ReplicatedStore::BufferStalled(Region region, const StoredEntry& entry,
+                                    const StallDecision& stall) {
+  const auto idx = static_cast<size_t>(RegionIndex(region));
+  bool schedule_heal = false;
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    stalled_[idx].push_back(entry);
+    if (stall_started_[idx] == TimePoint{}) {
+      stall_started_[idx] = SystemClock::Instance().Now();
+    }
+    if (stall.heal_known && !heal_pending_[idx]) {
+      heal_pending_[idx] = true;
+      schedule_heal = true;
+    }
+  }
+  if (schedule_heal) {
+    const bool scheduled = ScheduleStoreWork(
+        stall.heal_in, ShipmentAffinity(options_.name, region), [this, region] {
+          {
+            std::lock_guard<std::mutex> lock(pause_mu_);
+            heal_pending_[static_cast<size_t>(RegionIndex(region))] = false;
+          }
+          ReplayBacklog(region);
+        });
+    if (!scheduled) {
+      std::lock_guard<std::mutex> lock(pause_mu_);
+      heal_pending_[idx] = false;
+    }
+  }
+}
+
+void ReplicatedStore::ReplayBacklog(Region region) {
+  const auto idx = static_cast<size_t>(RegionIndex(region));
+  std::vector<StoredEntry> backlog;
+  TimePoint started;
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    backlog.swap(stalled_[idx]);
+    started = stall_started_[idx];
+    stall_started_[idx] = TimePoint{};
+  }
+  // Replay in arrival order; entries re-buffer (and re-schedule a heal) when
+  // the region is still stalled by another rule or a manual pause.
+  for (const StoredEntry& entry : backlog) {
+    ApplyAt(region, entry);
+  }
+  bool healed;
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    healed = stalled_[idx].empty();
+    if (!healed && started != TimePoint{}) {
+      stall_started_[idx] = started;  // still down: keep the outage clock running
+    }
+  }
+  if (healed && started != TimePoint{} && !backlog.empty()) {
+    MetricsRegistry::Default()
+        .GetHistogram("store.region_outage_ms",
+                      {{"store", options_.name}, {"region", std::string(RegionName(region))}})
+        ->Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
+            SystemClock::Instance().Now() - started)));
+  }
 }
 
 void ReplicatedStore::ApplyReplicated(Region region, const StoredEntry& entry) {
@@ -472,23 +586,28 @@ void ReplicatedStore::ApplyReplicated(Region region, const StoredEntry& entry) {
 }
 
 void ReplicatedStore::PauseReplication(Region region) {
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->PauseStore(options_.name, region);
+    return;
+  }
   std::lock_guard<std::mutex> lock(pause_mu_);
   paused_[static_cast<size_t>(RegionIndex(region))] = true;
 }
 
 void ReplicatedStore::ResumeReplication(Region region) {
-  std::vector<StoredEntry> backlog;
-  {
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->ResumeStore(options_.name, region);
+  } else {
     std::lock_guard<std::mutex> lock(pause_mu_);
     paused_[static_cast<size_t>(RegionIndex(region))] = false;
-    backlog.swap(stalled_[static_cast<size_t>(RegionIndex(region))]);
   }
-  for (const auto& entry : backlog) {
-    ApplyReplicated(region, entry);
-  }
+  ReplayBacklog(region);
 }
 
 bool ReplicatedStore::IsReplicationPaused(Region region) const {
+  if (options_.fault_injector != nullptr) {
+    return options_.fault_injector->IsStorePaused(options_.name, region);
+  }
   std::lock_guard<std::mutex> lock(pause_mu_);
   return paused_[static_cast<size_t>(RegionIndex(region))];
 }
@@ -530,18 +649,35 @@ bool ReplicatedStore::IsVisible(Region region, const std::string& key, uint64_t 
   return replica(region).VersionOf(key) >= version;
 }
 
+// Injected wait faults surface as retryable Unavailable instead of letting
+// the wait hang or lie about visibility: callers (shims, barriers) propagate
+// the Status and may simply re-issue the wait.
 Status ReplicatedStore::WaitVisible(Region region, const std::string& key, uint64_t version,
                                     Duration timeout) const {
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->InjectWaitError(options_.name, region)) {
+    return Status::Unavailable("injected wait error: " + options_.name);
+  }
   return replica(region).WaitVersion(key, version, DeadlineAfter(timeout));
 }
 
 void ReplicatedStore::WaitVisibleAsync(Region region, const std::string& key, uint64_t version,
                                        TimePoint deadline, VisibilityCallback cb) const {
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->InjectWaitError(options_.name, region)) {
+    cb(Status::Unavailable("injected wait error: " + options_.name));
+    return;
+  }
   replica(region).WaitVersionAsync(key, version, deadline, timers_, std::move(cb));
 }
 
 void ReplicatedStore::WaitVisibleBatchAsync(Region region, std::span<const KeyVersion> items,
                                             TimePoint deadline, VisibilityCallback cb) const {
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->InjectWaitError(options_.name, region)) {
+    cb(Status::Unavailable("injected wait error: " + options_.name));
+    return;
+  }
   replica(region).WaitVersionsAsync(items, deadline, timers_, std::move(cb));
 }
 

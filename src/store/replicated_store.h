@@ -42,6 +42,7 @@
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/timer_service.h"
+#include "src/fault/fault_injector.h"
 #include "src/net/region.h"
 #include "src/store/replication_profile.h"
 #include "src/store/store_metrics.h"
@@ -177,6 +178,9 @@ struct ReplicatedStoreOptions {
   // The process-wide default is right for deployments; benches that model
   // private store fleets pass their own instance.
   VisibilityCache* visibility_cache = &VisibilityCache::Default();
+  // Fault injector this store consults on the apply/wait/replication paths
+  // (nullptr disables injection and falls back to store-local pause flags).
+  FaultInjector* fault_injector = &FaultInjector::Default();
 };
 
 class ReplicatedStore {
@@ -256,6 +260,13 @@ class ReplicatedStore {
   void DrainReplication() const;
 
   // --- Failure injection -------------------------------------------------
+  // DEPRECATED: these wrappers delegate to the store's `FaultInjector`
+  // (options.fault_injector) and are kept for API compatibility. New code
+  // should drive stalls declaratively through `FaultInjector::Arm` (kind
+  // kStoreStall / kRegionOutage / kLinkPartition) or, for manual control,
+  // `FaultInjector::PauseStore` / `ResumeStore` — the injector is the single
+  // source of truth for what is failing; the store only buffers and replays.
+  //
   // Stalls inbound replication at `region`: due entries are buffered instead
   // of applied, emulating a partitioned or lagging replica. `barrier` calls
   // targeting the region block until ResumeReplication. Local writes and
@@ -269,6 +280,15 @@ class ReplicatedStore {
   const ReplicaTable& replica(Region region) const;
   ReplicaTable& replica(Region region);
   bool HasRegion(Region region) const;
+  FaultInjector* fault_injector() const { return options_.fault_injector; }
+
+  // Schedules `fn` on the store's timer under the drain contract: the work
+  // counts as in-flight replication, so DrainReplication (and hence the
+  // destructor) waits for it. Used by apply-error retries, stall heal
+  // replays, and broker redelivery timers. Returns false (and runs nothing)
+  // when the timer service has shut down.
+  bool ScheduleStoreWork(Duration delay, TimerService::AffinityToken affinity,
+                         std::function<void()> fn);
 
  private:
   uint64_t NextVersion(const std::string& key);
@@ -315,14 +335,25 @@ class ReplicatedStore {
   };
   std::shared_ptr<InflightShipments> inflight_ = std::make_shared<InflightShipments>();
 
-  // Applies the entry at `region` (or buffers it while the region's inbound
-  // replication is paused), then fires the apply hook.
+  // Applies the entry at `region`, or buffers it while the region's inbound
+  // replication is stalled (manual pause or an armed fault plan), or retries
+  // it after an injected transient apply error. Fires the apply hook.
   void ApplyAt(Region region, const StoredEntry& entry);
 
   // The unconditional half of ApplyAt: replica apply + apply hook + visibility
-  // notification. ResumeReplication replays its backlog through this too, so
+  // notification. Backlog replay goes through ApplyAt (which calls this), so
   // the cache sees every ⟨seq, region⟩ exactly once regardless of stalls.
   void ApplyReplicated(Region region, const StoredEntry& entry);
+
+  // Buffers a stalled entry and, when the stall has a known heal time,
+  // schedules the backlog replay for that moment (one pending replay per
+  // region; the replay re-checks and re-schedules if faults persist).
+  void BufferStalled(Region region, const StoredEntry& entry, const StallDecision& stall);
+
+  // Re-applies the region's stalled backlog through ApplyAt (entries re-buffer
+  // if the region is still stalled) and records store.region_outage_ms once
+  // the backlog fully drains.
+  void ReplayBacklog(Region region);
 
   // Emits the "replication/apply" trace span for a shipment that just
   // arrived at `destination` (no-op when tracing is off or the write was not
@@ -330,9 +361,15 @@ class ReplicatedStore {
   void RecordReplicationSpan(Region destination, double lag_millis,
                              const StoredEntry& entry) const;
 
+  // Stall state. `paused_` is the legacy store-local flag, consulted only
+  // when options_.fault_injector is null; with an injector the pause state
+  // lives there and this array stays false. The backlog, the per-region
+  // "replay already scheduled" latch, and the outage clock are always local.
   mutable std::mutex pause_mu_;
   std::array<bool, kNumRegions> paused_{};
   std::array<std::vector<StoredEntry>, kNumRegions> stalled_;
+  std::array<bool, kNumRegions> heal_pending_{};
+  std::array<TimePoint, kNumRegions> stall_started_{};
 
   // Authoritative latest copy of every key, updated synchronously at Put.
   ReplicaTable authority_;

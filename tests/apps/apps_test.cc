@@ -153,25 +153,10 @@ TEST_F(AppsTest, SocialNetworkThroughputPenaltySmallOffPeak) {
   EXPECT_GT(antipode.throughput, baseline.throughput * 0.85);
 }
 
-TEST_F(AppsTest, TrainTicketAntipodeEliminatesViolationsAtLatencyCost) {
-  TimeScale::Set(0.1);
-  TrainTicketConfig config;
-  config.load_rps = 100;
-  config.duration_model_seconds = 1.5;
-  config.antipode = false;
-  TrainTicketResult baseline = RunTrainTicket(config);
-  config.antipode = true;
-  TrainTicketResult antipode = RunTrainTicket(config);
-
-  EXPECT_GT(baseline.requests, 0u);
-  EXPECT_EQ(antipode.violations, 0u);
-  // Barrier on the critical path: cancellation latency strictly higher.
-  EXPECT_GT(antipode.cancel_latency_model_ms.Mean(),
-            baseline.cancel_latency_model_ms.Mean());
-  // And the consistency window collapses.
-  EXPECT_LT(antipode.consistency_window_model_ms.Mean(),
-            baseline.consistency_window_model_ms.Mean());
-}
+// TrainTicketAntipodeEliminatesViolationsAtLatencyCost lives in
+// train_ticket_latency_test.cc: it compares wall-clock-derived latencies
+// between two in-process load runs, so it runs serially (RUN_SERIAL) where a
+// parallel ctest schedule cannot invert the comparison via CPU contention.
 
 }  // namespace
 }  // namespace antipode

@@ -1,0 +1,49 @@
+// TrainTicket latency-vs-consistency trade-off (§7.1), isolated from the
+// main apps suite.
+//
+// This test compares latencies between two back-to-back in-process load runs
+// at a gentle TimeScale. The deterministic model-time delta (the barrier on
+// the cancellation path) is a few model milliseconds, which CPU contention
+// from a parallel ctest schedule can swamp — the seed suite's only flake.
+// Two defenses:
+//   * the test binary is registered RUN_SERIAL, so no other test shares the
+//     machine while it runs;
+//   * the comparison uses medians, which shrug off the scheduling-noise tail
+//     that inverted the mean under load.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/train_ticket/train_ticket.h"
+#include "src/common/clock.h"
+
+namespace antipode {
+namespace {
+
+class TrainTicketLatencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.1); }
+  void TearDown() override { TimeScale::Set(1.0); }
+};
+
+TEST_F(TrainTicketLatencyTest, TrainTicketAntipodeEliminatesViolationsAtLatencyCost) {
+  TrainTicketConfig config;
+  config.load_rps = 100;
+  config.duration_model_seconds = 1.5;
+  config.antipode = false;
+  TrainTicketResult baseline = RunTrainTicket(config);
+  config.antipode = true;
+  TrainTicketResult antipode = RunTrainTicket(config);
+
+  EXPECT_GT(baseline.requests, 0u);
+  EXPECT_EQ(antipode.violations, 0u);
+  // Barrier on the critical path: median cancellation latency strictly
+  // higher.
+  EXPECT_GT(antipode.cancel_latency_model_ms.Percentile(0.5),
+            baseline.cancel_latency_model_ms.Percentile(0.5));
+  // And the consistency window collapses.
+  EXPECT_LT(antipode.consistency_window_model_ms.Percentile(0.5),
+            baseline.consistency_window_model_ms.Percentile(0.5));
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,0 +1,205 @@
+// FaultInjector unit tests: window activation, prefix scoping, manual
+// pauses, decision determinism, and the heal contract stores build on.
+
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace antipode {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.02); }
+  void TearDown() override { TimeScale::Set(1.0); }
+
+  FaultInjector injector_;
+};
+
+FaultRule Rule(FaultKind kind) {
+  FaultRule rule;
+  rule.kind = kind;
+  return rule;
+}
+
+TEST_F(FaultInjectorTest, UnarmedInjectorIsInert) {
+  EXPECT_FALSE(injector_.armed());
+  EXPECT_FALSE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+  EXPECT_FALSE(injector_.StoreStall("any", Region::kUs, Region::kEu).stalled);
+  EXPECT_FALSE(injector_.InjectApplyError("any", Region::kEu));
+  EXPECT_FALSE(injector_.InjectWaitError("any", Region::kEu));
+  EXPECT_FALSE(injector_.DropDelivery("any", Region::kEu));
+  EXPECT_FALSE(injector_.OnRpc("svc").fail_handler);
+  EXPECT_FALSE(injector_.IsStorePaused("any", Region::kEu));
+}
+
+TEST_F(FaultInjectorTest, LinkDropIsDirectional) {
+  FaultRule rule = Rule(FaultKind::kLinkDrop);
+  rule.from = Region::kUs;
+  rule.to = Region::kEu;
+  injector_.Arm(FaultPlan{"drop", 1, {rule}});
+  EXPECT_TRUE(injector_.armed());
+  EXPECT_TRUE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+  EXPECT_FALSE(injector_.OnDeliver(Region::kEu, Region::kUs).drop);
+  injector_.Disarm();
+  EXPECT_FALSE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+}
+
+TEST_F(FaultInjectorTest, UnscopedPartitionSeversLinkBothWaysAndStallsStores) {
+  FaultRule rule = Rule(FaultKind::kLinkPartition);
+  rule.from = Region::kUs;
+  rule.to = Region::kEu;
+  injector_.Arm(FaultPlan{"partition", 1, {rule}});
+  EXPECT_TRUE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+  EXPECT_TRUE(injector_.OnDeliver(Region::kEu, Region::kUs).drop);
+  EXPECT_FALSE(injector_.OnDeliver(Region::kUs, Region::kSg).drop);
+  // Replication on the partitioned link stalls (buffers) instead of dropping.
+  EXPECT_TRUE(injector_.StoreStall("db", Region::kUs, Region::kEu).stalled);
+  EXPECT_TRUE(injector_.StoreStall("db", Region::kEu, Region::kUs).stalled);
+  EXPECT_FALSE(injector_.StoreStall("db", Region::kUs, Region::kSg).stalled);
+}
+
+TEST_F(FaultInjectorTest, StoreScopedPartitionDoesNotTouchTheNetwork) {
+  FaultRule rule = Rule(FaultKind::kLinkPartition);
+  rule.store = "Redis-post-";
+  injector_.Arm(FaultPlan{"scoped", 1, {rule}});
+  EXPECT_FALSE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+  EXPECT_TRUE(injector_.StoreStall("Redis-post-7", Region::kUs, Region::kEu).stalled);
+  EXPECT_FALSE(injector_.StoreStall("SNS-notif-7", Region::kUs, Region::kEu).stalled);
+}
+
+TEST_F(FaultInjectorTest, StorePrefixScopesApplyWaitAndDeliveryFaults) {
+  FaultRule apply_error = Rule(FaultKind::kStoreApplyError);
+  apply_error.store = "mysql-";
+  FaultRule wait_error = Rule(FaultKind::kStoreWaitError);
+  wait_error.store = "mysql-";
+  FaultRule drop = Rule(FaultKind::kQueueDropDelivery);
+  drop.store = "rabbit-";
+  injector_.Arm(FaultPlan{"scoped", 1, {apply_error, wait_error, drop}});
+  EXPECT_TRUE(injector_.InjectApplyError("mysql-13", Region::kEu));
+  EXPECT_FALSE(injector_.InjectApplyError("rabbit-13", Region::kEu));
+  EXPECT_TRUE(injector_.InjectWaitError("mysql-13", Region::kEu));
+  EXPECT_FALSE(injector_.InjectWaitError("rabbit-13", Region::kEu));
+  EXPECT_TRUE(injector_.DropDelivery("rabbit-13", Region::kEu));
+  EXPECT_FALSE(injector_.DropDelivery("mysql-13", Region::kEu));
+}
+
+TEST_F(FaultInjectorTest, FutureWindowIsNotActiveYet) {
+  FaultRule rule = Rule(FaultKind::kLinkDrop);
+  rule.start_model_ms = 1e9;  // far future
+  injector_.Arm(FaultPlan{"later", 1, {rule}});
+  EXPECT_FALSE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+}
+
+TEST_F(FaultInjectorTest, ExpiredWindowDeactivates) {
+  FaultRule rule = Rule(FaultKind::kLinkDrop);
+  rule.end_model_ms = 50.0;  // 1 ms wall at TimeScale 0.02
+  injector_.Arm(FaultPlan{"short", 1, {rule}});
+  EXPECT_TRUE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+  SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(100.0));
+  EXPECT_FALSE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+}
+
+TEST_F(FaultInjectorTest, FiniteStallWindowReportsHealTime) {
+  FaultRule rule = Rule(FaultKind::kRegionOutage);
+  rule.store = "db-";
+  rule.to = Region::kEu;
+  rule.end_model_ms = 500.0;
+  injector_.Arm(FaultPlan{"outage", 1, {rule}});
+  const StallDecision decision = injector_.StoreStall("db-1", Region::kUs, Region::kEu);
+  EXPECT_TRUE(decision.stalled);
+  EXPECT_TRUE(decision.heal_known);
+  EXPECT_GT(decision.heal_in, Duration::zero());
+  EXPECT_LE(decision.heal_in, TimeScale::FromModelMillis(501.0));
+  EXPECT_FALSE(injector_.StoreStall("db-1", Region::kUs, Region::kUs).stalled);
+}
+
+TEST_F(FaultInjectorTest, UnboundedStallNeverReportsHeal) {
+  FaultRule rule = Rule(FaultKind::kStoreStall);
+  rule.to = Region::kEu;
+  injector_.Arm(FaultPlan{"forever", 1, {rule}});
+  const StallDecision decision = injector_.StoreStall("db", Region::kUs, Region::kEu);
+  EXPECT_TRUE(decision.stalled);
+  EXPECT_FALSE(decision.heal_known);
+}
+
+TEST_F(FaultInjectorTest, ManualPauseStallsUntilResume) {
+  injector_.PauseStore("db", Region::kEu);
+  EXPECT_TRUE(injector_.armed());
+  EXPECT_TRUE(injector_.IsStorePaused("db", Region::kEu));
+  EXPECT_FALSE(injector_.IsStorePaused("db", Region::kUs));
+  const StallDecision decision = injector_.StoreStall("db", Region::kUs, Region::kEu);
+  EXPECT_TRUE(decision.stalled);
+  EXPECT_FALSE(decision.heal_known);  // only Resume heals a manual pause
+  injector_.ResumeStore("db", Region::kEu);
+  EXPECT_FALSE(injector_.IsStorePaused("db", Region::kEu));
+  EXPECT_FALSE(injector_.StoreStall("db", Region::kUs, Region::kEu).stalled);
+  EXPECT_FALSE(injector_.armed());
+}
+
+TEST_F(FaultInjectorTest, ManualPauseMatchesExactNameNotPrefix) {
+  injector_.PauseStore("db", Region::kEu);
+  EXPECT_FALSE(injector_.IsStorePaused("db-2", Region::kEu));
+  EXPECT_FALSE(injector_.StoreStall("db-2", Region::kUs, Region::kEu).stalled);
+  injector_.ResumeStore("db", Region::kEu);
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticDecisionsAreSeedDeterministic) {
+  FaultRule rule = Rule(FaultKind::kQueueDropDelivery);
+  rule.probability = 0.3;
+  FaultInjector a;
+  FaultInjector b;
+  a.Arm(FaultPlan{"p", 42, {rule}});
+  b.Arm(FaultPlan{"p", 42, {rule}});
+  std::vector<bool> seq_a;
+  std::vector<bool> seq_b;
+  for (int i = 0; i < 200; ++i) {
+    seq_a.push_back(a.DropDelivery("q", Region::kEu));
+    seq_b.push_back(b.DropDelivery("q", Region::kEu));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  // A 0.3 drop rate should land well inside (0, 200) over 200 draws.
+  const int drops = static_cast<int>(std::count(seq_a.begin(), seq_a.end(), true));
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(drops, 200);
+}
+
+TEST_F(FaultInjectorTest, RpcFaultsMatchServiceByPrefix) {
+  FaultRule fail = Rule(FaultKind::kRpcFailure);
+  fail.service = "compose-";
+  FaultRule delay = Rule(FaultKind::kRpcDelay);
+  delay.service = "compose-";
+  delay.delay_add_model_ms = 40.0;
+  injector_.Arm(FaultPlan{"rpc", 1, {fail, delay}});
+  const RpcFault fault = injector_.OnRpc("compose-post-3");
+  EXPECT_TRUE(fault.fail_handler);
+  EXPECT_DOUBLE_EQ(fault.delay_add_model_ms, 40.0);
+  EXPECT_FALSE(injector_.OnRpc("media-1").fail_handler);
+}
+
+TEST_F(FaultInjectorTest, RearmingReplacesThePlan) {
+  FaultRule drop = Rule(FaultKind::kLinkDrop);
+  injector_.Arm(FaultPlan{"first", 1, {drop}});
+  EXPECT_TRUE(injector_.OnDeliver(Region::kUs, Region::kEu).drop);
+  FaultRule delay = Rule(FaultKind::kLinkDelay);
+  delay.delay_factor = 3.0;
+  injector_.Arm(FaultPlan{"second", 1, {delay}});
+  const LinkFault fault = injector_.OnDeliver(Region::kUs, Region::kEu);
+  EXPECT_FALSE(fault.drop);
+  EXPECT_DOUBLE_EQ(fault.delay_factor, 3.0);
+}
+
+TEST_F(FaultInjectorTest, FaultKindNamesAreUnique) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    names.insert(FaultKindName(static_cast<FaultKind>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumFaultKinds));
+}
+
+}  // namespace
+}  // namespace antipode

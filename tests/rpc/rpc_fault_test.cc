@@ -1,0 +1,229 @@
+// RPC deadlines, retries, and fault-injection coping paths.
+//
+// Satellite coverage: exact Status codes on unknown method / unregistered
+// service — including under retry policies, which must never mask kNotFound —
+// plus retry-until-success, deadline enforcement, and response-loss dedup.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/fault/fault_injector.h"
+#include "src/rpc/rpc.h"
+
+namespace antipode {
+namespace {
+
+class RpcFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::Set(0.02); }
+  void TearDown() override { TimeScale::Set(1.0); }
+
+  RpcCallOptions Retrying(int attempts, double backoff_model_ms = 20.0) {
+    RpcCallOptions options;
+    options.retry.max_attempts = attempts;
+    options.retry.initial_backoff_model_ms = backoff_model_ms;
+    options.retry.jitter = 0.0;  // deterministic schedules for window math
+    return options;
+  }
+
+  ServiceRegistry registry_;
+  FaultInjector injector_;  // private injector: tests never touch Default()
+};
+
+TEST_F(RpcFaultTest, UnknownServiceIsNotFoundEvenUnderRetry) {
+  RpcClient client(&registry_, Region::kUs, &injector_);
+  auto response = client.Call("ghost", "m", "", Retrying(5));
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(response.status().message(), "no such service: ghost");
+}
+
+TEST_F(RpcFaultTest, UnknownMethodIsNotFoundEvenUnderRetry) {
+  registry_.RegisterService("svc", Region::kUs, 1);
+  RpcClient client(&registry_, Region::kUs, &injector_);
+  auto response = client.Call("svc", "missing", "", Retrying(5));
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(response.status().message(), "no such method: svc/missing");
+}
+
+TEST_F(RpcFaultTest, HandlerNotFoundIsNeverRetried) {
+  RpcService* svc = registry_.RegisterService("lookup", Region::kUs, 1);
+  std::atomic<int> runs{0};
+  svc->RegisterMethod("get", [&runs](const std::string&) {
+    runs.fetch_add(1);
+    return Result<std::string>(Status::NotFound("no such row"));
+  });
+  RpcClient client(&registry_, Region::kUs, &injector_);
+  auto response = client.Call("lookup", "get", "", Retrying(4));
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST_F(RpcFaultTest, RetriesUntilTransientUnavailableClears) {
+  RpcService* svc = registry_.RegisterService("flaky", Region::kUs, 1);
+  std::atomic<int> runs{0};
+  svc->RegisterMethod("m", [&runs](const std::string& payload) {
+    if (runs.fetch_add(1) < 2) {
+      return Result<std::string>(Status::Unavailable("warming up"));
+    }
+    return Result<std::string>(payload + "-ok");
+  });
+  RpcClient client(&registry_, Region::kUs, &injector_);
+  auto response = client.Call("flaky", "m", "req", Retrying(5));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, "req-ok");
+  EXPECT_EQ(runs.load(), 3);
+}
+
+TEST_F(RpcFaultTest, NonIdempotentCallsNeverRetry) {
+  RpcService* svc = registry_.RegisterService("once", Region::kUs, 1);
+  std::atomic<int> runs{0};
+  svc->RegisterMethod("m", [&runs](const std::string&) {
+    runs.fetch_add(1);
+    return Result<std::string>(Status::Unavailable("try again"));
+  });
+  RpcClient client(&registry_, Region::kUs, &injector_);
+  RpcCallOptions options = Retrying(5);
+  options.idempotent = false;
+  auto response = client.Call("once", "m", "", options);
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST_F(RpcFaultTest, SlowHandlerHitsAttemptTimeout) {
+  RpcService* svc = registry_.RegisterService("slow", Region::kUs, 1);
+  svc->RegisterMethod("m", [](const std::string&) {
+    SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(2000.0));
+    return Result<std::string>(std::string("late"));
+  });
+  RpcClient client(&registry_, Region::kUs, &injector_);
+  RpcCallOptions options;
+  options.timeout = TimeScale::FromModelMillis(100.0);
+  auto response = client.Call("slow", "m", "", options);
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  // Let the abandoned handler finish before the service is torn down.
+  registry_.ShutdownAll();
+}
+
+TEST_F(RpcFaultTest, OverallDeadlineBoundsAllAttempts) {
+  RpcService* svc = registry_.RegisterService("slow2", Region::kUs, 2);
+  std::atomic<int> runs{0};
+  svc->RegisterMethod("m", [&runs](const std::string&) {
+    runs.fetch_add(1);
+    SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(400.0));
+    return Result<std::string>(std::string("late"));
+  });
+  RpcClient client(&registry_, Region::kUs, &injector_);
+  RpcCallOptions options = Retrying(10, 50.0);
+  options.timeout = TimeScale::FromModelMillis(100.0);
+  options.deadline = TimeScale::FromModelMillis(350.0);
+  const TimePoint start = SystemClock::Instance().Now();
+  auto response = client.Call("slow2", "m", "", options);
+  const Duration elapsed =
+      std::chrono::duration_cast<Duration>(SystemClock::Instance().Now() - start);
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  // All ten attempts cannot have run: the overall deadline cut the loop off.
+  EXPECT_LT(runs.load(), 5);
+  EXPECT_LT(elapsed, TimeScale::FromModelMillis(2000.0));
+  registry_.ShutdownAll();
+}
+
+TEST_F(RpcFaultTest, InjectedFailureIsRetriedPastTheFaultWindow) {
+  RpcService* svc = registry_.RegisterService("injfail", Region::kLocal, 1);
+  std::atomic<int> runs{0};
+  svc->RegisterMethod("m", [&runs](const std::string&) {
+    runs.fetch_add(1);
+    return Result<std::string>(std::string("ok"));
+  });
+  FaultRule rule;
+  rule.kind = FaultKind::kRpcFailure;
+  rule.service = "injfail";
+  rule.end_model_ms = 100.0;
+  injector_.Arm(FaultPlan{"rpc-fail", 1, {rule}});
+  RpcClient client(&registry_, Region::kLocal, &injector_);
+  // Deterministic backoff 150 ms pushes the retry past the 100 ms window.
+  auto response = client.Call("injfail", "m", "", Retrying(4, 150.0));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, "ok");
+  EXPECT_EQ(runs.load(), 1);  // the failed attempt never reached the handler
+  injector_.Disarm();
+}
+
+TEST_F(RpcFaultTest, DroppedResponseIsDeduplicatedOnRetry) {
+  RpcService* svc = registry_.RegisterService("droppy", Region::kLocal, 1);
+  std::atomic<int> runs{0};
+  svc->RegisterMethod("m", [&runs](const std::string&) {
+    runs.fetch_add(1);
+    return Result<std::string>(std::string("answer"));
+  });
+  FaultRule rule;
+  rule.kind = FaultKind::kRpcDropResponse;
+  rule.service = "droppy";
+  rule.end_model_ms = 100.0;
+  injector_.Arm(FaultPlan{"rpc-drop", 1, {rule}});
+  RpcClient client(&registry_, Region::kLocal, &injector_);
+  RpcCallOptions options = Retrying(4, 300.0);
+  options.timeout = TimeScale::FromModelMillis(200.0);
+  // Attempt 1 runs the handler, caches the outcome, loses the response, and
+  // times out at 200 ms. The 300 ms backoff lands attempt 2 past the fault
+  // window; the dedup cache answers without running the handler again.
+  auto response = client.Call("droppy", "m", "", options);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, "answer");
+  EXPECT_EQ(runs.load(), 1);
+  injector_.Disarm();
+}
+
+TEST_F(RpcFaultTest, ResponseLossWithoutDeadlineIsIgnoredNotHung) {
+  RpcService* svc = registry_.RegisterService("nodrop", Region::kLocal, 1);
+  svc->RegisterMethod("m", [](const std::string&) {
+    return Result<std::string>(std::string("ok"));
+  });
+  FaultRule rule;
+  rule.kind = FaultKind::kRpcDropResponse;
+  rule.service = "nodrop";
+  injector_.Arm(FaultPlan{"rpc-drop-forever", 1, {rule}});
+  RpcClient client(&registry_, Region::kLocal, &injector_);
+  // No deadline: the model refuses to strand the caller, so the drop is
+  // skipped and the call completes.
+  auto response = client.Call("nodrop", "m", "");
+  ASSERT_TRUE(response.ok());
+  injector_.Disarm();
+}
+
+TEST_F(RpcFaultTest, InjectedDelayPushesCallPastDeadline) {
+  RpcService* svc = registry_.RegisterService("laggy", Region::kLocal, 1);
+  svc->RegisterMethod("m", [](const std::string&) {
+    return Result<std::string>(std::string("ok"));
+  });
+  FaultRule rule;
+  rule.kind = FaultKind::kRpcDelay;
+  rule.service = "laggy";
+  rule.delay_add_model_ms = 500.0;
+  injector_.Arm(FaultPlan{"rpc-delay", 1, {rule}});
+  RpcClient client(&registry_, Region::kLocal, &injector_);
+  RpcCallOptions options;
+  options.timeout = TimeScale::FromModelMillis(100.0);
+  auto response = client.Call("laggy", "m", "", options);
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  injector_.Disarm();
+}
+
+TEST_F(RpcFaultTest, DedupCacheEvictsOldestBeyondCapacity) {
+  RpcService* svc = registry_.RegisterService("cachey", Region::kLocal, 1);
+  RpcServerOutcome out;
+  out.result = Result<std::string>(std::string("v"));
+  for (uint64_t id = 1; id <= RpcService::kDedupCacheCapacity + 10; ++id) {
+    svc->CacheOutcome(id, out);
+  }
+  RpcServerOutcome fetched;
+  EXPECT_FALSE(svc->TryGetCachedOutcome(1, &fetched));   // evicted
+  EXPECT_FALSE(svc->TryGetCachedOutcome(10, &fetched));  // evicted
+  EXPECT_TRUE(svc->TryGetCachedOutcome(11, &fetched));
+  EXPECT_TRUE(svc->TryGetCachedOutcome(RpcService::kDedupCacheCapacity + 10, &fetched));
+  ASSERT_TRUE(fetched.result.ok());
+  EXPECT_EQ(*fetched.result, "v");
+}
+
+}  // namespace
+}  // namespace antipode
