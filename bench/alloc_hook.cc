@@ -1,0 +1,84 @@
+#include "bench/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(size_t size, size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of alignment.
+  const size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+}
+
+}  // namespace
+
+namespace antipode {
+namespace benchhook {
+
+uint64_t AllocationCount() { return g_allocations.load(std::memory_order_relaxed); }
+uint64_t AllocatedBytes() { return g_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace benchhook
+}  // namespace antipode
+
+// Replaceable global allocation functions ([new.delete]): every form routes
+// through the two counted helpers above. Throwing forms keep the required
+// bad_alloc contract.
+
+void* operator new(size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept { return CountedAlloc(size); }
+
+void* operator new[](size_t size, const std::nothrow_t&) noexcept { return CountedAlloc(size); }
+
+void* operator new(size_t size, std::align_val_t alignment) {
+  void* p = CountedAlignedAlloc(size, static_cast<size_t>(alignment));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void* operator new(size_t size, std::align_val_t alignment, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<size_t>(alignment));
+}
+
+void* operator new[](size_t size, std::align_val_t alignment, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t, std::align_val_t) noexcept { std::free(p); }

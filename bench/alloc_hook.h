@@ -1,0 +1,24 @@
+// Bench-only allocation accounting: binaries that link `bench_alloc_hook`
+// get global operator new/delete replacements that count every heap
+// allocation, so a bench can report allocations/op on a hot path (the
+// Put/ship steady-state target of the pool-allocator work). Deliberately a
+// separate object library — the counters cost an atomic RMW per allocation
+// and must never leak into the product libraries or tests.
+
+#ifndef BENCH_ALLOC_HOOK_H_
+#define BENCH_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace antipode {
+namespace benchhook {
+
+// Global heap allocations / bytes requested since process start. Monotonic;
+// sample before and after the measured section and subtract.
+uint64_t AllocationCount();
+uint64_t AllocatedBytes();
+
+}  // namespace benchhook
+}  // namespace antipode
+
+#endif  // BENCH_ALLOC_HOOK_H_

@@ -15,7 +15,8 @@
 // `drop-spike` combines broker delivery drops, transient apply errors, and a
 // WAN latency spike. Each is seeded: same --seed, same fault decisions.
 //
-// Flags: --scale, --requests, --seed, --quick (tiny run for CI smoke).
+// Flags: --scale, --requests, --seed, --quick (tiny run for CI smoke),
+//        --json-out=<path> (machine-readable per-schedule report).
 
 #include <cstdio>
 #include <string>
@@ -166,6 +167,16 @@ int main(int argc, char** argv) {
   std::printf("# chaos suite: %d requests/app, %d probe calls, window %.0f model ms, seed %llu\n",
               requests, probe_calls, window_ms, static_cast<unsigned long long>(seed));
 
+  const std::string json_out = args.GetString("json-out", "");
+  JsonReport json;
+  json.BeginObject()
+      .Field("bench", "chaos_suite")
+      .Field("quick", quick_flag)
+      .Field("seed", static_cast<uint64_t>(seed))
+      .Field("requests", requests)
+      .Field("window_model_ms", window_ms)
+      .BeginArray("schedules");
+
   int total_violations = 0;
   for (const Schedule& schedule : BuildSchedules(seed, window_ms)) {
     std::printf("\n== schedule %s ==\n", schedule.name.c_str());
@@ -204,14 +215,29 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snapshot.CounterTotal("queue.redeliveries")),
                 static_cast<unsigned long long>(snapshot.CounterTotal("rpc.retries")),
                 static_cast<unsigned long long>(snapshot.CounterTotal("rpc.deadline_exceeded")));
-    PrintHistogram("recovery_ms (outage)", snapshot.HistogramTotal("store.region_outage_ms"));
-    PrintHistogram("consistency_window_ms",
-                   [&] {
-                     Histogram merged = post_result.consistency_window_model_ms;
-                     merged.Merge(media_result.consistency_window_model_ms);
-                     return merged;
-                   }());
+    Histogram consistency_windows = post_result.consistency_window_model_ms;
+    consistency_windows.Merge(media_result.consistency_window_model_ms);
+    const Histogram recovery = snapshot.HistogramTotal("store.region_outage_ms");
+    PrintHistogram("recovery_ms (outage)", recovery);
+    PrintHistogram("consistency_window_ms", consistency_windows);
     PrintHistogram("probe_attempts/call", probe_attempts);
+
+    json.BeginObject()
+        .Field("name", schedule.name)
+        .Field("violations", post_result.violations + media_result.TotalViolations())
+        .Field("faults_injected", snapshot.CounterTotal("fault.injected"))
+        .Field("queue_redeliveries", snapshot.CounterTotal("queue.redeliveries"))
+        .Field("rpc_retries", snapshot.CounterTotal("rpc.retries"))
+        .Field("rpc_deadline_exceeded", snapshot.CounterTotal("rpc.deadline_exceeded"))
+        .HistogramField("recovery_ms", recovery)
+        .HistogramField("consistency_window_ms", consistency_windows)
+        .HistogramField("probe_attempts", probe_attempts)
+        .EndObject();
+  }
+
+  json.EndArray().Field("total_violations", total_violations).EndObject();
+  if (!json_out.empty() && !json.WriteFile(json_out)) {
+    return 1;
   }
 
   std::printf("\n# total violations across schedules: %d (expect 0)\n", total_violations);

@@ -31,7 +31,8 @@
 // Flags: --requests=<n> (default 200), --scale=<f> (default 0.02),
 //        --cache={on,off,both} (default both: the all-visible phase prints
 //        the cached-vs-uncached comparison; on/off also gates the cache in
-//        the eager/deferred phase).
+//        the eager/deferred phase), --json-out=<path> (machine-readable
+//        report of every phase).
 
 #include <chrono>
 #include <cstdio>
@@ -217,7 +218,13 @@ double RunAllVisible(int barriers, int mode, Histogram* hist) {
   return hist->Percentile(0.5);
 }
 
-void RunWakeups(int writes) {
+struct WakeupReport {
+  uint64_t applies = 0;
+  double per_apply_new = 0.0;
+  double per_apply_legacy = 0.0;
+};
+
+WakeupReport RunWakeups(int writes) {
   auto options = KvStore::DefaultOptions("wake", kRegions);
   options.replication.median_millis = 80.0;
   options.replication.sigma = 0.1;
@@ -264,6 +271,7 @@ void RunWakeups(int writes) {
     store.Set(Region::kUs, "cold" + std::to_string(i), "v");
   }
   store.DrainReplication();
+  return WakeupReport{stats.applies, per_apply_new, per_apply_legacy};
 }
 
 int Main(int argc, char** argv) {
@@ -321,7 +329,33 @@ int Main(int argc, char** argv) {
     std::printf("# PR1-per-dep/cached p50 ratio: %.1fx\n", pr1_p50 / cached_p50);
   }
 
-  RunWakeups(args.GetInt("writes", 400));
+  const WakeupReport wakeups = RunWakeups(args.GetInt("writes", 400));
+
+  const std::string json_out = args.GetString("json-out", "");
+  if (!json_out.empty()) {
+    JsonReport json;
+    json.BeginObject()
+        .Field("bench", "micro_barrier")
+        .Field("requests", requests)
+        .HistogramField("eager_model_ms", eager)
+        .HistogramField("deferred_model_ms", deferred)
+        .Field("deferred_eager_p50_ratio", ratio)
+        .Field("slowest_store_lag_p50_model_ms", max_lag_p50)
+        .BeginObject("all_visible_p50_us")
+        .Field("cache_on", cached_p50)
+        .Field("cache_off", uncached_p50)
+        .Field("pr1_per_dep", pr1_p50)
+        .EndObject()
+        .BeginObject("wakeups")
+        .Field("applies", wakeups.applies)
+        .Field("per_apply_new", wakeups.per_apply_new)
+        .Field("per_apply_legacy", wakeups.per_apply_legacy)
+        .EndObject()
+        .EndObject();
+    if (!json.WriteFile(json_out)) {
+      return 1;
+    }
+  }
   return 0;
 }
 

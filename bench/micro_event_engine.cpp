@@ -7,10 +7,16 @@
 // single-dispatcher engine; worker configurations overlap the blocking time.
 //
 // Section 2 drives the real ReplicatedStore::Put path with a blocking apply
-// hook on a private engine, reporting end-to-end replication applies/sec.
+// hook on a private engine, reporting end-to-end replication applies/sec and
+// heap allocations per Put (writer-side submit + 2 shipment callbacks),
+// counted by the bench-only global allocation hook.
+//
+// Section 3 is dispatch-bound: zero spin, zero block — pure per-event engine
+// overhead (shard heap + MPSC handoff + wake), the queue-machinery number.
 //
 // Flags: --events=<n> --block-us=<us> --spin-us=<us> --puts=<n> --scale=<f>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/alloc_hook.h"
 #include "bench/bench_util.h"
 #include "src/common/timer_service.h"
 #include "src/net/region.h"
@@ -72,10 +79,14 @@ EngineResult RunEngineConfig(size_t num_shards, size_t num_workers, int events, 
   return r;
 }
 
-double RunStoreConfig(size_t num_shards, size_t num_workers, int puts, int block_us) {
+struct StoreResult {
+  double applies_per_sec = 0.0;
+  double allocs_per_put = 0.0;
+};
+
+StoreResult RunStoreConfig(size_t num_shards, size_t num_workers, int puts, int block_us) {
   TimerService timers(TimerServiceOptions{.num_shards = num_shards, .num_workers = num_workers});
-  double wall_ms = 0.0;
-  int remote_applies = 0;
+  StoreResult result;
   {
     ReplicatedStoreOptions options;
     options.name = "bench";
@@ -91,18 +102,31 @@ double RunStoreConfig(size_t num_shards, size_t num_workers, int puts, int block
       std::this_thread::sleep_for(std::chrono::microseconds(block_us));
       applied.fetch_add(1, std::memory_order_relaxed);
     });
+    // Warm-up: populate the entry-block pool, timer-node freelists, and
+    // per-key version maps so the measured window is steady state.
+    const int warmup = std::min(puts, 64);
+    for (int i = 0; i < warmup; ++i) {
+      store.Put(Region::kUs, "key-" + std::to_string(i), "v");
+    }
+    store.DrainReplication();
+    const int measured_applies_base = applied.load();
+    const uint64_t allocs_before = benchhook::AllocationCount();
     const auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < puts; ++i) {
       store.Put(Region::kUs, "key-" + std::to_string(i), "v");
     }
     store.DrainReplication();
     const auto elapsed = std::chrono::steady_clock::now() - start;
-    wall_ms =
+    const uint64_t allocs_after = benchhook::AllocationCount();
+    const double wall_ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed).count();
-    remote_applies = applied.load();
+    const int remote_applies = applied.load() - measured_applies_base;
+    result.applies_per_sec = remote_applies / (wall_ms / 1000.0);
+    result.allocs_per_put =
+        puts > 0 ? static_cast<double>(allocs_after - allocs_before) / puts : 0.0;
   }
   timers.Shutdown();
-  return remote_applies / (wall_ms / 1000.0);
+  return result;
 }
 
 int Main(int argc, char** argv) {
@@ -139,11 +163,22 @@ int Main(int argc, char** argv) {
 
   std::printf("\n# store: %d puts x 2 remote regions, %dus blocking apply hook\n", puts,
               block_us);
-  const double store_inline = RunStoreConfig(1, 0, puts, block_us);
-  const double store_workers = RunStoreConfig(4, 8, puts, block_us);
-  std::printf("%-22s %14.0f applies/sec\n", "inline (1 shard)", store_inline);
-  std::printf("%-22s %14.0f applies/sec (%.2fx)\n", "4 shards, 8 workers", store_workers,
-              store_workers / store_inline);
+  const StoreResult store_inline = RunStoreConfig(1, 0, puts, block_us);
+  const StoreResult store_workers = RunStoreConfig(4, 8, puts, block_us);
+  std::printf("%-22s %14.0f applies/sec  %8.1f allocs/put\n", "inline (1 shard)",
+              store_inline.applies_per_sec, store_inline.allocs_per_put);
+  std::printf("%-22s %14.0f applies/sec  %8.1f allocs/put  (%.2fx)\n", "4 shards, 8 workers",
+              store_workers.applies_per_sec, store_workers.allocs_per_put,
+              store_workers.applies_per_sec / store_inline.applies_per_sec);
+
+  std::printf("\n# dispatch-bound: %d events, zero spin, zero block (pure engine overhead)\n",
+              events);
+  const EngineResult dispatch_inline = RunEngineConfig(1, 0, events, 0, 0);
+  const EngineResult dispatch_workers = RunEngineConfig(4, 8, events, 0, 0);
+  std::printf("%-22s %14.0f events/sec\n", "inline (1 shard)", dispatch_inline.applies_per_sec);
+  std::printf("%-22s %14.0f events/sec (%.2fx)\n", "4 shards, 8 workers",
+              dispatch_workers.applies_per_sec,
+              dispatch_workers.applies_per_sec / dispatch_inline.applies_per_sec);
   return 0;
 }
 

@@ -1,0 +1,315 @@
+// Schema check for the BENCH_load_sweep.json artifact: parses the document
+// with a minimal recursive-descent JSON reader (no dependencies) and asserts
+// the keys every future PR's delta-comparison relies on — a non-empty
+// `phases` array whose every element carries peak_req_s and p50/p99/p999.
+//
+// Usage: validate_bench_json <path> — exit 0 on a valid report, 1 with a
+// diagnostic otherwise. Wired into bench-smoke right after `load_sweep
+// --quick` emits the file.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// A parsed JSON value. Only what the schema check needs: object/array
+// containers, numbers, and a catch-all for the scalar leaves.
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after document");
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Expect("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':' after key \"" + key + "\"");
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"':
+          case '\\':
+          case '/':
+            out->push_back(escaped);
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+          case 'f':
+            out->push_back(' ');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            pos_ += 4;            // skip the code point
+            out->push_back('?');  // keys never use \u; value fidelity not needed
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    out->kind = JsonValue::Kind::kBool;
+    if (text_[pos_] == 't') {
+      out->boolean = true;
+      return Expect("true");
+    }
+    out->boolean = false;
+    return Expect("false");
+  }
+
+  bool Expect(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::Kind::kNumber;
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    out->number = std::atof(std::string(text_.substr(start, pos_ - start)).c_str());
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+int Check(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "validate_bench_json: cannot open %s\n", path);
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  JsonValue root;
+  Parser parser(text);
+  if (!parser.Parse(&root)) {
+    std::fprintf(stderr, "validate_bench_json: %s does not parse: %s\n", path,
+                 parser.error().c_str());
+    return 1;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "validate_bench_json: top level is not an object\n");
+    return 1;
+  }
+  const JsonValue* phases = root.Find("phases");
+  if (phases == nullptr || phases->kind != JsonValue::Kind::kArray || phases->array.empty()) {
+    std::fprintf(stderr, "validate_bench_json: missing or empty \"phases\" array\n");
+    return 1;
+  }
+  const char* required[] = {"name", "peak_req_s", "p50_ms", "p99_ms", "p999_ms"};
+  int errors = 0;
+  for (size_t i = 0; i < phases->array.size(); ++i) {
+    const JsonValue& phase = phases->array[i];
+    if (phase.kind != JsonValue::Kind::kObject) {
+      std::fprintf(stderr, "validate_bench_json: phases[%zu] is not an object\n", i);
+      ++errors;
+      continue;
+    }
+    for (const char* key : required) {
+      const JsonValue* field = phase.Find(key);
+      if (field == nullptr) {
+        std::fprintf(stderr, "validate_bench_json: phases[%zu] missing \"%s\"\n", i, key);
+        ++errors;
+      } else if (std::string_view(key) != "name" &&
+                 field->kind != JsonValue::Kind::kNumber) {
+        std::fprintf(stderr, "validate_bench_json: phases[%zu].%s is not a number\n", i, key);
+        ++errors;
+      }
+    }
+  }
+  if (errors != 0) {
+    return 1;
+  }
+  std::printf("validate_bench_json: %s OK (%zu phases)\n", path, phases->array.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: validate_bench_json <BENCH_*.json>\n");
+    return 2;
+  }
+  return Check(argv[1]);
+}

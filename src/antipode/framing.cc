@@ -12,11 +12,16 @@ constexpr char kFrameMagic[2] = {'\x7F', 'L'};
 }  // namespace
 
 std::string FrameValue(const Lineage& lineage, std::string_view value) {
-  Serializer s;
-  s.WriteBytes(kFrameMagic, sizeof(kFrameMagic));
-  s.WriteString(lineage.Serialize());
-  s.WriteBytes(value.data(), value.size());
-  return s.Release();
+  // One-pass, exact-size encode: WireSize() gives the length prefix up front,
+  // so the lineage serializes straight into the frame — no intermediate blob.
+  const size_t lineage_bytes = lineage.WireSize();
+  std::string out;
+  out.reserve(sizeof(kFrameMagic) + VarintWireSize(lineage_bytes) + lineage_bytes + value.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendVarint(out, lineage_bytes);
+  lineage.SerializeTo(out);
+  out.append(value.data(), value.size());
+  return out;
 }
 
 FramedValue UnframeValue(std::string_view stored) {

@@ -125,13 +125,19 @@ std::vector<WriteId> Lineage::DepsForStore(const std::string& store) const {
 }
 
 std::string Lineage::Serialize() const {
-  Serializer s;
-  s.WriteVarint(id_);
-  s.WriteVarint(deps_.size());
+  std::string out;
+  out.reserve(WireSize());
+  SerializeTo(out);
+  return out;
+}
+
+void Lineage::SerializeTo(std::string& out) const {
+  out.reserve(out.size() + WireSize());
+  AppendVarint(out, id_);
+  AppendVarint(out, deps_.size());
   for (const auto& dep : deps_) {
-    dep.SerializeTo(s);
+    dep.AppendTo(out);
   }
-  return s.Release();
 }
 
 size_t Lineage::WireSize() const {

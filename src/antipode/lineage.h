@@ -118,6 +118,9 @@ class Lineage {
   // Wire encoding — its size is the "lineage metadata size" the paper
   // reports (≤200 B in DeathStarBench, ≈200 B average on Alibaba graphs).
   std::string Serialize() const;
+  // Appends the wire encoding to `out` (exactly WireSize() bytes) — the
+  // single-buffer path Install/FrameValue use with a reused scratch string.
+  void SerializeTo(std::string& out) const;
   static Result<Lineage> Deserialize(std::string_view data);
   // Computed arithmetically; always equals Serialize().size().
   size_t WireSize() const;

@@ -82,13 +82,19 @@ void LineageApi::Install(const Lineage& lineage) {
   if (context == nullptr) {
     return;
   }
+  // Serialize into a reused per-thread scratch, then copy-assign into the
+  // baggage entry: on the steady-state Append→Install cycle both buffers have
+  // warm capacity, so installing a lineage allocates nothing.
+  thread_local std::string scratch;
+  scratch.clear();
   if (g_prune_on_install.load(std::memory_order_relaxed)) {
     Lineage pruned = lineage;
     pruned.PruneVisibleEverywhere();
-    context->baggage().Set(kLineageBaggageKey, pruned.Serialize());
-    return;
+    pruned.SerializeTo(scratch);
+  } else {
+    lineage.SerializeTo(scratch);
   }
-  context->baggage().Set(kLineageBaggageKey, lineage.Serialize());
+  context->baggage().Assign(kLineageBaggageKey, scratch);
 }
 
 void LineageApi::Append(const WriteId& dep) {

@@ -121,7 +121,9 @@ class StoreVisibility {
     std::set<uint64_t> pending;
   };
 
-  static constexpr size_t kNumShards = 16;
+  // 64-way striping (up from 16): NoteApply runs on every apply of every
+  // store publishing here, so the per-key table is the cache's hottest map.
+  static constexpr size_t kNumShards = 64;
 
   Shard& ShardFor(std::string_view key) const {
     return shards_[StringHash{}(key) % kNumShards];

@@ -16,16 +16,19 @@ int Histogram::BucketFor(double value) {
   // top kSubBucketBits select the sub-bucket.
   int exponent = 0;
   const double mantissa = std::frexp(value, &exponent);  // mantissa in [0.5, 1)
-  // Clamp exponents to [-16, 47] so the table covers ~1e-5 .. ~1e14.
-  exponent = std::clamp(exponent, -16, 47);
+  // Clamp exponents to [-30, 33] so the table covers ~1e-9 .. ~8e9: values are
+  // recorded in model milliseconds, so the bottom of the range resolves
+  // single-nanosecond latencies (1 ns = 1e-6 ms ≈ 2^-20) instead of collapsing
+  // them into one saturated floor bucket.
+  exponent = std::clamp(exponent, kMinExponent, kMaxExponent);
   const int sub =
       std::min((1 << kSubBucketBits) - 1,
                static_cast<int>((mantissa - 0.5) * 2.0 * (1 << kSubBucketBits)));
-  return (exponent + 16) * (1 << kSubBucketBits) + sub;
+  return (exponent - kMinExponent) * (1 << kSubBucketBits) + sub;
 }
 
 double Histogram::BucketMidpoint(int bucket) {
-  const int exponent = bucket / (1 << kSubBucketBits) - 16;
+  const int exponent = bucket / (1 << kSubBucketBits) + kMinExponent;
   const int sub = bucket % (1 << kSubBucketBits);
   const double mantissa_lo = 0.5 + static_cast<double>(sub) / (2.0 * (1 << kSubBucketBits));
   const double mantissa_hi = mantissa_lo + 1.0 / (2.0 * (1 << kSubBucketBits));
@@ -99,7 +102,8 @@ std::string Histogram::Summary() const {
   os.precision(3);
   os << std::fixed;
   os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(0.50)
-     << " p90=" << Percentile(0.90) << " p99=" << Percentile(0.99) << " max=" << max();
+     << " p90=" << Percentile(0.90) << " p99=" << Percentile(0.99)
+     << " p999=" << Percentile(0.999) << " max=" << max();
   return os.str();
 }
 

@@ -40,7 +40,12 @@ class Histogram {
 
  private:
   static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two
+  // 64 power-of-two bands spanning [kMinExponent, kMaxExponent].
+  static constexpr int kMinExponent = -30;
+  static constexpr int kMaxExponent = 33;
   static constexpr int kNumBuckets = 64 << kSubBucketBits;
+  static_assert(kMaxExponent - kMinExponent + 1 == kNumBuckets >> kSubBucketBits,
+                "bucket table must cover the exponent range exactly");
 
   static int BucketFor(double value);
   static double BucketMidpoint(int bucket);

@@ -1,0 +1,272 @@
+// Lock-free multi-producer single-consumer queue (Vyukov-style intrusive
+// linked list), used for the timer engine's dispatcher→worker handoff. The
+// old handoff was a mutex + deque + condvar per item: every push took the
+// lock and signalled, every pop took the lock — on a loaded engine the
+// worker queue mutex was the hottest lock in the process. Here a push is one
+// atomic exchange plus one store; a pop is pointer chasing on the consumer
+// thread only. The condvar survives solely as the *parking* mechanism: a
+// producer takes the park mutex only when the consumer has declared itself
+// asleep, so the steady-state (busy worker) path never touches a lock.
+//
+// Nodes are intrusive (the `next` pointer lives in the node) and recycled
+// through an internal ABA-safe bounded MPMC ring (Vyukov's array queue with
+// per-slot sequence numbers); when the ring runs dry the queue falls back to
+// plain new/delete, so bursts are correct, just not allocation-free.
+//
+// Ordering: pops observe values in push linearization order (the order of
+// the tail exchanges), so a single producer's pushes — e.g. one timer shard
+// dispatching a token's callbacks — dequeue FIFO.
+
+#ifndef SRC_COMMON_MPSC_QUEUE_H_
+#define SRC_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace antipode {
+
+// ABA-safe bounded MPMC ring of free nodes (Dmitry Vyukov's bounded queue:
+// each slot carries a sequence number that encodes whether it holds a value
+// and for which lap, so a stalled thread can never corrupt a reused slot).
+template <typename T>
+class BoundedFreeList {
+ public:
+  explicit BoundedFreeList(size_t capacity_pow2 = 256) : mask_(capacity_pow2 - 1) {
+    // Capacity must be a power of two; round up.
+    size_t cap = 1;
+    while (cap < capacity_pow2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool TryPush(T value) {
+    Slot* slot;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    Slot* slot;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    T value = std::move(slot->value);
+    slot->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return value;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t free_list_capacity = 256) : free_nodes_(free_list_capacity) {
+    stub_ = new Node();
+    head_ = stub_;
+    tail_.store(stub_, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Drain values still queued, then the chain of retired-but-linked nodes.
+    while (TryPop().has_value()) {
+    }
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+    while (auto spare = free_nodes_.TryPop()) {
+      delete *spare;
+    }
+  }
+
+  // Lock-free (one XCHG + one store); safe from any number of threads.
+  // Returns false — and drops `value` — once the queue is closed.
+  bool Push(T value) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    Node* node = AcquireNode();
+    node->value = std::move(value);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    // Counted only after the node is linked: a consumer that observes
+    // size > 0 but an unlinked head is behind at most the one in-flight
+    // exchange-to-link window, keeping PopWait's spin rare. seq_cst pairs
+    // with the consumer's parked_ store / size load — this is a Dekker
+    // store-load handshake, and weaker orders could let both sides read
+    // stale and strand a value with a sleeping consumer.
+    size_.fetch_add(1, std::memory_order_seq_cst);
+    WakeConsumer();
+    return true;
+  }
+
+  // Single-consumer. Returns nullopt when empty (or when a producer is
+  // mid-push; callers treat both as "nothing ready").
+  std::optional<T> TryPop() {
+    Node* head = head_;
+    Node* next = head->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return std::nullopt;
+    }
+    // The value travels in `next`; the old head is retired and recycled as
+    // the next push's node (classic Vyukov value-shift).
+    std::optional<T> value(std::move(next->value));
+    next->value = T();
+    head_ = next;
+    size_.fetch_sub(1, std::memory_order_release);
+    ReleaseNode(head);
+    return value;
+  }
+
+  // Blocks until a value is available; returns nullopt once closed AND
+  // drained. Single-consumer.
+  std::optional<T> PopWait() {
+    for (;;) {
+      if (auto value = TryPop()) {
+        return value;
+      }
+      // Non-empty but unpoppable = a producer between its tail exchange and
+      // the next-pointer store; spin, it is a few instructions away.
+      if (size_.load(std::memory_order_acquire) > 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (closed_.load(std::memory_order_acquire)) {
+        // Closed: one final sweep in case a push landed before the close.
+        if (auto value = TryPop()) {
+          return value;
+        }
+        return std::nullopt;
+      }
+      std::unique_lock<std::mutex> lock(park_mu_);
+      parked_.store(true, std::memory_order_seq_cst);
+      park_cv_.wait(lock, [&] {
+        return size_.load(std::memory_order_seq_cst) > 0 ||
+               closed_.load(std::memory_order_acquire);
+      });
+      parked_.store(false, std::memory_order_release);
+    }
+  }
+
+  // Stops future pushes and wakes the consumer; queued values still drain.
+  void Close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+
+  bool Closed() const { return closed_.load(std::memory_order_acquire); }
+
+  size_t Size() const {
+    const int64_t n = size_.load(std::memory_order_acquire);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node* AcquireNode() {
+    if (auto node = free_nodes_.TryPop()) {
+      return *node;
+    }
+    return new Node();
+  }
+
+  void ReleaseNode(Node* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    if (!free_nodes_.TryPush(node)) {
+      delete node;
+    }
+  }
+
+  void WakeConsumer() {
+    // Steady state: consumer busy, `parked_` false, no lock taken. The lock
+    // closes the race where the consumer checked size just before our
+    // fetch_add and is now committing to sleep.
+    // exchange, not load: the producer that sees `parked_` claims the wake
+    // by clearing it, so a burst of pushes to a not-yet-rescheduled consumer
+    // pays one futex wake, not one per push. Clearing is safe because the
+    // claim happens after size was incremented — the consumer's predicate is
+    // already true, it just has not run yet.
+    if (!parked_.exchange(false, std::memory_order_seq_cst)) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_one();
+  }
+
+  BoundedFreeList<Node*> free_nodes_;
+  Node* stub_;                     // initial dummy; ownership rotates via retirement
+  Node* head_;                     // consumer-only
+  alignas(64) std::atomic<Node*> tail_;
+  alignas(64) std::atomic<int64_t> size_{0};
+  std::atomic<bool> closed_{false};
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  // Written under park_mu_; read lock-free by producers in WakeConsumer. The
+  // producer's size increment happens-before its parked_ read, and the
+  // consumer re-checks size under the lock before sleeping, so a missed-true
+  // read cannot strand a value.
+  std::atomic<bool> parked_{false};
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_MPSC_QUEUE_H_

@@ -1,0 +1,117 @@
+// A striped slab allocator for hot-path objects that are acquired and
+// released at high rates (StoredEntry blocks on the Put/ship path, timer-task
+// nodes). Objects are default-constructed once per slab and *stay
+// constructed* across reuse: a recycled StoredEntry keeps its key/bytes
+// string capacities, so steady-state reuse does zero heap allocations even
+// for the strings inside.
+//
+// Concurrency: the free lists are striped by thread, so concurrent
+// Acquire/Release from different threads rarely touch the same mutex; each
+// stripe's critical section is a vector push/pop. Exhaustion grows the pool
+// by one slab (kSlabSize objects) on the stripe that ran dry — the pool never
+// fails, it just allocates.
+//
+// Lifetime: the pool owns the slabs. Destroying the pool destroys every slot,
+// so callers must release (or abandon — see contract below) every object
+// before the pool dies; ReplicatedStore guarantees this by draining
+// replication before teardown.
+
+#ifndef SRC_COMMON_OBJECT_POOL_H_
+#define SRC_COMMON_OBJECT_POOL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace antipode {
+
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(size_t slab_size = 64) : slab_size_(slab_size == 0 ? 1 : slab_size) {}
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  // A live, default-constructed-or-recycled object. Never returns nullptr.
+  T* Acquire() {
+    Stripe& stripe = StripeForThisThread();
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      if (!stripe.free.empty()) {
+        T* obj = stripe.free.back();
+        stripe.free.pop_back();
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+        return obj;
+      }
+    }
+    return AcquireFromNewSlab(stripe);
+  }
+
+  // Returns `obj` for reuse. The object is NOT destroyed or reset — callers
+  // overwrite its fields on the next Acquire (that is the point: capacity
+  // survives). Releasing an object the pool does not own is undefined.
+  void Release(T* obj) {
+    Stripe& stripe = StripeForThisThread();
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.free.push_back(obj);
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    size_t slabs = 0;        // slab allocations so far
+    size_t capacity = 0;     // total objects owned
+    size_t outstanding = 0;  // acquired and not yet released
+  };
+
+  Stats stats() const {
+    Stats s;
+    s.slabs = slabs_allocated_.load(std::memory_order_relaxed);
+    s.capacity = s.slabs * slab_size_;
+    s.outstanding = outstanding_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;
+
+  struct Stripe {
+    std::mutex mu;
+    std::vector<T*> free;
+  };
+
+  Stripe& StripeForThisThread() {
+    return stripes_[std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes];
+  }
+
+  T* AcquireFromNewSlab(Stripe& stripe) {
+    auto slab = std::make_unique<T[]>(slab_size_);
+    T* first = &slab[0];
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      for (size_t i = 1; i < slab_size_; ++i) {
+        stripe.free.push_back(&slab[i]);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(slabs_mu_);
+      slabs_.push_back(std::move(slab));
+    }
+    slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    return first;
+  }
+
+  const size_t slab_size_;
+  Stripe stripes_[kStripes];
+  std::mutex slabs_mu_;
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::atomic<size_t> slabs_allocated_{0};
+  std::atomic<size_t> outstanding_{0};
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_OBJECT_POOL_H_

@@ -25,6 +25,22 @@ inline size_t VarintWireSize(uint64_t v) {
   return n;
 }
 
+// Append-style encoders for hot paths that build a wire image in one caller-
+// owned buffer (often a reused thread_local scratch) instead of routing
+// through a Serializer temporary. Byte-identical to the Serializer methods.
+inline void AppendVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+inline void AppendLengthPrefixed(std::string& out, std::string_view s) {
+  AppendVarint(out, s.size());
+  out.append(s.data(), s.size());
+}
+
 class Serializer {
  public:
   void WriteUint8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }

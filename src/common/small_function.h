@@ -1,0 +1,133 @@
+// A move-only `void()` callable with inline storage — the task type of the
+// timer engine's hot path. `std::function` heap-allocates any capture list
+// larger than its ~16-byte small-buffer, which put two allocations on every
+// replication shipment (the shipment lambda plus the drain-accounting
+// wrapper). SmallFunction widens the inline buffer so every steady-state
+// timer task stores inline, and falls back to the heap — it never rejects —
+// for cold-path captures that genuinely exceed it.
+//
+// Unlike std::function it accepts move-only callables (lambdas capturing
+// pooled entry handles or other SmallFunctions), which is what lets the
+// store's fan-out path capture resources by move instead of shared_ptr.
+
+#ifndef SRC_COMMON_SMALL_FUNCTION_H_
+#define SRC_COMMON_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace antipode {
+
+template <size_t kInlineBytes>
+class SmallFunction {
+ public:
+  SmallFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor): callable adapter
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { Destroy(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the held callable lives in the inline buffer (tests/benches).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  void Reset() {
+    Destroy();
+    ops_ = nullptr;
+  }
+
+ private:
+  static constexpr size_t kAlign = alignof(std::max_align_t);
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst from src and destroys src's callable.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, true};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Slot(void* storage) { return *std::launder(reinterpret_cast<Fn**>(storage)); }
+    static void Invoke(void* storage) { (*Slot(storage))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) Fn*(Slot(src));
+      Slot(src) = nullptr;
+    }
+    static void Destroy(void* storage) { delete Slot(storage); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, false};
+  };
+
+  void MoveFrom(SmallFunction& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+    }
+  }
+
+  alignas(kAlign) unsigned char storage_[kInlineBytes < sizeof(void*) ? sizeof(void*)
+                                                                      : kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+// The timer engine's task type: 64 inline bytes cover every steady-state
+// callback (the store fan-out lambda needs ~48; batched-wait deadline timers
+// ~56); larger captures transparently spill to one heap block.
+using TimerTask = SmallFunction<64>;
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_SMALL_FUNCTION_H_

@@ -54,20 +54,19 @@ TimerService& TimerService::Shared() {
   return *service;
 }
 
-bool TimerService::ScheduleAfter(Duration delay, std::function<void()> fn) {
+bool TimerService::ScheduleAfter(Duration delay, TimerTask fn) {
   return ScheduleAt(SystemClock::Instance().Now() + delay, std::move(fn));
 }
 
-bool TimerService::ScheduleAfter(Duration delay, AffinityToken affinity,
-                                 std::function<void()> fn) {
+bool TimerService::ScheduleAfter(Duration delay, AffinityToken affinity, TimerTask fn) {
   return ScheduleAt(SystemClock::Instance().Now() + delay, affinity, std::move(fn));
 }
 
-bool TimerService::ScheduleAt(TimePoint when, std::function<void()> fn) {
+bool TimerService::ScheduleAt(TimePoint when, TimerTask fn) {
   return ScheduleAt(when, round_robin_.fetch_add(1, std::memory_order_relaxed), std::move(fn));
 }
 
-bool TimerService::ScheduleAt(TimePoint when, AffinityToken affinity, std::function<void()> fn) {
+bool TimerService::ScheduleAt(TimePoint when, AffinityToken affinity, TimerTask fn) {
   Shard& shard = *shards_[affinity % shards_.size()];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -121,6 +120,16 @@ size_t TimerService::PendingCount() const {
 }
 
 void TimerService::DispatchLoop(Shard& shard) {
+  // Due entries are drained in batches: one lock hold pops everything whose
+  // deadline has passed (up to kMaxBatch), then routing — the lock-free
+  // worker pushes or the inline runs — happens unlocked. Under load this
+  // turns a lock/unlock cycle per timer into one per batch; schedulers
+  // blocked on shard.mu get the whole routing window to refill the heap.
+  // Heap pop order preserves the per-token contract: deadline order, FIFO
+  // within equal deadlines, and batch routing keeps that order per worker.
+  constexpr size_t kMaxBatch = 128;
+  std::vector<Entry> batch;
+  batch.reserve(kMaxBatch);
   std::unique_lock<std::mutex> lock(shard.mu);
   while (true) {
     if (shard.entries.empty()) {
@@ -143,26 +152,33 @@ void TimerService::DispatchLoop(Shard& shard) {
       shard.cv.wait_until(lock, next);
       continue;
     }
-    Entry entry = std::move(const_cast<Entry&>(shard.entries.top()));
-    shard.entries.pop();
-    shard.queue_depth->Add(-1);
-    lock.unlock();
-    shard.dispatch_lag->Record(ToMillis(std::chrono::duration_cast<Duration>(now - next)));
-    if (workers_.empty()) {
-      entry.fn();
-      callbacks_run_->Increment();
-    } else {
-      // Same affinity → same worker queue, so equal-deadline FIFO within a
-      // token survives the handoff (this shard is the only producer of the
-      // token's entries, and the worker executes its queue serially).
-      workers_[entry.affinity % workers_.size()]->tasks.Push(std::move(entry.fn));
+    while (!shard.entries.empty() && batch.size() < kMaxBatch &&
+           shard.entries.top().when <= now) {
+      batch.push_back(std::move(const_cast<Entry&>(shard.entries.top())));
+      shard.entries.pop();
     }
+    shard.queue_depth->Add(-static_cast<int64_t>(batch.size()));
+    lock.unlock();
+    for (Entry& entry : batch) {
+      shard.dispatch_lag->Record(
+          ToMillis(std::chrono::duration_cast<Duration>(now - entry.when)));
+      if (workers_.empty()) {
+        entry.fn();
+        callbacks_run_->Increment();
+      } else {
+        // Same affinity → same worker queue, so equal-deadline FIFO within a
+        // token survives the handoff (this shard is the only producer of the
+        // token's entries, and the worker executes its queue serially).
+        workers_[entry.affinity % workers_.size()]->tasks.Push(std::move(entry.fn));
+      }
+    }
+    batch.clear();
     lock.lock();
   }
 }
 
 void TimerService::WorkerLoop(Worker& worker) {
-  while (auto task = worker.tasks.Pop()) {
+  while (auto task = worker.tasks.PopWait()) {
     (*task)();
     callbacks_run_->Increment();
   }

@@ -26,15 +26,15 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
-#include "src/common/blocking_queue.h"
 #include "src/common/clock.h"
+#include "src/common/mpsc_queue.h"
+#include "src/common/small_function.h"
 
 namespace antipode {
 
@@ -74,10 +74,15 @@ class TimerService {
   // Runs `fn` once `delay` has elapsed (immediately when delay <= 0).
   // Returns false — and drops `fn` without running it — after Shutdown;
   // callers doing completion accounting must roll back on false.
-  bool ScheduleAfter(Duration delay, std::function<void()> fn);
-  bool ScheduleAfter(Duration delay, AffinityToken affinity, std::function<void()> fn);
-  bool ScheduleAt(TimePoint when, std::function<void()> fn);
-  bool ScheduleAt(TimePoint when, AffinityToken affinity, std::function<void()> fn);
+  //
+  // TimerTask (a move-only 64-byte-inline callable) replaces std::function
+  // here so steady-state schedules — including the store's replication
+  // shipments — carry their captures without a heap allocation, and so
+  // callbacks can own move-only resources (pooled entry handles).
+  bool ScheduleAfter(Duration delay, TimerTask fn);
+  bool ScheduleAfter(Duration delay, AffinityToken affinity, TimerTask fn);
+  bool ScheduleAt(TimePoint when, TimerTask fn);
+  bool ScheduleAt(TimePoint when, AffinityToken affinity, TimerTask fn);
 
   // Stops the engine; pending timers that are already due still fire (their
   // callbacks run to completion before Shutdown returns), future ones are
@@ -95,7 +100,7 @@ class TimerService {
     TimePoint when;
     uint64_t sequence;  // FIFO tie-break for equal deadlines (per shard)
     AffinityToken affinity;
-    std::function<void()> fn;
+    TimerTask fn;
   };
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -117,7 +122,11 @@ class TimerService {
     HistogramMetric* dispatch_lag = nullptr;
   };
   struct Worker {
-    BlockingQueue<std::function<void()>> tasks;
+    // Lock-free dispatcher→worker handoff: each shard dispatcher is a
+    // producer, the worker thread is the sole consumer. Replaced the
+    // mutex+deque BlockingQueue, whose per-task lock/signal was the hottest
+    // lock in the engine under load.
+    MpscQueue<TimerTask> tasks;
     std::thread thread;
   };
 

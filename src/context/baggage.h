@@ -16,20 +16,38 @@ class Baggage {
  public:
   void Set(std::string key, std::string value) { entries_[std::move(key)] = std::move(value); }
 
+  // Copy-assign into an existing entry (or insert one). Unlike Set, the
+  // mapped string's capacity is reused when the key is already present —
+  // the lineage entry is rewritten on every Append, so this keeps the
+  // steady-state install path allocation-free.
+  void Assign(std::string_view key, std::string_view value) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entries_.emplace(std::string(key), std::string(value));
+      return;
+    }
+    it->second.assign(value.data(), value.size());
+  }
+
   std::optional<std::string> Get(std::string_view key) const {
-    auto it = entries_.find(std::string(key));
+    auto it = entries_.find(key);
     if (it == entries_.end()) {
       return std::nullopt;
     }
     return it->second;
   }
 
-  void Erase(std::string_view key) { entries_.erase(std::string(key)); }
+  void Erase(std::string_view key) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entries_.erase(it);
+    }
+  }
 
   bool Empty() const { return entries_.empty(); }
   size_t Size() const { return entries_.size(); }
 
-  const std::map<std::string, std::string>& entries() const { return entries_; }
+  const std::map<std::string, std::string, std::less<>>& entries() const { return entries_; }
 
   // Total bytes this baggage adds to a message (keys + values + framing).
   size_t WireSize() const;
@@ -38,7 +56,9 @@ class Baggage {
   static Baggage Deserialize(std::string_view data);
 
  private:
-  std::map<std::string, std::string> entries_;
+  // Transparent comparator: string_view lookups (Get/Assign/Erase) probe
+  // without materializing a key.
+  std::map<std::string, std::string, std::less<>> entries_;
 };
 
 }  // namespace antipode

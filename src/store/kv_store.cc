@@ -22,7 +22,7 @@ uint64_t KvStore::SetWithTtl(Region region, const std::string& key, std::string 
 }
 
 int64_t KvStore::Increment(Region region, const std::string& key, int64_t delta) {
-  std::lock_guard<std::mutex> lock(counter_mu_);
+  std::lock_guard<std::mutex> lock(CounterMutex(key));
   int64_t current = 0;
   auto existing = GetValue(region, key);
   if (existing.has_value()) {

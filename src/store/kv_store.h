@@ -3,6 +3,7 @@
 #ifndef SRC_STORE_KV_STORE_H_
 #define SRC_STORE_KV_STORE_H_
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -74,7 +75,14 @@ class KvStore : public ReplicatedStore {
     bool alive = true;
   };
 
-  std::mutex counter_mu_;
+  // INCR serializes read-modify-write per counter key; striping by key hash
+  // (instead of the old store-wide counter_mu_) lets unrelated counters
+  // increment concurrently.
+  static constexpr size_t kCounterStripes = 16;
+  std::mutex& CounterMutex(const std::string& key) {
+    return counter_mu_[std::hash<std::string>{}(key) % kCounterStripes];
+  }
+  std::array<std::mutex, kCounterStripes> counter_mu_;
   std::shared_ptr<Liveness> alive_;
 };
 

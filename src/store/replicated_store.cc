@@ -10,6 +10,13 @@
 
 namespace antipode {
 
+ObjectPool<EntryBlock>& EntryBlockPool() {
+  // Intentionally leaked, like TimerService::Shared: blocks released by late
+  // callbacks (after any particular store died) always land somewhere valid.
+  static auto* pool = new ObjectPool<EntryBlock>(/*slab_size=*/64);
+  return *pool;
+}
+
 ReplicaTable::Shard& ReplicaTable::ShardFor(const std::string& key) const {
   return shards_[std::hash<std::string>{}(key) % kNumShards];
 }
@@ -301,6 +308,14 @@ ReplicatedStore::ReplicatedStore(ReplicatedStoreOptions options, RegionTopology*
   for (Region region : options_.regions) {
     replicas_[static_cast<size_t>(RegionIndex(region))] = std::make_unique<ReplicaTable>();
   }
+  for (Region origin : options_.regions) {
+    auto& dests = remote_destinations_[static_cast<size_t>(RegionIndex(origin))];
+    for (Region destination : options_.regions) {
+      if (destination != origin) {
+        dests.push_back(destination);
+      }
+    }
+  }
   if (options_.visibility_cache != nullptr) {
     visibility_ = options_.visibility_cache->Register(options_.name, options_.regions);
   }
@@ -344,48 +359,58 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
   if (Tracer::Default().enabled()) {
     span.emplace(Span::Start("store/put", {.category = "store", .region = origin}));
   }
-  // One allocation for the entry, shared (immutably) by the local applies and
-  // every destination's shipment lambda; the per-region key+bytes copies the
-  // old by-value captures paid are gone. The last apply to fire frees it.
-  auto entry = std::make_shared<StoredEntry>();
-  entry->key = key;
-  entry->bytes = std::move(bytes);
-  entry->version = NextVersion(key);
-  entry->origin = origin;
-  entry->write_time = SystemClock::Instance().Now();
-  entry->seq = seq_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // A warm pooled block instead of make_shared: the recycled entry's key and
+  // bytes strings keep their capacity, so in steady state filling it touches
+  // no heap at all. Shared (immutably) by the local applies and every
+  // destination's shipment lambda; the last handle to drop recycles it.
+  EntryBlock* block = EntryBlockPool().Acquire();
+  block->refs.store(1, std::memory_order_relaxed);
+  EntryHandle handle = EntryHandle::Adopt(block);
+  StoredEntry& entry = block->entry;
+  entry.key.assign(key);
+  entry.bytes = std::move(bytes);
+  entry.version = NextVersion(key);
+  entry.origin = origin;
+  entry.write_time = SystemClock::Instance().Now();
+  // Always overwritten (not just when tracing): a recycled block must not
+  // leak the previous write's span identity into this one.
+  entry.trace_id = 0;
+  entry.parent_span_id = 0;
+  entry.seq = seq_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (span.has_value() && span->recording()) {
     span->Annotate("store", options_.name);
     span->Annotate("key", key);
-    span->Annotate("version", entry->version);
+    span->Annotate("version", entry.version);
     // Replication shipments inherit the put span, so remote applies land in
     // this trace as its children.
-    entry->trace_id = span->context().trace_id;
-    entry->parent_span_id = span->context().span_id;
+    entry.trace_id = span->context().trace_id;
+    entry.parent_span_id = span->context().span_id;
   }
 
-  metrics_.RecordWrite(entry->bytes.size(),
+  metrics_.RecordWrite(entry.bytes.size(),
                        options_.per_write_overhead_bytes + extra_overhead_bytes);
 
   // Synchronous apply at the origin and at the authority table. Origin
   // applies bypass the pause gate: the write is local, not replicated.
-  authority_.Apply(*entry);
-  replica(origin).Apply(*entry);
+  authority_.Apply(entry);
+  replica(origin).Apply(entry);
   if (visibility_) {
-    visibility_->NoteApply(origin, entry->key, entry->version, entry->seq);
+    visibility_->NoteApply(origin, entry.key, entry.version, entry.seq);
   }
   if (apply_hook_) {
-    apply_hook_(origin, *entry);
+    apply_hook_(origin, entry);
   }
 
-  // Asynchronous shipping to the other replicas; `shared` is const from here
-  // on (the tables copy what they keep), so all shipments can alias it.
-  std::shared_ptr<const StoredEntry> shared = std::move(entry);
-  for (Region destination : options_.regions) {
-    if (destination == origin) {
-      continue;
-    }
-    double lag_millis = profile_.SampleMillis(origin, destination, shared->bytes.size());
+  // Asynchronous shipping to the other replicas (precomputed remote list —
+  // no per-call destination filtering). Each shipment captures its own
+  // EntryHandle copy in a flat lambda small enough for the TimerTask inline
+  // buffer, with the drain accounting folded in rather than layered as a
+  // second closure — the old path's two std::function heap allocations per
+  // shipment are gone. The handle is Reset() *before* the inflight decrement:
+  // once the count can reach zero, a drainer may tear the store down, and no
+  // handle (or anything else owned by a shipment) may outlive that.
+  for (Region destination : remote_destinations_[static_cast<size_t>(RegionIndex(origin))]) {
+    double lag_millis = profile_.SampleMillis(origin, destination, entry.bytes.size());
     if (options_.fault_injector != nullptr) {
       // Injected latency spike on this replication link (kLinkDelay).
       const LinkFault fault = options_.fault_injector->OnReplicate(options_.name, origin,
@@ -393,13 +418,28 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
       lag_millis = lag_millis * fault.delay_factor + fault.delay_add_model_ms;
     }
     metrics_.RecordReplicationLagMillis(lag_millis);
-    ScheduleStoreWork(TimeScale::FromModelMillis(lag_millis), ShipmentAffinity(key, destination),
-                      [this, destination, lag_millis, shared] {
-                        RecordReplicationSpan(destination, lag_millis, *shared);
-                        ApplyAt(destination, *shared);
-                      });
+    inflight_->count.fetch_add(1, std::memory_order_relaxed);
+    const bool scheduled = timers_->ScheduleAfter(
+        TimeScale::FromModelMillis(lag_millis), ShipmentAffinity(key, destination),
+        [this, destination, lag_millis, h = handle, inflight = inflight_]() mutable {
+          RecordReplicationSpan(destination, lag_millis, h.entry());
+          ApplyAt(destination, h.entry());
+          h.Reset();
+          // Only a decrement that reaches zero touches the drain lock; past
+          // it a drainer may destroy the store, so the wakeup goes through
+          // the co-owned inflight block — never `this`.
+          if (inflight->count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(inflight->mu);
+            inflight->cv.notify_all();
+          }
+        });
+    if (!scheduled) {
+      // Timer service already shut down: the shipment was dropped, so undo
+      // the accounting or DrainReplication would wait forever.
+      inflight_->count.fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
-  return shared->version;
+  return entry.version;
 }
 
 bool ReplicatedStore::ScheduleStoreWork(Duration delay, TimerService::AffinityToken affinity,

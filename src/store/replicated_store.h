@@ -40,6 +40,7 @@
 
 #include "src/antipode/visibility_cache.h"
 #include "src/common/clock.h"
+#include "src/common/object_pool.h"
 #include "src/common/status.h"
 #include "src/common/timer_service.h"
 #include "src/fault/fault_injector.h"
@@ -65,6 +66,78 @@ struct StoredEntry {
   // visibility cache's per-region apply low-watermark. Last field on purpose:
   // existing aggregate initializers keep their meaning and default it to 0.
   uint64_t seq = 0;
+};
+
+// A pooled StoredEntry plus its intrusive refcount. Blocks live in a
+// process-lifetime slab pool (EntryBlockPool) and are recycled with their
+// string capacities intact, so a steady-state Put fills a warm block without
+// touching the heap — this replaces the per-Put make_shared<StoredEntry>
+// (entry + control block, two allocations) of the old shipping path.
+struct EntryBlock {
+  StoredEntry entry;
+  std::atomic<uint32_t> refs{0};
+};
+
+// The shared slab pool every store draws entry blocks from. Intentionally
+// process-lifetime (never destroyed, like TimerService::Shared): a shipment
+// callback dropped un-run at timer teardown releases its block *after* the
+// owning store is gone, which would be a use-after-free against a per-store
+// pool but is always safe against this one.
+ObjectPool<EntryBlock>& EntryBlockPool();
+
+// An 8-byte refcounted handle to a pooled entry — the thing shipment lambdas
+// capture instead of a shared_ptr<const StoredEntry>. Copying bumps the
+// intrusive count; the last Reset()/destructor returns the block (strings and
+// all) to EntryBlockPool for reuse.
+class EntryHandle {
+ public:
+  EntryHandle() = default;
+  // Wraps a block whose initial reference is already counted in `refs`.
+  static EntryHandle Adopt(EntryBlock* block) { return EntryHandle(block); }
+
+  EntryHandle(const EntryHandle& other) : block_(other.block_) { AddRef(); }
+  EntryHandle& operator=(const EntryHandle& other) {
+    if (this != &other) {
+      Reset();
+      block_ = other.block_;
+      AddRef();
+    }
+    return *this;
+  }
+  EntryHandle(EntryHandle&& other) noexcept : block_(other.block_) { other.block_ = nullptr; }
+  EntryHandle& operator=(EntryHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~EntryHandle() { Reset(); }
+
+  // Drops this reference; the last one recycles the block. Shipment callbacks
+  // call this explicitly *before* their inflight decrement so no handle can
+  // outlive DrainReplication.
+  void Reset() {
+    if (block_ != nullptr &&
+        block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      EntryBlockPool().Release(block_);
+    }
+    block_ = nullptr;
+  }
+
+  const StoredEntry& entry() const { return block_->entry; }
+  explicit operator bool() const { return block_ != nullptr; }
+
+ private:
+  explicit EntryHandle(EntryBlock* block) : block_(block) {}
+  void AddRef() {
+    if (block_ != nullptr) {
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EntryBlock* block_ = nullptr;
 };
 
 // One ⟨key, version⟩ target of a batched wait. The view must stay valid until
@@ -145,7 +218,9 @@ class ReplicaTable {
     std::unordered_map<std::string, std::vector<std::shared_ptr<Waiter>>> waiters;
   };
 
-  static constexpr size_t kNumShards = 16;
+  // 64-way striping (up from 16): wider than any realistic worker count, so
+  // concurrent applies of different keys essentially never share a stripe.
+  static constexpr size_t kNumShards = 64;
 
   Shard& ShardFor(const std::string& key) const;
   // Registers a waiter for ⟨key, version⟩ unless already visible; returns
@@ -309,12 +384,16 @@ class ReplicatedStore {
 
   // Dense per-store write sequence (StoredEntry::seq source).
   std::atomic<uint64_t> seq_counter_{0};
+  // Remote shipping targets per origin, precomputed at construction so the
+  // Put fan-out iterates a dense array instead of re-filtering
+  // options_.regions (or building a per-call destinations vector) per write.
+  std::array<std::vector<Region>, kNumRegions> remote_destinations_;
   // Registered visibility state (nullptr when options_.visibility_cache is).
   std::shared_ptr<StoreVisibility> visibility_;
 
   // Per-key version counters, striped so concurrent writers of different
   // keys never contend on one global mutex/map.
-  static constexpr size_t kVersionShards = 16;
+  static constexpr size_t kVersionShards = 64;
   struct VersionShard {
     std::mutex mu;
     std::unordered_map<std::string, uint64_t> versions;

@@ -127,6 +127,42 @@ TEST(HistogramTest, SummaryMentionsCount) {
   Histogram h;
   h.Record(1.0);
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+  EXPECT_NE(h.Summary().find("p999="), std::string::npos);
+}
+
+// Nine of every thousand samples are 10x slower; p999 must land in the slow
+// mode while p99 stays in the fast one — the tail the load sweep reports.
+TEST(HistogramTest, P999ResolvesTailAboveP99) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(i % 1000 < 991 ? 1.0 : 10.0);
+  }
+  EXPECT_NEAR(h.Percentile(0.99), 1.0, 1.0 * 0.05);
+  EXPECT_NEAR(h.Percentile(0.999), 10.0, 10.0 * 0.05);
+}
+
+// Values are recorded in model milliseconds; nanosecond-scale latencies
+// (1 ns = 1e-6 ms) must resolve with bounded relative error rather than
+// saturating the bottom bucket.
+TEST(HistogramTest, NanosecondResolutionInMillisecondUnits) {
+  Histogram h;
+  const double one_ns = 1e-6;
+  const double hundred_ns = 1e-4;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(i % 2 == 0 ? one_ns : hundred_ns);
+  }
+  EXPECT_NEAR(h.Percentile(0.25), one_ns, one_ns * 0.05);
+  EXPECT_NEAR(h.Percentile(0.99), hundred_ns, hundred_ns * 0.05);
+}
+
+TEST(HistogramTest, SubNanosecondValuesStayOrdered) {
+  Histogram h;
+  h.Record(1e-9);
+  h.Record(1e-6);
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.Percentile(0.01), 1e-9, 1e-9 * 0.1);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1.0);
 }
 
 TEST(ConcurrentHistogramTest, ParallelRecording) {
@@ -158,7 +194,7 @@ TEST_P(HistogramAccuracyTest, RelativeErrorBounded) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracyTest,
-                         ::testing::Values(0.001, 0.5, 3.7, 128.0, 9999.0, 5e7));
+                         ::testing::Values(1e-6, 0.001, 0.5, 3.7, 128.0, 9999.0, 5e7));
 
 }  // namespace
 }  // namespace antipode

@@ -1,0 +1,156 @@
+#include "src/common/object_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace antipode {
+namespace {
+
+struct Payload {
+  std::string key;
+  std::string bytes;
+  uint64_t version = 0;
+};
+
+TEST(ObjectPoolTest, AcquireNeverReturnsNull) {
+  ObjectPool<Payload> pool(/*slab_size=*/4);
+  std::vector<Payload*> objs;
+  for (int i = 0; i < 100; ++i) {
+    Payload* p = pool.Acquire();
+    ASSERT_NE(p, nullptr);
+    objs.push_back(p);
+  }
+  // 100 outstanding across slabs of 4 → at least 25 slabs.
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.outstanding, 100u);
+  EXPECT_GE(stats.capacity, 100u);
+  for (Payload* p : objs) {
+    pool.Release(p);
+  }
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(ObjectPoolTest, AcquiredPointersAreDistinct) {
+  ObjectPool<Payload> pool(/*slab_size=*/8);
+  std::set<Payload*> seen;
+  std::vector<Payload*> objs;
+  for (int i = 0; i < 64; ++i) {
+    Payload* p = pool.Acquire();
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate pointer handed out";
+    objs.push_back(p);
+  }
+  for (Payload* p : objs) {
+    pool.Release(p);
+  }
+}
+
+TEST(ObjectPoolTest, RecycledObjectKeepsStringCapacity) {
+  ObjectPool<Payload> pool(/*slab_size=*/2);
+  Payload* p = pool.Acquire();
+  p->bytes.assign(1024, 'x');
+  const size_t grown_capacity = p->bytes.capacity();
+  p->bytes.clear();  // shrink size, keep capacity — the pooled-reuse contract
+  pool.Release(p);
+
+  Payload* q = pool.Acquire();
+  // Same-thread release→acquire hits the same stripe, so we get p back.
+  ASSERT_EQ(q, p);
+  EXPECT_GE(q->bytes.capacity(), grown_capacity);
+  pool.Release(q);
+}
+
+TEST(ObjectPoolTest, GrowsUnderExhaustion) {
+  ObjectPool<Payload> pool(/*slab_size=*/2);
+  EXPECT_EQ(pool.stats().slabs, 0u);
+  Payload* a = pool.Acquire();
+  EXPECT_EQ(pool.stats().slabs, 1u);
+  Payload* b = pool.Acquire();
+  Payload* c = pool.Acquire();  // exhausts slab 1 → grows
+  EXPECT_GE(pool.stats().slabs, 2u);
+  pool.Release(a);
+  pool.Release(b);
+  pool.Release(c);
+}
+
+// Concurrent acquire/release churn; suite name matches the tsan preset's
+// Pool filter so this runs under TSan.
+TEST(ObjectPoolStressTest, ConcurrentAcquireRelease) {
+  ObjectPool<Payload> pool(/*slab_size=*/16);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::atomic<uint64_t> churn{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<Payload*> held;
+      held.reserve(8);
+      for (int i = 0; i < kIters; ++i) {
+        Payload* p = pool.Acquire();
+        p->version = static_cast<uint64_t>(t) * kIters + i;
+        p->key = "k";
+        held.push_back(p);
+        if (held.size() >= 8 || (i & 3) == 0) {
+          churn.fetch_add(held.back()->version, std::memory_order_relaxed);
+          pool.Release(held.back());
+          held.pop_back();
+        }
+      }
+      for (Payload* p : held) {
+        pool.Release(p);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_GT(churn.load(), 0u);
+}
+
+TEST(ObjectPoolStressTest, CrossThreadReleaseIsSafe) {
+  // Producer acquires, consumer releases — objects migrate between stripes.
+  ObjectPool<Payload> pool(/*slab_size=*/8);
+  std::mutex mu;
+  std::vector<Payload*> handoff;
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    for (int i = 0; i < 10000; ++i) {
+      Payload* p = pool.Acquire();
+      p->version = i;
+      std::lock_guard<std::mutex> lock(mu);
+      handoff.push_back(p);
+    }
+    done.store(true);
+  });
+  std::thread consumer([&] {
+    int released = 0;
+    while (released < 10000) {
+      std::vector<Payload*> batch;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        batch.swap(handoff);
+      }
+      for (Payload* p : batch) {
+        pool.Release(p);
+        ++released;
+      }
+      if (batch.empty() && !done.load()) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+}  // namespace
+}  // namespace antipode

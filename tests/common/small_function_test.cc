@@ -1,0 +1,121 @@
+#include "src/common/small_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace antipode {
+namespace {
+
+TEST(SmallFunctionTest, EmptyIsFalse) {
+  TimerTask task;
+  EXPECT_FALSE(static_cast<bool>(task));
+}
+
+TEST(SmallFunctionTest, InvokesSmallLambdaInline) {
+  int calls = 0;
+  TimerTask task([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(task));
+  EXPECT_TRUE(task.is_inline());
+  task();
+  task();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFunctionTest, LargeCaptureSpillsToHeapAndStillWorks) {
+  std::array<uint64_t, 32> big{};  // 256 bytes — exceeds 64-byte inline buffer
+  big[31] = 99;
+  int out = 0;
+  TimerTask task([big, &out] { out = static_cast<int>(big[31]); });
+  EXPECT_FALSE(task.is_inline());
+  task();
+  EXPECT_EQ(out, 99);
+}
+
+TEST(SmallFunctionTest, AcceptsMoveOnlyCallable) {
+  auto ptr = std::make_unique<int>(5);
+  int out = 0;
+  TimerTask task([p = std::move(ptr), &out] { out = *p; });
+  task();
+  EXPECT_EQ(out, 5);
+}
+
+TEST(SmallFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  TimerTask a([&calls] { ++calls; });
+  TimerTask b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): testing moved-from state
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  TimerTask c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFunctionTest, MoveAssignDestroysPreviousCallable) {
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  TimerTask task([keep = std::move(alive)] { (void)keep; });
+  EXPECT_FALSE(watch.expired());
+  task = TimerTask([] {});
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SmallFunctionTest, DestructorReleasesCapture) {
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  {
+    TimerTask task([keep = std::move(alive)] { (void)keep; });
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SmallFunctionTest, ResetClears) {
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  TimerTask task([keep = std::move(alive)] { (void)keep; });
+  task.Reset();
+  EXPECT_FALSE(static_cast<bool>(task));
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SmallFunctionTest, HeapCallableMoveIsPointerSwap) {
+  std::array<char, 128> big{};
+  big[0] = 'x';
+  std::string out;
+  SmallFunction<16> a([big, &out] { out.assign(1, big[0]); });
+  EXPECT_FALSE(a.is_inline());
+  SmallFunction<16> b(std::move(a));
+  b();
+  EXPECT_EQ(out, "x");
+}
+
+TEST(SmallFunctionTest, ShipmentSizedCaptureStaysInline) {
+  // Mirrors the replication shipment lambda: this*, 8-byte handle, enum,
+  // double, shared_ptr — must fit the 64-byte TimerTask buffer.
+  struct FakeHandle {
+    void* block;
+  };
+  void* self = nullptr;
+  FakeHandle handle{nullptr};
+  int destination = 3;
+  double lag = 1.5;
+  auto inflight = std::make_shared<int>(0);
+  TimerTask task([self, handle, destination, lag, inflight] {
+    (void)self;
+    (void)handle;
+    (void)destination;
+    (void)lag;
+    (void)inflight;
+  });
+  EXPECT_TRUE(task.is_inline());
+}
+
+}  // namespace
+}  // namespace antipode
