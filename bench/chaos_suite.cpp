@@ -13,7 +13,9 @@
 // Three schedules (ISSUE 5): `partition` severs replication out of the
 // written stores, `outage` takes whole regions of them down and heals,
 // `drop-spike` combines broker delivery drops, transient apply errors, and a
-// WAN latency spike. Each is seeded: same --seed, same fault decisions.
+// WAN latency spike. Each is seeded: same --seed, same fault decisions — and
+// each runs under BOTH enforcement backends (lineage and stable-frontier), so
+// the zero-violations contract is asserted per strategy on identical faults.
 //
 // Flags: --scale, --requests, --seed, --quick (tiny run for CI smoke),
 //        --json-out=<path> (machine-readable per-schedule report).
@@ -177,9 +179,16 @@ int main(int argc, char** argv) {
       .Field("window_model_ms", window_ms)
       .BeginArray("schedules");
 
+  // Every schedule runs once per enforcement backend with the SAME seed: the
+  // fault decisions are identical, so a violation count that differs between
+  // strategies would be a strategy bug, not schedule noise.
+  const EnforcementBackendKind backends[] = {EnforcementBackendKind::kLineage,
+                                             EnforcementBackendKind::kStableFrontier};
   int total_violations = 0;
+  for (const EnforcementBackendKind backend : backends)
   for (const Schedule& schedule : BuildSchedules(seed, window_ms)) {
-    std::printf("\n== schedule %s ==\n", schedule.name.c_str());
+    std::printf("\n== schedule %s [backend=%s] ==\n", schedule.name.c_str(),
+                std::string(EnforcementBackendKindName(backend)).c_str());
     MetricsRegistry::Default().SnapshotAndReset();  // clean slate per schedule
     FaultInjector::Default().Arm(schedule.plan);
 
@@ -191,12 +200,14 @@ int main(int argc, char** argv) {
     post.post_storage = PostStorageKind::kRedis;
     post.notifier = NotifierKind::kSns;
     post.antipode = true;
+    post.backend = backend;
     post.num_requests = requests;
     post.seed = seed;
     PostNotificationResult post_result = RunPostNotification(post);
 
     MediaServiceConfig media;
     media.antipode = true;
+    media.backend = backend;
     media.num_reviews = requests;
     MediaServiceResult media_result = RunMediaService(media);
 
@@ -224,6 +235,7 @@ int main(int argc, char** argv) {
 
     json.BeginObject()
         .Field("name", schedule.name)
+        .Field("backend", std::string(EnforcementBackendKindName(backend)))
         .Field("violations", post_result.violations + media_result.TotalViolations())
         .Field("faults_injected", snapshot.CounterTotal("fault.injected"))
         .Field("queue_redeliveries", snapshot.CounterTotal("queue.redeliveries"))

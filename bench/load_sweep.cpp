@@ -10,11 +10,14 @@
 // its peak sustained req/s and the wall-clock p50/p99/p999 end-to-end latency
 // at that point.
 //
-// Phases: post-notification {baseline, Antipode cache on, Antipode cache off}
-// and media-service {baseline, Antipode}. End-to-end latency is writer send →
-// reader/render completion (including the barrier on Antipode phases),
-// measured on the steady wall clock — replication delays are scaled model
-// time, so wall latency is what saturation actually degrades.
+// Phases: post-notification {baseline, Antipode cache on, Antipode cache off,
+// Antipode stable-frontier} and media-service {baseline, Antipode, Antipode
+// stable-frontier}. End-to-end latency is writer send → reader/render
+// completion (including the barrier on Antipode phases), measured on the
+// steady wall clock — replication delays are scaled model time, so wall
+// latency is what saturation actually degrades. Each phase also accounts the
+// enforcement-metadata bytes its backend ships per request (lineage wire size
+// vs one HLC-cut varint), giving the strategy head-to-head both axes.
 //
 // Replication profiles are pinned (no S3-style slow second mode): the sweep
 // measures throughput collapse, and a 1.6 s real-time straggler mode would
@@ -85,6 +88,10 @@ struct RatePoint {
   double p99_ms = 0.0;
   double p999_ms = 0.0;
   double violation_rate = 0.0;
+  // Mean enforcement-metadata bytes a request's barrier would ship with the
+  // phase's backend (lineage wire size vs one HLC-cut varint); 0 on baseline
+  // phases, which carry no lineage at all.
+  double metadata_bytes_per_req = 0.0;
   bool saturated = false;
 };
 
@@ -93,6 +100,7 @@ struct PhaseResult {
   std::string app;
   bool antipode = false;
   bool cache = true;
+  std::string backend = "none";
   std::vector<RatePoint> points;
 
   // Peak = the best non-saturated point; if every point saturated (the
@@ -125,9 +133,17 @@ class Bed {
 
   uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
   uint64_t violations() const { return violations_.load(std::memory_order_relaxed); }
+  uint64_t metadata_bytes() const { return metadata_bytes_.load(std::memory_order_relaxed); }
   const ConcurrentHistogram& latency() const { return latency_; }
 
  protected:
+  // Called at the barrier site with the lineage the request actually carried:
+  // accounts what the phase's enforcement strategy ships per request.
+  void RecordMetadata(EnforcementBackendKind backend, const Lineage& lineage) {
+    metadata_bytes_.fetch_add(EnforcementMetadataBytes(backend, lineage),
+                              std::memory_order_relaxed);
+  }
+
   void RecordCompletion(uint64_t send_ns, bool found) {
     latency_.Record(static_cast<double>(NowNanos() - send_ns) / 1e6);
     if (!found) {
@@ -148,6 +164,7 @@ class Bed {
 
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> violations_{0};
+  std::atomic<uint64_t> metadata_bytes_{0};
   ConcurrentHistogram latency_;
   std::mutex done_mu_;
   std::condition_variable done_cv_;
@@ -178,8 +195,9 @@ bool DecodePayload(const std::string& payload, std::string* id, uint64_t* send_n
 // writer in EU, reader in US (paper §7.2 placement).
 class PostBed : public Bed {
  public:
-  PostBed(bool antipode, bool use_cache, ThreadPool* readers)
-      : antipode_(antipode), tag_(std::to_string(g_bed_counter.fetch_add(1))) {
+  PostBed(bool antipode, bool use_cache, EnforcementBackendKind backend, ThreadPool* readers)
+      : antipode_(antipode), backend_(backend),
+        tag_(std::to_string(g_bed_counter.fetch_add(1))) {
     const std::vector<Region> regions = {Region::kEu, Region::kUs};
     auto post_options = KvStore::DefaultOptions("sweep-post-" + tag_, regions);
     post_options.replication.slow_mode_probability = 0.0;
@@ -191,7 +209,8 @@ class PostBed : public Bed {
     notif_shim_ = std::make_unique<PubSubShim>(notifs_.get());
     registry_.Register(post_shim_.get());
     registry_.Register(notif_shim_.get());
-    barrier_options_ = BarrierOptions{.registry = &registry_, .use_cache = use_cache};
+    barrier_options_ =
+        BarrierOptions{.registry = &registry_, .use_cache = use_cache, .backend = backend};
 
     auto on_message = [this](const ConsumedMessage& message) {
       std::string post_id;
@@ -200,6 +219,7 @@ class PostBed : public Bed {
         return;
       }
       if (antipode_) {
+        RecordMetadata(backend_, message.lineage);
         Barrier(message.lineage, Region::kUs, barrier_options_);
       }
       const bool found = antipode_ ? post_shim_->ReadCtx(Region::kUs, post_id).ok()
@@ -239,6 +259,7 @@ class PostBed : public Bed {
   static constexpr char kPostBody[] = "post-body";
 
   bool antipode_;
+  EnforcementBackendKind backend_;
   std::string tag_;
   std::unique_ptr<KvStore> posts_;
   std::unique_ptr<PubSubStore> notifs_;
@@ -253,8 +274,9 @@ class PostBed : public Bed {
 // through one lineage.
 class MediaBed : public Bed {
  public:
-  MediaBed(bool antipode, bool use_cache, ThreadPool* renderers)
-      : antipode_(antipode), tag_(std::to_string(g_bed_counter.fetch_add(1))) {
+  MediaBed(bool antipode, bool use_cache, EnforcementBackendKind backend, ThreadPool* renderers)
+      : antipode_(antipode), backend_(backend),
+        tag_(std::to_string(g_bed_counter.fetch_add(1))) {
     const std::vector<Region> regions = {Region::kUs, Region::kEu};
     auto media_options = ObjectStore::DefaultOptions("sweep-media-" + tag_, regions);
     media_options.replication.median_millis = 900.0;
@@ -270,7 +292,8 @@ class MediaBed : public Bed {
     registry_.Register(media_shim_.get());
     registry_.Register(review_shim_.get());
     registry_.Register(event_shim_.get());
-    barrier_options_ = BarrierOptions{.registry = &registry_, .use_cache = use_cache};
+    barrier_options_ =
+        BarrierOptions{.registry = &registry_, .use_cache = use_cache, .backend = backend};
 
     auto render = [this](const ConsumedMessage& message) {
       std::string review_id;
@@ -279,6 +302,7 @@ class MediaBed : public Bed {
         return;
       }
       if (antipode_) {
+        RecordMetadata(backend_, message.lineage);
         Barrier(message.lineage, Region::kEu, barrier_options_);
       }
       bool found = false;
@@ -341,6 +365,7 @@ class MediaBed : public Bed {
   static constexpr char kBlob[] = "media-blob";
 
   bool antipode_;
+  EnforcementBackendKind backend_;
   std::string tag_;
   std::unique_ptr<ObjectStore> media_;
   std::unique_ptr<DocStore> reviews_;
@@ -425,6 +450,10 @@ RatePoint RunLoadPoint(Bed& bed, double rate, const SweepConfig& config) {
       point.completed == 0
           ? 0.0
           : static_cast<double>(bed.violations()) / static_cast<double>(point.completed);
+  point.metadata_bytes_per_req =
+      point.completed == 0
+          ? 0.0
+          : static_cast<double>(bed.metadata_bytes()) / static_cast<double>(point.completed);
 
   // The point is scored; now settle completely before teardown. Every issued
   // request finishes eventually (replication delays are finite and the pools
@@ -444,6 +473,7 @@ struct PhaseSpec {
   const char* app;  // "post_notification" | "media_service"
   bool antipode;
   bool use_cache;
+  EnforcementBackendKind backend = EnforcementBackendKind::kLineage;
 };
 
 PhaseResult RunPhase(const PhaseSpec& spec, const SweepConfig& config) {
@@ -452,6 +482,7 @@ PhaseResult RunPhase(const PhaseSpec& spec, const SweepConfig& config) {
   result.app = spec.app;
   result.antipode = spec.antipode;
   result.cache = spec.use_cache;
+  result.backend = spec.antipode ? std::string(EnforcementBackendKindName(spec.backend)) : "none";
 
   std::printf("\n== phase %s ==\n", spec.name);
   std::printf("%12s %12s %8s %8s %10s %10s %10s %6s\n", "offered/s", "achieved/s", "issued",
@@ -463,9 +494,9 @@ PhaseResult RunPhase(const PhaseSpec& spec, const SweepConfig& config) {
     ThreadPool readers(static_cast<size_t>(config.readers), "sweep-readers");
     std::unique_ptr<Bed> bed;
     if (std::string_view(spec.app) == "media_service") {
-      bed = std::make_unique<MediaBed>(spec.antipode, spec.use_cache, &readers);
+      bed = std::make_unique<MediaBed>(spec.antipode, spec.use_cache, spec.backend, &readers);
     } else {
-      bed = std::make_unique<PostBed>(spec.antipode, spec.use_cache, &readers);
+      bed = std::make_unique<PostBed>(spec.antipode, spec.use_cache, spec.backend, &readers);
     }
     RatePoint point = RunLoadPoint(*bed, rate, config);
     bed.reset();
@@ -506,11 +537,13 @@ void EmitJson(const std::vector<PhaseResult>& phases, const SweepConfig& config,
     json.Field("app", phase.app);
     json.Field("antipode", phase.antipode);
     json.Field("cache", phase.cache);
+    json.Field("backend", phase.backend);
     json.Field("peak_req_s", peak.achieved_req_s);
     json.Field("p50_ms", peak.p50_ms);
     json.Field("p99_ms", peak.p99_ms);
     json.Field("p999_ms", peak.p999_ms);
     json.Field("violation_rate", peak.violation_rate);
+    json.Field("metadata_bytes_per_req", peak.metadata_bytes_per_req);
     json.BeginArray("points");
     for (const RatePoint& point : phase.points) {
       json.BeginObject();
@@ -522,6 +555,7 @@ void EmitJson(const std::vector<PhaseResult>& phases, const SweepConfig& config,
       json.Field("p99_ms", point.p99_ms);
       json.Field("p999_ms", point.p999_ms);
       json.Field("violation_rate", point.violation_rate);
+      json.Field("metadata_bytes_per_req", point.metadata_bytes_per_req);
       json.Field("saturated", point.saturated);
       json.EndObject();
     }
@@ -568,12 +602,19 @@ int Main(int argc, char** argv) {
               config.duration_s, config.start_rate, config.rate_factor, config.max_steps,
               config.writers);
 
+  // The *_frontier phases rerun the Antipode flows with the stable-frontier
+  // backend: same apps, same cache policy — the head-to-head strategy
+  // comparison (wait time + metadata bytes) lands in the same report.
   const PhaseSpec specs[] = {
       {"post_baseline", "post_notification", false, true},
       {"post_antipode_cache_on", "post_notification", true, true},
       {"post_antipode_cache_off", "post_notification", true, false},
+      {"post_antipode_frontier", "post_notification", true, true,
+       EnforcementBackendKind::kStableFrontier},
       {"media_baseline", "media_service", false, true},
       {"media_antipode", "media_service", true, true},
+      {"media_antipode_frontier", "media_service", true, true,
+       EnforcementBackendKind::kStableFrontier},
   };
   std::vector<PhaseResult> phases;
   for (const PhaseSpec& spec : specs) {
@@ -581,13 +622,13 @@ int Main(int argc, char** argv) {
     phases.push_back(RunPhase(spec, config));
   }
 
-  std::printf("\n%-26s %14s %10s %10s %10s %10s\n", "phase", "peak req/s", "p50 ms", "p99 ms",
-              "p999 ms", "viol");
+  std::printf("\n%-26s %-16s %14s %10s %10s %10s %10s %10s\n", "phase", "backend", "peak req/s",
+              "p50 ms", "p99 ms", "p999 ms", "viol", "md B/req");
   for (const PhaseResult& phase : phases) {
     const RatePoint& peak = phase.Peak();
-    std::printf("%-26s %14.0f %10.2f %10.2f %10.2f %10.3f\n", phase.name.c_str(),
-                peak.achieved_req_s, peak.p50_ms, peak.p99_ms, peak.p999_ms,
-                peak.violation_rate);
+    std::printf("%-26s %-16s %14.0f %10.2f %10.2f %10.2f %10.3f %10.1f\n", phase.name.c_str(),
+                phase.backend.c_str(), peak.achieved_req_s, peak.p50_ms, peak.p99_ms,
+                peak.p999_ms, peak.violation_rate, peak.metadata_bytes_per_req);
   }
 
   EmitJson(phases, config, quick, json_out);

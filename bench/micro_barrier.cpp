@@ -13,6 +13,12 @@
 //             lineage. All replication timers run concurrently and the
 //             fan-out gathers them, so the request costs the MAX of the lags.
 //
+// The deferred phase runs under both enforcement backends — the native
+// lineage strategy and the Okapi-style stable-frontier strategy (one HLC-cut
+// wait per store instead of per-dependency waits) — and reports each one's
+// wait time alongside the enforcement-metadata bytes it would ship per
+// request (full lineage wire size vs a single HLC varint).
+//
 // A second phase measures the all-deps-already-visible case — the steady
 // state when replication lag ≪ inter-request gap. Every write has long
 // replicated, so the barrier does no model-time waiting and the measurement
@@ -97,9 +103,19 @@ double RunEager(int requests, Histogram* hist, bool use_cache) {
   return max_store_lag_p50;
 }
 
-double RunDeferred(int requests, Histogram* hist, bool use_cache) {
-  Bed bed("defer");
-  const BarrierOptions options{.registry = &bed.registry, .use_cache = use_cache};
+struct DeferredResult {
+  double max_store_lag_p50 = 0.0;
+  // Mean enforcement-metadata bytes the request's barrier ships under this
+  // backend: the full lineage wire size vs one HLC-cut varint.
+  double metadata_bytes_per_req = 0.0;
+};
+
+DeferredResult RunDeferred(int requests, Histogram* hist, bool use_cache,
+                           EnforcementBackendKind backend, const char* tag) {
+  Bed bed(tag);
+  const BarrierOptions options{
+      .registry = &bed.registry, .use_cache = use_cache, .backend = backend};
+  uint64_t metadata_total = 0;
   for (int r = 0; r < requests; ++r) {
     const TimePoint start = SystemClock::Instance().Now();
     Lineage lineage(static_cast<uint64_t>(r) + 1);
@@ -107,6 +123,7 @@ double RunDeferred(int requests, Histogram* hist, bool use_cache) {
       lineage = bed.shims[static_cast<size_t>(i)]->Write(
           Region::kUs, "k" + std::to_string(r), "v", std::move(lineage));
     }
+    metadata_total += EnforcementMetadataBytes(backend, lineage);
     // One parallel barrier over the whole lineage: cost = max of the lags.
     if (!Barrier(lineage, Region::kEu, options).ok()) {
       std::fprintf(stderr, "deferred barrier failed\n");
@@ -115,11 +132,14 @@ double RunDeferred(int requests, Histogram* hist, bool use_cache) {
     hist->Record(TimeScale::ToModelMillis(
         std::chrono::duration_cast<Duration>(SystemClock::Instance().Now() - start)));
   }
-  double max_store_lag_p50 = 0.0;
+  DeferredResult result;
   for (auto& store : bed.stores) {
-    max_store_lag_p50 = std::max(max_store_lag_p50, store->metrics().ReplicationLag().Percentile(0.5));
+    result.max_store_lag_p50 =
+        std::max(result.max_store_lag_p50, store->metrics().ReplicationLag().Percentile(0.5));
   }
-  return max_store_lag_p50;
+  result.metadata_bytes_per_req =
+      requests == 0 ? 0.0 : static_cast<double>(metadata_total) / requests;
+  return result;
 }
 
 // Forwards to a wrapped shim but hides its WaitManyAsync override and its
@@ -287,8 +307,14 @@ int Main(int argc, char** argv) {
 
   Histogram eager;
   Histogram deferred;
+  Histogram deferred_frontier;
   RunEager(requests, &eager, cache_in_main_phase);
-  const double max_lag_p50 = RunDeferred(requests, &deferred, cache_in_main_phase);
+  const DeferredResult defer_lineage = RunDeferred(
+      requests, &deferred, cache_in_main_phase, EnforcementBackendKind::kLineage, "defer");
+  const DeferredResult defer_frontier =
+      RunDeferred(requests, &deferred_frontier, cache_in_main_phase,
+                  EnforcementBackendKind::kStableFrontier, "defsf");
+  const double max_lag_p50 = defer_lineage.max_store_lag_p50;
   const double sum_medians = kMedians[0] + kMedians[1] + kMedians[2];
 
   std::printf("%-24s %10s %10s %10s\n", "strategy", "p50 ms", "p99 ms", "mean ms");
@@ -298,12 +324,20 @@ int Main(int argc, char** argv) {
   std::printf("%-24s %10.1f %10.1f %10.1f   (parallel fan-out: ~max of lags)\n",
               "deferred parallel", deferred.Percentile(0.5), deferred.Percentile(0.99),
               deferred.Mean());
+  std::printf("%-24s %10.1f %10.1f %10.1f   (stable-frontier: one HLC cut)\n",
+              "deferred frontier", deferred_frontier.Percentile(0.5),
+              deferred_frontier.Percentile(0.99), deferred_frontier.Mean());
   const double ratio = deferred.Percentile(0.5) / eager.Percentile(0.5);
   std::printf("\n# deferred/eager p50 ratio: %.2f\n", ratio);
   std::printf("# slowest store replication-lag p50: %.1f model ms; deferred p50 within %.0f%%\n",
               max_lag_p50,
               max_lag_p50 > 0 ? 100.0 * (deferred.Percentile(0.5) - max_lag_p50) / max_lag_p50
                               : 0.0);
+  std::printf("# metadata bytes/request: lineage %.1f vs stable-frontier %.1f (%.1fx smaller)\n",
+              defer_lineage.metadata_bytes_per_req, defer_frontier.metadata_bytes_per_req,
+              defer_frontier.metadata_bytes_per_req > 0
+                  ? defer_lineage.metadata_bytes_per_req / defer_frontier.metadata_bytes_per_req
+                  : 0.0);
 
   const int visible_barriers = args.GetInt("visible-barriers", 2000);
   std::printf("\n# all-deps-already-visible (24 deps/barrier, wall-clock µs, %d barriers)\n",
@@ -339,8 +373,13 @@ int Main(int argc, char** argv) {
         .Field("requests", requests)
         .HistogramField("eager_model_ms", eager)
         .HistogramField("deferred_model_ms", deferred)
+        .HistogramField("deferred_frontier_model_ms", deferred_frontier)
         .Field("deferred_eager_p50_ratio", ratio)
         .Field("slowest_store_lag_p50_model_ms", max_lag_p50)
+        .BeginObject("metadata_bytes_per_req")
+        .Field("lineage", defer_lineage.metadata_bytes_per_req)
+        .Field("stable_frontier", defer_frontier.metadata_bytes_per_req)
+        .EndObject()
         .BeginObject("all_visible_p50_us")
         .Field("cache_on", cached_p50)
         .Field("cache_off", uncached_p50)

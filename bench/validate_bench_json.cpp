@@ -1,7 +1,9 @@
 // Schema check for the BENCH_load_sweep.json artifact: parses the document
 // with a minimal recursive-descent JSON reader (no dependencies) and asserts
 // the keys every future PR's delta-comparison relies on — a non-empty
-// `phases` array whose every element carries peak_req_s and p50/p99/p999.
+// `phases` array whose every element carries peak_req_s, p50/p99/p999, an
+// enforcement `backend` tag, and the strategy's metadata_bytes_per_req (with
+// at least one phase actually backend-tagged).
 //
 // Usage: validate_bench_json <path> — exit 0 on a valid report, 1 with a
 // diagnostic otherwise. Wired into bench-smoke right after `load_sweep
@@ -276,8 +278,15 @@ int Check(const char* path) {
     std::fprintf(stderr, "validate_bench_json: missing or empty \"phases\" array\n");
     return 1;
   }
-  const char* required[] = {"name", "peak_req_s", "p50_ms", "p99_ms", "p999_ms"};
+  // Backend-tagged schema: every phase names its enforcement strategy
+  // ("lineage" / "stable_frontier", or "none" on non-Antipode baselines) and
+  // reports the metadata bytes that strategy ships per request, so the
+  // delta-comparison can pair phases across backends.
+  const char* required_numbers[] = {"peak_req_s", "p50_ms", "p99_ms", "p999_ms",
+                                    "metadata_bytes_per_req"};
+  const char* required_strings[] = {"name", "backend"};
   int errors = 0;
+  bool any_backend_tagged = false;
   for (size_t i = 0; i < phases->array.size(); ++i) {
     const JsonValue& phase = phases->array[i];
     if (phase.kind != JsonValue::Kind::kObject) {
@@ -285,17 +294,34 @@ int Check(const char* path) {
       ++errors;
       continue;
     }
-    for (const char* key : required) {
+    for (const char* key : required_strings) {
       const JsonValue* field = phase.Find(key);
       if (field == nullptr) {
         std::fprintf(stderr, "validate_bench_json: phases[%zu] missing \"%s\"\n", i, key);
         ++errors;
-      } else if (std::string_view(key) != "name" &&
-                 field->kind != JsonValue::Kind::kNumber) {
+      } else if (field->kind != JsonValue::Kind::kString) {
+        std::fprintf(stderr, "validate_bench_json: phases[%zu].%s is not a string\n", i, key);
+        ++errors;
+      } else if (std::string_view(key) == "backend" && field->string != "none") {
+        any_backend_tagged = true;
+      }
+    }
+    for (const char* key : required_numbers) {
+      const JsonValue* field = phase.Find(key);
+      if (field == nullptr) {
+        std::fprintf(stderr, "validate_bench_json: phases[%zu] missing \"%s\"\n", i, key);
+        ++errors;
+      } else if (field->kind != JsonValue::Kind::kNumber) {
         std::fprintf(stderr, "validate_bench_json: phases[%zu].%s is not a number\n", i, key);
         ++errors;
       }
     }
+  }
+  if (!any_backend_tagged) {
+    std::fprintf(stderr,
+                 "validate_bench_json: no phase names an enforcement backend — the "
+                 "strategy comparison is missing\n");
+    ++errors;
   }
   if (errors != 0) {
     return 1;

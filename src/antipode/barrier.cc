@@ -1,406 +1,45 @@
 #include "src/antipode/barrier.h"
 
-#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <utility>
 
+#include "src/antipode/enforcement_internal.h"
 #include "src/antipode/lineage_api.h"
 #include "src/obs/metrics.h"
-#include "src/obs/trace.h"
 
 namespace antipode {
 namespace {
 
-// Join point for a fan-out of asynchronous waits: counts completions, keeps
-// the first error, fires `done` exactly once when the last wait lands.
-class WaitGather {
- public:
-  WaitGather(size_t outstanding, std::function<void(Status)> done)
-      : outstanding_(outstanding), done_(std::move(done)) {}
+using enforcement_internal::CacheCounters;
+using enforcement_internal::CountBackendDispatch;
 
-  void Complete(const Status& status) {
-    std::function<void(Status)> fire;
-    Status result;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!status.ok() && first_error_.ok()) {
-        first_error_ = status;
-      }
-      if (--outstanding_ > 0) {
-        return;
-      }
-      fire = std::move(done_);
-      result = first_error_;
-    }
-    fire(result);
+// Non-blocking dry-run folded into the standard barrier entry points: maps
+// the structured BarrierDryRunResult onto the Status vocabulary.
+Status DryRunStatus(const Lineage& lineage, Region region, const BarrierOptions& options) {
+  const BarrierDryRunResult result =
+      BarrierDryRun(lineage, region, options.registry, options.use_cache);
+  if (!result.unresolved.empty() && !options.ignore_unknown_stores) {
+    return Status::FailedPrecondition("no shim registered for store: " +
+                                      result.unresolved.front().store);
   }
-
- private:
-  std::mutex mu_;
-  size_t outstanding_;
-  Status first_error_ = Status::Ok();
-  std::function<void(Status)> done_;
-};
-
-// Per-barrier trace bookkeeping shared by the per-dependency wait callbacks
-// (which run on apply/timer threads) and the completion wrapper. Tracks which
-// dependency stalled the longest — the barrier's critical path.
-struct BarrierTraceState {
-  uint64_t trace_id = 0;
-  uint64_t barrier_span_id = 0;
-  uint64_t parent_span_id = 0;
-  TimePoint start{};
-  Region region = Region::kLocal;
-
-  std::mutex mu;
-  double max_stall_ms = -1.0;
-  std::string critical_store;
-  std::string critical_key;
-
-  void Observe(double stall_ms, const WriteId& dep) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (stall_ms > max_stall_ms) {
-      max_stall_ms = stall_ms;
-      critical_store = dep.store;
-      critical_key = dep.key;
-    }
-  }
-};
-
-// Opens trace state for one barrier invocation when tracing is on and the
-// caller's request is part of a sampled trace; nullptr otherwise (the common,
-// free case). Barrier spans are assembled manually because their waits start
-// and finish on different threads.
-std::shared_ptr<BarrierTraceState> MaybeStartBarrierTrace(Region region) {
-  Tracer& tracer = Tracer::Default();
-  if (!tracer.enabled()) {
-    return nullptr;
-  }
-  const SpanContext parent = CurrentSpanContext();
-  if (!parent.valid()) {
-    return nullptr;
-  }
-  auto trace = std::make_shared<BarrierTraceState>();
-  trace->trace_id = parent.trace_id;
-  trace->barrier_span_id = tracer.NextSpanId();
-  trace->parent_span_id = parent.span_id;
-  trace->start = SystemClock::Instance().Now();
-  trace->region = region;
-  return trace;
-}
-
-// Emits the "antipode/barrier" parent span once the fan-out has gathered,
-// annotated with the dependency count, outcome, and critical path.
-void FinishBarrierTrace(const BarrierTraceState& trace, size_t num_deps, const char* mode,
-                        const Status& status) {
-  TraceEvent event;
-  event.name = "antipode/barrier";
-  event.category = "barrier";
-  event.trace_id = trace.trace_id;
-  event.span_id = trace.barrier_span_id;
-  event.parent_span_id = trace.parent_span_id;
-  event.region = trace.region;
-  event.start = trace.start;
-  event.end = SystemClock::Instance().Now();
-  event.annotations.emplace_back("deps", std::to_string(num_deps));
-  event.annotations.emplace_back("mode", mode);
-  event.annotations.emplace_back("status", std::string(StatusCodeName(status.code())));
-  if (trace.max_stall_ms >= 0.0) {
-    event.annotations.emplace_back("critical_path_store", trace.critical_store);
-    event.annotations.emplace_back("critical_path_key", trace.critical_key);
-    event.annotations.emplace_back("critical_stall_model_ms",
-                                   std::to_string(trace.max_stall_ms));
-  }
-  Tracer::Default().Record(std::move(event));
-}
-
-// Emits one "barrier/wait" child span for a finished dependency wait.
-void RecordWaitSpan(const BarrierTraceState& trace, const WriteId& dep, Region region,
-                    TimePoint end, double stall_ms, const Status& status) {
-  TraceEvent event;
-  event.name = "barrier/wait";
-  event.category = "barrier";
-  event.trace_id = trace.trace_id;
-  event.span_id = Tracer::Default().NextSpanId();
-  event.parent_span_id = trace.barrier_span_id;
-  event.region = region;
-  event.start = trace.start;
-  event.end = end;
-  event.annotations.emplace_back("store", dep.store);
-  event.annotations.emplace_back("key", dep.key);
-  event.annotations.emplace_back("version", std::to_string(dep.version));
-  event.annotations.emplace_back("stall_model_ms", std::to_string(stall_ms));
-  event.annotations.emplace_back("status", std::string(StatusCodeName(status.code())));
-  Tracer::Default().Record(std::move(event));
-}
-
-// Barrier throughput/latency metrics, cached per region so the per-call cost
-// after warm-up is two relaxed increments and one histogram record (racing
-// initializers store identical registry pointers, atomically for TSan).
-struct BarrierInstruments {
-  std::atomic<Counter*> calls{nullptr};
-  std::atomic<Counter*> errors{nullptr};
-  std::atomic<Counter*> deadline{nullptr};
-  std::atomic<HistogramMetric*> stall{nullptr};
-};
-
-void CountBarrier(Region region, const Status& status, double stall_model_ms) {
-  static BarrierInstruments per_region[kNumRegions];
-  BarrierInstruments& slot = per_region[RegionIndex(region)];
-  Counter* calls = slot.calls.load(std::memory_order_acquire);
-  Counter* errors = slot.errors.load(std::memory_order_acquire);
-  Counter* deadline = slot.deadline.load(std::memory_order_acquire);
-  HistogramMetric* stall = slot.stall.load(std::memory_order_acquire);
-  if (calls == nullptr) {
-    MetricsRegistry& registry = MetricsRegistry::Default();
-    const std::string region_name(RegionName(region));
-    calls = registry.GetCounter("barrier.calls", {{"region", region_name}});
-    errors = registry.GetCounter("barrier.errors", {{"region", region_name}});
-    deadline = registry.GetCounter("barrier.deadline_exceeded", {{"region", region_name}});
-    stall = registry.GetHistogram("barrier.stall_model_ms", {{"region", region_name}});
-    slot.calls.store(calls, std::memory_order_release);
-    slot.errors.store(errors, std::memory_order_release);
-    slot.deadline.store(deadline, std::memory_order_release);
-    slot.stall.store(stall, std::memory_order_release);
-  }
-  calls->Increment();
-  if (!status.ok()) {
-    errors->Increment();
-    if (status.code() == StatusCode::kDeadlineExceeded) {
-      deadline->Increment();
-    }
-  }
-  stall->Record(stall_model_ms);
-}
-
-// Visibility-cache outcome counters. Process-global (not per region): the
-// cache itself is region-aware, the hit rate is one number operators watch.
-struct CacheInstruments {
-  Counter* hit;
-  Counter* miss;
-  Counter* zero_wait;
-};
-
-const CacheInstruments& CacheCounters() {
-  static const CacheInstruments counters = [] {
-    MetricsRegistry& registry = MetricsRegistry::Default();
-    return CacheInstruments{registry.GetCounter("barrier.cache_hit"),
-                            registry.GetCounter("barrier.cache_miss"),
-                            registry.GetCounter("barrier.zero_wait")};
-  }();
-  return counters;
-}
-
-// Shared-pointer alias for the cache state a shim exposes; nullptr when the
-// shim's store does not publish applies.
-using VisibilityHandle = std::shared_ptr<StoreVisibility>;
-
-// O(1) completion for a lineage some prior barrier already enforced at every
-// requested region (Lineage::enforced_at): visibility is monotone, so the old
-// verdict can never go stale. The dependencies count as cache hits so the
-// hit-rate arithmetic stays coherent with the probe path.
-Status MemoizedOk(const Lineage& lineage, size_t num_regions, Region primary) {
-  const CacheInstruments& counters = CacheCounters();
-  if (!lineage.Empty()) {
-    counters.hit->Increment(lineage.Size() * num_regions);
-  }
-  counters.zero_wait->Increment();
-  CountBarrier(primary, Status::Ok(), 0.0);
-  return Status::Ok();
-}
-
-// Fans asynchronous waits for the dependencies the visibility cache cannot
-// prove visible, all sharing `deadline`. Cache-hit dependencies are filtered
-// out up front; when everything hits, `done` fires synchronously with zero
-// thread-pool, timer, or registry traffic (the `barrier.zero_wait` path).
-// Misses are batched per ⟨shim, region⟩ through WaitManyAsync so one store's
-// misses cost one deadline timer and one completion, not one per dependency.
-//
-// Returns non-Ok (and never calls `done`) only for the fail-fast path —
-// a dependency on an unregistered store under strict resolution. Otherwise
-// `done` fires exactly once, possibly synchronously for already-visible sets.
-// `memoizable` (optional) reports whether an Ok outcome proves every
-// dependency visible in the regions' local replicas — i.e. whether the caller
-// may set the lineage's enforcement memo. False when an unknown store was
-// skipped or a dependency needed a real wait through a shim whose wait does
-// not imply local visibility (dynamo-style authority reads).
-Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& regions,
-                          TimePoint deadline, const BarrierOptions& options,
-                          std::function<void(Status)> done, bool* memoizable = nullptr) {
-  if (memoizable != nullptr) {
-    *memoizable = true;
-  }
-  // Dependencies are sorted, so each store's run is contiguous: one registry
-  // lookup (and one cache-state fetch) per store, not per dependency.
-  struct StoreRun {
-    Shim* shim = nullptr;
-    VisibilityHandle vis;
-    const WriteId* begin = nullptr;
-    const WriteId* end = nullptr;
-  };
-  std::vector<StoreRun> runs;
-  {
-    Shim* shim = nullptr;
-    VisibilityHandle vis;
-    const std::string* current_store = nullptr;
-    for (const auto& dep : lineage.deps()) {
-      if (current_store == nullptr || dep.store != *current_store) {
-        current_store = &dep.store;
-        shim = options.registry->Lookup(dep.store);
-        if (shim == nullptr && !options.ignore_unknown_stores) {
-          return Status::FailedPrecondition("no shim registered for store: " + dep.store);
-        }
-        vis = shim != nullptr ? shim->visibility() : nullptr;
-        if (shim == nullptr && memoizable != nullptr) {
-          *memoizable = false;  // skipped dependency: outcome proves nothing about it
-        }
-        if (shim != nullptr) {
-          runs.push_back(StoreRun{shim, vis, &dep, &dep + 1});
-          continue;
-        }
-      }
-      if (shim != nullptr) {
-        runs.back().end = &dep + 1;
-      }
-    }
-  }
-
-  const Region primary = regions.empty() ? Region::kLocal : regions.front();
-  const TimePoint start = SystemClock::Instance().Now();
-  std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(primary);
-
-  // Filter every ⟨region, dependency⟩ pair against the cache; survivors are
-  // grouped per ⟨shim, region⟩ for one batched wait each. The WriteId copies
-  // are required anyway: wait callbacks may outlive the lineage
-  // (BarrierAsync) and the completion feeds the ids back into the cache.
-  struct WaitGroup {
-    Shim* shim = nullptr;
-    VisibilityHandle vis;
-    Region region = Region::kLocal;
-    std::vector<WriteId> ids;
-  };
-  std::vector<WaitGroup> groups;
-  size_t num_deps = 0;
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  for (Region region : regions) {
-    for (const StoreRun& run : runs) {
-      WaitGroup* group = nullptr;
-      for (const WriteId* dep = run.begin; dep != run.end; ++dep) {
-        ++num_deps;
-        if (options.use_cache) {
-          if (run.vis != nullptr && run.vis->IsVisible(region, dep->key, dep->version)) {
-            ++hits;
-            continue;
-          }
-          ++misses;
-        }
-        if (group == nullptr) {
-          groups.push_back(WaitGroup{run.shim, run.vis, region, {}});
-          group = &groups.back();
-          group->ids.reserve(static_cast<size_t>(run.end - dep));
-          if (memoizable != nullptr && !run.shim->wait_implies_visibility()) {
-            *memoizable = false;  // this wait succeeds via the authority, not the replica
-          }
-        }
-        group->ids.push_back(*dep);
-      }
-    }
-  }
-  if (options.use_cache && (hits != 0 || misses != 0)) {
-    const CacheInstruments& counters = CacheCounters();
-    if (hits != 0) counters.hit->Increment(hits);
-    if (misses != 0) counters.miss->Increment(misses);
-  }
-
-  auto finish = [primary, start, num_deps, trace, done = std::move(done)](Status status) {
-    if (trace != nullptr) {
-      FinishBarrierTrace(*trace, num_deps, "parallel", status);
-    }
-    CountBarrier(primary, status,
-                 TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-                     SystemClock::Instance().Now() - start)));
-    done(status);
-  };
-
-  if (groups.empty()) {
-    // Every dependency hit the cache (or the lineage resolved to nothing):
-    // the barrier completes without touching a registry, timer, or pool.
-    if (options.use_cache) {
-      CacheCounters().zero_wait->Increment();
-    }
-    finish(Status::Ok());
+  if (result.unmet.empty()) {
     return Status::Ok();
   }
-
-  const bool traced = trace != nullptr;
-  const size_t waits =
-      traced ? [&] {
-        size_t n = 0;
-        for (const WaitGroup& g : groups) n += g.ids.size();
-        return n;
-      }()
-             : groups.size();
-  auto gather = std::make_shared<WaitGather>(waits, std::move(finish));
-  for (WaitGroup& group : groups) {
-    // A wait that succeeded proves its ids visible at the region — feed that
-    // back so the next barrier over the same lineage hits. Gated on the shim:
-    // dynamo-style waits succeed via the authority, not the local replica.
-    const bool feed_cache = group.vis != nullptr && group.shim->wait_implies_visibility();
-    if (traced) {
-      // Traced barriers keep the one-wait-per-dependency fan-out: each
-      // dependency gets its own "barrier/wait" span and critical-path sample.
-      const Region region = group.region;
-      for (WriteId& id : group.ids) {
-        group.shim->WaitAsync(
-            region, id, deadline,
-            [gather, trace, region, feed_cache, vis = group.vis, dep = id](Status status) {
-              const TimePoint end = SystemClock::Instance().Now();
-              const double stall_ms = TimeScale::ToModelMillis(
-                  std::chrono::duration_cast<Duration>(end - trace->start));
-              trace->Observe(stall_ms, dep);
-              RecordWaitSpan(*trace, dep, region, end, stall_ms, status);
-              if (status.ok() && feed_cache) {
-                vis->NoteVisible(region, dep.key, dep.version);
-              }
-              gather->Complete(status);
-            });
-      }
-      continue;
-    }
-    const Region region = group.region;
-    auto ids = std::make_shared<std::vector<WriteId>>(std::move(group.ids));
-    group.shim->WaitManyAsync(region, *ids, deadline,
-                              [gather, region, feed_cache, vis = group.vis, ids](Status status) {
-                                if (status.ok() && feed_cache) {
-                                  for (const WriteId& id : *ids) {
-                                    vis->NoteVisible(region, id.key, id.version);
-                                  }
-                                }
-                                gather->Complete(status);
-                              });
+  std::string detail = "barrier dry-run: unmet dependencies:";
+  for (const auto& dep : result.unmet) {
+    detail += " " + dep.ToString();
   }
-  return Status::Ok();
+  return Status::FailedPrecondition(std::move(detail));
 }
 
-// Blocks the calling thread on the gathered fan-out.
-Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& regions,
-                       TimePoint deadline, const BarrierOptions& options) {
-  if (options.use_cache) {
-    bool all_enforced = true;
-    for (Region region : regions) {
-      if (!lineage.enforced_at(region)) {
-        all_enforced = false;
-        break;
-      }
-    }
-    if (all_enforced) {
-      return MemoizedOk(lineage, regions.size(),
-                        regions.empty() ? Region::kLocal : regions.front());
-    }
-  }
+// Blocking core shared by Barrier/BarrierGlobal (and BarrierAsync's
+// inline-blocking bounce): latches on the backend's completion, then records
+// the enforcement memo when the backend proved it sound.
+Status RunBlocking(EnforcementBackend& backend, const Lineage& lineage,
+                   const std::vector<Region>& regions, const BarrierOptions& options) {
+  const TimePoint deadline = options.EffectiveDeadline();
   struct Latch {
     std::mutex mu;
     std::condition_variable cv;
@@ -409,7 +48,7 @@ Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& region
   };
   auto latch = std::make_shared<Latch>();
   bool memoizable = false;
-  Status launched = LaunchBarrierWaits(
+  Status launched = backend.Launch(
       lineage, regions, deadline, options,
       [latch](Status status) {
         {
@@ -433,94 +72,11 @@ Status BarrierParallel(const Lineage& lineage, const std::vector<Region>& region
   return latch->status;
 }
 
-// The legacy one-dependency-at-a-time loop, kept as a baseline. Still uses
-// the single shared deadline: each wait gets the budget remaining until it.
-Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadline,
-                         const BarrierOptions& options) {
-  if (options.use_cache && lineage.enforced_at(region)) {
-    return MemoizedOk(lineage, 1, region);
-  }
-  const TimePoint start = SystemClock::Instance().Now();
-  std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(region);
-  Status result = Status::Ok();
-  bool any_wait = false;
-  bool memoizable = true;
-  for (const auto& dep : lineage.deps()) {
-    Shim* shim = options.registry->Lookup(dep.store);
-    if (shim == nullptr) {
-      if (options.ignore_unknown_stores) {
-        memoizable = false;
-        continue;
-      }
-      result = Status::FailedPrecondition("no shim registered for store: " + dep.store);
-      break;
-    }
-    VisibilityHandle vis = options.use_cache ? shim->visibility() : nullptr;
-    if (options.use_cache) {
-      if (vis != nullptr && vis->IsVisible(region, dep.key, dep.version)) {
-        CacheCounters().hit->Increment();
-        continue;
-      }
-      CacheCounters().miss->Increment();
-    }
-    any_wait = true;
-    if (!shim->wait_implies_visibility()) {
-      memoizable = false;
-    }
-    const Duration budget = RemainingBudget(deadline);
-    if (deadline != TimePoint::max() && budget == Duration::zero()) {
-      result = Status::DeadlineExceeded("barrier deadline before " + dep.ToString());
-      break;
-    }
-    const TimePoint wait_start = SystemClock::Instance().Now();
-    Status status = shim->Wait(region, dep, budget);
-    if (status.ok() && vis != nullptr && shim->wait_implies_visibility()) {
-      vis->NoteVisible(region, dep.key, dep.version);
-    }
-    if (trace != nullptr) {
-      const TimePoint end = SystemClock::Instance().Now();
-      const double stall_ms =
-          TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(end - wait_start));
-      trace->Observe(stall_ms, dep);
-      RecordWaitSpan(*trace, dep, region, end, stall_ms, status);
-    }
-    if (!status.ok()) {
-      result = status;
-      break;
-    }
-  }
-  if (trace != nullptr) {
-    FinishBarrierTrace(*trace, lineage.Size(), "sequential", result);
-  }
-  if (options.use_cache && !any_wait && result.ok()) {
-    CacheCounters().zero_wait->Increment();
-  }
-  if (options.use_cache && result.ok() && memoizable) {
-    lineage.MarkEnforced(region);
-  }
-  CountBarrier(region, result,
-               TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-                   SystemClock::Instance().Now() - start)));
-  return result;
-}
-
-// Non-blocking dry-run folded into the standard barrier entry points: maps
-// the structured BarrierDryRunResult onto the Status vocabulary.
-Status DryRunStatus(const Lineage& lineage, Region region, const BarrierOptions& options) {
-  const BarrierDryRunResult result =
-      BarrierDryRun(lineage, region, options.registry, options.use_cache);
-  if (!result.unresolved.empty() && !options.ignore_unknown_stores) {
-    return Status::FailedPrecondition("no shim registered for store: " +
-                                      result.unresolved.front().store);
-  }
-  if (result.unmet.empty()) {
-    return Status::Ok();
-  }
-  std::string detail = "barrier dry-run: unmet dependencies:";
-  for (const auto& dep : result.unmet) {
-    detail += " " + dep.ToString();
-  }
-  return Status::FailedPrecondition(std::move(detail));
+EnforcementBackend& DispatchBackend(const BarrierOptions& options) {
+  EnforcementBackend& backend = ResolveBackend(options);
+  CountBackendDispatch(&backend == &FrontierBackend() ? EnforcementBackendKind::kStableFrontier
+                                                      : EnforcementBackendKind::kLineage);
+  return backend;
 }
 
 }  // namespace
@@ -529,11 +85,7 @@ Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& opti
   if (options.dry_run) {
     return DryRunStatus(lineage, region, options);
   }
-  const TimePoint deadline = options.EffectiveDeadline();
-  if (options.wait_mode == BarrierWaitMode::kSequential) {
-    return BarrierSequential(lineage, region, deadline, options);
-  }
-  return BarrierParallel(lineage, {region}, deadline, options);
+  return RunBlocking(DispatchBackend(options), lineage, {region}, options);
 }
 
 Status BarrierCtx(Region region, const BarrierOptions& options) {
@@ -555,17 +107,7 @@ Status BarrierGlobal(const Lineage& lineage, const std::vector<Region>& regions,
     }
     return Status::Ok();
   }
-  const TimePoint deadline = options.EffectiveDeadline();
-  if (options.wait_mode == BarrierWaitMode::kSequential) {
-    for (Region region : regions) {
-      Status status = BarrierSequential(lineage, region, deadline, options);
-      if (!status.ok()) {
-        return status;
-      }
-    }
-    return Status::Ok();
-  }
-  return BarrierParallel(lineage, regions, deadline, options);
+  return RunBlocking(DispatchBackend(options), lineage, regions, options);
 }
 
 void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
@@ -577,31 +119,28 @@ void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
     }
     return;
   }
-  const TimePoint deadline = options.EffectiveDeadline();
-  if (options.wait_mode == BarrierWaitMode::kSequential) {
-    executor->Submit([lineage = std::move(lineage), region, deadline, done = std::move(done),
-                      options] { done(BarrierSequential(lineage, region, deadline, options)); });
-    return;
-  }
-  if (options.use_cache && lineage.enforced_at(region)) {
-    Status status = MemoizedOk(lineage, 1, region);
-    if (!executor->Submit([done, status] { done(status); })) {
-      done(status);
-    }
+  EnforcementBackend& backend = DispatchBackend(options);
+  if (backend.MayBlockInline(options)) {
+    // Inline-blocking strategies (sequential lineage mode) run whole on the
+    // executor so the caller never parks.
+    executor->Submit([&backend, lineage = std::move(lineage), region, done = std::move(done),
+                      options] { done(RunBlocking(backend, lineage, {region}, options)); });
     return;
   }
   // Event-driven: no thread blocks while dependencies replicate; the gather
   // bounces the result onto `executor` so `done` never runs on a timer or
   // apply thread. A finite deadline cancels outstanding waits, so `done` is
   // guaranteed to fire by then even if a dependency never arrives.
+  const TimePoint deadline = options.EffectiveDeadline();
   auto finish = std::make_shared<std::function<void(Status)>>(
       [executor, done = std::move(done)](Status status) {
         if (!executor->Submit([done, status] { done(status); })) {
           done(status);  // executor shut down: deliver inline
         }
       });
-  Status launched = LaunchBarrierWaits(lineage, {region}, deadline, options,
-                                       [finish](Status status) { (*finish)(std::move(status)); });
+  Status launched =
+      backend.Launch(lineage, {region}, deadline, options,
+                     [finish](Status status) { (*finish)(std::move(status)); }, nullptr);
   if (!launched.ok()) {
     (*finish)(launched);
   }

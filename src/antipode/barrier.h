@@ -8,13 +8,14 @@
 // replica (the geo-replication optimization of §6.3); `BarrierGlobal` waits
 // at an explicit set of regions instead.
 //
-// Execution model: dependencies are grouped by datastore (they are contiguous
-// in the lineage's sorted dependency vector), one asynchronous wait is issued
-// per ⟨region, dependency⟩ — all sharing a single deadline computed once —
-// and the results are gathered; the first error wins. The barrier therefore
-// costs the *maximum* of the outstanding waits, never their sum, and a
-// timeout bounds the whole set rather than handing later dependencies a
-// dwindling budget. See DESIGN.md "Barrier execution model".
+// How a barrier actually waits is a strategy decision: the entry points
+// resolve an `EnforcementBackend` (src/antipode/enforcement.h) from
+// `BarrierOptions::backend` / the registry default and delegate the wait plan
+// to it. The native lineage backend groups dependencies by datastore and fans
+// one batched wait per ⟨store, region⟩ at a single shared deadline — the
+// barrier costs the *maximum* of the outstanding waits, never their sum. The
+// stable-frontier backend waits on one HLC stabilization cut instead. See
+// DESIGN.md "Barrier execution model" and §12 "Enforcement strategies".
 
 #ifndef SRC_ANTIPODE_BARRIER_H_
 #define SRC_ANTIPODE_BARRIER_H_
@@ -22,52 +23,12 @@
 #include <functional>
 #include <vector>
 
+#include "src/antipode/enforcement.h"
 #include "src/antipode/lineage.h"
 #include "src/antipode/shim.h"
 #include "src/common/thread_pool.h"
 
 namespace antipode {
-
-enum class BarrierWaitMode {
-  // Group by store, fan every wait out concurrently, gather at one shared
-  // deadline. The default.
-  kParallel,
-  // Wait for one dependency at a time in lineage order. Kept as the
-  // measurable baseline (bench/micro_barrier) and for debugging; semantics
-  // are identical, latency and timeout sharpness are worse.
-  kSequential,
-};
-
-struct BarrierOptions {
-  // Relative budget for the whole barrier (every dependency shares it).
-  Duration timeout = Duration::max();
-  // Absolute budget; preferred when several waits must share one deadline
-  // computed once by the caller. When both are set the earlier bound wins.
-  TimePoint deadline = TimePoint::max();
-  ShimRegistry* registry = &ShimRegistry::Default();
-  // Dependencies on datastores without a registered shim: skip them (true,
-  // the incremental-deployment default) or fail the barrier (false).
-  bool ignore_unknown_stores = true;
-  BarrierWaitMode wait_mode = BarrierWaitMode::kParallel;
-  // Inspect instead of enforce: return immediately with Ok when every
-  // dependency is already visible, FailedPrecondition (listing the unmet
-  // dependencies) otherwise. Never blocks. `BarrierDryRun` is the richer
-  // structured form of the same probe.
-  bool dry_run = false;
-  // Probe the visibility cache before issuing any wait: dependencies the
-  // cache proves visible are skipped, and a barrier whose dependencies all
-  // hit returns Ok with zero thread-pool, timer, or registry traffic
-  // (`barrier.zero_wait`). Sound because visibility is monotone — a hit can
-  // never be invalidated (DESIGN.md §8). Off is the measurable baseline.
-  bool use_cache = true;
-
-  // The single absolute bound every wait in the barrier shares: the earlier
-  // of `deadline` and now + `timeout`.
-  TimePoint EffectiveDeadline() const {
-    const TimePoint from_timeout = DeadlineAfter(timeout);
-    return deadline < from_timeout ? deadline : from_timeout;
-  }
-};
 
 // Blocks until all of `lineage`'s dependencies are visible at `region`.
 Status Barrier(const Lineage& lineage, Region region, const BarrierOptions& options = {});
@@ -89,7 +50,9 @@ void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
 // Dry-run (§6.3): inspects visibility without blocking. `unmet` lists
 // dependencies that are not yet visible at `region` — each one is a
 // potential XCY violation a real barrier would have prevented; `unresolved`
-// lists dependencies whose datastore has no registered shim.
+// lists dependencies whose datastore has no registered shim. Deliberately
+// backend-independent: the probe asks the shims' IsVisible directly, so the
+// checker's verdicts mean the same thing whichever strategy enforces.
 struct BarrierDryRunResult {
   bool consistent = true;
   std::vector<WriteId> unmet;

@@ -1,0 +1,84 @@
+// Bookkeeping shared by the enforcement backends and the barrier entry
+// points: the wait-gather join, the barrier.* / cache-outcome instruments,
+// and the memoized-Ok fast path. Internal to src/antipode — strategies
+// include this so both are measured with identical counters.
+
+#ifndef SRC_ANTIPODE_ENFORCEMENT_INTERNAL_H_
+#define SRC_ANTIPODE_ENFORCEMENT_INTERNAL_H_
+
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "src/antipode/enforcement.h"
+#include "src/antipode/lineage.h"
+#include "src/common/status.h"
+#include "src/net/region.h"
+
+namespace antipode {
+
+class Counter;
+
+namespace enforcement_internal {
+
+// Join point for a fan-out of asynchronous waits: counts completions, keeps
+// the first error, fires `done` exactly once when the last wait lands.
+class WaitGather {
+ public:
+  WaitGather(size_t outstanding, std::function<void(Status)> done)
+      : outstanding_(outstanding), done_(std::move(done)) {}
+
+  void Complete(const Status& status) {
+    std::function<void(Status)> fire;
+    Status result;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && first_error_.ok()) {
+        first_error_ = status;
+      }
+      if (--outstanding_ > 0) {
+        return;
+      }
+      fire = std::move(done_);
+      result = first_error_;
+    }
+    fire(result);
+  }
+
+ private:
+  std::mutex mu_;
+  size_t outstanding_;
+  Status first_error_ = Status::Ok();
+  std::function<void(Status)> done_;
+};
+
+// Barrier throughput/latency metrics (barrier.calls / errors /
+// deadline_exceeded / stall_model_ms), cached per region.
+void CountBarrier(Region region, const Status& status, double stall_model_ms);
+
+// barrier.backend{backend=...} dispatch counter, cached per strategy.
+void CountBackendDispatch(EnforcementBackendKind kind);
+
+// Visibility-cache outcome counters. Process-global (not per region): the
+// cache itself is region-aware, the hit rate is one number operators watch.
+struct CacheInstruments {
+  Counter* hit;
+  Counter* miss;
+  Counter* zero_wait;
+};
+const CacheInstruments& CacheCounters();
+
+// O(1) completion for a lineage some prior barrier already enforced at every
+// requested region (Lineage::enforced_at): visibility is monotone, so the old
+// verdict can never go stale. The dependencies count as cache hits so the
+// hit-rate arithmetic stays coherent with the probe path.
+Status MemoizedOk(const Lineage& lineage, size_t num_regions, Region primary);
+
+// True when `lineage` carries the enforcement memo for every region in
+// `regions` — the guard in front of MemoizedOk.
+bool AllEnforced(const Lineage& lineage, const std::vector<Region>& regions);
+
+}  // namespace enforcement_internal
+}  // namespace antipode
+
+#endif  // SRC_ANTIPODE_ENFORCEMENT_INTERNAL_H_

@@ -1,0 +1,221 @@
+#include "src/antipode/frontier_backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/antipode/enforcement_internal.h"
+#include "src/common/hlc.h"
+#include "src/obs/metrics.h"
+
+namespace antipode {
+namespace {
+
+using enforcement_internal::AllEnforced;
+using enforcement_internal::CacheCounters;
+using enforcement_internal::CacheInstruments;
+using enforcement_internal::CountBarrier;
+using enforcement_internal::MemoizedOk;
+using enforcement_internal::WaitGather;
+
+using VisibilityHandle = std::shared_ptr<StoreVisibility>;
+
+// frontier.lag_ms{region=...}: how far (in model ms of physical HLC time) the
+// barrier's cut sits ahead of the region's stabilization frontier at launch —
+// the extra wait the strategy signs up for relative to already-stable state.
+// Sampled once per launched frontier wait; cold frontiers (no stamped apply
+// yet, F = 0) are skipped rather than charged the whole process uptime.
+void RecordFrontierLag(Region region, uint64_t cut, uint64_t frontier) {
+  if (frontier == 0) {
+    return;
+  }
+  static std::atomic<HistogramMetric*> per_region[kNumRegions] = {};
+  HistogramMetric* lag = per_region[RegionIndex(region)].load(std::memory_order_acquire);
+  if (lag == nullptr) {
+    lag = MetricsRegistry::Default().GetHistogram(
+        "frontier.lag_ms", {{"region", std::string(RegionName(region))}});
+    per_region[RegionIndex(region)].store(lag, std::memory_order_release);
+  }
+  const uint64_t cut_us = HlcClock::PhysicalMicros(cut);
+  const uint64_t frontier_us = HlcClock::PhysicalMicros(frontier);
+  const uint64_t lag_us = cut_us > frontier_us ? cut_us - frontier_us : 0;
+  lag->Record(TimeScale::ToModelMillis(Duration(lag_us)));
+}
+
+}  // namespace
+
+Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<Region>& regions,
+                                     TimePoint deadline, const BarrierOptions& options,
+                                     std::function<void(Status)> done, bool* memoizable) {
+  if (memoizable != nullptr) {
+    *memoizable = true;
+  }
+  if (options.use_cache && AllEnforced(lineage, regions)) {
+    if (memoizable != nullptr) {
+      *memoizable = false;  // already memoized; nothing new proved
+    }
+    done(MemoizedOk(lineage, regions.size(), regions.empty() ? Region::kLocal : regions.front()));
+    return Status::Ok();
+  }
+
+  // Resolve each store's contiguous dependency run once, classifying every
+  // dependency as cut-covered (the store has a frontier and the cache knows
+  // the stamp of a superseding write) or fallback (per-dependency wait). The
+  // cut is the max stamp across every cut-covered dependency of every store —
+  // one number, however many dependencies the lineage carries.
+  struct StoreRun {
+    Shim* shim = nullptr;
+    VisibilityHandle vis;
+    std::vector<const WriteId*> frontier_deps;
+    std::vector<const WriteId*> fallback_deps;
+  };
+  std::vector<StoreRun> runs;
+  uint64_t cut = 0;
+  {
+    Shim* shim = nullptr;
+    const std::string* current_store = nullptr;
+    for (const auto& dep : lineage.deps()) {
+      if (current_store == nullptr || dep.store != *current_store) {
+        current_store = &dep.store;
+        shim = options.registry->Lookup(dep.store);
+        if (shim == nullptr && !options.ignore_unknown_stores) {
+          return Status::FailedPrecondition("no shim registered for store: " + dep.store);
+        }
+        if (shim == nullptr) {
+          if (memoizable != nullptr) {
+            *memoizable = false;  // skipped dependency: outcome proves nothing about it
+          }
+          continue;
+        }
+        runs.push_back(StoreRun{shim, shim->visibility(), {}, {}});
+      }
+      if (shim == nullptr) {
+        continue;
+      }
+      StoreRun& run = runs.back();
+      const bool frontier_capable = run.vis != nullptr && run.shim->SupportsFrontier();
+      const uint64_t hlc = frontier_capable ? run.vis->KnownHlc(dep.key, dep.version) : 0;
+      if (hlc != 0) {
+        cut = std::max(cut, hlc);
+        run.frontier_deps.push_back(&dep);
+      } else {
+        run.fallback_deps.push_back(&dep);
+      }
+    }
+  }
+
+  const Region primary = regions.empty() ? Region::kLocal : regions.front();
+  const TimePoint start = SystemClock::Instance().Now();
+
+  // Per region: cache-filter both classes. Fallback misses batch into one
+  // WaitManyAsync per ⟨shim, region⟩ exactly like the lineage backend; any
+  // cut-covered miss arms one frontier wait for that ⟨store, region⟩ on the
+  // global cut. A region whose dependencies all hit the cache arms nothing.
+  struct FallbackGroup {
+    Shim* shim = nullptr;
+    VisibilityHandle vis;
+    Region region = Region::kLocal;
+    std::vector<WriteId> ids;
+  };
+  struct FrontierWait {
+    Shim* shim = nullptr;
+    VisibilityHandle vis;
+    Region region = Region::kLocal;
+  };
+  std::vector<FallbackGroup> fallback_groups;
+  std::vector<FrontierWait> frontier_waits;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (Region region : regions) {
+    for (StoreRun& run : runs) {
+      FallbackGroup* group = nullptr;
+      for (const WriteId* dep : run.fallback_deps) {
+        if (options.use_cache && run.vis != nullptr &&
+            run.vis->IsVisible(region, dep->key, dep->version)) {
+          ++hits;
+          continue;
+        }
+        if (options.use_cache) {
+          ++misses;
+        }
+        if (group == nullptr) {
+          fallback_groups.push_back(FallbackGroup{run.shim, run.vis, region, {}});
+          group = &fallback_groups.back();
+          group->ids.reserve(run.fallback_deps.size());
+          if (memoizable != nullptr && !run.shim->wait_implies_visibility()) {
+            *memoizable = false;  // this wait succeeds via the authority, not the replica
+          }
+        }
+        group->ids.push_back(*dep);
+      }
+      bool need_frontier = false;
+      for (const WriteId* dep : run.frontier_deps) {
+        if (options.use_cache && run.vis->IsVisible(region, dep->key, dep->version)) {
+          ++hits;
+          continue;
+        }
+        if (options.use_cache) {
+          ++misses;
+        }
+        need_frontier = true;
+      }
+      if (need_frontier) {
+        frontier_waits.push_back(FrontierWait{run.shim, run.vis, region});
+      }
+    }
+  }
+  if (options.use_cache && (hits != 0 || misses != 0)) {
+    const CacheInstruments& counters = CacheCounters();
+    if (hits != 0) counters.hit->Increment(hits);
+    if (misses != 0) counters.miss->Increment(misses);
+  }
+
+  auto finish = [primary, start, done = std::move(done)](Status status) {
+    CountBarrier(primary, status,
+                 TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
+                     SystemClock::Instance().Now() - start)));
+    done(status);
+  };
+
+  const size_t total_waits = fallback_groups.size() + frontier_waits.size();
+  if (total_waits == 0) {
+    if (options.use_cache) {
+      CacheCounters().zero_wait->Increment();
+    }
+    finish(Status::Ok());
+    return Status::Ok();
+  }
+
+  auto gather = std::make_shared<WaitGather>(total_waits, std::move(finish));
+  for (const FrontierWait& wait : frontier_waits) {
+    RecordFrontierLag(wait.region, cut, wait.vis->FrontierHlc(wait.region));
+    // Frontier success needs no per-key cache feedback: the apply watermark
+    // it rode already makes IsVisible's old-write rule cover the deps.
+    wait.shim->WaitFrontierAsync(wait.region, cut, deadline,
+                                 [gather](Status status) { gather->Complete(status); });
+  }
+  for (FallbackGroup& group : fallback_groups) {
+    const bool feed_cache = group.vis != nullptr && group.shim->wait_implies_visibility();
+    const Region region = group.region;
+    auto ids = std::make_shared<std::vector<WriteId>>(std::move(group.ids));
+    group.shim->WaitManyAsync(region, *ids, deadline,
+                              [gather, region, feed_cache, vis = group.vis, ids](Status status) {
+                                if (status.ok() && feed_cache) {
+                                  for (const WriteId& id : *ids) {
+                                    vis->NoteVisible(region, id.key, id.version);
+                                  }
+                                }
+                                gather->Complete(status);
+                              });
+  }
+  return Status::Ok();
+}
+
+EnforcementBackend& FrontierBackend() {
+  static auto* backend = new StableFrontierBackend();
+  return *backend;
+}
+
+}  // namespace antipode

@@ -17,10 +17,6 @@ Status Shim::WaitLineage(Region region, const Lineage& lineage,
   return Status::Ok();
 }
 
-Status Shim::WaitLineage(Region region, const Lineage& lineage, Duration timeout) {
-  return WaitLineage(region, lineage, LineageWaitOptions{.timeout = timeout});
-}
-
 ThreadPool& Shim::BlockingWaitPool() {
   static auto* pool = new ThreadPool(16, "shim-wait");
   return *pool;
@@ -36,6 +32,14 @@ void Shim::WaitAsync(Region region, const WriteId& id, TimePoint deadline, WaitC
   if (!submitted) {
     (*done_ptr)(Status::Unavailable("shim wait pool shut down"));
   }
+}
+
+void Shim::WaitFrontierAsync(Region region, uint64_t cut_hlc, TimePoint deadline,
+                             WaitCallback done) {
+  (void)region;
+  (void)cut_hlc;
+  (void)deadline;
+  done(Status::Unimplemented("shim does not publish a stabilization frontier: " + store_name()));
 }
 
 void Shim::WaitManyAsync(Region region, std::span<const WriteId> ids, TimePoint deadline,
@@ -75,6 +79,18 @@ void Shim::WaitManyAsync(Region region, std::span<const WriteId> ids, TimePoint 
               [gather](Status status) { gather->Complete(std::move(status)); });
   }
   gather->Complete(Status::Ok());  // release the launch token
+}
+
+std::string_view EnforcementBackendKindName(EnforcementBackendKind kind) {
+  switch (kind) {
+    case EnforcementBackendKind::kInherit:
+      return "inherit";
+    case EnforcementBackendKind::kLineage:
+      return "lineage";
+    case EnforcementBackendKind::kStableFrontier:
+      return "stable_frontier";
+  }
+  return "unknown";
 }
 
 ShimRegistry& ShimRegistry::Default() {
@@ -118,6 +134,23 @@ std::vector<std::string> ShimRegistry::RegisteredStores() const {
     out.push_back(name);
   }
   return out;
+}
+
+void ShimRegistry::ForEach(const std::function<void(Shim*)>& fn) const {
+  // Snapshot under the lock, call outside it: `fn` may complete waits inline
+  // (e.g. an already-covered frontier wait) and those completions must not run
+  // under the registry mutex.
+  std::vector<Shim*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(shims_.size());
+    for (const auto& [name, shim] : shims_) {
+      snapshot.push_back(shim);
+    }
+  }
+  for (Shim* shim : snapshot) {
+    fn(shim);
+  }
 }
 
 }  // namespace antipode

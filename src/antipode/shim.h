@@ -13,6 +13,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/antipode/lineage.h"
@@ -24,17 +25,13 @@
 
 namespace antipode {
 
-// How long a lineage-wide wait may take. `deadline` is preferred when the
-// caller already computed one shared bound; when both are set the earlier
-// bound wins (same folding rule as BarrierOptions).
+// How long a lineage-wide wait may take: one embedded WaitPolicy — the same
+// policy type BarrierOptions embeds, so the enforcement layer threads a
+// single deadline vocabulary through every backend.
 struct LineageWaitOptions {
-  Duration timeout = Duration::max();
-  TimePoint deadline = TimePoint::max();
+  WaitPolicy wait;
 
-  TimePoint EffectiveDeadline() const {
-    const TimePoint from_timeout = DeadlineAfter(timeout);
-    return deadline < from_timeout ? deadline : from_timeout;
-  }
+  TimePoint EffectiveDeadline() const { return wait.EffectiveDeadline(); }
 };
 
 class Shim {
@@ -94,21 +91,48 @@ class Shim {
   // blocking/async wait reports through Status instead.
   virtual bool IsVisible(Region region, const WriteId& id) = 0;
 
+  // Whether this shim can serve stabilization-frontier waits — true for
+  // watermark-style shims whose store publishes an HLC-stamped apply frontier
+  // (StoreVisibility::FrontierHlc). The stable-frontier backend only issues
+  // WaitFrontierAsync against shims that return true; dependencies on other
+  // shims fall back to per-dependency waits.
+  virtual bool SupportsFrontier() const { return false; }
+
+  // Waits until `region`'s stabilization frontier covers `cut_hlc` — every
+  // write this store stamped at or before the cut has applied there — or the
+  // deadline passes. `done` fires exactly once. The default rejects with
+  // Unimplemented; shims that return true from SupportsFrontier override it.
+  virtual void WaitFrontierAsync(Region region, uint64_t cut_hlc, TimePoint deadline,
+                                 WaitCallback done);
+
   // wait(ℒ): waits for every dependency of `lineage` that belongs to this
   // datastore. Deadline-based so the bound covers the whole set instead of
   // handing later dependencies a dwindling budget.
   Status WaitLineage(Region region, const Lineage& lineage,
                      const LineageWaitOptions& options = {});
 
-  // Pre-options form, kept for one release.
-  [[deprecated("pass LineageWaitOptions{.timeout = ...} instead")]]
-  Status WaitLineage(Region region, const Lineage& lineage, Duration timeout);
-
  protected:
   // Shared executor for blocking-wait adapters (default WaitAsync, polling
   // shims). Lazily constructed, intentionally leaked at process exit.
   static ThreadPool& BlockingWaitPool();
 };
+
+// Which enforcement strategy a barrier dispatches through (DESIGN.md §12).
+enum class EnforcementBackendKind : uint8_t {
+  // Resolve from the registry's `default_backend` (the per-call default, so
+  // deployments flip strategy in one place).
+  kInherit = 0,
+  // Antipode's native strategy: per-dependency waits on replication
+  // watermarks, grouped by store, gathered at one shared deadline.
+  kLineage,
+  // Okapi-style hybrid stabilization: compute one HLC cut covering the
+  // lineage and wait for each target region's stable frontier to pass it —
+  // O(1) wait metadata per barrier instead of O(|deps|) waits, at the cost
+  // of waiting for unrelated writes below the cut.
+  kStableFrontier,
+};
+
+std::string_view EnforcementBackendKindName(EnforcementBackendKind kind);
 
 // ShimRegistry construction knobs (namespace-scope for the same
 // complete-class-context reason as LineageWaitOptions).
@@ -120,6 +144,9 @@ struct ShimRegistryOptions {
   // historical behaviour — deployments swap shims at startup) or reject with
   // AlreadyExists (false, catches accidental double registration in tests).
   bool allow_replace = true;
+  // Strategy used by barriers whose BarrierOptions leave `backend` at
+  // kInherit. kInherit here means kLineage (the native strategy).
+  EnforcementBackendKind default_backend = EnforcementBackendKind::kLineage;
 };
 
 // Maps datastore names to shims so barrier can resolve the write identifiers
@@ -142,6 +169,11 @@ class ShimRegistry {
   Shim* Lookup(const std::string& store_name) const;
   void Clear();
   std::vector<std::string> RegisteredStores() const;
+
+  // Visits every registered shim (snapshot semantics: registrations that race
+  // with the walk may or may not be visited). The stable-frontier backend
+  // enumerates frontier-capable shims this way without copying names.
+  void ForEach(const std::function<void(Shim*)>& fn) const;
 
   const Options& options() const { return options_; }
 

@@ -9,8 +9,16 @@ StoreVisibility::StoreVisibility(std::string name, const std::vector<Region>& re
   for (Region r : regions) tracked_[RegionIndex(r)] = true;
 }
 
+void StoreVisibility::NoteIssued(uint64_t seq, uint64_t hlc) {
+  // Called under the store's stamp lock, so both values advance monotonically
+  // and in lockstep with the seq/stamp assignment — the caught-up rule
+  // (FrontierCovers) reads them racily and relies on exactly that.
+  issued_seq_.store(seq, std::memory_order_release);
+  issued_hlc_.store(hlc, std::memory_order_release);
+}
+
 void StoreVisibility::NoteApply(Region region, std::string_view key, uint64_t version,
-                                uint64_t seq) {
+                                uint64_t seq, uint64_t hlc) {
   const size_t ri = RegionIndex(region);
   // Per-key entry first, watermark second: once watermark(r) ≥ seq, a reader
   // combining ⟨latest_version, latest_seq⟩ with the watermark must find the
@@ -24,26 +32,62 @@ void StoreVisibility::NoteApply(Region region, std::string_view key, uint64_t ve
     if (version > entry.latest_version) {
       entry.latest_version = version;
       entry.latest_seq = seq;
+      entry.latest_hlc = hlc;
     }
     entry.visible[ri] = std::max(entry.visible[ri], version);
   }
-  // Advance the contiguous-prefix watermark. Applies race across keys, so
-  // out-of-order seqs park in `pending` until the gap fills.
+  // Advance the contiguous-prefix watermark (and the stabilization frontier
+  // alongside it). Applies race across keys, so out-of-order seqs park in
+  // `pending` until the gap fills. Frontier waiters satisfied by the advance
+  // fire after the tracker lock drops — their callbacks may take unrelated
+  // locks (barrier gathers) but must not re-enter this cache.
   SeqTracker& tracker = trackers_[ri];
-  std::lock_guard<std::mutex> lock(tracker.mu);
-  if (seq < tracker.next_expected) return;  // duplicate notification
-  if (seq != tracker.next_expected) {
-    tracker.pending.insert(seq);
-    return;
+  std::vector<std::shared_ptr<FrontierWaiter>> due;
+  {
+    std::lock_guard<std::mutex> lock(tracker.mu);
+    if (seq < tracker.next_expected) return;  // duplicate notification
+    if (seq != tracker.next_expected) {
+      tracker.pending.emplace(seq, hlc);
+      return;
+    }
+    uint64_t next = seq + 1;
+    uint64_t frontier = hlc;
+    auto it = tracker.pending.begin();
+    while (it != tracker.pending.end() && it->first == next) {
+      ++next;
+      frontier = std::max(frontier, it->second);
+      it = tracker.pending.erase(it);
+    }
+    tracker.next_expected = next;
+    const uint64_t watermark = next - 1;
+    watermarks_[ri].store(watermark, std::memory_order_release);
+    // Stamps are monotone in seq, so the max over the consumed run is the
+    // stamp of its newest write; the max against the previous frontier only
+    // guards against unstamped (hlc = 0) stores.
+    if (frontier > frontiers_[ri].load(std::memory_order_relaxed)) {
+      frontiers_[ri].store(frontier, std::memory_order_release);
+    }
+    if (!tracker.frontier_waiters.empty()) {
+      const uint64_t f = frontiers_[ri].load(std::memory_order_relaxed);
+      const uint64_t issued = issued_seq_.load(std::memory_order_acquire);
+      auto keep = tracker.frontier_waiters.begin();
+      for (auto& waiter : tracker.frontier_waiters) {
+        if (waiter->fired.load(std::memory_order_acquire)) {
+          continue;  // abandoned by its deadline timer; drop it
+        }
+        if ((f >= waiter->cut || watermark >= issued) &&
+            !waiter->fired.exchange(true, std::memory_order_acq_rel)) {
+          due.push_back(std::move(waiter));
+          continue;
+        }
+        *keep++ = std::move(waiter);
+      }
+      tracker.frontier_waiters.erase(keep, tracker.frontier_waiters.end());
+    }
   }
-  uint64_t next = seq + 1;
-  auto it = tracker.pending.begin();
-  while (it != tracker.pending.end() && *it == next) {
-    ++next;
-    it = tracker.pending.erase(it);
+  for (auto& waiter : due) {
+    waiter->cb(Status::Ok());
   }
-  tracker.next_expected = next;
-  watermarks_[ri].store(next - 1, std::memory_order_release);
 }
 
 void StoreVisibility::NoteVisible(Region region, std::string_view key, uint64_t version) {
@@ -111,6 +155,57 @@ bool StoreVisibility::IsVisibleEverywhere(std::string_view key, uint64_t version
     return false;
   }
   return any_tracked;
+}
+
+uint64_t StoreVisibility::KnownHlc(std::string_view key, uint64_t version) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  if (it == shard.keys.end()) return 0;
+  const KeyEntry& entry = it->second;
+  // The newest stamped write supersedes `version` (per-key versions are
+  // monotone): once that write is under the frontier, so is the dependency.
+  return entry.latest_version >= version ? entry.latest_hlc : 0;
+}
+
+std::shared_ptr<StoreVisibility::FrontierWaiter> StoreVisibility::AwaitFrontier(
+    Region region, uint64_t cut, std::function<void(Status)>&& cb) {
+  const size_t ri = RegionIndex(region);
+  SeqTracker& tracker = trackers_[ri];
+  std::lock_guard<std::mutex> lock(tracker.mu);
+  // Checked under the tracker lock NoteApply advances under, so a concurrent
+  // advance either satisfies the condition here or finds the waiter
+  // registered — no lost wakeup. A racing NoteIssued can only raise
+  // `issued_seq`, and the write it announces is stamped after every cut
+  // computed before it, so reading the older value stays sound.
+  if (frontiers_[ri].load(std::memory_order_acquire) >= cut ||
+      watermarks_[ri].load(std::memory_order_acquire) >=
+          issued_seq_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  auto waiter = std::make_shared<FrontierWaiter>();
+  waiter->cut = cut;
+  waiter->cb = std::move(cb);
+  auto& list = tracker.frontier_waiters;
+  // Lazily drop abandoned waiters (expired deadlines) so a frontier that
+  // never advances cannot accumulate zombies unboundedly.
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [](const std::shared_ptr<FrontierWaiter>& w) {
+                              return w->fired.load(std::memory_order_acquire);
+                            }),
+             list.end());
+  list.push_back(waiter);
+  return waiter;
+}
+
+size_t StoreVisibility::FrontierWaiterCount(Region region) const {
+  SeqTracker& tracker = trackers_[RegionIndex(region)];
+  std::lock_guard<std::mutex> lock(tracker.mu);
+  size_t live = 0;
+  for (const auto& waiter : tracker.frontier_waiters) {
+    if (!waiter->fired.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
 }
 
 uint64_t StoreVisibility::MinWatermark() const {

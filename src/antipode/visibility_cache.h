@@ -13,6 +13,15 @@
 //     has applied at r. One atomic load covers every old write of a key whose
 //     latest write sits at or below the watermark.
 //
+// The watermark tracker doubles as the *stabilization frontier* feed for the
+// stable-frontier enforcement backend (DESIGN.md §12): each apply carries the
+// write's HLC stamp, so alongside W(r) the tracker publishes F(r) — the stamp
+// of the newest write in the applied contiguous prefix. Stamps are monotone
+// in sequence numbers (ReplicatedStore stamps both under one lock), so
+// F(r) ≥ c proves every write stamped ≤ c has applied at r. `AwaitFrontier`
+// registers event-driven waiters on that condition; they are woken from the
+// same NoteApply calls that advance the watermark.
+//
 // A lookup is a striped-shard probe plus one atomic watermark load, with no
 // allocation. A miss is always safe: the caller falls back to the real wait,
 // which repopulates the cache on completion.
@@ -32,15 +41,16 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/net/region.h"
 
 namespace antipode {
@@ -57,10 +67,19 @@ class StoreVisibility {
   const std::string& name() const { return name_; }
   bool TracksRegion(Region region) const { return tracked_[RegionIndex(region)]; }
 
+  // A write was stamped at its origin: `seq` is the store's dense write
+  // sequence number, `hlc` its hybrid-logical-clock stamp. Called by
+  // ReplicatedStore::Put under the same lock that assigns both (so issued
+  // order equals stamp order — the caught-up rule below depends on it).
+  void NoteIssued(uint64_t seq, uint64_t hlc);
+
   // An apply notification: the write ⟨key, version⟩ with per-store sequence
-  // number `seq` became visible at `region`. Called by ReplicatedStore for
-  // every apply (local and replicated), exactly once per ⟨seq, region⟩.
-  void NoteApply(Region region, std::string_view key, uint64_t version, uint64_t seq);
+  // number `seq` and HLC stamp `hlc` became visible at `region`. Called by
+  // ReplicatedStore for every apply (local and replicated), exactly once per
+  // ⟨seq, region⟩. `hlc` may be 0 for stores that do not stamp writes; the
+  // watermark still advances, only the frontier stays at 0.
+  void NoteApply(Region region, std::string_view key, uint64_t version, uint64_t seq,
+                 uint64_t hlc = 0);
 
   // A completed wait observed ⟨key, version⟩ visible at `region` (sequence
   // number unknown — e.g. a foreign shim's wait). Feeds only the per-key
@@ -84,16 +103,61 @@ class StoreVisibility {
   // min over tracked regions — the pruning bound.
   uint64_t MinWatermark() const;
 
+  // --- stabilization frontier (stable-frontier backend feed) ---------------
+
+  // F(region): HLC stamp of the newest write in the region's applied
+  // contiguous prefix. Every write stamped ≤ F(region) has applied there
+  // (stamps are monotone in seq). 0 until the first stamped in-order apply.
+  uint64_t FrontierHlc(Region region) const {
+    return frontiers_[RegionIndex(region)].load(std::memory_order_acquire);
+  }
+
+  // Highest ⟨seq, hlc⟩ this store has stamped (NoteIssued). 0 before the
+  // first stamped write.
+  uint64_t LatestIssuedSeq() const { return issued_seq_.load(std::memory_order_acquire); }
+  uint64_t LatestIssuedHlc() const { return issued_hlc_.load(std::memory_order_acquire); }
+
+  // True iff this store cannot be hiding a write stamped ≤ `cut` from
+  // `region`: either the frontier has passed the cut, or the region has
+  // applied everything the store ever issued (the caught-up rule — an idle
+  // store must not stall global stabilization; any write it issues later is
+  // stamped after the cut because stamps are process-wide monotone).
+  bool FrontierCovers(Region region, uint64_t cut) const {
+    return FrontierHlc(region) >= cut || watermark(region) >= LatestIssuedSeq();
+  }
+
+  // HLC stamp of the key's newest *stamp-known* write, provided that write
+  // supersedes `version` (per-key versions are monotone, so its apply implies
+  // the dependency's visibility). 0 when unknown — the caller falls back to a
+  // per-dependency wait.
+  uint64_t KnownHlc(std::string_view key, uint64_t version) const;
+
+  // Event-driven wait on FrontierCovers(region, cut). Registers a waiter woken
+  // by the NoteApply that first satisfies the condition; returns nullptr (and
+  // leaves `cb` unconsumed) when already covered. The caller arms any deadline
+  // timer itself: the first of apply-wake and timer to flip `fired` owns `cb`.
+  struct FrontierWaiter {
+    uint64_t cut = 0;
+    std::atomic<bool> fired{false};
+    std::function<void(Status)> cb;
+  };
+  std::shared_ptr<FrontierWaiter> AwaitFrontier(Region region, uint64_t cut,
+                                                std::function<void(Status)>&& cb);
+
+  // Frontier waiters currently registered at `region` (tests).
+  size_t FrontierWaiterCount(Region region) const;
+
   // Number of keys resident in the per-key table (tests/benches).
   size_t KeyCount() const;
 
  private:
   struct KeyEntry {
-    // Highest version of the key ever notified, and the sequence number of
-    // the write that produced it (0 when only NoteVisible saw it). Paired
-    // updates happen under the shard lock.
+    // Highest version of the key ever notified, and the sequence number and
+    // HLC stamp of the write that produced it (0 when only NoteVisible saw
+    // it). Paired updates happen under the shard lock.
     uint64_t latest_version = 0;
     uint64_t latest_seq = 0;
+    uint64_t latest_hlc = 0;
     // Highest version directly observed visible per region.
     std::array<uint64_t, kNumRegions> visible{};
   };
@@ -114,11 +178,13 @@ class StoreVisibility {
 
   // Tracks watermark advance for one region: seqs arrive out of order (per
   // key applies are ordered, cross-key they race), so the contiguous prefix
-  // is recovered through a pending set.
+  // is recovered through a pending seq → hlc map. Frontier waiters live here
+  // too — they are woken by the same advance that could satisfy them.
   struct SeqTracker {
     std::mutex mu;
     uint64_t next_expected = 1;
-    std::set<uint64_t> pending;
+    std::map<uint64_t, uint64_t> pending;
+    std::vector<std::shared_ptr<FrontierWaiter>> frontier_waiters;
   };
 
   // 64-way striping (up from 16): NoteApply runs on every apply of every
@@ -134,6 +200,9 @@ class StoreVisibility {
   mutable std::array<Shard, kNumShards> shards_;
   mutable std::array<SeqTracker, kNumRegions> trackers_;
   std::array<std::atomic<uint64_t>, kNumRegions> watermarks_{};
+  std::array<std::atomic<uint64_t>, kNumRegions> frontiers_{};
+  std::atomic<uint64_t> issued_seq_{0};
+  std::atomic<uint64_t> issued_hlc_{0};
 };
 
 // Registry of per-store visibility state, keyed by store name. Store names

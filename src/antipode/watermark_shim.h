@@ -45,6 +45,15 @@ class WatermarkShim : public Shim {
 
   std::shared_ptr<StoreVisibility> visibility() const override { return store_->visibility(); }
 
+  // Frontier waits ride the store's HLC-stamped apply watermark; only
+  // available when the store publishes visibility state (caching enabled).
+  bool SupportsFrontier() const override { return store_->visibility() != nullptr; }
+
+  void WaitFrontierAsync(Region region, uint64_t cut_hlc, TimePoint deadline,
+                         WaitCallback done) override {
+    store_->WaitFrontierAsync(region, cut_hlc, deadline, std::move(done));
+  }
+
  protected:
   ReplicatedStore* store_;
 };

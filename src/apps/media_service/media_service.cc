@@ -55,7 +55,8 @@ MediaServiceResult RunMediaService(const MediaServiceConfig& config) {
     if (antipode) {
       // One barrier enforces both the review doc and the media blob: they
       // are different datastores but members of the same lineage.
-      Barrier(message.lineage, render_region, BarrierOptions{.registry = &registry});
+      Barrier(message.lineage, render_region,
+              BarrierOptions{.registry = &registry, .backend = config.backend});
     }
     window.Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
         SystemClock::Instance().Now() -

@@ -14,6 +14,7 @@
 #ifndef SRC_APPS_MEDIA_SERVICE_MEDIA_SERVICE_H_
 #define SRC_APPS_MEDIA_SERVICE_MEDIA_SERVICE_H_
 
+#include "src/antipode/shim.h"
 #include "src/common/histogram.h"
 #include "src/net/region.h"
 
@@ -23,6 +24,9 @@ struct MediaServiceConfig {
   Region upload_region = Region::kUs;
   Region render_region = Region::kEu;
   bool antipode = false;
+  // Enforcement strategy for the render-side barrier (kInherit = the
+  // registry default, i.e. the native lineage backend).
+  EnforcementBackendKind backend = EnforcementBackendKind::kInherit;
   int num_reviews = 100;
   int concurrency = 16;
   size_t media_size_bytes = 32 * 1024;  // scaled-down poster/thumbnail

@@ -461,7 +461,8 @@ PostNotificationResult RunPostNotification(const PostNotificationConfig& config)
         }
         if (antipode) {
           // The barrier right after receiving the notification event (§7.1).
-          Barrier(message.lineage, reader_region, BarrierOptions{.registry = &registry});
+          Barrier(message.lineage, reader_region,
+                  BarrierOptions{.registry = &registry, .backend = config.backend});
         }
         const TimePoint read_time = SystemClock::Instance().Now();
         window.Record(TimeScale::ToModelMillis(

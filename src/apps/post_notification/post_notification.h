@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/antipode/shim.h"
 #include "src/common/histogram.h"
 #include "src/net/region.h"
 
@@ -36,6 +37,9 @@ struct PostNotificationConfig {
   Region reader_region = Region::kUs;
 
   bool antipode = false;
+  // Enforcement strategy for the reader-side barrier (kInherit = the
+  // registry default, i.e. the native lineage backend).
+  EnforcementBackendKind backend = EnforcementBackendKind::kInherit;
 
   // Fig. 6: artificial delay inserted before publishing the notification.
   double artificial_delay_model_millis = 0.0;

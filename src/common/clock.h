@@ -77,6 +77,25 @@ inline Duration RemainingBudget(TimePoint deadline) {
   return std::chrono::duration_cast<Duration>(deadline - now);
 }
 
+// How long a wait (a barrier, a lineage wait, a frontier stabilization) may
+// take. `deadline` is preferred when the caller already computed one shared
+// absolute bound; when both are set the earlier bound wins. Embedded by value
+// in every wait-options struct (BarrierOptions, LineageWaitOptions) so the
+// enforcement layer threads a single policy type through every backend.
+struct WaitPolicy {
+  // Relative budget; every wait in the covered set shares it.
+  Duration timeout = Duration::max();
+  // Absolute budget, computed once by the caller.
+  TimePoint deadline = TimePoint::max();
+
+  // The single absolute bound the covered waits share: the earlier of
+  // `deadline` and now + `timeout`.
+  TimePoint EffectiveDeadline() const {
+    const TimePoint from_timeout = DeadlineAfter(timeout);
+    return deadline < from_timeout ? deadline : from_timeout;
+  }
+};
+
 inline int64_t ToMicros(Duration d) { return d.count(); }
 inline double ToMillis(Duration d) { return static_cast<double>(d.count()) / 1000.0; }
 inline Duration Micros(int64_t us) { return Duration(us); }

@@ -1,0 +1,50 @@
+#include "src/common/hlc.h"
+
+#include <chrono>
+
+namespace antipode {
+
+uint64_t HlcClock::NowMicros() {
+  // Steady (never steps backwards) and process-relative: stamps only ever
+  // compare against each other, so the epoch is arbitrary. Offset by one so
+  // a packed stamp is never 0 — 0 is the "unknown stamp" sentinel.
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch)
+                                   .count()) +
+         1;
+}
+
+uint64_t HlcClock::Tick() {
+  const uint64_t physical = Pack(NowMicros(), 0);
+  uint64_t last = last_.load(std::memory_order_relaxed);
+  for (;;) {
+    // Strictly after everything issued/observed so far, and never behind the
+    // physical clock. When the physical component already leads, the logical
+    // counter resets to 0; otherwise it increments (the +1 below lands in the
+    // logical bits until they overflow into physical time, which at 2^16
+    // stamps per microsecond is beyond this simulator's throughput).
+    const uint64_t next = last >= physical ? last + 1 : physical;
+    if (last_.compare_exchange_weak(last, next, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      return next;
+    }
+  }
+}
+
+void HlcClock::Observe(uint64_t remote) {
+  uint64_t last = last_.load(std::memory_order_relaxed);
+  while (remote > last) {
+    if (last_.compare_exchange_weak(last, remote, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+HlcClock& HlcClock::Default() {
+  static HlcClock* clock = new HlcClock();
+  return *clock;
+}
+
+}  // namespace antipode

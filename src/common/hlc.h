@@ -1,0 +1,64 @@
+// Hybrid logical clock (Kulkarni et al.), the timestamp source of the
+// stable-frontier enforcement backend (DESIGN.md §12).
+//
+// A stamp packs 48 bits of physical time (microseconds since process start)
+// with a 16-bit logical counter that breaks ties when several stamps are
+// drawn within one microsecond:
+//
+//     | 48-bit physical µs | 16-bit logical |
+//
+// `Tick` is strictly increasing across the whole process, so the stamps of
+// one store are monotone in its write sequence numbers as long as seq and
+// stamp are assigned atomically together (ReplicatedStore::Put does this
+// under its stamp lock) — the property the stabilization frontier's
+// soundness argument rests on: frontier(r) ≥ hlc(w) implies every write
+// stamped at or before w has applied at r.
+//
+// One process-wide clock (`Default`) serves every store. That gives the
+// frontier a global total order for free and makes the caught-up rule sound:
+// any write stamped after a barrier computed its cut necessarily carries a
+// stamp greater than that cut.
+
+#ifndef SRC_COMMON_HLC_H_
+#define SRC_COMMON_HLC_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace antipode {
+
+class HlcClock {
+ public:
+  // Draws a fresh stamp: max(last + 1, physical now). Strictly increasing,
+  // never behind the physical clock, wait-free in the uncontended case.
+  uint64_t Tick();
+
+  // Merges a stamp received from elsewhere (a replicated entry's stamp) so
+  // subsequent local stamps dominate it — the "hybrid" half of the clock.
+  // In this single-process reproduction every store shares Default() and the
+  // merge is a no-op in practice, but replication applies call it anyway so
+  // the protocol reads like the multi-process original.
+  void Observe(uint64_t remote);
+
+  // The most recent stamp issued or observed.
+  uint64_t Last() const { return last_.load(std::memory_order_acquire); }
+
+  static HlcClock& Default();
+
+  static constexpr int kLogicalBits = 16;
+  static uint64_t PhysicalMicros(uint64_t stamp) { return stamp >> kLogicalBits; }
+  static uint64_t Logical(uint64_t stamp) { return stamp & ((1u << kLogicalBits) - 1); }
+  static uint64_t Pack(uint64_t physical_micros, uint64_t logical) {
+    return (physical_micros << kLogicalBits) | (logical & ((1u << kLogicalBits) - 1));
+  }
+
+ private:
+  // Physical microseconds since the process-wide epoch (first use).
+  static uint64_t NowMicros();
+
+  std::atomic<uint64_t> last_{0};
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_HLC_H_

@@ -342,9 +342,43 @@ void FaultInjector::PauseStore(const std::string& store, Region region) {
 }
 
 void FaultInjector::ResumeStore(const std::string& store, Region region) {
+  std::vector<std::function<void(Region)>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (manual_pauses_.erase({store, RegionIndex(region)}) != 0) {
+      active_sources_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    for (const auto& listener : resume_listeners_) {
+      if (listener.store == store) {
+        listeners.push_back(listener.fn);
+      }
+    }
+  }
+  // Outside mu_: the listener replays the store's backlog, and every re-apply
+  // consults StoreStall, which takes mu_. Notified unconditionally (even when
+  // no manual pause was registered) so a resume also flushes backlog buffered
+  // under a since-disarmed plan; a replay with nothing buffered is a no-op.
+  for (const auto& fn : listeners) {
+    fn(region);
+  }
+}
+
+uint64_t FaultInjector::AddStoreResumeListener(std::string store,
+                                               std::function<void(Region)> listener) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (manual_pauses_.erase({store, RegionIndex(region)}) != 0) {
-    active_sources_.fetch_sub(1, std::memory_order_relaxed);
+  const uint64_t id = ++next_listener_id_;
+  resume_listeners_.push_back({id, std::move(store), std::move(listener)});
+  return id;
+}
+
+void FaultInjector::RemoveStoreResumeListener(uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = resume_listeners_.begin(); it != resume_listeners_.end(); ++it) {
+    if (it->id == id) {
+      resume_listeners_.erase(it);
+      return;
+    }
   }
 }
 

@@ -37,6 +37,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -160,12 +161,20 @@ class FaultInjector {
   bool DropDelivery(const std::string& store, Region region);
   RpcFault OnRpc(const std::string& service);
 
-  // --- manual stalls (PauseReplication/ResumeReplication delegate here) -----
-  // Keyed by exact store name + region. State only: backlog buffering and
-  // replay live in the store, which consults StoreStall/IsStorePaused.
+  // --- manual stalls ---------------------------------------------------------
+  // Keyed by exact store name + region. Pause state lives here; backlog
+  // buffering and replay live in the store, which consults
+  // StoreStall/IsStorePaused and registers a resume listener so ResumeStore
+  // triggers its backlog replay.
   void PauseStore(const std::string& store, Region region);
   void ResumeStore(const std::string& store, Region region);
   bool IsStorePaused(const std::string& store, Region region) const;
+
+  // Registers a callback invoked (outside the injector lock, on the resuming
+  // thread) whenever ResumeStore runs for `store`. Returns a ticket for
+  // RemoveStoreResumeListener; removing ticket 0 is a no-op.
+  uint64_t AddStoreResumeListener(std::string store, std::function<void(Region)> listener);
+  void RemoveStoreResumeListener(uint64_t id);
 
  private:
   struct ArmedPlan {
@@ -179,9 +188,17 @@ class FaultInjector {
   bool DrawLocked(const FaultRule& rule);
   void RecordInjected(FaultKind kind);
 
+  struct ResumeListener {
+    uint64_t id = 0;
+    std::string store;
+    std::function<void(Region)> fn;
+  };
+
   mutable std::mutex mu_;
   std::unique_ptr<ArmedPlan> armed_plan_;                 // guarded by mu_
   std::set<std::pair<std::string, int>> manual_pauses_;   // guarded by mu_
+  std::vector<ResumeListener> resume_listeners_;          // guarded by mu_
+  uint64_t next_listener_id_ = 0;                         // guarded by mu_
 
   // (plan armed ? 1 : 0) + number of manual pauses; decision fast path.
   std::atomic<int> active_sources_{0};

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/common/hlc.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -319,6 +320,13 @@ ReplicatedStore::ReplicatedStore(ReplicatedStoreOptions options, RegionTopology*
   if (options_.visibility_cache != nullptr) {
     visibility_ = options_.visibility_cache->Register(options_.name, options_.regions);
   }
+  if (options_.fault_injector != nullptr) {
+    // A manual ResumeStore on the injector replays whatever this store
+    // buffered during the pause; finite fault windows schedule their own heal
+    // replay instead (BufferStalled).
+    resume_listener_ = options_.fault_injector->AddStoreResumeListener(
+        options_.name, [this](Region region) { ReplayBacklog(region); });
+  }
 }
 
 bool ReplicatedStore::HasRegion(Region region) const {
@@ -376,7 +384,18 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
   // leak the previous write's span identity into this one.
   entry.trace_id = 0;
   entry.parent_span_id = 0;
-  entry.seq = seq_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    // seq and HLC stamp are assigned under one lock so stamps are monotone in
+    // seq (the stabilization frontier's soundness invariant), and NoteIssued
+    // publishes them in stamping order (the caught-up rule reads the issued
+    // high-water mark racily and relies on never seeing seq N+1 before N).
+    std::lock_guard<std::mutex> lock(stamp_mu_);
+    entry.seq = ++seq_counter_;
+    entry.hlc = HlcClock::Default().Tick();
+    if (visibility_) {
+      visibility_->NoteIssued(entry.seq, entry.hlc);
+    }
+  }
   if (span.has_value() && span->recording()) {
     span->Annotate("store", options_.name);
     span->Annotate("key", key);
@@ -395,7 +414,7 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
   authority_.Apply(entry);
   replica(origin).Apply(entry);
   if (visibility_) {
-    visibility_->NoteApply(origin, entry.key, entry.version, entry.seq);
+    visibility_->NoteApply(origin, entry.key, entry.version, entry.seq, entry.hlc);
   }
   if (apply_hook_) {
     apply_hook_(origin, entry);
@@ -473,7 +492,11 @@ ReplicatedStore::~ReplicatedStore() {
   }
   // Manual pauses are keyed by store name in the (typically process-wide)
   // injector; clear them so a later same-named store doesn't inherit a stall.
+  // The resume listener goes first: these ResumeStore calls must not replay
+  // this store's backlog mid-destruction (the replay could schedule timer
+  // work past the drain above).
   if (options_.fault_injector != nullptr) {
+    options_.fault_injector->RemoveStoreResumeListener(resume_listener_);
     for (Region region : options_.regions) {
       options_.fault_injector->ResumeStore(options_.name, region);
     }
@@ -537,12 +560,6 @@ void ReplicatedStore::ApplyAt(Region region, const StoredEntry& entry) {
       }
       // Timer service gone (shutdown): fall through and apply inline rather
       // than lose the write.
-    }
-  } else {
-    std::lock_guard<std::mutex> lock(pause_mu_);
-    if (paused_[static_cast<size_t>(RegionIndex(region))]) {
-      stalled_[static_cast<size_t>(RegionIndex(region))].push_back(entry);
-      return;
     }
   }
   ApplyReplicated(region, entry);
@@ -612,44 +629,54 @@ void ReplicatedStore::ReplayBacklog(Region region) {
 }
 
 void ReplicatedStore::ApplyReplicated(Region region, const StoredEntry& entry) {
+  // The hybrid half of the HLC: fold the remote stamp into the local clock so
+  // later local stamps dominate it (a no-op while every store shares the
+  // process-wide clock, but it keeps the protocol honest).
+  if (entry.hlc != 0) {
+    HlcClock::Default().Observe(entry.hlc);
+  }
   replica(region).Apply(entry);
   // Unconditional even when the replica apply was a stale replay (a newer
   // version of the key outran this shipment): the watermark needs every
   // ⟨seq, region⟩ exactly once, and NoteApply's per-key max logic already
   // ignores the superseded version.
   if (visibility_) {
-    visibility_->NoteApply(region, entry.key, entry.version, entry.seq);
+    visibility_->NoteApply(region, entry.key, entry.version, entry.seq, entry.hlc);
   }
   if (apply_hook_) {
     apply_hook_(region, entry);
   }
 }
 
-void ReplicatedStore::PauseReplication(Region region) {
-  if (options_.fault_injector != nullptr) {
-    options_.fault_injector->PauseStore(options_.name, region);
+void ReplicatedStore::WaitFrontierAsync(Region region, uint64_t cut_hlc, TimePoint deadline,
+                                        VisibilityCallback cb) const {
+  if (visibility_ == nullptr || !HasRegion(region)) {
+    // No frontier feed, or no replica at this region: nothing of this store's
+    // can be read (or be stale) there.
+    cb(Status::Ok());
     return;
   }
-  std::lock_guard<std::mutex> lock(pause_mu_);
-  paused_[static_cast<size_t>(RegionIndex(region))] = true;
-}
-
-void ReplicatedStore::ResumeReplication(Region region) {
-  if (options_.fault_injector != nullptr) {
-    options_.fault_injector->ResumeStore(options_.name, region);
-  } else {
-    std::lock_guard<std::mutex> lock(pause_mu_);
-    paused_[static_cast<size_t>(RegionIndex(region))] = false;
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->InjectWaitError(options_.name, region)) {
+    cb(Status::Unavailable("injected wait error (frontier): " + options_.name));
+    return;
   }
-  ReplayBacklog(region);
-}
-
-bool ReplicatedStore::IsReplicationPaused(Region region) const {
-  if (options_.fault_injector != nullptr) {
-    return options_.fault_injector->IsStorePaused(options_.name, region);
+  std::shared_ptr<StoreVisibility::FrontierWaiter> waiter =
+      visibility_->AwaitFrontier(region, cut_hlc, std::move(cb));
+  if (waiter == nullptr) {
+    cb(Status::Ok());  // already covered; AwaitFrontier left cb untouched
+    return;
   }
-  std::lock_guard<std::mutex> lock(pause_mu_);
-  return paused_[static_cast<size_t>(RegionIndex(region))];
+  if (deadline == TimePoint::max() || timers_ == nullptr) {
+    return;  // unbounded wait: fires only from the apply path
+  }
+  // The timer owns only the waiter (shared), so it stays safe even if it
+  // outlives this store — same contract as the per-key deadline timers.
+  timers_->ScheduleAt(deadline, [waiter] {
+    if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
+      waiter->cb(Status::DeadlineExceeded("stabilization frontier behind cut at deadline"));
+    }
+  });
 }
 
 void ReplicatedStore::DrainReplication() const {

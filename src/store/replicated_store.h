@@ -61,11 +61,16 @@ struct StoredEntry {
   // child of the write's span, in the write's trace.
   uint64_t trace_id = 0;
   uint64_t parent_span_id = 0;
-  // Per-store write sequence number (1-based, dense): stamped by Put from a
-  // single atomic counter, independent of the per-key version. Drives the
-  // visibility cache's per-region apply low-watermark. Last field on purpose:
-  // existing aggregate initializers keep their meaning and default it to 0.
+  // Per-store write sequence number (1-based, dense): stamped by Put,
+  // independent of the per-key version. Drives the visibility cache's
+  // per-region apply low-watermark.
   uint64_t seq = 0;
+  // Hybrid-logical-clock stamp drawn from the process-wide HlcClock in the
+  // same critical section that assigns `seq`, so stamps are monotone in seq —
+  // the invariant the stabilization frontier rests on. Trailing fields on
+  // purpose: existing aggregate initializers keep their meaning and default
+  // seq/hlc to 0.
+  uint64_t hlc = 0;
 };
 
 // A pooled StoredEntry plus its intrusive refcount. Blocks live in a
@@ -304,6 +309,15 @@ class ReplicatedStore {
   void WaitVisibleBatchAsync(Region region, std::span<const KeyVersion> items,
                              TimePoint deadline, VisibilityCallback cb) const;
 
+  // Stabilization-frontier wait (the stable-frontier enforcement backend's
+  // primitive): `cb` fires exactly once — Ok when the region's apply frontier
+  // covers `cut_hlc` (see StoreVisibility::FrontierCovers; immediately if it
+  // already does, or if this store has no replica at `region`), or
+  // DeadlineExceeded when `deadline` passes first. Event-driven off the same
+  // NoteApply feed that advances the watermark.
+  void WaitFrontierAsync(Region region, uint64_t cut_hlc, TimePoint deadline,
+                         VisibilityCallback cb) const;
+
   // This store's visibility-cache state; nullptr when publication is
   // disabled. Shims hand it to barriers for the zero-wait fast path.
   const std::shared_ptr<StoreVisibility>& visibility() const { return visibility_; }
@@ -334,28 +348,19 @@ class ReplicatedStore {
   // while their members are still alive (their destructors call this first).
   void DrainReplication() const;
 
-  // --- Failure injection -------------------------------------------------
-  // DEPRECATED: these wrappers delegate to the store's `FaultInjector`
-  // (options.fault_injector) and are kept for API compatibility. New code
-  // should drive stalls declaratively through `FaultInjector::Arm` (kind
-  // kStoreStall / kRegionOutage / kLinkPartition) or, for manual control,
-  // `FaultInjector::PauseStore` / `ResumeStore` — the injector is the single
-  // source of truth for what is failing; the store only buffers and replays.
-  //
-  // Stalls inbound replication at `region`: due entries are buffered instead
-  // of applied, emulating a partitioned or lagging replica. `barrier` calls
-  // targeting the region block until ResumeReplication. Local writes and
-  // reads at the region continue to work.
-  void PauseReplication(Region region);
-  // Applies everything buffered during the stall and resumes normal flow.
-  void ResumeReplication(Region region);
-  bool IsReplicationPaused(Region region) const;
+  // Failure injection is driven entirely through the store's `FaultInjector`
+  // (options.fault_injector): declaratively via `FaultInjector::Arm` (kinds
+  // kStoreStall / kRegionOutage / kLinkPartition) or manually via
+  // `FaultInjector::PauseStore` / `ResumeStore`. The injector is the single
+  // source of truth for what is failing; the store only buffers stalled
+  // entries and replays them on heal (it registers a resume listener with the
+  // injector so a manual Resume triggers the backlog replay).
+  FaultInjector* fault_injector() const { return options_.fault_injector; }
 
  protected:
   const ReplicaTable& replica(Region region) const;
   ReplicaTable& replica(Region region);
   bool HasRegion(Region region) const;
-  FaultInjector* fault_injector() const { return options_.fault_injector; }
 
   // Schedules `fn` on the store's timer under the drain contract: the work
   // counts as in-flight replication, so DrainReplication (and hence the
@@ -382,8 +387,12 @@ class ReplicatedStore {
   ApplyHook apply_hook_;
   size_t name_hash_ = 0;  // decorrelates affinity tokens across stores
 
-  // Dense per-store write sequence (StoredEntry::seq source).
-  std::atomic<uint64_t> seq_counter_{0};
+  // Dense per-store write sequence and its pairing with the HLC stamp
+  // (StoredEntry::seq / ::hlc sources). One lock covers both assignments plus
+  // the NoteIssued publication, so stamps are monotone in seq and the
+  // visibility cache's issued high-water mark advances in stamping order.
+  std::mutex stamp_mu_;
+  uint64_t seq_counter_ = 0;
   // Remote shipping targets per origin, precomputed at construction so the
   // Put fan-out iterates a dense array instead of re-filtering
   // options_.regions (or building a per-call destinations vector) per write.
@@ -440,15 +449,17 @@ class ReplicatedStore {
   void RecordReplicationSpan(Region destination, double lag_millis,
                              const StoredEntry& entry) const;
 
-  // Stall state. `paused_` is the legacy store-local flag, consulted only
-  // when options_.fault_injector is null; with an injector the pause state
-  // lives there and this array stays false. The backlog, the per-region
-  // "replay already scheduled" latch, and the outage clock are always local.
+  // Stall state: pause decisions live in the fault injector; the backlog, the
+  // per-region "replay already scheduled" latch, and the outage clock are
+  // always local.
   mutable std::mutex pause_mu_;
-  std::array<bool, kNumRegions> paused_{};
   std::array<std::vector<StoredEntry>, kNumRegions> stalled_;
   std::array<bool, kNumRegions> heal_pending_{};
   std::array<TimePoint, kNumRegions> stall_started_{};
+
+  // Ticket for the injector's resume-listener registration (0 when the store
+  // has no injector); removed in the destructor before manual pauses clear.
+  uint64_t resume_listener_ = 0;
 
   // Authoritative latest copy of every key, updated synchronously at Put.
   ReplicaTable authority_;

@@ -97,9 +97,9 @@ TEST_F(BarrierConcurrencyTest, PauseResumeRaces) {
     Rng rng(99);
     while (!stop.load()) {
       auto& store = *fx.stores[rng.NextBelow(fx.stores.size())];
-      store.PauseReplication(Region::kEu);
+      store.fault_injector()->PauseStore(store.name(), Region::kEu);
       SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(5.0));
-      store.ResumeReplication(Region::kEu);
+      store.fault_injector()->ResumeStore(store.name(), Region::kEu);
       SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(5.0));
     }
   });
@@ -133,7 +133,7 @@ TEST_F(BarrierConcurrencyTest, PauseResumeRaces) {
   stop = true;
   toggler.join();
   for (auto& store : fx.stores) {
-    store->ResumeReplication(Region::kEu);
+    store->fault_injector()->ResumeStore(store->name(), Region::kEu);
     store->DrainReplication();
   }
   EXPECT_EQ(failures.load(), 0);
@@ -161,7 +161,7 @@ TEST_F(BarrierConcurrencyTest, TimeoutVersusVisibilityRaces) {
           shim->WriteCtx(Region::kUs, key, "v");
         }
         Status status = BarrierCtx(
-            Region::kEu, BarrierOptions{.timeout = TimeScale::FromModelMillis(20.0),
+            Region::kEu, BarrierOptions{.wait = {.timeout = TimeScale::FromModelMillis(20.0)},
                                         .registry = &fx.registry});
         if (status.ok()) {
           ok_count.fetch_add(1);
@@ -196,7 +196,7 @@ TEST_F(BarrierConcurrencyTest, TimeoutVersusVisibilityRaces) {
 TEST_F(BarrierConcurrencyTest, AsyncCancellationByDeadline) {
   Fixture fx(3, 5.0);
   for (auto& store : fx.stores) {
-    store->PauseReplication(Region::kEu);
+    store->fault_injector()->PauseStore(store->name(), Region::kEu);
   }
   ThreadPool executor(4, "barrier-cb");
 
@@ -227,12 +227,12 @@ TEST_F(BarrierConcurrencyTest, AsyncCancellationByDeadline) {
           ++completed;
           cv.notify_one();
         },
-        BarrierOptions{.timeout = TimeScale::FromModelMillis(15.0), .registry = &fx.registry});
+        BarrierOptions{.wait = {.timeout = TimeScale::FromModelMillis(15.0)}, .registry = &fx.registry});
   }
   // Resume mid-flight so applies race the expiring deadline timers.
   SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(10.0));
   for (auto& store : fx.stores) {
-    store->ResumeReplication(Region::kEu);
+    store->fault_injector()->ResumeStore(store->name(), Region::kEu);
   }
   {
     std::unique_lock<std::mutex> lock(mu);

@@ -77,7 +77,7 @@ TEST_F(BarrierTest, TimeoutExpires) {
   registry.Register(&shim);
   Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
   Status status = Barrier(lineage, Region::kEu,
-                          BarrierOptions{.timeout = Millis(30), .registry = &registry});
+                          BarrierOptions{.wait = {.timeout = Millis(30)}, .registry = &registry});
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
 }
 
@@ -230,15 +230,15 @@ TEST_F(BarrierTest, OptionsAbsoluteDeadlineBoundsTheWait) {
   // relative timeout is unbounded.
   const TimePoint past = SystemClock::Instance().Now() - Millis(1);
   Status status =
-      Barrier(lineage, Region::kEu, BarrierOptions{.deadline = past, .registry = &registry});
+      Barrier(lineage, Region::kEu, BarrierOptions{.wait = {.deadline = past}, .registry = &registry});
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
 
   // The earlier of {timeout, deadline} wins: a generous deadline does not
   // extend a short timeout.
   const TimePoint start = SystemClock::Instance().Now();
   status = Barrier(lineage, Region::kEu,
-                   BarrierOptions{.timeout = TimeScale::FromModelMillis(20.0),
-                                  .deadline = start + TimeScale::FromModelMillis(5000.0),
+                   BarrierOptions{.wait = {.timeout = TimeScale::FromModelMillis(20.0),
+                                           .deadline = start + TimeScale::FromModelMillis(5000.0)},
                                   .registry = &registry});
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_LT(SystemClock::Instance().Now() - start, TimeScale::FromModelMillis(400.0));

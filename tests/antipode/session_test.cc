@@ -126,15 +126,15 @@ TEST_F(SessionTest, GuardReadTimesOutOnStall) {
   KvShim shim(&store);
   ShimRegistry registry;
   registry.Register(&shim);
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   Session session("alice");
   session.Absorb(shim.Write(Region::kUs, "k", "v", Lineage(1)));
   EXPECT_EQ(session
                 .GuardRead(Region::kEu,
-                           BarrierOptions{.timeout = Millis(50), .registry = &registry})
+                           BarrierOptions{.wait = {.timeout = Millis(50)}, .registry = &registry})
                 .code(),
             StatusCode::kDeadlineExceeded);
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
 }
 
 }  // namespace

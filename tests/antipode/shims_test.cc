@@ -99,7 +99,7 @@ TEST_F(ShimsTest, WaitLineageFiltersByStore) {
   lineage.Append(WriteId{"unrelated-store", "x", 99});
   // Only kvs7 deps are enforced; the unrelated store's id is ignored here.
   EXPECT_TRUE(shim.WaitLineage(Region::kUs, lineage,
-                               LineageWaitOptions{.timeout = std::chrono::seconds(1)})
+                               LineageWaitOptions{.wait = {.timeout = std::chrono::seconds(1)}})
                   .ok());
 }
 

@@ -145,12 +145,12 @@ TEST_F(VisibilityCacheTest, PausedReplicationDoesNotPopulate) {
   auto options = SlowKv("vc-pause", 10.0, {Region::kUs, Region::kEu});
   options.visibility_cache = &cache;
   KvStore store(options);
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   store.Set(Region::kUs, "k", "v");
   store.DrainReplication();  // shipment fired, but the entry is buffered
   auto vis = store.visibility();
   EXPECT_FALSE(vis->IsVisible(Region::kEu, "k", 1));
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
   EXPECT_TRUE(vis->IsVisible(Region::kEu, "k", 1));
   EXPECT_EQ(vis->watermark(Region::kEu), 1u);
 }
@@ -276,7 +276,7 @@ TEST_F(VisibilityCacheTest, BatchedWaitDeadlineExceeded) {
   Lineage lineage = shim.Write(Region::kUs, "a", "v", Lineage(1));
   lineage = shim.Write(Region::kUs, "b", "v", std::move(lineage));
   Status status = Barrier(lineage, Region::kEu,
-                          BarrierOptions{.timeout = Millis(30), .registry = &registry});
+                          BarrierOptions{.wait = {.timeout = Millis(30)}, .registry = &registry});
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   store.DrainReplication();
 }
@@ -379,7 +379,7 @@ TEST_F(VisibilityCacheTest, CacheStressPopulationRacesLookups) {
                              "v", std::move(lineage));
         Status status =
             BarrierGlobal(lineage, kThreeRegions,
-                          BarrierOptions{.timeout = Millis(60000), .registry = &registry});
+                          BarrierOptions{.wait = {.timeout = Millis(60000)}, .registry = &registry});
         if (!status.ok()) {
           barrier_failures.fetch_add(1, std::memory_order_relaxed);
         }

@@ -77,12 +77,12 @@ TEST_F(FlightTrackerTest, BeforeReadTimesOutOnStall) {
   registry.Register(&shim);
   TicketService tickets(Region::kUs);
   FlightTrackerClient client(&tickets, &registry);
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   shim.Write(Region::kUs, "k", "v", Lineage(1));
   client.OnWrite(Region::kUs, "alice", WriteId{"ft2", "k", 1});
   EXPECT_EQ(client.BeforeRead(Region::kEu, "alice", Millis(50)).code(),
             StatusCode::kDeadlineExceeded);
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
 }
 
 TEST_F(FlightTrackerTest, SessionsAreIsolated) {

@@ -185,13 +185,13 @@ void RunReplayOrderEpisode(uint64_t seed) {
   Recorder recorder;
   Attach(store, recorder);
 
-  // Pause a random non-empty subset of replicas (deprecated wrappers — they
-  // delegate to the injector, which this test exercises on purpose).
+  // Pause a random non-empty subset of replicas through the injector's
+  // manual-stall surface (the store's resume listener replays the backlog).
   std::vector<Region> paused;
   for (Region region : {Region::kEu, Region::kSg}) {
     if (paused.empty() || rng.NextBernoulli(0.5)) {
-      store.PauseReplication(region);
-      EXPECT_TRUE(store.IsReplicationPaused(region));
+      injector.PauseStore(store_name, region);
+      EXPECT_TRUE(injector.IsStorePaused(store_name, region));
       paused.push_back(region);
     }
   }
@@ -218,8 +218,8 @@ void RunReplayOrderEpisode(uint64_t seed) {
   // Resume replays the backlog inline, in buffered (= per-key version)
   // order.
   for (Region region : paused) {
-    store.ResumeReplication(region);
-    EXPECT_FALSE(store.IsReplicationPaused(region));
+    injector.ResumeStore(store_name, region);
+    EXPECT_FALSE(injector.IsStorePaused(store_name, region));
   }
 
   std::lock_guard<std::mutex> lock(recorder.mu);

@@ -32,24 +32,24 @@ class FailureInjectionTest : public ::testing::Test {
 
 TEST_F(FailureInjectionTest, PausedReplicaDoesNotApply) {
   KvStore store(FastKv("fi1"));
-  store.PauseReplication(Region::kEu);
-  EXPECT_TRUE(store.IsReplicationPaused(Region::kEu));
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
+  EXPECT_TRUE(store.fault_injector()->IsStorePaused(store.name(), Region::kEu));
   store.Set(Region::kUs, "k", "v");
   store.DrainReplication();  // the timer fired, but the apply was buffered
   EXPECT_FALSE(store.IsVisible(Region::kEu, "k", 1));
   EXPECT_TRUE(store.IsVisible(Region::kUs, "k", 1));
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
 }
 
 TEST_F(FailureInjectionTest, ResumeAppliesBacklogInOrder) {
   KvStore store(FastKv("fi2"));
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   for (int i = 0; i < 5; ++i) {
     store.Set(Region::kUs, "k", "v" + std::to_string(i));
   }
   store.DrainReplication();
   EXPECT_FALSE(store.IsVisible(Region::kEu, "k", 1));
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
   EXPECT_TRUE(store.IsVisible(Region::kEu, "k", 5));
   EXPECT_EQ(store.GetValue(Region::kEu, "k"), "v4");
 }
@@ -60,7 +60,7 @@ TEST_F(FailureInjectionTest, BarrierBlocksThroughStallAndRecovers) {
   ShimRegistry registry;
   registry.Register(&shim);
 
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
   store.DrainReplication();
 
@@ -70,7 +70,7 @@ TEST_F(FailureInjectionTest, BarrierBlocksThroughStallAndRecovers) {
   // Barrier must still be blocked while the stall lasts.
   EXPECT_EQ(barrier_future.wait_for(std::chrono::milliseconds(100)),
             std::future_status::timeout);
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
   ASSERT_EQ(barrier_future.wait_for(std::chrono::seconds(5)), std::future_status::ready);
   EXPECT_TRUE(barrier_future.get().ok());
 }
@@ -80,22 +80,22 @@ TEST_F(FailureInjectionTest, BarrierTimeoutDuringOutage) {
   KvShim shim(&store);
   ShimRegistry registry;
   registry.Register(&shim);
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
   Status status = Barrier(lineage, Region::kEu,
-                          BarrierOptions{.timeout = Millis(50), .registry = &registry});
+                          BarrierOptions{.wait = {.timeout = Millis(50)}, .registry = &registry});
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
 }
 
 TEST_F(FailureInjectionTest, StrongReadsUnaffectedByStall) {
   KvStore store(FastKv("fi5"));
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   store.Set(Region::kUs, "k", "v");
   auto entry = store.StrongGet(Region::kEu, "k");
   ASSERT_TRUE(entry.has_value());
   EXPECT_EQ(entry->bytes, "v");
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
 }
 
 TEST_F(FailureInjectionTest, QueueDeliveryResumesAfterStall) {
@@ -104,13 +104,13 @@ TEST_F(FailureInjectionTest, QueueDeliveryResumesAfterStall) {
   std::atomic<int> received{0};
   queue.Subscribe(Region::kEu, "q", &pool, [&](const BrokerMessage&) { received.fetch_add(1); });
 
-  queue.PauseReplication(Region::kEu);
+  queue.fault_injector()->PauseStore(queue.name(), Region::kEu);
   queue.Publish(Region::kUs, "q", "m1");
   queue.Publish(Region::kUs, "q", "m2");
   queue.DrainReplication();
   EXPECT_EQ(received.load(), 0);
 
-  queue.ResumeReplication(Region::kEu);
+  queue.fault_injector()->ResumeStore(queue.name(), Region::kEu);
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (received.load() < 2 && std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -124,11 +124,11 @@ TEST_F(FailureInjectionTest, StallOnOneRegionDoesNotAffectOthers) {
   options.replication.median_millis = 5.0;
   options.replication.sigma = 0.05;
   KvStore store(std::move(options));
-  store.PauseReplication(Region::kEu);
+  store.fault_injector()->PauseStore(store.name(), Region::kEu);
   store.Set(Region::kUs, "k", "v");
   EXPECT_TRUE(store.WaitVisible(Region::kSg, "k", 1, std::chrono::seconds(5)).ok());
   EXPECT_FALSE(store.IsVisible(Region::kEu, "k", 1));
-  store.ResumeReplication(Region::kEu);
+  store.fault_injector()->ResumeStore(store.name(), Region::kEu);
   EXPECT_TRUE(store.IsVisible(Region::kEu, "k", 1));
 }
 
