@@ -100,7 +100,15 @@ struct PhaseResult {
   std::string app;
   bool antipode = false;
   bool cache = true;
+  // True for the locality bed phases (three region-group-disjoint pairs
+  // behind one deployment-wide barrier).
+  bool locality = false;
+  bool use_scope = true;
   std::string backend = "none";
+  // barrier.scoped_skip accumulated over the phase: ⟨dependency, region⟩
+  // pairs the barriers never armed because the dependency's locality scope
+  // excluded the region.
+  uint64_t scoped_skips = 0;
   std::vector<RatePoint> points;
 
   // Peak = the best non-saturated point; if every point saturated (the
@@ -377,6 +385,101 @@ class MediaBed : public Bed {
   BarrierOptions barrier_options_;
 };
 
+// Locality bed: three independent post-notification locality pairs, one per
+// region group — ⟨US,EU⟩, ⟨EU,SG⟩, ⟨SG,Local⟩ — in one process. Every pair's
+// stores replicate only within the pair, but the reader's barrier is the
+// conservative deployment-wide BarrierGlobal over all four regions: exactly
+// the shape where locality scoping pays. Scoped barriers (use_scope=true)
+// skip the out-of-pair ⟨store, region⟩ pairs outright (barrier.scoped_skip);
+// unscoped barriers probe the cache and arm a vacuous wait for each of them.
+// The three pairs also live in three distinct region groups, so the phase
+// drives the group-partitioned visibility registry and per-group HLC clocks
+// concurrently instead of through one shared shard set.
+class LocalityBed : public Bed {
+ public:
+  LocalityBed(bool use_cache, EnforcementBackendKind backend, bool use_scope,
+              ThreadPool* readers)
+      : backend_(backend), tag_(std::to_string(g_bed_counter.fetch_add(1))) {
+    static constexpr Region kPairs[kNumPairs][2] = {
+        {Region::kEu, Region::kUs},     // group 0 (home US)
+        {Region::kSg, Region::kEu},     // group 1 (home EU)
+        {Region::kLocal, Region::kSg},  // group 2 (home SG)
+    };
+    for (int g = 0; g < kNumPairs; ++g) {
+      Pair& pair = pairs_[g];
+      pair.writer = kPairs[g][0];
+      pair.reader = kPairs[g][1];
+      const std::vector<Region> regions = {pair.writer, pair.reader};
+      const std::string name = "sweep-local" + std::to_string(g) + "-" + tag_;
+      auto post_options = KvStore::DefaultOptions(name + "-post", regions);
+      post_options.replication.slow_mode_probability = 0.0;
+      pair.posts = std::make_unique<KvStore>(std::move(post_options));
+      auto notif_options = PubSubStore::DefaultOptions(name + "-notif", regions);
+      notif_options.replication.slow_mode_probability = 0.0;
+      pair.notifs = std::make_unique<PubSubStore>(std::move(notif_options));
+      pair.post_shim = std::make_unique<KvShim>(pair.posts.get());
+      pair.notif_shim = std::make_unique<PubSubShim>(pair.notifs.get());
+      pair.registry.Register(pair.post_shim.get());
+      pair.registry.Register(pair.notif_shim.get());
+      pair.options = BarrierOptions{.registry = &pair.registry,
+                                    .use_cache = use_cache,
+                                    .use_scope = use_scope,
+                                    .backend = backend};
+
+      auto on_message = [this, &pair](const ConsumedMessage& message) {
+        std::string post_id;
+        uint64_t send_ns = 0;
+        if (!DecodePayload(message.payload, &post_id, &send_ns)) {
+          return;
+        }
+        RecordMetadata(backend_, message.lineage);
+        BarrierGlobal(message.lineage, kBarrierRegions, pair.options);
+        const bool found = pair.post_shim->ReadCtx(pair.reader, post_id).ok();
+        RecordCompletion(send_ns, found);
+      };
+      pair.notif_shim->Subscribe(pair.reader, kTopic, readers, on_message);
+    }
+  }
+
+  void Issue(uint64_t request_index, uint64_t send_ns) override {
+    Pair& pair = pairs_[request_index % kNumPairs];
+    const std::string post_id = "p" + tag_ + "-" + std::to_string(request_index);
+    LineageApi::Root();
+    pair.post_shim->WriteCtx(pair.writer, post_id, kPostBody);
+    pair.notif_shim->PublishCtx(pair.writer, kTopic, EncodePayload(post_id, send_ns));
+  }
+
+  void Drain() override {
+    for (Pair& pair : pairs_) {
+      pair.posts->DrainReplication();
+      pair.notifs->DrainReplication();
+    }
+  }
+
+ private:
+  static constexpr int kNumPairs = 3;
+  static constexpr char kTopic[] = "new-posts";
+  static constexpr char kPostBody[] = "post-body";
+  // The deployment-wide enforcement set a locality-oblivious app would use.
+  static inline const std::vector<Region> kBarrierRegions = {Region::kUs, Region::kEu,
+                                                             Region::kSg, Region::kLocal};
+
+  struct Pair {
+    Region writer = Region::kEu;
+    Region reader = Region::kUs;
+    std::unique_ptr<KvStore> posts;
+    std::unique_ptr<PubSubStore> notifs;
+    std::unique_ptr<KvShim> post_shim;
+    std::unique_ptr<PubSubShim> notif_shim;
+    ShimRegistry registry;
+    BarrierOptions options;
+  };
+
+  EnforcementBackendKind backend_;
+  std::string tag_;
+  Pair pairs_[kNumPairs];
+};
+
 // Runs one open-loop load point: issues at `rate` for the generation window,
 // then waits for in-flight requests up to the drain cap. Writer jobs run on a
 // dedicated pool; the generator releases arrivals by wall clock and never
@@ -470,10 +573,11 @@ RatePoint RunLoadPoint(Bed& bed, double rate, const SweepConfig& config) {
 
 struct PhaseSpec {
   const char* name;
-  const char* app;  // "post_notification" | "media_service"
+  const char* app;  // "post_notification" | "media_service" | "post_local3"
   bool antipode;
   bool use_cache;
   EnforcementBackendKind backend = EnforcementBackendKind::kLineage;
+  bool use_scope = true;  // locality bed only; the classic beds never skip
 };
 
 PhaseResult RunPhase(const PhaseSpec& spec, const SweepConfig& config) {
@@ -482,6 +586,8 @@ PhaseResult RunPhase(const PhaseSpec& spec, const SweepConfig& config) {
   result.app = spec.app;
   result.antipode = spec.antipode;
   result.cache = spec.use_cache;
+  result.locality = std::string_view(spec.app) == "post_local3";
+  result.use_scope = spec.use_scope;
   result.backend = spec.antipode ? std::string(EnforcementBackendKindName(spec.backend)) : "none";
 
   std::printf("\n== phase %s ==\n", spec.name);
@@ -495,6 +601,8 @@ PhaseResult RunPhase(const PhaseSpec& spec, const SweepConfig& config) {
     std::unique_ptr<Bed> bed;
     if (std::string_view(spec.app) == "media_service") {
       bed = std::make_unique<MediaBed>(spec.antipode, spec.use_cache, spec.backend, &readers);
+    } else if (std::string_view(spec.app) == "post_local3") {
+      bed = std::make_unique<LocalityBed>(spec.use_cache, spec.backend, spec.use_scope, &readers);
     } else {
       bed = std::make_unique<PostBed>(spec.antipode, spec.use_cache, spec.backend, &readers);
     }
@@ -514,10 +622,15 @@ PhaseResult RunPhase(const PhaseSpec& spec, const SweepConfig& config) {
     rate *= config.rate_factor;
   }
 
+  // Phase total of barrier.scoped_skip: Main resets the registry before each
+  // phase, so the counter's absolute value is this phase's contribution.
+  result.scoped_skips = MetricsRegistry::Default().GetCounter("barrier.scoped_skip")->value();
+
   const RatePoint& peak = result.Peak();
   std::printf("# peak sustained: %.0f req/s (p50 %.2f ms, p99 %.2f ms, p999 %.2f ms, "
-              "violation rate %.3f)\n",
-              peak.achieved_req_s, peak.p50_ms, peak.p99_ms, peak.p999_ms, peak.violation_rate);
+              "violation rate %.3f, scoped skips %llu)\n",
+              peak.achieved_req_s, peak.p50_ms, peak.p99_ms, peak.p999_ms, peak.violation_rate,
+              static_cast<unsigned long long>(result.scoped_skips));
   return result;
 }
 
@@ -537,6 +650,9 @@ void EmitJson(const std::vector<PhaseResult>& phases, const SweepConfig& config,
     json.Field("app", phase.app);
     json.Field("antipode", phase.antipode);
     json.Field("cache", phase.cache);
+    json.Field("locality", phase.locality);
+    json.Field("use_scope", phase.use_scope);
+    json.Field("scoped_skips", phase.scoped_skips);
     json.Field("backend", phase.backend);
     json.Field("peak_req_s", peak.achieved_req_s);
     json.Field("p50_ms", peak.p50_ms);
@@ -615,6 +731,12 @@ int Main(int argc, char** argv) {
       {"media_antipode", "media_service", true, true},
       {"media_antipode_frontier", "media_service", true, true,
        EnforcementBackendKind::kStableFrontier},
+      // Locality pair: three region-group-disjoint post-notification pairs
+      // behind one deployment-wide barrier; scoped skips the out-of-pair
+      // ⟨store, region⟩ waits, unscoped arms them all — same workload.
+      {"post_local3_scoped", "post_local3", true, true, EnforcementBackendKind::kLineage, true},
+      {"post_local3_unscoped", "post_local3", true, true, EnforcementBackendKind::kLineage,
+       false},
   };
   std::vector<PhaseResult> phases;
   for (const PhaseSpec& spec : specs) {

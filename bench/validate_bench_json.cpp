@@ -2,8 +2,10 @@
 // with a minimal recursive-descent JSON reader (no dependencies) and asserts
 // the keys every future PR's delta-comparison relies on — a non-empty
 // `phases` array whose every element carries peak_req_s, p50/p99/p999, an
-// enforcement `backend` tag, and the strategy's metadata_bytes_per_req (with
-// at least one phase actually backend-tagged).
+// enforcement `backend` tag, the strategy's metadata_bytes_per_req, and a
+// scoped_skips count (with at least one phase actually backend-tagged, and a
+// locality phase pair — scoped with scoped_skips>0, plus an unscoped
+// baseline — so the scoped-vs-unscoped comparison is always present).
 //
 // Usage: validate_bench_json <path> — exit 0 on a valid report, 1 with a
 // diagnostic otherwise. Wired into bench-smoke right after `load_sweep
@@ -283,10 +285,12 @@ int Check(const char* path) {
   // reports the metadata bytes that strategy ships per request, so the
   // delta-comparison can pair phases across backends.
   const char* required_numbers[] = {"peak_req_s", "p50_ms", "p99_ms", "p999_ms",
-                                    "metadata_bytes_per_req"};
+                                    "metadata_bytes_per_req", "scoped_skips"};
   const char* required_strings[] = {"name", "backend"};
   int errors = 0;
   bool any_backend_tagged = false;
+  bool any_scoped_locality = false;
+  bool any_unscoped_locality = false;
   for (size_t i = 0; i < phases->array.size(); ++i) {
     const JsonValue& phase = phases->array[i];
     if (phase.kind != JsonValue::Kind::kObject) {
@@ -316,11 +320,41 @@ int Check(const char* path) {
         ++errors;
       }
     }
+    // Locality-tagged phases: the scoped/unscoped pair over the three
+    // region-group-disjoint beds. The scoped one must actually have skipped
+    // out-of-scope ⟨store, region⟩ pairs, or the scoping never engaged.
+    const JsonValue* locality = phase.Find("locality");
+    const JsonValue* use_scope = phase.Find("use_scope");
+    const JsonValue* skips = phase.Find("scoped_skips");
+    if (locality != nullptr && locality->kind == JsonValue::Kind::kBool && locality->boolean &&
+        use_scope != nullptr && use_scope->kind == JsonValue::Kind::kBool &&
+        skips != nullptr && skips->kind == JsonValue::Kind::kNumber) {
+      if (use_scope->boolean) {
+        if (skips->number > 0) {
+          any_scoped_locality = true;
+        } else {
+          std::fprintf(stderr,
+                       "validate_bench_json: phases[%zu] is a scoped locality phase with zero "
+                       "scoped_skips — scoping never engaged\n",
+                       i);
+          ++errors;
+        }
+      } else {
+        any_unscoped_locality = true;
+      }
+    }
   }
   if (!any_backend_tagged) {
     std::fprintf(stderr,
                  "validate_bench_json: no phase names an enforcement backend — the "
                  "strategy comparison is missing\n");
+    ++errors;
+  }
+  if (!any_scoped_locality || !any_unscoped_locality) {
+    std::fprintf(stderr,
+                 "validate_bench_json: missing the locality phase pair (need one locality "
+                 "phase with use_scope=true and scoped_skips>0, one with use_scope=false) — "
+                 "the scoped-vs-unscoped comparison is missing\n");
     ++errors;
   }
   if (errors != 0) {

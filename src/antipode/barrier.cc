@@ -19,7 +19,7 @@ using enforcement_internal::CountBackendDispatch;
 // the structured BarrierDryRunResult onto the Status vocabulary.
 Status DryRunStatus(const Lineage& lineage, Region region, const BarrierOptions& options) {
   const BarrierDryRunResult result =
-      BarrierDryRun(lineage, region, options.registry, options.use_cache);
+      BarrierDryRun(lineage, region, options.registry, options.use_cache, options.use_scope);
   if (!result.unresolved.empty() && !options.ignore_unknown_stores) {
     return Status::FailedPrecondition("no shim registered for store: " +
                                       result.unresolved.front().store);
@@ -147,7 +147,7 @@ void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
 }
 
 BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region, ShimRegistry* registry,
-                                  bool use_cache) {
+                                  bool use_cache, bool use_scope) {
   BarrierDryRunResult result;
   if (use_cache && lineage.enforced_at(region)) {
     // A past barrier proved every dependency visible in this region's local
@@ -157,7 +157,15 @@ BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region, ShimReg
     }
     return result;
   }
+  uint64_t scoped_skips = 0;
   for (const auto& dep : lineage.deps()) {
+    // A dependency whose locality scope excludes this region is vacuously met
+    // here — the checker does not even resolve its shim, mirroring the
+    // enforcing backends.
+    if (use_scope && (dep.scope & RegionBit(region)) == 0) {
+      ++scoped_skips;
+      continue;
+    }
     Shim* shim = registry->Lookup(dep.store);
     if (shim == nullptr) {
       result.unresolved.push_back(dep);
@@ -183,6 +191,7 @@ BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region, ShimReg
       vis->NoteVisible(region, dep.key, dep.version);
     }
   }
+  enforcement_internal::CountScopedSkips(scoped_skips);
   // Consistent ⇒ every dependency resolved and probed visible locally, which
   // is exactly the enforcement memo's meaning.
   if (use_cache && result.consistent) {

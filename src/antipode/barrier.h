@@ -53,6 +53,8 @@ void BarrierAsync(Lineage lineage, Region region, ThreadPool* executor,
 // lists dependencies whose datastore has no registered shim. Deliberately
 // backend-independent: the probe asks the shims' IsVisible directly, so the
 // checker's verdicts mean the same thing whichever strategy enforces.
+// `use_scope` mirrors BarrierOptions::use_scope: dependencies whose locality
+// scope excludes `region` are vacuously met and are not probed at all.
 struct BarrierDryRunResult {
   bool consistent = true;
   std::vector<WriteId> unmet;
@@ -60,7 +62,7 @@ struct BarrierDryRunResult {
 };
 BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region,
                                   ShimRegistry* registry = &ShimRegistry::Default(),
-                                  bool use_cache = true);
+                                  bool use_cache = true, bool use_scope = true);
 
 }  // namespace antipode
 

@@ -8,7 +8,7 @@ Lineage DocShim::InsertDoc(Region region, const std::string& collection, const s
                            Document doc, Lineage lineage) {
   doc.Set(kLineageField, Value(lineage.Serialize()));
   const uint64_t version = docs_->InsertDoc(region, collection, id, doc);
-  lineage.Append(WriteId{store_name(), DocStore::DocKey(collection, id), version});
+  lineage.Append(MakeWriteId(DocStore::DocKey(collection, id), version));
   return lineage;
 }
 
@@ -32,7 +32,7 @@ Result<DocShim::ReadResult> DocShim::FindById(Region region, const std::string& 
     }
   }
   doc->Erase(kLineageField);
-  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  out.lineage.Append(MakeWriteId(key, entry->version));
   out.doc = std::move(*doc);
   return out;
 }

@@ -72,7 +72,7 @@ Result<Lineage> DynamoShim::PutItem(Region region, const std::string& table,
   if (!version.ok()) {
     return version.status();
   }
-  lineage.Append(WriteId{store_name(), DynamoStore::ItemKey(table, key), *version});
+  lineage.Append(MakeWriteId(DynamoStore::ItemKey(table, key), *version));
   return lineage;
 }
 
@@ -94,7 +94,7 @@ Result<DynamoShim::ReadResult> DynamoShim::DecodeEntry(const std::optional<Store
     }
   }
   doc->Erase(kLineageField);
-  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  out.lineage.Append(MakeWriteId(key, entry->version));
   out.item = std::move(*doc);
   return out;
 }

@@ -42,6 +42,11 @@ class DynamoShim : public Shim {
   // (the dry-run/checker surface) is local-replica semantics here.
   bool wait_implies_visibility() const override { return false; }
 
+  // Scope from the replica footprint, like the watermark shims: a region with
+  // no replica of this table can never read (even strongly — the item simply
+  // is not served there) so it never needs enforcement.
+  RegionMask region_scope() const override { return dynamo_->region_mask(); }
+
   struct ReadResult {
     Document item;  // lineage field stripped
     Lineage lineage;

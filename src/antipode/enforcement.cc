@@ -85,6 +85,14 @@ void CountBackendDispatch(EnforcementBackendKind kind) {
   counter->Increment();
 }
 
+void CountScopedSkips(uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  static Counter* const counter = MetricsRegistry::Default().GetCounter("barrier.scoped_skip");
+  counter->Increment(n);
+}
+
 const CacheInstruments& CacheCounters() {
   static const CacheInstruments counters = [] {
     MetricsRegistry& registry = MetricsRegistry::Default();

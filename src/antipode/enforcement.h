@@ -66,6 +66,14 @@ struct BarrierOptions {
   // (`barrier.zero_wait`). Sound because visibility is monotone — a hit can
   // never be invalidated (DESIGN.md §8). Off is the measurable baseline.
   bool use_cache = true;
+  // Honor each dependency's locality scope (WriteId::scope): waits and
+  // frontier cuts are armed only for ⟨store, region⟩ pairs the scope still
+  // names, so a barrier at US never blocks on — or even probes — SG-only
+  // replication state (DESIGN.md §13). Skipped pairs count in
+  // `barrier.scoped_skip`. Sound because a cleared scope bit means the write
+  // either has no replica at that region (nothing readable there) or was
+  // already proven visible there; off is the measurable unscoped baseline.
+  bool use_scope = true;
   // Which enforcement strategy serves this barrier. kInherit resolves the
   // registry's `default_backend`, so deployments flip strategy in one place
   // and individual call sites can still pin one explicitly.

@@ -52,9 +52,22 @@ class WaitGather {
   std::function<void(Status)> done_;
 };
 
+// The region a barrier's metrics and memo fast path attribute to: the first
+// requested region, kLocal for an empty (trivially satisfied) request. Shared
+// so both strategies agree on the attribution rule.
+inline Region PrimaryRegion(const std::vector<Region>& regions) {
+  return regions.empty() ? Region::kLocal : regions.front();
+}
+
 // Barrier throughput/latency metrics (barrier.calls / errors /
 // deadline_exceeded / stall_model_ms), cached per region.
 void CountBarrier(Region region, const Status& status, double stall_model_ms);
+
+// barrier.scoped_skip — ⟨dependency, region⟩ pairs a barrier skipped because
+// the dependency's locality scope excluded the region (options.use_scope).
+// Process-global like the cache counters; the bench reports it per phase via
+// snapshot deltas.
+void CountScopedSkips(uint64_t n);
 
 // barrier.backend{backend=...} dispatch counter, cached per strategy.
 void CountBackendDispatch(EnforcementBackendKind kind);

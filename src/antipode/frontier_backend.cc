@@ -17,7 +17,9 @@ using enforcement_internal::AllEnforced;
 using enforcement_internal::CacheCounters;
 using enforcement_internal::CacheInstruments;
 using enforcement_internal::CountBarrier;
+using enforcement_internal::CountScopedSkips;
 using enforcement_internal::MemoizedOk;
+using enforcement_internal::PrimaryRegion;
 using enforcement_internal::WaitGather;
 
 using VisibilityHandle = std::shared_ptr<StoreVisibility>;
@@ -56,19 +58,23 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
     if (memoizable != nullptr) {
       *memoizable = false;  // already memoized; nothing new proved
     }
-    done(MemoizedOk(lineage, regions.size(), regions.empty() ? Region::kLocal : regions.front()));
+    done(MemoizedOk(lineage, regions.size(), PrimaryRegion(regions)));
     return Status::Ok();
   }
 
   // Resolve each store's contiguous dependency run once, classifying every
   // dependency as cut-covered (the store has a frontier and the cache knows
   // the stamp of a superseding write) or fallback (per-dependency wait). The
-  // cut is the max stamp across every cut-covered dependency of every store —
-  // one number, however many dependencies the lineage carries.
+  // unscoped cut is the max stamp across every cut-covered dependency of
+  // every store — one number, however many dependencies the lineage carries.
+  // Under use_scope each ⟨store, region⟩ wait instead gets the max stamp over
+  // only the in-scope dependencies that missed the cache there, so a
+  // US-bound barrier never waits for a region's frontier to pass stamps that
+  // only matter elsewhere. Stamps ride alongside the deps for that.
   struct StoreRun {
     Shim* shim = nullptr;
     VisibilityHandle vis;
-    std::vector<const WriteId*> frontier_deps;
+    std::vector<std::pair<const WriteId*, uint64_t>> frontier_deps;
     std::vector<const WriteId*> fallback_deps;
   };
   std::vector<StoreRun> runs;
@@ -99,14 +105,14 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
       const uint64_t hlc = frontier_capable ? run.vis->KnownHlc(dep.key, dep.version) : 0;
       if (hlc != 0) {
         cut = std::max(cut, hlc);
-        run.frontier_deps.push_back(&dep);
+        run.frontier_deps.push_back({&dep, hlc});
       } else {
         run.fallback_deps.push_back(&dep);
       }
     }
   }
 
-  const Region primary = regions.empty() ? Region::kLocal : regions.front();
+  const Region primary = PrimaryRegion(regions);
   const TimePoint start = SystemClock::Instance().Now();
 
   // Per region: cache-filter both classes. Fallback misses batch into one
@@ -123,15 +129,23 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
     Shim* shim = nullptr;
     VisibilityHandle vis;
     Region region = Region::kLocal;
+    uint64_t cut = 0;
   };
   std::vector<FallbackGroup> fallback_groups;
   std::vector<FrontierWait> frontier_waits;
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t scoped_skips = 0;
   for (Region region : regions) {
     for (StoreRun& run : runs) {
       FallbackGroup* group = nullptr;
       for (const WriteId* dep : run.fallback_deps) {
+        // Out-of-scope dependency: vacuously met at this region, no wait and
+        // no cache probe (same rule as the lineage backend).
+        if (options.use_scope && (dep->scope & RegionBit(region)) == 0) {
+          ++scoped_skips;
+          continue;
+        }
         if (options.use_cache && run.vis != nullptr &&
             run.vis->IsVisible(region, dep->key, dep->version)) {
           ++hits;
@@ -150,8 +164,15 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
         }
         group->ids.push_back(*dep);
       }
-      bool need_frontier = false;
-      for (const WriteId* dep : run.frontier_deps) {
+      // Scoped cut for this ⟨store, region⟩: max stamp over the in-scope
+      // dependencies that actually missed the cache here. Unscoped barriers
+      // keep the one global cut — the strategy's classic O(1) shape.
+      uint64_t region_cut = 0;
+      for (const auto& [dep, hlc] : run.frontier_deps) {
+        if (options.use_scope && (dep->scope & RegionBit(region)) == 0) {
+          ++scoped_skips;
+          continue;
+        }
         if (options.use_cache && run.vis->IsVisible(region, dep->key, dep->version)) {
           ++hits;
           continue;
@@ -159,13 +180,15 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
         if (options.use_cache) {
           ++misses;
         }
-        need_frontier = true;
+        region_cut = std::max(region_cut, hlc);
       }
-      if (need_frontier) {
-        frontier_waits.push_back(FrontierWait{run.shim, run.vis, region});
+      if (region_cut != 0) {
+        frontier_waits.push_back(
+            FrontierWait{run.shim, run.vis, region, options.use_scope ? region_cut : cut});
       }
     }
   }
+  CountScopedSkips(scoped_skips);
   if (options.use_cache && (hits != 0 || misses != 0)) {
     const CacheInstruments& counters = CacheCounters();
     if (hits != 0) counters.hit->Increment(hits);
@@ -190,10 +213,10 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
 
   auto gather = std::make_shared<WaitGather>(total_waits, std::move(finish));
   for (const FrontierWait& wait : frontier_waits) {
-    RecordFrontierLag(wait.region, cut, wait.vis->FrontierHlc(wait.region));
+    RecordFrontierLag(wait.region, wait.cut, wait.vis->FrontierHlc(wait.region));
     // Frontier success needs no per-key cache feedback: the apply watermark
     // it rode already makes IsVisible's old-write rule cover the deps.
-    wait.shim->WaitFrontierAsync(wait.region, cut, deadline,
+    wait.shim->WaitFrontierAsync(wait.region, wait.cut, deadline,
                                  [gather](Status status) { gather->Complete(status); });
   }
   for (FallbackGroup& group : fallback_groups) {

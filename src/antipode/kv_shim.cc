@@ -7,7 +7,7 @@ namespace antipode {
 Lineage KvShim::Write(Region region, const std::string& key, std::string_view value,
                       Lineage lineage) {
   const uint64_t version = kv_->Set(region, key, FrameValue(lineage, value));
-  lineage.Append(WriteId{store_name(), key, version});
+  lineage.Append(MakeWriteId(key, version));
   return lineage;
 }
 
@@ -20,7 +20,7 @@ Result<KvShim::ReadResult> KvShim::Read(Region region, const std::string& key) c
   FramedValue framed = UnframeValue(entry->bytes);
   out.value = std::move(framed.value);
   out.lineage = std::move(framed.lineage);
-  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  out.lineage.Append(MakeWriteId(key, entry->version));
   return out;
 }
 

@@ -22,11 +22,25 @@ bool SameStoreKey(const WriteId& a, const WriteId& b) {
 }  // namespace
 
 void Lineage::Append(WriteId dep) {
+  if (dep.scope == 0) {
+    // Zero would claim "needs enforcement nowhere" — a caller that cleared
+    // every bit meant "unknown", so normalize to the conservative default
+    // (also keeps the no-zero-scope wire invariant).
+    dep.scope = kAllRegionsMask;
+  }
   auto it = std::lower_bound(deps_.begin(), deps_.end(), dep, StoreKeyLess);
   if (it != deps_.end() && SameStoreKey(*it, dep)) {
     if (it->version < dep.version) {
       it->version = dep.version;
+      it->scope = dep.scope;  // a newer write restarts from its store's scope
       enforced_.store(0, std::memory_order_release);  // newer version unverified
+    } else if (it->version == dep.version) {
+      // Same write seen twice: each mask over-approximates where enforcement
+      // may still be needed, so the intersection is sound. Never narrows to
+      // zero silently — a write enforced everywhere is simply droppable, but
+      // Append is not a pruning point, so keep the broader claim instead.
+      const RegionMask both = it->scope & dep.scope;
+      it->scope = both != 0 ? both : it->scope;
     }
     return;
   }
@@ -67,7 +81,16 @@ void Lineage::Transfer(const Lineage& other) {
   while (a != deps_.end() && b != other.deps_.end()) {
     if (SameStoreKey(*a, *b)) {
       WriteId dep = *a;
-      dep.version = std::max(a->version, b->version);
+      if (a->version == b->version) {
+        // Same write from two lineages: both masks are sound
+        // over-approximations, so intersect — but keep at least one claim
+        // (see Append) rather than emitting a zero scope.
+        const RegionMask both = a->scope & b->scope;
+        dep.scope = both != 0 ? both : a->scope;
+      } else if (a->version < b->version) {
+        dep.version = b->version;
+        dep.scope = b->scope;  // the winning (newer) write carries its scope
+      }
       merged.push_back(std::move(dep));
       ++a;
       ++b;
@@ -96,8 +119,24 @@ size_t Lineage::PruneVisibleEverywhere(const VisibilityCache& cache) {
       current_store = &dep.store;
       vis = cache.Find(dep.store);
     }
-    if (vis != nullptr && vis->IsVisibleEverywhere(dep.key, dep.version)) {
-      continue;  // prune
+    if (vis != nullptr) {
+      // Narrow the locality scope region by region: a bit clears when the
+      // store has no replica there (nothing of this write is readable at that
+      // region) or the cache proves the write visible there. Visibility is
+      // monotone, so a cleared bit stays sound forever; a scope narrowed to
+      // zero is the per-dependency form of "visible everywhere" — drop it.
+      RegionMask scope = dep.scope & vis->tracked_mask();
+      for (int r = 0; r < kNumRegions; ++r) {
+        const Region region = static_cast<Region>(r);
+        if ((scope & RegionBit(region)) != 0 &&
+            vis->IsVisible(region, dep.key, dep.version)) {
+          scope = static_cast<RegionMask>(scope & ~RegionBit(region));
+        }
+      }
+      if (scope == 0) {
+        continue;  // prune
+      }
+      dep.scope = scope;
     }
     if (&*keep != &dep) {
       *keep = std::move(dep);
@@ -137,13 +176,17 @@ void Lineage::SerializeTo(std::string& out) const {
   AppendVarint(out, deps_.size());
   for (const auto& dep : deps_) {
     dep.AppendTo(out);
+    // Locality scope rides the lineage wire (not WriteId's own encoding,
+    // which other call sites use scope-free): one varint — always a single
+    // byte, since the mask fits kNumRegions bits — after each dependency.
+    AppendVarint(out, dep.scope);
   }
 }
 
 size_t Lineage::WireSize() const {
   size_t n = VarintWireSize(id_) + VarintWireSize(deps_.size());
   for (const auto& dep : deps_) {
-    n += dep.WireSize();
+    n += dep.WireSize() + VarintWireSize(dep.scope);
   }
   return n;
 }
@@ -161,9 +204,10 @@ Result<Lineage> Lineage::Deserialize(std::string_view data) {
                                    std::string(count.status().message()));
   }
   Lineage lineage(*id);
-  // Every serialized dependency is >= 3 bytes, which bounds a trustworthy
-  // reserve even when `count` is adversarial garbage.
-  lineage.deps_.reserve(std::min<uint64_t>(*count, d.Remaining() / 3 + 1));
+  // Every serialized dependency is >= 4 bytes (two length prefixes, a
+  // version, and a scope), which bounds a trustworthy reserve even when
+  // `count` is adversarial garbage.
+  lineage.deps_.reserve(std::min<uint64_t>(*count, d.Remaining() / 4 + 1));
   for (uint64_t i = 0; i < *count; ++i) {
     auto dep = WriteId::DeserializeFrom(d);
     if (!dep.ok()) {
@@ -173,6 +217,27 @@ Result<Lineage> Lineage::Deserialize(std::string_view data) {
                                      std::to_string(i) + " of " + std::to_string(*count) + ": " +
                                      std::string(dep.status().message()));
     }
+    auto scope = d.ReadVarint();
+    if (!scope.ok()) {
+      return Status::InvalidArgument("lineage wire truncated in region scope of dependency " +
+                                     std::to_string(i) + " of " + std::to_string(*count) + ": " +
+                                     std::string(scope.status().message()));
+    }
+    // A scope must name at least one real region: zero claims "enforce
+    // nowhere" (such a dependency is never serialized — it is pruned), and
+    // bits beyond kNumRegions would round-trip into masks no barrier can
+    // interpret. Both mark a corrupt or foreign wire.
+    if (*scope == 0) {
+      return Status::InvalidArgument("lineage wire has zero region scope at dependency " +
+                                     std::to_string(i) + " (" + dep->ToString() + ")");
+    }
+    if ((*scope & ~static_cast<uint64_t>(kAllRegionsMask)) != 0) {
+      return Status::InvalidArgument(
+          "lineage wire region scope " + std::to_string(*scope) + " at dependency " +
+          std::to_string(i) + " has bits beyond the " + std::to_string(kNumRegions) +
+          " known regions");
+    }
+    dep->scope = static_cast<RegionMask>(*scope);
     // Our own Serialize emits deps strictly sorted by ⟨store, key⟩ with one
     // version per pair, which is what lets this loop append directly instead
     // of re-running the O(log n) compaction probe per element. Anything

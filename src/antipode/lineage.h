@@ -66,10 +66,16 @@ class Lineage {
   // newer version of the same ⟨store, key⟩ implies visibility of every older
   // one — keeping only the highest version per key is lossless for barrier
   // and keeps lineages small on linchpin objects that are written repeatedly.
+  // The dependency's locality scope (WriteId::scope, derived by the shim from
+  // the owning store's replica set) rides along: a version raise adopts the
+  // newer write's scope, an equal-version re-append intersects, and a zero
+  // incoming scope is normalized to all-ones ("unknown").
   void Append(WriteId dep);
   void Remove(const WriteId& dep);
   // Folds `other`'s dependencies into this lineage (with the same per-key
-  // compaction), explicitly establishing cross-lineage transitivity.
+  // compaction), explicitly establishing cross-lineage transitivity. Locality
+  // scopes intersect at equal versions (both masks over-approximate where
+  // enforcement is still needed); a version conflict keeps the winner's scope.
   void Transfer(const Lineage& other);
 
   // Drops every dependency the visibility cache proves visible at *all*
@@ -78,7 +84,11 @@ class Lineage {
   // barriers only wait on invisible writes, and visibility is monotone — so
   // removing it changes no barrier's outcome, only the bytes the lineage
   // drags through baggage and shim-framed values (the §7.4 metadata size).
-  // Dependencies on stores unknown to the cache are kept. Returns the number
+  // Dependencies on stores unknown to the cache are kept. Surviving
+  // dependencies have their locality scope narrowed region by region — bits
+  // clear where the store has no replica or the write is already proven
+  // visible — and a scope narrowed to zero is the per-dependency form of
+  // "visible everywhere", so the dependency drops. Returns the number
   // pruned (also accumulated in the `lineage.pruned_deps` metric).
   //
   // Opt-in at Serialize/Transfer boundaries (e.g. via

@@ -16,7 +16,9 @@ using enforcement_internal::AllEnforced;
 using enforcement_internal::CacheCounters;
 using enforcement_internal::CacheInstruments;
 using enforcement_internal::CountBarrier;
+using enforcement_internal::CountScopedSkips;
 using enforcement_internal::MemoizedOk;
+using enforcement_internal::PrimaryRegion;
 using enforcement_internal::WaitGather;
 
 // Per-barrier trace bookkeeping shared by the per-dependency wait callbacks
@@ -171,7 +173,7 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
     }
   }
 
-  const Region primary = regions.empty() ? Region::kLocal : regions.front();
+  const Region primary = PrimaryRegion(regions);
   const TimePoint start = SystemClock::Instance().Now();
   std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(primary);
 
@@ -189,11 +191,20 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
   size_t num_deps = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t scoped_skips = 0;
   for (Region region : regions) {
     for (const StoreRun& run : runs) {
       WaitGroup* group = nullptr;
       for (const WriteId* dep = run.begin; dep != run.end; ++dep) {
         ++num_deps;
+        // Locality scope: a cleared bit means the dependency cannot need
+        // enforcement at `region` (no replica there, or already proven
+        // visible there), so no wait is armed and the cache is not probed.
+        // Vacuously satisfied, so memoizability is unaffected.
+        if (options.use_scope && (dep->scope & RegionBit(region)) == 0) {
+          ++scoped_skips;
+          continue;
+        }
         if (options.use_cache) {
           if (run.vis != nullptr && run.vis->IsVisible(region, dep->key, dep->version)) {
             ++hits;
@@ -218,6 +229,7 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
     if (hits != 0) counters.hit->Increment(hits);
     if (misses != 0) counters.miss->Increment(misses);
   }
+  CountScopedSkips(scoped_skips);
 
   auto finish = [primary, start, num_deps, trace, done = std::move(done)](Status status) {
     if (trace != nullptr) {
@@ -303,7 +315,14 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
   Status result = Status::Ok();
   bool any_wait = false;
   bool memoizable = true;
+  uint64_t scoped_skips = 0;
   for (const auto& dep : lineage.deps()) {
+    // Same locality-scope rule as the parallel path: an out-of-scope
+    // dependency is vacuously met at this region.
+    if (options.use_scope && (dep.scope & RegionBit(region)) == 0) {
+      ++scoped_skips;
+      continue;
+    }
     Shim* shim = options.registry->Lookup(dep.store);
     if (shim == nullptr) {
       if (options.ignore_unknown_stores) {
@@ -350,6 +369,7 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
   if (trace != nullptr) {
     FinishBarrierTrace(*trace, lineage.Size(), "sequential", result);
   }
+  CountScopedSkips(scoped_skips);
   if (options.use_cache && !any_wait && result.ok()) {
     CacheCounters().zero_wait->Increment();
   }
@@ -385,7 +405,7 @@ Status LineageBarrierBackend::Launch(const Lineage& lineage, const std::vector<R
     if (memoizable != nullptr) {
       *memoizable = false;  // already memoized; nothing new proved
     }
-    done(MemoizedOk(lineage, regions.size(), regions.empty() ? Region::kLocal : regions.front()));
+    done(MemoizedOk(lineage, regions.size(), PrimaryRegion(regions)));
     return Status::Ok();
   }
   return LaunchBarrierWaits(lineage, regions, deadline, options, std::move(done), memoizable);

@@ -7,7 +7,7 @@ namespace antipode {
 Lineage ObjectShim::PutObject(Region region, const std::string& bucket, const std::string& key,
                               std::string_view value, Lineage lineage) {
   const uint64_t version = objects_->PutObject(region, bucket, key, FrameValue(lineage, value));
-  lineage.Append(WriteId{store_name(), ObjectStore::ObjectKey(bucket, key), version});
+  lineage.Append(MakeWriteId(ObjectStore::ObjectKey(bucket, key), version));
   return lineage;
 }
 
@@ -22,7 +22,7 @@ Result<ObjectShim::ReadResult> ObjectShim::GetObject(Region region, const std::s
   FramedValue framed = UnframeValue(entry->bytes);
   out.value = std::move(framed.value);
   out.lineage = std::move(framed.lineage);
-  out.lineage.Append(WriteId{store_name(), object_key, entry->version});
+  out.lineage.Append(MakeWriteId(object_key, entry->version));
   return out;
 }
 

@@ -6,13 +6,13 @@
 
 namespace antipode {
 
-void DispatchFramedMessage(const std::string& store_name, const BrokerMessage& message,
-                           const ShimMessageHandler& handler) {
+void DispatchFramedMessage(const std::string& store_name, RegionMask scope,
+                           const BrokerMessage& message, const ShimMessageHandler& handler) {
   FramedValue framed = UnframeValue(message.payload);
   ConsumedMessage consumed;
   consumed.payload = std::move(framed.value);
   consumed.lineage = std::move(framed.lineage);
-  consumed.lineage.Append(WriteId{store_name, message.key, message.version});
+  consumed.lineage.Append(WriteId{store_name, message.key, message.version, scope});
   consumed.delivered_at = message.delivered_at;
 
   // Consumption starts a new execution; it runs under a fresh context whose
@@ -32,7 +32,7 @@ void DispatchFramedMessage(const std::string& store_name, const BrokerMessage& m
 Lineage QueueShim::Publish(Region region, const std::string& queue, std::string_view payload,
                            Lineage lineage) {
   auto result = queue_->PublishWithKey(region, queue, FrameValue(lineage, payload));
-  lineage.Append(WriteId{store_name(), result.key, result.version});
+  lineage.Append(MakeWriteId(result.key, result.version));
   return lineage;
 }
 
@@ -45,16 +45,17 @@ Status QueueShim::PublishCtx(Region region, const std::string& queue, std::strin
 void QueueShim::Subscribe(Region region, const std::string& queue, ThreadPool* executor,
                           ShimMessageHandler handler) {
   const std::string name = store_name();
+  const RegionMask scope = region_scope();
   queue_->Subscribe(region, queue, executor,
-                    [name, handler = std::move(handler)](const BrokerMessage& message) {
-                      DispatchFramedMessage(name, message, handler);
+                    [name, scope, handler = std::move(handler)](const BrokerMessage& message) {
+                      DispatchFramedMessage(name, scope, message, handler);
                     });
 }
 
 Lineage PubSubShim::Publish(Region region, const std::string& topic, std::string_view payload,
                             Lineage lineage) {
   auto result = pubsub_->PublishWithKey(region, topic, FrameValue(lineage, payload));
-  lineage.Append(WriteId{store_name(), result.key, result.version});
+  lineage.Append(MakeWriteId(result.key, result.version));
   return lineage;
 }
 
@@ -67,9 +68,10 @@ Status PubSubShim::PublishCtx(Region region, const std::string& topic, std::stri
 void PubSubShim::Subscribe(Region region, const std::string& topic, ThreadPool* executor,
                            ShimMessageHandler handler) {
   const std::string name = store_name();
+  const RegionMask scope = region_scope();
   pubsub_->Subscribe(region, topic, executor,
-                     [name, handler = std::move(handler)](const BrokerMessage& message) {
-                       DispatchFramedMessage(name, message, handler);
+                     [name, scope, handler = std::move(handler)](const BrokerMessage& message) {
+                       DispatchFramedMessage(name, scope, message, handler);
                      });
 }
 

@@ -63,9 +63,11 @@ class PubSubShim : public WatermarkShim {
 };
 
 // Shared by both shims: decodes a broker message into payload + lineage and
-// invokes `handler` under a context carrying that lineage.
-void DispatchFramedMessage(const std::string& store_name, const BrokerMessage& message,
-                           const ShimMessageHandler& handler);
+// invokes `handler` under a context carrying that lineage. `scope` is the
+// broker store's locality scope, stamped onto the message's own write id
+// (Shim::region_scope of the subscribing shim).
+void DispatchFramedMessage(const std::string& store_name, RegionMask scope,
+                           const BrokerMessage& message, const ShimMessageHandler& handler);
 
 }  // namespace antipode
 

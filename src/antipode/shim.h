@@ -111,6 +111,18 @@ class Shim {
   Status WaitLineage(Region region, const Lineage& lineage,
                      const LineageWaitOptions& options = {});
 
+  // Locality scope this shim stamps onto the dependencies it appends — the
+  // store's replica footprint (DESIGN.md §13). All-ones ("may need
+  // enforcement anywhere") is the safe default for shims that cannot tell;
+  // watermark shims narrow it to the store's configured regions so barriers
+  // skip ⟨store, region⟩ pairs the write can never be read from.
+  virtual RegionMask region_scope() const { return kAllRegionsMask; }
+
+  // The WriteId for a write this shim just performed, scope pre-stamped.
+  WriteId MakeWriteId(std::string key, uint64_t version) const {
+    return WriteId{store_name(), std::move(key), version, region_scope()};
+  }
+
  protected:
   // Shared executor for blocking-wait adapters (default WaitAsync, polling
   // shims). Lazily constructed, intentionally leaked at process exit.

@@ -30,7 +30,7 @@ Result<Lineage> SqlShim::Insert(Region region, const std::string& table, Row row
   if (!version.ok()) {
     return version.status();
   }
-  lineage.Append(WriteId{store_name(), SqlStore::RowKey(table, *pk), *version});
+  lineage.Append(MakeWriteId(SqlStore::RowKey(table, *pk), *version));
   return lineage;
 }
 
@@ -54,7 +54,7 @@ Result<SqlShim::ReadResult> SqlShim::SelectByPk(Region region, const std::string
     }
   }
   row->Erase(kLineageField);
-  out.lineage.Append(WriteId{store_name(), key, entry->version});
+  out.lineage.Append(MakeWriteId(key, entry->version));
   out.row = std::move(*row);
   return out;
 }

@@ -5,7 +5,7 @@
 namespace antipode {
 
 StoreVisibility::StoreVisibility(std::string name, const std::vector<Region>& regions)
-    : name_(std::move(name)) {
+    : name_(std::move(name)), tracked_mask_(RegionMaskOf(regions)) {
   for (Region r : regions) tracked_[RegionIndex(r)] = true;
 }
 
@@ -236,32 +236,53 @@ VisibilityCache& VisibilityCache::Default() {
 std::shared_ptr<StoreVisibility> VisibilityCache::Register(const std::string& name,
                                                            const std::vector<Region>& regions) {
   auto state = std::make_shared<StoreVisibility>(name, regions);
-  std::lock_guard<std::mutex> lock(mu_);
-  stores_[name] = state;
+  const int group = RegionGroupOf(state->tracked_mask());
+  // A re-registration with a different footprint moves buckets; evict the
+  // name everywhere else first so a stale same-named entry can never shadow
+  // the fresh one from another bucket (the cold-start guarantee).
+  for (int g = 0; g < kNumRegionGroups; ++g) {
+    if (g == group) continue;
+    Bucket& bucket = buckets_[static_cast<size_t>(g)];
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    bucket.stores.erase(name);
+  }
+  Bucket& bucket = buckets_[static_cast<size_t>(group)];
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  bucket.stores[name] = state;
   return state;
 }
 
 void VisibilityCache::Unregister(const std::shared_ptr<StoreVisibility>& state) {
   if (!state) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = stores_.find(state->name());
-  if (it != stores_.end() && it->second == state) stores_.erase(it);
+  Bucket& bucket = buckets_[static_cast<size_t>(RegionGroupOf(state->tracked_mask()))];
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  auto it = bucket.stores.find(state->name());
+  if (it != bucket.stores.end() && it->second == state) bucket.stores.erase(it);
 }
 
 std::shared_ptr<StoreVisibility> VisibilityCache::Find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = stores_.find(name);
-  return it == stores_.end() ? nullptr : it->second;
+  for (const Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    auto it = bucket.stores.find(name);
+    if (it != bucket.stores.end()) return it->second;
+  }
+  return nullptr;
 }
 
 void VisibilityCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stores_.clear();
+  for (Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    bucket.stores.clear();
+  }
 }
 
 size_t VisibilityCache::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stores_.size();
+  size_t total = 0;
+  for (const Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    total += bucket.stores.size();
+  }
+  return total;
 }
 
 }  // namespace antipode

@@ -66,6 +66,10 @@ class StoreVisibility {
 
   const std::string& name() const { return name_; }
   bool TracksRegion(Region region) const { return tracked_[RegionIndex(region)]; }
+  // The store's replica footprint as a bitmask — what lineage pruning narrows
+  // dependency locality scopes against (a region outside the footprint can
+  // never read this store's writes, so it never needs enforcement).
+  RegionMask tracked_mask() const { return tracked_mask_; }
 
   // A write was stamped at its origin: `seq` is the store's dense write
   // sequence number, `hlc` its hybrid-logical-clock stamp. Called by
@@ -197,6 +201,7 @@ class StoreVisibility {
 
   std::string name_;
   std::array<bool, kNumRegions> tracked_{};
+  RegionMask tracked_mask_ = 0;
   mutable std::array<Shard, kNumShards> shards_;
   mutable std::array<SeqTracker, kNumRegions> trackers_;
   std::array<std::atomic<uint64_t>, kNumRegions> watermarks_{};
@@ -209,6 +214,13 @@ class StoreVisibility {
 // are global identifiers in Antipode (lineage dependencies reference stores
 // by name), so one process-wide instance serves every barrier; private
 // instances exist for benches that model synthetic stores.
+//
+// The registry is partitioned by region-group (DESIGN.md §13): a store lives
+// in the bucket of its home group (RegionGroupOf of its replica footprint),
+// so registrations and name lookups of one locality group never contend with
+// another's — a US-group deployment churning stores cannot serialize SG-group
+// pruning probes. Find does not know a store's footprint, so it probes the
+// (few, uncontended) buckets in order.
 class VisibilityCache {
  public:
   static VisibilityCache& Default();
@@ -236,8 +248,12 @@ class VisibilityCache {
   size_t Size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<StoreVisibility>, std::less<>> stores_;
+  struct Bucket {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<StoreVisibility>, std::less<>> stores;
+  };
+
+  mutable std::array<Bucket, kNumRegionGroups> buckets_;
 };
 
 }  // namespace antipode

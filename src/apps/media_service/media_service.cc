@@ -17,7 +17,10 @@ std::atomic<uint64_t> g_run_counter{0};
 
 MediaServiceResult RunMediaService(const MediaServiceConfig& config) {
   const uint64_t run = g_run_counter.fetch_add(1, std::memory_order_relaxed);
-  const std::vector<Region> regions = {config.upload_region, config.render_region};
+  const std::vector<Region> regions =
+      config.store_regions.empty()
+          ? std::vector<Region>{config.upload_region, config.render_region}
+          : config.store_regions;
   const std::string suffix = std::to_string(run);
 
   ObjectStore media(ObjectStore::DefaultOptions("media-s3-" + suffix, regions));
@@ -55,8 +58,14 @@ MediaServiceResult RunMediaService(const MediaServiceConfig& config) {
     if (antipode) {
       // One barrier enforces both the review doc and the media blob: they
       // are different datastores but members of the same lineage.
-      Barrier(message.lineage, render_region,
-              BarrierOptions{.registry = &registry, .backend = config.backend});
+      const BarrierOptions barrier_options{.registry = &registry,
+                                           .use_scope = config.use_scope,
+                                           .backend = config.backend};
+      if (config.barrier_regions.empty()) {
+        Barrier(message.lineage, render_region, barrier_options);
+      } else {
+        BarrierGlobal(message.lineage, config.barrier_regions, barrier_options);
+      }
     }
     window.Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
         SystemClock::Instance().Now() -

@@ -27,6 +27,15 @@ struct MediaServiceConfig {
   // Enforcement strategy for the render-side barrier (kInherit = the
   // registry default, i.e. the native lineage backend).
   EnforcementBackendKind backend = EnforcementBackendKind::kInherit;
+  // Replica footprint of the three stores. Empty ⇒ {upload_region,
+  // render_region}; wider footprints widen every write's locality scope.
+  std::vector<Region> store_regions;
+  // Regions the render-side barrier enforces at. Empty ⇒ just render_region;
+  // non-empty ⇒ BarrierGlobal over exactly these regions.
+  std::vector<Region> barrier_regions;
+  // Honor dependency locality scopes at the barrier
+  // (BarrierOptions::use_scope). Off is the unscoped baseline.
+  bool use_scope = true;
   int num_reviews = 100;
   int concurrency = 16;
   size_t media_size_bytes = 32 * 1024;  // scaled-down poster/thumbnail

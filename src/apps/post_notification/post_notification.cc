@@ -324,7 +324,8 @@ class DynamoNotifier final : public NotifierChannel {
           message.lineage = std::move(*lineage);
         }
       }
-      message.lineage.Append(WriteId{store_.name(), entry.key, entry.version});
+      message.lineage.Append(
+          WriteId{store_.name(), entry.key, entry.version, store_.region_mask()});
     }
     executor->Submit([handler, message] { handler(message); });
   }
@@ -425,7 +426,10 @@ std::string_view NotifierName(NotifierKind kind) {
 
 PostNotificationResult RunPostNotification(const PostNotificationConfig& config) {
   const uint64_t run = g_run_counter.fetch_add(1, std::memory_order_relaxed);
-  const std::vector<Region> regions = {config.writer_region, config.reader_region};
+  const std::vector<Region> regions =
+      config.store_regions.empty()
+          ? std::vector<Region>{config.writer_region, config.reader_region}
+          : config.store_regions;
 
   auto post_storage = MakePostStorage(
       config.post_storage,
@@ -461,8 +465,14 @@ PostNotificationResult RunPostNotification(const PostNotificationConfig& config)
         }
         if (antipode) {
           // The barrier right after receiving the notification event (§7.1).
-          Barrier(message.lineage, reader_region,
-                  BarrierOptions{.registry = &registry, .backend = config.backend});
+          const BarrierOptions barrier_options{.registry = &registry,
+                                               .use_scope = config.use_scope,
+                                               .backend = config.backend};
+          if (config.barrier_regions.empty()) {
+            Barrier(message.lineage, reader_region, barrier_options);
+          } else {
+            BarrierGlobal(message.lineage, config.barrier_regions, barrier_options);
+          }
         }
         const TimePoint read_time = SystemClock::Instance().Now();
         window.Record(TimeScale::ToModelMillis(

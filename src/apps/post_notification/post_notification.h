@@ -41,6 +41,18 @@ struct PostNotificationConfig {
   // registry default, i.e. the native lineage backend).
   EnforcementBackendKind backend = EnforcementBackendKind::kInherit;
 
+  // Replica footprint of both stores. Empty ⇒ {writer_region, reader_region},
+  // the classic two-region bed. A wider footprint (e.g. adding kSg) widens
+  // every write's locality scope to match — the scoped-vs-unscoped beds.
+  std::vector<Region> store_regions;
+  // Regions the reader-side barrier enforces at. Empty ⇒ just reader_region
+  // (the paper's region-local optimization); non-empty ⇒ BarrierGlobal over
+  // exactly these regions (the conservative deployment-wide barrier).
+  std::vector<Region> barrier_regions;
+  // Honor dependency locality scopes at the barrier
+  // (BarrierOptions::use_scope). Off is the unscoped baseline.
+  bool use_scope = true;
+
   // Fig. 6: artificial delay inserted before publishing the notification.
   double artificial_delay_model_millis = 0.0;
 

@@ -47,4 +47,12 @@ HlcClock& HlcClock::Default() {
   return *clock;
 }
 
+HlcClock& HlcClock::ForGroup(int group) {
+  assert(group >= 0 && group < kMaxGroups && "region-group index out of range");
+  // Leaked like Default(): late timer callbacks may stamp after static
+  // destruction begins.
+  static HlcClock* clocks = new HlcClock[kMaxGroups];
+  return clocks[group];
+}
+
 }  // namespace antipode

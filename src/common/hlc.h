@@ -14,15 +14,23 @@
 // soundness argument rests on: frontier(r) ≥ hlc(w) implies every write
 // stamped at or before w has applied at r.
 //
-// One process-wide clock (`Default`) serves every store. That gives the
-// frontier a global total order for free and makes the caught-up rule sound:
-// any write stamped after a barrier computed its cut necessarily carries a
-// stamp greater than that cut.
+// Clock sharing is per region-group, not process-wide: every store draws all
+// of its stamps from exactly one clock (`ForGroup`, keyed by the store's home
+// region-group), so stamps stay monotone in that store's sequence numbers —
+// which is all the frontier's soundness needs, because a stabilization cut is
+// always computed from the *same store's* dependency stamps and compared
+// against that store's frontier, and the caught-up rule (watermark ≥ issued
+// high-water mark) is clock-free. Partitioning the clocks removes the one
+// compare-exchange cell every region's Put used to contend on; `Default()`
+// remains for callers that predate the partition (and as the magnitude
+// reference for metadata-size estimates — every clock shares the process
+// epoch, so stamps across groups have comparable widths).
 
 #ifndef SRC_COMMON_HLC_H_
 #define SRC_COMMON_HLC_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 namespace antipode {
@@ -44,6 +52,12 @@ class HlcClock {
   uint64_t Last() const { return last_.load(std::memory_order_acquire); }
 
   static HlcClock& Default();
+
+  // The clock of one region-group (RegionGroupOf in src/net/region.h — this
+  // layer only sees the index). Each store must draw every stamp it ever
+  // issues from one clock; which one is a pure locality/contention choice.
+  static constexpr int kMaxGroups = 8;
+  static HlcClock& ForGroup(int group);
 
   static constexpr int kLogicalBits = 16;
   static uint64_t PhysicalMicros(uint64_t stamp) { return stamp >> kLogicalBits; }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace antipode {
 
@@ -21,6 +22,42 @@ inline constexpr int kNumRegions = 4;
 
 std::string_view RegionName(Region region);
 inline int RegionIndex(Region region) { return static_cast<int>(region); }
+
+// A set of regions as a bitmask over RegionIndex. Small enough to travel in
+// one wire varint byte; used as the per-dependency locality scope in lineage
+// (DESIGN.md §13) and as the enforcement-memo representation.
+using RegionMask = uint8_t;
+
+inline constexpr RegionMask kAllRegionsMask = (RegionMask{1} << kNumRegions) - 1;
+
+inline constexpr RegionMask RegionBit(Region region) {
+  return static_cast<RegionMask>(RegionMask{1} << static_cast<int>(region));
+}
+
+inline RegionMask RegionMaskOf(const std::vector<Region>& regions) {
+  RegionMask mask = 0;
+  for (Region region : regions) {
+    mask = static_cast<RegionMask>(mask | RegionBit(region));
+  }
+  return mask;
+}
+
+// Region-groups partition process-wide enforcement state by locality: the
+// visibility registry's buckets and the HLC clocks are per-group, so cache
+// installs and frontier advancement in one group never contend with readers
+// in another. A deployment's group is its home — the lowest-index region of
+// its replica footprint; deployments with no declared replicas land in the
+// local group.
+inline constexpr int kNumRegionGroups = kNumRegions;
+
+inline int RegionGroupOf(RegionMask footprint) {
+  for (int r = 0; r < kNumRegions; ++r) {
+    if ((footprint & (RegionMask{1} << r)) != 0) {
+      return r;
+    }
+  }
+  return RegionIndex(Region::kLocal);
+}
 
 }  // namespace antipode
 

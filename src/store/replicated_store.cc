@@ -304,7 +304,9 @@ ReplicatedStore::ReplicatedStore(ReplicatedStoreOptions options, RegionTopology*
       timers_(timers),
       profile_(PerStoreProfile(options_.replication, options_.name), topology),
       metrics_(options_.name),
-      name_hash_(std::hash<std::string>{}(options_.name)) {
+      name_hash_(std::hash<std::string>{}(options_.name)),
+      region_mask_(RegionMaskOf(options_.regions)),
+      hlc_clock_(&HlcClock::ForGroup(RegionGroupOf(region_mask_))) {
   replicas_.resize(kNumRegions);
   for (Region region : options_.regions) {
     replicas_[static_cast<size_t>(RegionIndex(region))] = std::make_unique<ReplicaTable>();
@@ -391,7 +393,7 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
     // high-water mark racily and relies on never seeing seq N+1 before N).
     std::lock_guard<std::mutex> lock(stamp_mu_);
     entry.seq = ++seq_counter_;
-    entry.hlc = HlcClock::Default().Tick();
+    entry.hlc = hlc_clock_->Tick();
     if (visibility_) {
       visibility_->NoteIssued(entry.seq, entry.hlc);
     }
@@ -630,10 +632,10 @@ void ReplicatedStore::ReplayBacklog(Region region) {
 
 void ReplicatedStore::ApplyReplicated(Region region, const StoredEntry& entry) {
   // The hybrid half of the HLC: fold the remote stamp into the local clock so
-  // later local stamps dominate it (a no-op while every store shares the
-  // process-wide clock, but it keeps the protocol honest).
+  // later local stamps dominate it (a no-op while every replica of one store
+  // shares the store's region-group clock, but it keeps the protocol honest).
   if (entry.hlc != 0) {
-    HlcClock::Default().Observe(entry.hlc);
+    hlc_clock_->Observe(entry.hlc);
   }
   replica(region).Apply(entry);
   // Unconditional even when the replica apply was a stale replay (a newer
@@ -713,6 +715,13 @@ std::optional<StoredEntry> ReplicatedStore::StrongGet(Region caller,
 }
 
 bool ReplicatedStore::IsVisible(Region region, const std::string& key, uint64_t version) const {
+  // No replica at this region: nothing of this store's can be read (or be
+  // stale) there, so the write is vacuously "visible" — same contract as
+  // WaitFrontierAsync. Keeps unscoped barriers over locality-partitioned
+  // deployments defined (wasted work, never an assert).
+  if (!HasRegion(region)) {
+    return true;
+  }
   return replica(region).VersionOf(key) >= version;
 }
 
@@ -721,6 +730,9 @@ bool ReplicatedStore::IsVisible(Region region, const std::string& key, uint64_t 
 // the Status and may simply re-issue the wait.
 Status ReplicatedStore::WaitVisible(Region region, const std::string& key, uint64_t version,
                                     Duration timeout) const {
+  if (!HasRegion(region)) {
+    return Status::Ok();  // vacuous: no replica there (see IsVisible)
+  }
   if (options_.fault_injector != nullptr &&
       options_.fault_injector->InjectWaitError(options_.name, region)) {
     return Status::Unavailable("injected wait error: " + options_.name);
@@ -730,6 +742,10 @@ Status ReplicatedStore::WaitVisible(Region region, const std::string& key, uint6
 
 void ReplicatedStore::WaitVisibleAsync(Region region, const std::string& key, uint64_t version,
                                        TimePoint deadline, VisibilityCallback cb) const {
+  if (!HasRegion(region)) {
+    cb(Status::Ok());  // vacuous: no replica there (see IsVisible)
+    return;
+  }
   if (options_.fault_injector != nullptr &&
       options_.fault_injector->InjectWaitError(options_.name, region)) {
     cb(Status::Unavailable("injected wait error: " + options_.name));
@@ -740,6 +756,10 @@ void ReplicatedStore::WaitVisibleAsync(Region region, const std::string& key, ui
 
 void ReplicatedStore::WaitVisibleBatchAsync(Region region, std::span<const KeyVersion> items,
                                             TimePoint deadline, VisibilityCallback cb) const {
+  if (!HasRegion(region)) {
+    cb(Status::Ok());  // vacuous: no replica there (see IsVisible)
+    return;
+  }
   if (options_.fault_injector != nullptr &&
       options_.fault_injector->InjectWaitError(options_.name, region)) {
     cb(Status::Unavailable("injected wait error: " + options_.name));

@@ -50,6 +50,8 @@
 
 namespace antipode {
 
+class HlcClock;
+
 struct StoredEntry {
   std::string key;
   std::string bytes;
@@ -324,6 +326,9 @@ class ReplicatedStore {
 
   const std::string& name() const { return options_.name; }
   const std::vector<Region>& regions() const { return options_.regions; }
+  // Replica footprint as a bitmask — the locality scope shims stamp onto the
+  // lineage dependencies this store's writes produce (DESIGN.md §13).
+  RegionMask region_mask() const { return region_mask_; }
   // The timer service replication (and store-level timers like TTL expiry)
   // runs on. Layers above the store (shims) reuse it so a deployment built
   // around a private TimerService never leaks work onto the shared one.
@@ -386,6 +391,12 @@ class ReplicatedStore {
   StoreMetrics metrics_;
   ApplyHook apply_hook_;
   size_t name_hash_ = 0;  // decorrelates affinity tokens across stores
+  // Replica footprint mask and the region-group HLC clock derived from it at
+  // construction. Every stamp this store ever issues comes from this one
+  // clock, so stamps stay monotone in seq regardless of how many clocks the
+  // process runs (see src/common/hlc.h).
+  RegionMask region_mask_ = 0;
+  HlcClock* hlc_clock_ = nullptr;
 
   // Dense per-store write sequence and its pairing with the HLC stamp
   // (StoredEntry::seq / ::hlc sources). One lock covers both assignments plus

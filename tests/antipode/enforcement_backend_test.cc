@@ -211,6 +211,45 @@ TEST_P(EnforcementBackendTest, GlobalBarrierCoversAllRegions) {
   store.DrainReplication();
 }
 
+// Locality isolation (DESIGN.md §13), under both strategies: a deployment-wide
+// barrier that also names a region the dependencies' stores never replicate to
+// completes even while that region is fully down — the scope bit for the
+// outaged region is clear, so the ⟨store, region⟩ pair is skipped outright
+// (counted in barrier.scoped_skip) and no wait can stall on it.
+TEST_P(EnforcementBackendTest, OutOfScopePartitionDoesNotBlock) {
+  FaultInjector injector;
+  FaultRule outage;
+  outage.kind = FaultKind::kRegionOutage;
+  outage.to = Region::kSg;
+  outage.start_model_ms = 0.0;
+  outage.end_model_ms = 1e9;  // never heals within this test
+  injector.Arm(FaultPlan{"sg-outage", 13, {outage}});
+
+  // Replicates to {US, EU} only, so every write's scope excludes SG.
+  auto options = KvStore::DefaultOptions(Tag("eb-scope"), kRegions);
+  options.replication.median_millis = 5.0;
+  options.fault_injector = &injector;
+  KvStore store(std::move(options));
+  KvShim shim(&store);
+  ShimRegistry registry;
+  registry.Register(&shim);
+
+  Lineage lineage = shim.Write(Region::kUs, "k", "v", Lineage(1));
+  ASSERT_EQ(lineage.deps().back().scope & RegionBit(Region::kSg), 0);
+
+  Counter* scoped_skip = MetricsRegistry::Default().GetCounter("barrier.scoped_skip");
+  const uint64_t skips_before = scoped_skip->value();
+  BarrierOptions barrier_options = Options(&registry);
+  barrier_options.wait.timeout = Millis(5000);
+  const std::vector<Region> deployment = {Region::kUs, Region::kEu, Region::kSg};
+  ASSERT_TRUE(BarrierGlobal(lineage, deployment, barrier_options).ok());
+  EXPECT_GT(scoped_skip->value(), skips_before);
+  EXPECT_TRUE(store.IsVisible(Region::kEu, "k", 1));
+
+  injector.Disarm();
+  store.DrainReplication();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, EnforcementBackendTest,
     ::testing::Values(EnforcementBackendKind::kLineage, EnforcementBackendKind::kStableFrontier),

@@ -171,13 +171,17 @@ TEST(LineageTest, DeserializeRejectsTrailingBytes) {
 
 namespace {
 // Hand-assembles a wire blob with the dependencies in the given order,
-// bypassing Lineage's sorted invariant.
-std::string RawWire(uint64_t id, const std::vector<WriteId>& deps) {
+// bypassing Lineage's sorted invariant. Each dependency's locality scope is
+// emitted exactly as given (the lineage wire carries one scope varint per
+// dependency), so tests can plant masks Serialize would never produce.
+std::string RawWire(uint64_t id, const std::vector<WriteId>& deps,
+                    const std::vector<uint64_t>& scopes = {}) {
   Serializer s;
   s.WriteVarint(id);
   s.WriteVarint(deps.size());
-  for (const auto& dep : deps) {
-    dep.SerializeTo(s);
+  for (size_t i = 0; i < deps.size(); ++i) {
+    deps[i].SerializeTo(s);
+    s.WriteVarint(i < scopes.size() ? scopes[i] : deps[i].scope);
   }
   return s.Release();
 }
@@ -213,6 +217,124 @@ TEST(LineageTest, DeserializeRejectsCountBeyondPayload) {
   auto result = Lineage::Deserialize(s.Release());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- locality scopes (DESIGN.md §13) ----------------------------------------
+
+WriteId ScopedId(const std::string& store, const std::string& key, uint64_t version,
+                 RegionMask scope) {
+  return WriteId{store, key, version, scope};
+}
+
+TEST(LineageTest, SerializePreservesLocalityScopes) {
+  Lineage lineage(3);
+  lineage.Append(ScopedId("s", "narrow", 1, RegionMaskOf({Region::kUs})));
+  lineage.Append(ScopedId("s", "wide", 2, RegionMaskOf({Region::kEu, Region::kSg})));
+  lineage.Append(Id("t", "default", 1));  // all-ones
+  auto restored = Lineage::Deserialize(lineage.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, lineage);
+  // operator== ignores scope, so compare the masks explicitly.
+  ASSERT_EQ(restored->Size(), 3u);
+  EXPECT_EQ(restored->deps()[0].scope, RegionMaskOf({Region::kUs}));
+  EXPECT_EQ(restored->deps()[1].scope, RegionMaskOf({Region::kEu, Region::kSg}));
+  EXPECT_EQ(restored->deps()[2].scope, kAllRegionsMask);
+}
+
+TEST(LineageTest, DeserializeRejectsZeroScope) {
+  // A zero scope claims "enforce nowhere" — such a dependency is pruned, never
+  // serialized, so on the wire it marks corruption.
+  auto result = Lineage::Deserialize(RawWire(1, {Id("s", "k", 1)}, {0}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LineageTest, DeserializeRejectsScopeBeyondKnownRegions) {
+  auto result = Lineage::Deserialize(
+      RawWire(1, {Id("s", "k", 1)}, {static_cast<uint64_t>(kAllRegionsMask) + 1}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // A multi-byte varint mask is just as foreign.
+  result = Lineage::Deserialize(RawWire(1, {Id("s", "k", 1)}, {1u << 20}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LineageTest, DeserializeRejectsTruncatedScope) {
+  // Cut the wire exactly at the final dependency's scope byte.
+  const std::string wire = RawWire(1, {Id("s", "k", 1)});
+  auto result = Lineage::Deserialize(std::string_view(wire).substr(0, wire.size() - 1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LineageTest, AppendNormalizesZeroScopeToUnknown) {
+  Lineage lineage;
+  lineage.Append(ScopedId("s", "k", 1, 0));
+  EXPECT_EQ(lineage.deps()[0].scope, kAllRegionsMask);
+}
+
+TEST(LineageTest, AppendNewerVersionAdoptsItsScope) {
+  Lineage lineage;
+  lineage.Append(ScopedId("s", "k", 1, RegionMaskOf({Region::kUs, Region::kEu})));
+  // A newer write restarts from its store's scope, even a broader one.
+  lineage.Append(ScopedId("s", "k", 2, RegionMaskOf({Region::kSg})));
+  EXPECT_EQ(lineage.deps()[0].scope, RegionMaskOf({Region::kSg}));
+  // An older re-append changes nothing.
+  lineage.Append(ScopedId("s", "k", 1, kAllRegionsMask));
+  EXPECT_EQ(lineage.deps()[0].version, 2u);
+  EXPECT_EQ(lineage.deps()[0].scope, RegionMaskOf({Region::kSg}));
+}
+
+TEST(LineageTest, AppendEqualVersionIntersectsScopes) {
+  Lineage lineage;
+  lineage.Append(ScopedId("s", "k", 1, RegionMaskOf({Region::kUs, Region::kEu})));
+  lineage.Append(ScopedId("s", "k", 1, RegionMaskOf({Region::kEu, Region::kSg})));
+  EXPECT_EQ(lineage.deps()[0].scope, RegionMaskOf({Region::kEu}));
+  // A disjoint claim would intersect to zero — Append is not a pruning point,
+  // so the existing (broader) claim is kept instead.
+  lineage.Append(ScopedId("s", "k", 1, RegionMaskOf({Region::kUs})));
+  EXPECT_EQ(lineage.deps()[0].scope, RegionMaskOf({Region::kEu}));
+}
+
+TEST(LineageTest, TransferMergesScopes) {
+  Lineage a;
+  a.Append(ScopedId("s", "same", 1, RegionMaskOf({Region::kUs, Region::kEu})));
+  a.Append(ScopedId("s", "stale", 1, kAllRegionsMask));
+  Lineage b;
+  b.Append(ScopedId("s", "same", 1, RegionMaskOf({Region::kEu, Region::kSg})));
+  b.Append(ScopedId("s", "stale", 4, RegionMaskOf({Region::kSg})));
+  a.Transfer(b);
+  ASSERT_EQ(a.Size(), 2u);
+  // Equal versions intersect; a version conflict keeps the winner's scope.
+  EXPECT_EQ(a.deps()[0].scope, RegionMaskOf({Region::kEu}));
+  EXPECT_EQ(a.deps()[1].version, 4u);
+  EXPECT_EQ(a.deps()[1].scope, RegionMaskOf({Region::kSg}));
+}
+
+TEST(LineageTest, PruneNarrowsScopeAndDropsVisibleEverywhere) {
+  VisibilityCache cache;
+  auto vis = cache.Register("prune-s", {Region::kUs, Region::kEu});
+  vis->NoteVisible(Region::kUs, "half", 1);
+  vis->NoteVisible(Region::kUs, "done", 1);
+  vis->NoteVisible(Region::kEu, "done", 1);
+
+  Lineage lineage(9);
+  lineage.Append(Id("prune-s", "half", 1));  // visible at US only
+  lineage.Append(Id("prune-s", "done", 1));  // visible at both replicas
+  lineage.Append(Id("prune-s", "cold", 1));  // visible nowhere yet
+  lineage.Append(Id("unknown-store", "k", 1));
+  EXPECT_EQ(lineage.PruneVisibleEverywhere(cache), 1u);
+  ASSERT_EQ(lineage.Size(), 3u);
+  // The store only replicates to {US, EU}, so scopes narrow to the footprint;
+  // "half" additionally sheds the US bit it was proven visible at.
+  EXPECT_EQ(lineage.deps()[0].key, "cold");
+  EXPECT_EQ(lineage.deps()[0].scope, RegionMaskOf({Region::kUs, Region::kEu}));
+  EXPECT_EQ(lineage.deps()[1].key, "half");
+  EXPECT_EQ(lineage.deps()[1].scope, RegionMaskOf({Region::kEu}));
+  // Dependencies on stores the cache does not know keep their full scope.
+  EXPECT_EQ(lineage.deps()[2].store, "unknown-store");
+  EXPECT_EQ(lineage.deps()[2].scope, kAllRegionsMask);
 }
 
 TEST(LineageTest, ToStringListsDeps) {
