@@ -1,15 +1,23 @@
-// Schema check for the BENCH_load_sweep.json artifact: parses the document
-// with a minimal recursive-descent JSON reader (no dependencies) and asserts
-// the keys every future PR's delta-comparison relies on — a non-empty
-// `phases` array whose every element carries peak_req_s, p50/p99/p999, an
-// enforcement `backend` tag, the strategy's metadata_bytes_per_req, and a
-// scoped_skips count (with at least one phase actually backend-tagged, and a
-// locality phase pair — scoped with scoped_skips>0, plus an unscoped
-// baseline — so the scoped-vs-unscoped comparison is always present).
+// Schema check for the BENCH_*.json artifacts: parses the document with a
+// minimal recursive-descent JSON reader (no dependencies) and asserts the
+// keys every future PR's delta-comparison relies on. Dispatches on the root
+// "bench" tag:
+//
+//   * (absent) / load_sweep — a non-empty `phases` array whose every element
+//     carries peak_req_s, p50/p99/p999, an enforcement `backend` tag, the
+//     strategy's metadata_bytes_per_req, and a scoped_skips count (with at
+//     least one phase actually backend-tagged, and a locality phase pair —
+//     scoped with scoped_skips>0, plus an unscoped baseline).
+//   * trace_mesh — additionally a `graph` shape block proving the deep-graph
+//     regime (min_stateful_calls ≥ 20, min_depth ≥ 5, and ≥200 live services
+//     on non-quick runs), a `carry` array with the legacy-vs-native lineage
+//     carry pair at ≥20 deps, per-phase violations (must be 0 under
+//     enforcement) and allocs_per_req, both enforcement backends present,
+//     and the scoped/unscoped global-barrier pair.
 //
 // Usage: validate_bench_json <path> — exit 0 on a valid report, 1 with a
-// diagnostic otherwise. Wired into bench-smoke right after `load_sweep
-// --quick` emits the file.
+// diagnostic otherwise. Wired into bench-smoke right after each bench's
+// --quick run emits its file.
 
 #include <cctype>
 #include <cstdio>
@@ -250,6 +258,167 @@ class Parser {
   std::string error_;
 };
 
+// Checks that `value` (phase `index` of the artifact) has every key in
+// `keys` with JSON kind `kind`; returns the number of schema errors.
+int RequireFields(const JsonValue& value, size_t index, const char* const* keys, size_t num_keys,
+                  JsonValue::Kind kind, const char* kind_name) {
+  int errors = 0;
+  for (size_t k = 0; k < num_keys; ++k) {
+    const JsonValue* field = value.Find(keys[k]);
+    if (field == nullptr) {
+      std::fprintf(stderr, "validate_bench_json: phases[%zu] missing \"%s\"\n", index, keys[k]);
+      ++errors;
+    } else if (field->kind != kind) {
+      std::fprintf(stderr, "validate_bench_json: phases[%zu].%s is not a %s\n", index, keys[k],
+                   kind_name);
+      ++errors;
+    }
+  }
+  return errors;
+}
+
+double NumberOr(const JsonValue& value, const std::string& key, double fallback) {
+  const JsonValue* field = value.Find(key);
+  return field != nullptr && field->kind == JsonValue::Kind::kNumber ? field->number : fallback;
+}
+
+bool BoolOr(const JsonValue& value, const std::string& key, bool fallback) {
+  const JsonValue* field = value.Find(key);
+  return field != nullptr && field->kind == JsonValue::Kind::kBool ? field->boolean : fallback;
+}
+
+// The trace-mesh macrobench schema (emitted by bench/trace_mesh, documented
+// in DESIGN.md §14).
+int CheckTraceMesh(const char* path, const JsonValue& root) {
+  int errors = 0;
+  const bool quick = BoolOr(root, "quick", false);
+
+  // Graph-shape block: the acceptance regime must be visible in the artifact.
+  const JsonValue* graph = root.Find("graph");
+  if (graph == nullptr || graph->kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "validate_bench_json: missing \"graph\" shape object\n");
+    ++errors;
+  } else {
+    const double live = NumberOr(*graph, "live_services", 0.0);
+    const double min_stateful = NumberOr(*graph, "min_stateful_calls", 0.0);
+    const double min_depth = NumberOr(*graph, "min_depth", 0.0);
+    if (min_stateful < 20) {
+      std::fprintf(stderr,
+                   "validate_bench_json: graph.min_stateful_calls %.0f < 20 — not the "
+                   "deep-graph regime\n",
+                   min_stateful);
+      ++errors;
+    }
+    if (min_depth < 5) {
+      std::fprintf(stderr, "validate_bench_json: graph.min_depth %.0f < 5\n", min_depth);
+      ++errors;
+    }
+    if (!quick && live < 200) {
+      std::fprintf(stderr,
+                   "validate_bench_json: graph.live_services %.0f < 200 on a full run\n", live);
+      ++errors;
+    }
+  }
+
+  // Carry pair: the legacy-vs-native lineage-carry comparison at ≥20 deps.
+  const JsonValue* carry = root.Find("carry");
+  bool carry_legacy = false;
+  bool carry_native = false;
+  if (carry == nullptr || carry->kind != JsonValue::Kind::kArray || carry->array.empty()) {
+    std::fprintf(stderr, "validate_bench_json: missing or empty \"carry\" array\n");
+    ++errors;
+  } else {
+    for (const JsonValue& point : carry->array) {
+      if (point.kind != JsonValue::Kind::kObject ||
+          point.Find("p50_ns") == nullptr || point.Find("allocs_per_hop") == nullptr) {
+        std::fprintf(stderr, "validate_bench_json: malformed carry point\n");
+        ++errors;
+        continue;
+      }
+      if (NumberOr(point, "deps", 0.0) >= 20) {
+        (BoolOr(point, "native", false) ? carry_native : carry_legacy) = true;
+      }
+    }
+    if (!carry_legacy || !carry_native) {
+      std::fprintf(stderr,
+                   "validate_bench_json: carry array lacks the legacy/native pair at "
+                   ">=20 deps\n");
+      ++errors;
+    }
+  }
+
+  const JsonValue* phases = root.Find("phases");
+  if (phases == nullptr || phases->kind != JsonValue::Kind::kArray || phases->array.empty()) {
+    std::fprintf(stderr, "validate_bench_json: missing or empty \"phases\" array\n");
+    return 1;
+  }
+  const char* required_numbers[] = {"peak_req_s",   "p50_ms",
+                                    "p99_ms",       "p999_ms",
+                                    "scoped_skips", "metadata_bytes_per_req",
+                                    "violations",   "allocs_per_req"};
+  const char* required_strings[] = {"name", "backend"};
+  const char* required_bools[] = {"antipode", "native_slot", "use_scope"};
+  bool any_lineage = false;
+  bool any_frontier = false;
+  bool any_scoped_engaged = false;
+  bool any_unscoped = false;
+  for (size_t i = 0; i < phases->array.size(); ++i) {
+    const JsonValue& phase = phases->array[i];
+    if (phase.kind != JsonValue::Kind::kObject) {
+      std::fprintf(stderr, "validate_bench_json: phases[%zu] is not an object\n", i);
+      ++errors;
+      continue;
+    }
+    errors += RequireFields(phase, i, required_numbers,
+                            sizeof(required_numbers) / sizeof(required_numbers[0]),
+                            JsonValue::Kind::kNumber, "number");
+    errors += RequireFields(phase, i, required_strings,
+                            sizeof(required_strings) / sizeof(required_strings[0]),
+                            JsonValue::Kind::kString, "string");
+    errors += RequireFields(phase, i, required_bools,
+                            sizeof(required_bools) / sizeof(required_bools[0]),
+                            JsonValue::Kind::kBool, "bool");
+    const JsonValue* backend = phase.Find("backend");
+    if (backend != nullptr && backend->kind == JsonValue::Kind::kString) {
+      any_lineage |= backend->string == "lineage";
+      any_frontier |= backend->string == "stable_frontier";
+    }
+    const bool antipode = BoolOr(phase, "antipode", false);
+    if (antipode && NumberOr(phase, "violations", -1.0) != 0.0) {
+      std::fprintf(stderr,
+                   "validate_bench_json: phases[%zu] ran under enforcement with %.0f XCY "
+                   "violations\n",
+                   i, NumberOr(phase, "violations", -1.0));
+      ++errors;
+    }
+    if (antipode) {
+      if (BoolOr(phase, "use_scope", true)) {
+        any_scoped_engaged |= NumberOr(phase, "scoped_skips", 0.0) > 0;
+      } else {
+        any_unscoped = true;
+      }
+    }
+  }
+  if (!any_lineage || !any_frontier) {
+    std::fprintf(stderr,
+                 "validate_bench_json: need phases under both enforcement backends "
+                 "(lineage + stable_frontier)\n");
+    ++errors;
+  }
+  if (!any_scoped_engaged || !any_unscoped) {
+    std::fprintf(stderr,
+                 "validate_bench_json: missing the scoped/unscoped barrier pair (one scoped "
+                 "phase with scoped_skips>0, one with use_scope=false)\n");
+    ++errors;
+  }
+  if (errors != 0) {
+    return 1;
+  }
+  std::printf("validate_bench_json: %s OK (trace_mesh, %zu phases)\n", path,
+              phases->array.size());
+  return 0;
+}
+
 int Check(const char* path) {
   std::FILE* f = std::fopen(path, "r");
   if (f == nullptr) {
@@ -274,6 +443,11 @@ int Check(const char* path) {
   if (root.kind != JsonValue::Kind::kObject) {
     std::fprintf(stderr, "validate_bench_json: top level is not an object\n");
     return 1;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench != nullptr && bench->kind == JsonValue::Kind::kString &&
+      bench->string == "trace_mesh") {
+    return CheckTraceMesh(path, root);
   }
   const JsonValue* phases = root.Find("phases");
   if (phases == nullptr || phases->kind != JsonValue::Kind::kArray || phases->array.empty()) {

@@ -74,7 +74,7 @@ void Lineage::Transfer(const Lineage& other) {
   enforced_.fetch_and(other.enforced_.load(std::memory_order_acquire),
                       std::memory_order_acq_rel);
   // Linear merge of two sorted, per-key-compacted runs.
-  std::vector<WriteId> merged;
+  DepVector merged;
   merged.reserve(deps_.size() + other.deps_.size());
   auto a = deps_.begin();
   auto b = other.deps_.begin();
@@ -173,9 +173,38 @@ std::string Lineage::Serialize() const {
 void Lineage::SerializeTo(std::string& out) const {
   out.reserve(out.size() + WireSize());
   AppendVarint(out, id_);
-  AppendVarint(out, deps_.size());
+  // Interned store table: deps_ is sorted by ⟨store, key⟩, so distinct
+  // stores form contiguous runs in sorted order — one pass counts them, one
+  // emits them, and the table is canonically sorted for free. Dependencies
+  // then reference their store by table index (a single-byte varint for any
+  // realistic datastore count) instead of repeating the name.
+  size_t num_stores = 0;
+  const std::string* prev = nullptr;
   for (const auto& dep : deps_) {
-    dep.AppendTo(out);
+    if (prev == nullptr || dep.store != *prev) {
+      prev = &dep.store;
+      ++num_stores;
+    }
+  }
+  AppendVarint(out, num_stores);
+  prev = nullptr;
+  for (const auto& dep : deps_) {
+    if (prev == nullptr || dep.store != *prev) {
+      prev = &dep.store;
+      AppendLengthPrefixed(out, dep.store);
+    }
+  }
+  AppendVarint(out, deps_.size());
+  prev = nullptr;
+  size_t index = 0;
+  for (const auto& dep : deps_) {
+    if (prev != nullptr && dep.store != *prev) {
+      ++index;
+    }
+    prev = &dep.store;
+    AppendVarint(out, index);
+    AppendLengthPrefixed(out, dep.key);
+    AppendVarint(out, dep.version);
     // Locality scope rides the lineage wire (not WriteId's own encoding,
     // which other call sites use scope-free): one varint — always a single
     // byte, since the mask fits kNumRegions bits — after each dependency.
@@ -185,9 +214,22 @@ void Lineage::SerializeTo(std::string& out) const {
 
 size_t Lineage::WireSize() const {
   size_t n = VarintWireSize(id_) + VarintWireSize(deps_.size());
+  size_t num_stores = 0;
+  size_t index = 0;
+  const std::string* prev = nullptr;
   for (const auto& dep : deps_) {
-    n += dep.WireSize() + VarintWireSize(dep.scope);
+    if (prev == nullptr || dep.store != *prev) {
+      if (prev != nullptr) {
+        ++index;
+      }
+      prev = &dep.store;
+      ++num_stores;
+      n += VarintWireSize(dep.store.size()) + dep.store.size();
+    }
+    n += VarintWireSize(index) + VarintWireSize(dep.key.size()) + dep.key.size() +
+         VarintWireSize(dep.version) + VarintWireSize(dep.scope);
   }
+  n += VarintWireSize(num_stores);
   return n;
 }
 
@@ -198,24 +240,80 @@ Result<Lineage> Lineage::Deserialize(std::string_view data) {
     return Status::InvalidArgument("lineage wire truncated in id: " +
                                    std::string(id.status().message()));
   }
+  auto store_count = d.ReadVarint();
+  if (!store_count.ok()) {
+    return Status::InvalidArgument("lineage wire truncated in store table size: " +
+                                   std::string(store_count.status().message()));
+  }
+  // Each table entry costs at least its one-byte length prefix, which bounds
+  // a trustworthy reserve even when the count is adversarial garbage.
+  if (*store_count > d.Remaining()) {
+    return Status::InvalidArgument("lineage wire store table size " +
+                                   std::to_string(*store_count) + " exceeds remaining payload");
+  }
+  std::vector<std::string> stores;
+  stores.reserve(*store_count);
+  for (uint64_t i = 0; i < *store_count; ++i) {
+    auto store = d.ReadString();
+    if (!store.ok()) {
+      return Status::InvalidArgument("lineage wire truncated in store table entry " +
+                                     std::to_string(i) + " of " + std::to_string(*store_count) +
+                                     ": " + std::string(store.status().message()));
+    }
+    // Serialize interns stores in sorted first-appearance order over a
+    // sorted dependency vector, so the table is strictly increasing; an
+    // unsorted or duplicated entry marks a corrupt or foreign wire.
+    if (!stores.empty() && !(stores.back() < *store)) {
+      return Status::InvalidArgument("lineage wire store table not canonical at entry " +
+                                     std::to_string(i) + " (\"" + *store + "\")");
+    }
+    stores.push_back(std::move(*store));
+  }
   auto count = d.ReadVarint();
   if (!count.ok()) {
     return Status::InvalidArgument("lineage wire truncated in dependency count: " +
                                    std::string(count.status().message()));
   }
   Lineage lineage(*id);
-  // Every serialized dependency is >= 4 bytes (two length prefixes, a
-  // version, and a scope), which bounds a trustworthy reserve even when
-  // `count` is adversarial garbage.
+  // Every serialized dependency is >= 4 bytes (a store index, a key length
+  // prefix, a version, and a scope), which bounds the reserve like above.
   lineage.deps_.reserve(std::min<uint64_t>(*count, d.Remaining() / 4 + 1));
+  uint64_t prev_index = 0;
   for (uint64_t i = 0; i < *count; ++i) {
-    auto dep = WriteId::DeserializeFrom(d);
-    if (!dep.ok()) {
+    auto index = d.ReadVarint();
+    if (!index.ok()) {
+      return Status::InvalidArgument("lineage wire truncated in store index of dependency " +
+                                     std::to_string(i) + " of " + std::to_string(*count) + ": " +
+                                     std::string(index.status().message()));
+    }
+    if (*index >= *store_count) {
+      return Status::InvalidArgument("lineage wire store index " + std::to_string(*index) +
+                                     " at dependency " + std::to_string(i) +
+                                     " is outside the " + std::to_string(*store_count) +
+                                     "-entry store table");
+    }
+    // Canonical index sequence: starts at 0 and advances by at most one —
+    // anything else means the dependency runs are unsorted across stores or
+    // the table carries entries no dependency references.
+    if (i == 0 ? *index != 0 : (*index != prev_index && *index != prev_index + 1)) {
+      return Status::InvalidArgument("lineage wire not canonical: store index " +
+                                     std::to_string(*index) + " at dependency " +
+                                     std::to_string(i) + " after index " +
+                                     std::to_string(prev_index));
+    }
+    auto key = d.ReadString();
+    if (!key.ok()) {
       // A short read is a framing error of the lineage blob, not a range
       // problem of one field — report it as such, with position context.
       return Status::InvalidArgument("lineage wire truncated at dependency " +
                                      std::to_string(i) + " of " + std::to_string(*count) + ": " +
-                                     std::string(dep.status().message()));
+                                     std::string(key.status().message()));
+    }
+    auto version = d.ReadVarint();
+    if (!version.ok()) {
+      return Status::InvalidArgument("lineage wire truncated in version of dependency " +
+                                     std::to_string(i) + " of " + std::to_string(*count) + ": " +
+                                     std::string(version.status().message()));
     }
     auto scope = d.ReadVarint();
     if (!scope.ok()) {
@@ -223,13 +321,14 @@ Result<Lineage> Lineage::Deserialize(std::string_view data) {
                                      std::to_string(i) + " of " + std::to_string(*count) + ": " +
                                      std::string(scope.status().message()));
     }
+    WriteId dep{stores[*index], std::move(*key), *version};
     // A scope must name at least one real region: zero claims "enforce
     // nowhere" (such a dependency is never serialized — it is pruned), and
     // bits beyond kNumRegions would round-trip into masks no barrier can
     // interpret. Both mark a corrupt or foreign wire.
     if (*scope == 0) {
       return Status::InvalidArgument("lineage wire has zero region scope at dependency " +
-                                     std::to_string(i) + " (" + dep->ToString() + ")");
+                                     std::to_string(i) + " (" + dep.ToString() + ")");
     }
     if ((*scope & ~static_cast<uint64_t>(kAllRegionsMask)) != 0) {
       return Status::InvalidArgument(
@@ -237,22 +336,30 @@ Result<Lineage> Lineage::Deserialize(std::string_view data) {
           std::to_string(i) + " has bits beyond the " + std::to_string(kNumRegions) +
           " known regions");
     }
-    dep->scope = static_cast<RegionMask>(*scope);
+    dep.scope = static_cast<RegionMask>(*scope);
     // Our own Serialize emits deps strictly sorted by ⟨store, key⟩ with one
     // version per pair, which is what lets this loop append directly instead
     // of re-running the O(log n) compaction probe per element. Anything
     // unsorted or duplicated is therefore a corrupt or foreign wire —
     // rejected, not silently repaired: repairing would let a malformed blob
     // round-trip into a "valid" lineage that other replicas decode
-    // differently than this one intended.
-    if (!lineage.deps_.empty() && !StoreKeyLess(lineage.deps_.back(), *dep)) {
-      const bool duplicate = SameStoreKey(lineage.deps_.back(), *dep);
+    // differently than this one intended. (Cross-store order is already
+    // pinned by the index sequence; within a store the keys must climb.)
+    if (*index == prev_index && !lineage.deps_.empty() &&
+        !(lineage.deps_.back().key < dep.key)) {
+      const bool duplicate = lineage.deps_.back().key == dep.key;
       return Status::InvalidArgument(
           std::string("lineage wire not canonical: ") +
           (duplicate ? "duplicate ⟨store, key⟩ pair " : "out-of-order dependency ") +
-          dep->ToString() + " at index " + std::to_string(i));
+          dep.ToString() + " at index " + std::to_string(i));
     }
-    lineage.deps_.push_back(std::move(*dep));
+    prev_index = *index;
+    lineage.deps_.push_back(std::move(dep));
+  }
+  if (*count == 0 ? *store_count != 0 : prev_index + 1 != *store_count) {
+    return Status::InvalidArgument("lineage wire store table has unreferenced entries (" +
+                                   std::to_string(*store_count) + " stores, " +
+                                   std::to_string(*count) + " dependencies)");
   }
   if (d.Remaining() != 0) {
     return Status::InvalidArgument("lineage wire has " + std::to_string(d.Remaining()) +

@@ -22,12 +22,18 @@
 
 #include "src/antipode/visibility_cache.h"
 #include "src/antipode/write_id.h"
+#include "src/common/small_vector.h"
 #include "src/common/status.h"
 
 namespace antipode {
 
 class Lineage {
  public:
+  // Inline slots sized for the common request: most calibrated call graphs
+  // accumulate a handful of *distinct* ⟨store, key⟩ pairs before compaction,
+  // so typical lineages never touch the heap (DESIGN.md §14).
+  using DepVector = SmallVector<WriteId, 4>;
+
   Lineage() = default;
   explicit Lineage(uint64_t id) : id_(id) {}
 
@@ -118,7 +124,7 @@ class Lineage {
   bool Empty() const { return deps_.empty(); }
   size_t Size() const { return deps_.size(); }
   // Sorted by ⟨store, key, version⟩; dependencies of one store are contiguous.
-  const std::vector<WriteId>& deps() const { return deps_; }
+  const DepVector& deps() const { return deps_; }
 
   // Dependencies belonging to one datastore (what a shim's `wait` enforces).
   std::vector<WriteId> DepsForStore(const std::string& store) const;
@@ -127,6 +133,10 @@ class Lineage {
 
   // Wire encoding — its size is the "lineage metadata size" the paper
   // reports (≤200 B in DeathStarBench, ≈200 B average on Alibaba graphs).
+  // Distinct store names are interned into a front table and dependencies
+  // reference them by index: an application has a handful of datastores
+  // shared by many services, so deep-graph lineages (20–60 deps) stop paying
+  // the store string once per dependency.
   std::string Serialize() const;
   // Appends the wire encoding to `out` (exactly WireSize() bytes) — the
   // single-buffer path Install/FrameValue use with a reused scratch string.
@@ -139,7 +149,7 @@ class Lineage {
 
  private:
   uint64_t id_ = 0;
-  std::vector<WriteId> deps_;
+  DepVector deps_;
   // Bitmask over RegionIndex; mutable because it is a memo of externally
   // observable state, not part of the lineage's value (operator== ignores it).
   mutable std::atomic<uint8_t> enforced_{0};

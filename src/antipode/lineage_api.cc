@@ -1,6 +1,7 @@
 #include "src/antipode/lineage_api.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 
 #include "src/context/merge.h"
@@ -11,6 +12,7 @@ namespace {
 
 std::atomic<uint64_t> g_next_lineage_id{1};
 std::atomic<bool> g_prune_on_install{false};
+std::atomic<bool> g_native_slot{true};
 
 std::string UnionMerge(const std::string& existing, const std::string& incoming) {
   auto ours = Lineage::Deserialize(existing);
@@ -28,12 +30,92 @@ std::string UnionMerge(const std::string& existing, const std::string& incoming)
   return ours->Serialize();
 }
 
+// Native-slot flavor of UnionMerge: folds the incoming wire into the live
+// object without re-serializing the result (the slot is marked dirty and
+// flushed at the next hop). Clones first when the pointer is shared — other
+// context copies alias the object.
+void NativeUnionMerge(std::shared_ptr<void>& object, const std::string& incoming) {
+  auto theirs = Lineage::Deserialize(incoming);
+  if (!theirs.ok()) {
+    return;  // keep ours, like UnionMerge on a corrupt incoming blob
+  }
+  auto* mine = static_cast<Lineage*>(object.get());
+  if (object.use_count() > 1) {
+    object = std::make_shared<Lineage>(*mine);
+    mine = static_cast<Lineage*>(object.get());
+  }
+  mine->Transfer(*theirs);
+  if (mine->id() == 0) {
+    mine->set_id(theirs->id());
+  }
+}
+
+// Serialize thunk for the native slot (called by FlushNativeSlot at hop
+// boundaries). Prune-on-install applies here too: the flush is exactly the
+// "re-encoded into baggage" point the option documents.
+void SerializeLineageSlot(const void* object, std::string& out) {
+  const auto* lineage = static_cast<const Lineage*>(object);
+  if (LineageApi::prune_on_install()) {
+    Lineage pruned = *lineage;
+    pruned.PruneVisibleEverywhere();
+    pruned.SerializeTo(out);
+  } else {
+    lineage->SerializeTo(out);
+  }
+}
+
+// The context's native lineage, populating the slot from the baggage entry
+// on first access (one deserialize per hop instead of one per read/mutate).
+// nullptr when no lineage is installed at all.
+const Lineage* NativeCurrent(RequestContext* context) {
+  RequestContext::NativeSlot& slot = context->native_slot();
+  if (slot.object != nullptr && slot.key == std::string_view(kLineageBaggageKey)) {
+    return static_cast<const Lineage*>(slot.object.get());
+  }
+  const std::string* blob = context->baggage().Find(kLineageBaggageKey);
+  if (blob == nullptr) {
+    return nullptr;
+  }
+  auto lineage = Lineage::Deserialize(*blob);
+  if (!lineage.ok()) {
+    return nullptr;
+  }
+  slot.key = kLineageBaggageKey;
+  slot.serialize = &SerializeLineageSlot;
+  slot.object = std::make_shared<Lineage>(std::move(*lineage));
+  slot.dirty = false;
+  return static_cast<const Lineage*>(slot.object.get());
+}
+
+// Uniquely-owned native lineage for in-place mutation (copy-on-write when
+// the object is shared with other context copies). nullptr when no lineage
+// is installed.
+Lineage* MutableNative(RequestContext* context) {
+  if (NativeCurrent(context) == nullptr) {
+    return nullptr;
+  }
+  RequestContext::NativeSlot& slot = context->native_slot();
+  if (slot.object.use_count() > 1) {
+    slot.object = std::make_shared<Lineage>(*static_cast<const Lineage*>(slot.object.get()));
+  }
+  return static_cast<Lineage*>(slot.object.get());
+}
+
+// Post-mutation bookkeeping shared by the native mutators.
+void CommitNative(RequestContext* context, Lineage* lineage) {
+  if (g_prune_on_install.load(std::memory_order_relaxed)) {
+    lineage->PruneVisibleEverywhere();
+  }
+  context->native_slot().dirty = true;
+}
+
 }  // namespace
 
 void LineageApi::EnsureMergerRegistered() {
   static std::once_flag once;
   std::call_once(once, [] {
-    BaggageMergerRegistry::Instance().Register(kLineageBaggageKey, UnionMerge);
+    BaggageMergerRegistry::Instance().Register(kLineageBaggageKey, UnionMerge,
+                                               NativeUnionMerge);
   });
 }
 
@@ -47,6 +129,7 @@ Lineage LineageApi::Root() {
 void LineageApi::Stop() {
   RequestContext* context = RequestContext::Current();
   if (context != nullptr) {
+    context->ClearNativeSlot();
     context->baggage().Erase(kLineageBaggageKey);
   }
 }
@@ -57,8 +140,18 @@ std::optional<Lineage> LineageApi::Current() {
   if (context == nullptr) {
     return std::nullopt;
   }
-  auto blob = context->baggage().Get(kLineageBaggageKey);
-  if (!blob.has_value()) {
+  if (g_native_slot.load(std::memory_order_relaxed)) {
+    const Lineage* lineage = NativeCurrent(context);
+    if (lineage == nullptr) {
+      return std::nullopt;
+    }
+    return *lineage;
+  }
+  // Legacy path: the baggage string is authoritative. Flush first in case a
+  // native mutation predates a mid-run toggle.
+  context->FlushNativeSlot();
+  const std::string* blob = context->baggage().Find(kLineageBaggageKey);
+  if (blob == nullptr) {
     return std::nullopt;
   }
   auto lineage = Lineage::Deserialize(*blob);
@@ -76,12 +169,29 @@ bool LineageApi::prune_on_install() {
   return g_prune_on_install.load(std::memory_order_relaxed);
 }
 
+bool LineageApi::SetNativeSlot(bool enabled) {
+  return g_native_slot.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool LineageApi::native_slot_enabled() {
+  return g_native_slot.load(std::memory_order_relaxed);
+}
+
 void LineageApi::Install(const Lineage& lineage) {
   EnsureMergerRegistered();
   RequestContext* context = RequestContext::Current();
   if (context == nullptr) {
     return;
   }
+  if (g_native_slot.load(std::memory_order_relaxed)) {
+    RequestContext::NativeSlot& slot = context->native_slot();
+    slot.key = kLineageBaggageKey;
+    slot.serialize = &SerializeLineageSlot;
+    slot.object = std::make_shared<Lineage>(lineage);
+    CommitNative(context, static_cast<Lineage*>(slot.object.get()));
+    return;
+  }
+  context->ClearNativeSlot();  // the string entry becomes authoritative
   // Serialize into a reused per-thread scratch, then copy-assign into the
   // baggage entry: on the steady-state Append→Install cycle both buffers have
   // warm capacity, so installing a lineage allocates nothing.
@@ -98,6 +208,20 @@ void LineageApi::Install(const Lineage& lineage) {
 }
 
 void LineageApi::Append(const WriteId& dep) {
+  EnsureMergerRegistered();
+  RequestContext* context = RequestContext::Current();
+  if (context == nullptr) {
+    return;
+  }
+  if (g_native_slot.load(std::memory_order_relaxed)) {
+    Lineage* lineage = MutableNative(context);
+    if (lineage == nullptr) {
+      return;
+    }
+    lineage->Append(dep);
+    CommitNative(context, lineage);
+    return;
+  }
   auto lineage = Current();
   if (!lineage.has_value()) {
     return;
@@ -107,6 +231,20 @@ void LineageApi::Append(const WriteId& dep) {
 }
 
 void LineageApi::Remove(const WriteId& dep) {
+  EnsureMergerRegistered();
+  RequestContext* context = RequestContext::Current();
+  if (context == nullptr) {
+    return;
+  }
+  if (g_native_slot.load(std::memory_order_relaxed)) {
+    Lineage* lineage = MutableNative(context);
+    if (lineage == nullptr) {
+      return;
+    }
+    lineage->Remove(dep);
+    CommitNative(context, lineage);
+    return;
+  }
   auto lineage = Current();
   if (!lineage.has_value()) {
     return;
@@ -116,10 +254,25 @@ void LineageApi::Remove(const WriteId& dep) {
 }
 
 void LineageApi::Transfer(const Lineage& from) {
+  EnsureMergerRegistered();
+  RequestContext* context = RequestContext::Current();
+  if (context == nullptr) {
+    return;
+  }
+  if (g_native_slot.load(std::memory_order_relaxed)) {
+    Lineage* lineage = MutableNative(context);
+    if (lineage == nullptr) {
+      // Transferring into a context with no lineage installs a copy, so the
+      // dependencies are not silently dropped.
+      Install(from);
+      return;
+    }
+    lineage->Transfer(from);
+    CommitNative(context, lineage);
+    return;
+  }
   auto lineage = Current();
   if (!lineage.has_value()) {
-    // Transferring into a context with no lineage installs a copy, so the
-    // dependencies are not silently dropped.
     Install(from);
     return;
   }

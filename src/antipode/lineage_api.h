@@ -46,15 +46,27 @@ class LineageApi {
   // explicitly carrying causality across lineage boundaries (§5.1).
   static void Transfer(const Lineage& from);
 
-  // When enabled, Install (the single Serialize boundary every Append/
-  // Transfer/Root funnels through, i.e. every point where the lineage is
-  // re-encoded into baggage) first runs Lineage::PruneVisibleEverywhere
-  // against the process-wide visibility cache, so baggage sheds dependencies
-  // that can no longer block any barrier. Off by default — pruning is an
-  // explicit deployment choice; tests and checkers inspect full lineages.
-  // Returns the previous setting.
+  // When enabled, every point where the lineage is (re-)established — a
+  // mutation through this API, and the flush that re-encodes it into baggage
+  // at a hop — first runs Lineage::PruneVisibleEverywhere against the
+  // process-wide visibility cache, so baggage sheds dependencies that can no
+  // longer block any barrier. Off by default — pruning is an explicit
+  // deployment choice; tests and checkers inspect full lineages. Returns the
+  // previous setting.
   static bool SetPruneOnInstall(bool enabled);
   static bool prune_on_install();
+
+  // When enabled (the default), the current lineage lives as a native object
+  // in the request context's native slot (RequestContext::NativeSlot):
+  // Append/Remove/Transfer mutate it in place and the serialized baggage
+  // entry is refreshed only at hop boundaries, instead of paying a full
+  // deserialize→mutate→re-serialize cycle per mutation — the dominant cost
+  // at 20–60 dependencies per request (DESIGN.md §14). Disabling falls back
+  // to the legacy re-serialize-per-mutation path; the trace-mesh bench
+  // toggles this to measure the delta. Returns the previous setting. Only
+  // safe to toggle between requests (no context mid-flight on any thread).
+  static bool SetNativeSlot(bool enabled);
+  static bool native_slot_enabled();
 
   // Ensures the baggage union-merger for the lineage key is registered.
   // Called internally by every API entry point; exposed for tests.

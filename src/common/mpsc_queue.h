@@ -192,11 +192,25 @@ class MpscQueue {
         return std::nullopt;
       }
       std::unique_lock<std::mutex> lock(park_mu_);
-      parked_.store(true, std::memory_order_seq_cst);
-      park_cv_.wait(lock, [&] {
-        return size_.load(std::memory_order_seq_cst) > 0 ||
-               closed_.load(std::memory_order_acquire);
-      });
+      // parked_ must be re-declared on EVERY pass before re-checking the
+      // predicate, not just once before a predicated wait. A producer's wake
+      // claim (the exchange in WakeConsumer) can be stale: claimed against a
+      // *previous* park cycle, delivered after this consumer already drained
+      // those pushes and went back to sleep. A predicated cv.wait would
+      // re-sleep with parked_ still false (cleared by the stale claimer), and
+      // every later push would then skip the wake — stranding queued values
+      // behind a consumer nobody thinks is asleep.
+      for (;;) {
+        parked_.store(true, std::memory_order_seq_cst);
+        // seq_cst Dekker handshake, per iteration: either this load sees the
+        // producer's size increment, or the producer's exchange sees parked_
+        // == true and wakes us.
+        if (size_.load(std::memory_order_seq_cst) > 0 ||
+            closed_.load(std::memory_order_acquire)) {
+          break;
+        }
+        park_cv_.wait(lock);
+      }
       parked_.store(false, std::memory_order_release);
     }
   }
@@ -262,8 +276,9 @@ class MpscQueue {
   std::condition_variable park_cv_;
   // Written under park_mu_; read lock-free by producers in WakeConsumer. The
   // producer's size increment happens-before its parked_ read, and the
-  // consumer re-checks size under the lock before sleeping, so a missed-true
-  // read cannot strand a value.
+  // consumer re-declares parked_ and re-checks size on every wait-loop pass
+  // (see PopWait), so neither a missed-true read nor a stale wake claim can
+  // strand a value with a sleeping consumer.
   std::atomic<bool> parked_{false};
 };
 

@@ -1,0 +1,220 @@
+// SmallVector<T, N>: a contiguous sequence with N slots of inline storage,
+// spilling to the heap only past N elements. Covers the subset of the
+// std::vector API the hot paths use (push_back / insert / erase / reserve /
+// iteration); not a drop-in replacement — no allocator parameter, no
+// exception guarantees beyond basic, geometric growth on spill.
+//
+// Motivation (DESIGN.md §14): a lineage's dependency vector is the most
+// copied object on the deep-graph hot path — every context copy, transfer,
+// and deserialize touches it. Alibaba-calibrated requests mostly stay under a
+// handful of *distinct* ⟨store, key⟩ pairs until deep in the tree, so inline
+// slots turn the common copy into a memcpy-sized move with zero allocations.
+
+#ifndef SRC_COMMON_SMALL_VECTOR_H_
+#define SRC_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace antipode {
+
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { AppendRange(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      AppendRange(other.begin(), other.end());
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { Destroy(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+
+  const T* data() const { return data_; }
+  T* data() { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool inline_storage() const { return data_ == InlineData(); }
+
+  void clear() {
+    std::destroy(begin(), end());
+    size_ = 0;
+  }
+
+  void reserve(size_t wanted) {
+    if (wanted > capacity_) {
+      Grow(wanted);
+    }
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Grow(size_ + 1);
+    }
+    ::new (static_cast<void*>(data_ + size_)) T(value);
+    ++size_;
+  }
+
+  void push_back(T&& value) {
+    if (size_ == capacity_) {
+      Grow(size_ + 1);
+    }
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(value));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      Grow(size_ + 1);
+    }
+    T* slot = ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  // Inserts before `pos`; returns an iterator to the inserted element.
+  // Invalidates iterators on growth, like std::vector.
+  iterator insert(const_iterator pos, T value) {
+    const size_t offset = static_cast<size_t>(pos - data_);
+    assert(offset <= size_);
+    if (size_ == capacity_) {
+      Grow(size_ + 1);
+    }
+    if (offset == size_) {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(value));
+    } else {
+      // Shift the tail right by one: move-construct into the uninitialized
+      // last slot, then move-assign the rest down the line.
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      std::move_backward(data_ + offset, data_ + size_ - 1, data_ + size_);
+      data_[offset] = std::move(value);
+    }
+    ++size_;
+    return data_ + offset;
+  }
+
+  template <typename InputIt>
+  iterator insert(const_iterator pos, InputIt first, InputIt last) {
+    size_t offset = static_cast<size_t>(pos - data_);
+    for (InputIt it = first; it != last; ++it) {
+      insert(data_ + offset, *it);
+      ++offset;
+    }
+    return data_ + (offset - static_cast<size_t>(std::distance(first, last)));
+  }
+
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    const size_t lo = static_cast<size_t>(first - data_);
+    const size_t hi = static_cast<size_t>(last - data_);
+    assert(lo <= hi && hi <= size_);
+    std::move(data_ + hi, data_ + size_, data_ + lo);
+    std::destroy(data_ + size_ - (hi - lo), data_ + size_);
+    size_ -= hi - lo;
+    return data_ + lo;
+  }
+
+  bool operator==(const SmallVector& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_storage_); }
+
+  void AppendRange(const T* first, const T* last) {
+    reserve(size_ + static_cast<size_t>(last - first));
+    for (const T* it = first; it != last; ++it) {
+      ::new (static_cast<void*>(data_ + size_)) T(*it);
+      ++size_;
+    }
+  }
+
+  // Leaves `other` empty. Heap buffers are stolen; inline elements are moved
+  // one by one (they live inside `other`'s footprint and cannot be stolen).
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (!other.inline_storage()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+      return;
+    }
+    data_ = InlineData();
+    size_ = other.size_;
+    capacity_ = N;
+    std::uninitialized_move(other.begin(), other.end(), data_);
+    std::destroy(other.begin(), other.end());
+    other.size_ = 0;
+  }
+
+  void Grow(size_t wanted) {
+    const size_t grown = std::max(wanted, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(grown * sizeof(T), std::align_val_t(alignof(T))));
+    std::uninitialized_move(begin(), end(), fresh);
+    const size_t count = size_;
+    Destroy();
+    data_ = fresh;
+    size_ = count;
+    capacity_ = grown;
+  }
+
+  // Destroys elements and releases any heap buffer; leaves members stale —
+  // callers reset them (MoveFrom) or never touch the object again (dtor).
+  void Destroy() {
+    std::destroy(begin(), end());
+    if (!inline_storage()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_SMALL_VECTOR_H_

@@ -7,14 +7,42 @@ BaggageMergerRegistry& BaggageMergerRegistry::Instance() {
   return *registry;
 }
 
-void BaggageMergerRegistry::Register(std::string key, BaggageMerger merger) {
+void BaggageMergerRegistry::Register(std::string key, BaggageMerger merger,
+                                     NativeBaggageMerger native) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (native != nullptr) {
+    native_mergers_[key] = std::move(native);
+  }
   mergers_[std::move(key)] = std::move(merger);
 }
 
 void BaggageMergerRegistry::MergeInto(RequestContext& target, const Baggage& incoming) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, value] : incoming.entries()) {
+    RequestContext::NativeSlot& slot = target.native_slot();
+    if (slot.object != nullptr && key == slot.key) {
+      // The slot's object is the authoritative current value for this key
+      // (the string entry may be stale when dirty).
+      auto native_it = native_mergers_.find(key);
+      if (native_it != native_mergers_.end()) {
+        native_it->second(slot.object, value);
+        slot.dirty = true;
+        continue;
+      }
+      // No native merger: fall back to strings. Write the object back first
+      // so `existing` is current, and drop the object afterwards — the
+      // string result is now the authoritative value.
+      target.FlushNativeSlot();
+      auto existing = target.baggage().Get(key);
+      auto merger_it = mergers_.find(key);
+      if (existing.has_value() && merger_it != mergers_.end()) {
+        target.baggage().Set(key, merger_it->second(*existing, value));
+      } else {
+        target.baggage().Set(key, value);
+      }
+      target.ClearNativeSlot();
+      continue;
+    }
     auto existing = target.baggage().Get(key);
     auto merger_it = mergers_.find(key);
     if (existing.has_value() && merger_it != mergers_.end()) {

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -20,11 +21,22 @@ namespace antipode {
 using BaggageMerger =
     std::function<std::string(const std::string& existing, const std::string& incoming)>;
 
+// Folds an incoming serialized value directly into the native object a
+// context's slot holds for the key (see RequestContext::NativeSlot), so the
+// per-hop merge skips re-serializing the merged result. The merger owns the
+// copy-on-write discipline: it must clone the object before mutating when the
+// pointer is shared (use_count > 1) — other context copies alias it.
+using NativeBaggageMerger =
+    std::function<void(std::shared_ptr<void>& object, const std::string& incoming)>;
+
 class BaggageMergerRegistry {
  public:
   static BaggageMergerRegistry& Instance();
 
-  void Register(std::string key, BaggageMerger merger);
+  // `native` is optional: when registered and the target context's native
+  // slot is live for `key`, MergeInto folds into the object and marks the
+  // slot dirty instead of running the string merger.
+  void Register(std::string key, BaggageMerger merger, NativeBaggageMerger native = nullptr);
 
   // Folds `incoming` into `target` entry by entry, applying registered
   // mergers where present and overwriting otherwise.
@@ -33,6 +45,7 @@ class BaggageMergerRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, BaggageMerger> mergers_;
+  std::map<std::string, NativeBaggageMerger> native_mergers_;
 };
 
 }  // namespace antipode

@@ -18,7 +18,22 @@ std::string RequestContext::SerializeCurrent() {
   return tls_current->Serialize();
 }
 
-std::string RequestContext::Serialize() const {
+void RequestContext::FlushNativeSlot() {
+  if (!native_slot_.dirty || native_slot_.object == nullptr) {
+    return;
+  }
+  // Serialize into a reused per-thread scratch, then copy-assign into the
+  // baggage entry: on the steady-state flush cycle both buffers have warm
+  // capacity, so the write-back allocates nothing.
+  thread_local std::string scratch;
+  scratch.clear();
+  native_slot_.serialize(native_slot_.object.get(), scratch);
+  baggage_.Assign(native_slot_.key, scratch);
+  native_slot_.dirty = false;
+}
+
+std::string RequestContext::Serialize() {
+  FlushNativeSlot();
   Serializer s;
   s.WriteUint64(trace_id_);
   s.WriteString(baggage_.Serialize());

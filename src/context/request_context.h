@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/context/baggage.h"
 
@@ -25,6 +26,40 @@ class RequestContext {
   Baggage& baggage() { return baggage_; }
   const Baggage& baggage() const { return baggage_; }
 
+  // --- Native baggage slot ----------------------------------------------
+  //
+  // One baggage entry may be shadowed by a live, typed object (DESIGN.md
+  // §14). Hot-path mutators — LineageApi::Append on a deep call graph runs
+  // once per stateful call — then update the object in place instead of
+  // paying a deserialize→mutate→re-serialize cycle against the string entry
+  // on every call. The string entry is refreshed lazily: `dirty` means the
+  // object is newer, and FlushNativeSlot re-encodes it at the points where
+  // the string form actually matters (context serialization at a hop, or a
+  // generic entry-wise baggage read).
+  //
+  // The object is held by shared_ptr and treated as copy-on-write: copying a
+  // context copies one pointer, and a mutator must clone the object first
+  // when it is shared (use_count > 1). The context layer stays ignorant of
+  // the payload type — the owner supplies a serialize thunk.
+  struct NativeSlot {
+    std::string_view key;  // baggage key the object shadows (static storage)
+    std::shared_ptr<void> object;
+    void (*serialize)(const void* object, std::string& out) = nullptr;
+    bool dirty = false;  // object newer than the baggage entry
+  };
+
+  NativeSlot& native_slot() { return native_slot_; }
+  const NativeSlot& native_slot() const { return native_slot_; }
+
+  // Writes a dirty native object back into its baggage entry; no-op
+  // otherwise. Serialize() calls this, as must anything reading baggage
+  // entries generically while a slot may be live (see MergeInto).
+  void FlushNativeSlot();
+
+  // Drops the native object, e.g. after an out-of-band write to its baggage
+  // key made it stale. The baggage entry (if any) becomes authoritative.
+  void ClearNativeSlot() { native_slot_ = NativeSlot{}; }
+
   // --- Thread-local accessors -------------------------------------------
 
   // The context currently installed on this thread, or nullptr.
@@ -34,7 +69,8 @@ class RequestContext {
   // string when no context is installed.
   static std::string SerializeCurrent();
 
-  std::string Serialize() const;
+  // Non-const: flushes a dirty native slot into the baggage first.
+  std::string Serialize();
   static RequestContext Deserialize(std::string_view data);
 
  private:
@@ -42,6 +78,7 @@ class RequestContext {
 
   uint64_t trace_id_ = 0;
   Baggage baggage_;
+  NativeSlot native_slot_;
 };
 
 // RAII installation of a RequestContext on the current thread. Contexts nest;

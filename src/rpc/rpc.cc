@@ -5,7 +5,6 @@
 #include <cmath>
 #include <random>
 
-#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace antipode {
@@ -103,15 +102,51 @@ RpcServerOutcome RunHandler(const RpcHandler& handler, const std::string& payloa
 
 }  // namespace
 
+Result<RpcRoute> RpcClient::Resolve(const std::string& service, const std::string& method) const {
+  RpcService* target = registry_->Lookup(service);
+  if (target == nullptr) {
+    return Status::NotFound("no such service: " + service);
+  }
+  const RpcHandler* handler = target->FindMethod(method);
+  if (handler == nullptr) {
+    return Status::NotFound("no such method: " + service + "/" + method);
+  }
+  RpcRoute route;
+  route.service = target;
+  route.handler = handler;
+  route.method = method;
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  route.calls = metrics.GetCounter("rpc.calls", {{"service", service}});
+  route.retries = metrics.GetCounter("rpc.retries", {{"service", service}});
+  route.errors = metrics.GetCounter("rpc.errors", {{"service", service}});
+  route.deadline_exceeded = metrics.GetCounter("rpc.deadline_exceeded", {{"service", service}});
+  route.dedup_hits = metrics.GetCounter("rpc.dedup_hits", {{"service", service}});
+  route.latency = metrics.GetHistogram("rpc.latency_model_ms", {{"service", service}});
+  return route;
+}
+
 Result<std::string> RpcClient::Call(const std::string& service, const std::string& method,
                                     const std::string& payload) {
   return Call(service, method, payload, RpcCallOptions{});
 }
 
-Result<std::string> RpcClient::CallOnce(RpcService* target, const RpcHandler* handler,
-                                        const std::string& service, const std::string& method,
-                                        const std::string& payload, uint64_t call_id, bool dedup,
-                                        TimePoint attempt_deadline) {
+Result<std::string> RpcClient::Call(const std::string& service, const std::string& method,
+                                    const std::string& payload, const RpcCallOptions& options) {
+  auto route = Resolve(service, method);
+  if (!route.ok()) {
+    return route.status();
+  }
+  return Call(route.value(), payload, options);
+}
+
+Result<std::string> RpcClient::Call(const RpcRoute& route, const std::string& payload) {
+  return Call(route, payload, RpcCallOptions{});
+}
+
+Result<std::string> RpcClient::CallOnce(const RpcRoute& route, const std::string& payload,
+                                        uint64_t call_id, bool dedup, TimePoint attempt_deadline) {
+  RpcService* const target = route.service;
+  const std::string& service = target->name();
   // Serialized after the client span is installed (by Call), so the callee
   // sees it as its parent.
   const std::string context_blob = RequestContext::SerializeCurrent();
@@ -126,49 +161,80 @@ Result<std::string> RpcClient::CallOnce(RpcService* target, const RpcHandler* ha
   // Outbound one-way delay, paid by the (blocking) caller.
   registry_->network()->SleepOneWay(caller_region_, target_region, request_bytes);
   if (SystemClock::Instance().Now() >= attempt_deadline) {
-    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + route.method);
   }
 
   if (fault.fail_handler) {
     // The request reaches a broken server: the handler never runs (so nothing
     // is cached) and the caller sees a retryable transport-level failure.
-    return Status::Unavailable("injected rpc failure: " + service + "/" + method);
+    return Status::Unavailable("injected rpc failure: " + service + "/" + route.method);
   }
 
-  auto outcome = std::make_shared<std::promise<RpcServerOutcome>>();
-  auto future = outcome->get_future();
-  const bool submitted = target->executor().Submit(
-      [handler, payload, context_blob, outcome, service, method, target, target_region, call_id,
-       dedup, drop_response] {
-        RpcServerOutcome out;
-        if (dedup && target->TryGetCachedOutcome(call_id, &out)) {
-          MetricsRegistry::Default()
-              .GetCounter("rpc.dedup_hits", {{"service", service}})
-              ->Increment();
-        } else {
-          out = RunHandler(*handler, payload, context_blob, service, method, target_region);
-          // Only completed executions are cached: a transient handler error
-          // must be re-attempted, not replayed, by a retry.
-          if (dedup && out.result.ok()) {
-            target->CacheOutcome(call_id, out);
-          }
-        }
-        // A dropped response still executed (and cached) — the promise is
-        // simply never fulfilled, and the caller's deadline fires.
-        if (!drop_response) {
-          outcome->set_value(std::move(out));
-        }
-      });
-  if (!submitted) {
-    return Status::Unavailable("service shut down: " + service);
-  }
-
+  const RpcHandler* const handler = route.handler;
+  Counter* const dedup_hits = route.dedup_hits;
+  RpcServerOutcome out;
   if (attempt_deadline == TimePoint::max()) {
+    // No deadline: the caller provably blocks until the handler's outcome is
+    // set, so the promise lives on this stack and the task borrows the
+    // request strings by reference — the dispatch itself allocates only the
+    // queued std::function.
+    std::promise<RpcServerOutcome> outcome;
+    auto future = outcome.get_future();
+    const bool submitted = target->executor().Submit(
+        [&outcome, &payload, &context_blob, &method = route.method, handler, target, call_id,
+         dedup, dedup_hits] {
+          RpcServerOutcome result;
+          if (dedup && target->TryGetCachedOutcome(call_id, &result)) {
+            dedup_hits->Increment();
+          } else {
+            result = RunHandler(*handler, payload, context_blob, target->name(), method,
+                                target->region());
+            // Only completed executions are cached: a transient handler error
+            // must be re-attempted, not replayed, by a retry.
+            if (dedup && result.result.ok()) {
+              target->CacheOutcome(call_id, result);
+            }
+          }
+          outcome.set_value(std::move(result));
+        });
+    if (!submitted) {
+      return Status::Unavailable("service shut down: " + service);
+    }
     future.wait();
-  } else if (future.wait_until(attempt_deadline) != std::future_status::ready) {
-    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+    out = future.get();
+  } else {
+    // Deadline-bounded: the caller may abandon the wait while the handler is
+    // still running (or its response was dropped), so the task owns copies of
+    // everything it touches and the promise is heap-shared.
+    auto outcome = std::make_shared<std::promise<RpcServerOutcome>>();
+    auto future = outcome->get_future();
+    const bool submitted = target->executor().Submit(
+        [outcome, payload, context_blob, method = route.method, handler, target, call_id, dedup,
+         drop_response, dedup_hits] {
+          RpcServerOutcome result;
+          if (dedup && target->TryGetCachedOutcome(call_id, &result)) {
+            dedup_hits->Increment();
+          } else {
+            result = RunHandler(*handler, payload, context_blob, target->name(), method,
+                                target->region());
+            if (dedup && result.result.ok()) {
+              target->CacheOutcome(call_id, result);
+            }
+          }
+          // A dropped response still executed (and cached) — the promise is
+          // simply never fulfilled, and the caller's deadline fires.
+          if (!drop_response) {
+            outcome->set_value(std::move(result));
+          }
+        });
+    if (!submitted) {
+      return Status::Unavailable("service shut down: " + service);
+    }
+    if (future.wait_until(attempt_deadline) != std::future_status::ready) {
+      return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + route.method);
+    }
+    out = future.get();
   }
-  RpcServerOutcome out = future.get();
 
   const size_t response_bytes =
       (out.result.ok() ? out.result.value().size() : 0) + out.context_blob.size();
@@ -177,7 +243,7 @@ Result<std::string> RpcClient::CallOnce(RpcService* target, const RpcHandler* ha
     SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(fault.delay_add_model_ms));
   }
   if (SystemClock::Instance().Now() >= attempt_deadline) {
-    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+    return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + route.method);
   }
 
   // Fold the handler's final baggage back into the caller's context so that
@@ -198,17 +264,11 @@ bool RetryableCode(StatusCode code) {
 
 }  // namespace
 
-Result<std::string> RpcClient::Call(const std::string& service, const std::string& method,
-                                    const std::string& payload, const RpcCallOptions& options) {
-  RpcService* target = registry_->Lookup(service);
-  if (target == nullptr) {
-    return Status::NotFound("no such service: " + service);
+Result<std::string> RpcClient::Call(const RpcRoute& route, const std::string& payload,
+                                    const RpcCallOptions& options) {
+  if (route.handler == nullptr) {
+    return Status::NotFound("call through unresolved rpc route");
   }
-  const RpcHandler* handler = target->FindMethod(method);
-  if (handler == nullptr) {
-    return Status::NotFound("no such method: " + service + "/" + method);
-  }
-
   const TimePoint call_start = SystemClock::Instance().Now();
   const TimePoint call_deadline = DeadlineAfter(options.deadline);
   const int max_attempts = std::max(1, options.retry.max_attempts);
@@ -218,17 +278,16 @@ Result<std::string> RpcClient::Call(const std::string& service, const std::strin
 
   Span span = Span::Start("rpc/call", {.category = "rpc", .region = caller_region_});
   if (span.recording()) {
-    span.Annotate("service", service);
-    span.Annotate("method", method);
+    span.Annotate("service", route.service->name());
+    span.Annotate("method", route.method);
   }
 
-  MetricsRegistry& metrics = MetricsRegistry::Default();
-  metrics.GetCounter("rpc.calls", {{"service", service}})->Increment();
+  route.calls->Increment();
 
   Result<std::string> result = Status::Internal("rpc never attempted");
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
-      metrics.GetCounter("rpc.retries", {{"service", service}})->Increment();
+      route.retries->Increment();
       const double base = options.retry.initial_backoff_model_ms *
                           std::pow(options.retry.backoff_multiplier, attempt - 2);
       std::uniform_real_distribution<double> jitter(1.0 - options.retry.jitter,
@@ -237,15 +296,15 @@ Result<std::string> RpcClient::Call(const std::string& service, const std::strin
       SystemClock::Instance().SleepFor(std::min(backoff, RemainingBudget(call_deadline)));
     }
     if (RemainingBudget(call_deadline) == Duration::zero()) {
-      result = Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + method);
+      result = Status::DeadlineExceeded("rpc deadline exceeded: " + route.service->name() + "/" +
+                                        route.method);
       break;
     }
     TimePoint attempt_deadline = call_deadline;
     if (options.timeout != Duration::max()) {
       attempt_deadline = std::min(attempt_deadline, DeadlineAfter(options.timeout));
     }
-    result = CallOnce(target, handler, service, method, payload, call_id, may_retry,
-                      attempt_deadline);
+    result = CallOnce(route, payload, call_id, may_retry, attempt_deadline);
     if (result.ok() || !may_retry || !RetryableCode(result.status().code())) {
       break;
     }
@@ -257,14 +316,13 @@ Result<std::string> RpcClient::Call(const std::string& service, const std::strin
     SetCurrentSpanContext(span.context());
   }
   if (!result.ok()) {
-    metrics.GetCounter("rpc.errors", {{"service", service}})->Increment();
+    route.errors->Increment();
     if (result.status().code() == StatusCode::kDeadlineExceeded) {
-      metrics.GetCounter("rpc.deadline_exceeded", {{"service", service}})->Increment();
+      route.deadline_exceeded->Increment();
     }
   }
-  metrics.GetHistogram("rpc.latency_model_ms", {{"service", service}})
-      ->Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-          SystemClock::Instance().Now() - call_start)));
+  route.latency->Record(TimeScale::ToModelMillis(
+      std::chrono::duration_cast<Duration>(SystemClock::Instance().Now() - call_start)));
   return result;
 }
 

@@ -7,10 +7,12 @@ namespace antipode {
 CallGraphGenerator::CallGraphGenerator(TraceGenOptions options)
     : options_(options),
       rng_(options.seed),
+      stateless_rng_(options.seed ^ 0x5337A7E55ULL),
       fanout_dist_(options.max_fanout, options.fanout_theta),
       service_dist_(options.request_service_range, options.service_popularity_theta) {}
 
-void CallGraphGenerator::Expand(uint32_t depth, CallGraphStats* stats) {
+void CallGraphGenerator::Expand(uint32_t depth, uint32_t node, CallGraph* graph) {
+  CallGraphStats* stats = &graph->stats;
   stats->max_depth = std::max(stats->max_depth, depth);
   if (depth >= options_.max_depth || stats->total_calls >= options_.max_calls_per_request) {
     return;
@@ -37,18 +39,34 @@ void CallGraphGenerator::Expand(uint32_t depth, CallGraphStats* stats) {
       stats->unique_stateful_services.insert(service);
       stats->stateful_service_sequence.push_back(service);
       stats->max_depth = std::max(stats->max_depth, depth + 1);
+      const auto child = static_cast<uint32_t>(graph->nodes.size());
+      graph->nodes.push_back(CallNode{service, /*stateful=*/true, depth + 1, {}});
+      graph->nodes[node].children.push_back(child);
     } else {
-      Expand(depth + 1, stats);
+      // Stateless child identity comes from the secondary stream: the primary
+      // stream must replay draw-for-draw whether or not a caller keeps the
+      // tree, and the calibrated statistics never depended on stateless ids.
+      const auto service = static_cast<uint32_t>(
+          stateless_rng_.NextBelow(std::max<uint32_t>(1, options_.num_stateless_services)));
+      const auto child = static_cast<uint32_t>(graph->nodes.size());
+      graph->nodes.push_back(CallNode{service, /*stateful=*/false, depth + 1, {}});
+      graph->nodes[node].children.push_back(child);
+      Expand(depth + 1, child, graph);
     }
   }
 }
 
-CallGraphStats CallGraphGenerator::Next() {
-  CallGraphStats stats;
+CallGraph CallGraphGenerator::NextGraph() {
+  CallGraph graph;
   request_base_ = rng_.NextBelow(options_.num_stateful_services);
-  Expand(0, &stats);
-  return stats;
+  graph.nodes.push_back(CallNode{static_cast<uint32_t>(stateless_rng_.NextBelow(
+                                     std::max<uint32_t>(1, options_.num_stateless_services))),
+                                 /*stateful=*/false, 0, {}});
+  Expand(0, 0, &graph);
+  return graph;
 }
+
+CallGraphStats CallGraphGenerator::Next() { return NextGraph().stats; }
 
 TraceAnalysis AnalyzeTrace(CallGraphGenerator& generator, uint32_t num_requests) {
   TraceAnalysis analysis;

@@ -30,6 +30,24 @@ struct CallGraphStats {
   uint32_t max_depth = 0;
 };
 
+// One node of a materialized request tree. The root (index 0) is the
+// stateless entry-point service; stateful nodes are leaves by construction
+// (a datastore call never fans out further).
+struct CallNode {
+  uint32_t service = 0;  // stateful or stateless service id, per `stateful`
+  bool stateful = false;
+  uint32_t depth = 0;  // root = 0
+  std::vector<uint32_t> children;  // indices into CallGraph::nodes, call order
+};
+
+// A whole request tree plus the summary statistics the analyzer consumes.
+// `nodes` is laid out so a node always precedes its children, which lets the
+// mesh executor walk a plan with a simple index cursor.
+struct CallGraph {
+  std::vector<CallNode> nodes;
+  CallGraphStats stats;
+};
+
 struct TraceGenOptions {
   uint32_t num_stateful_services = 14000;  // ~80% of Alibaba's >17k services
   uint32_t num_stateless_services = 3500;
@@ -61,13 +79,24 @@ class CallGraphGenerator {
   // Generates one request's call graph and returns its summary statistics.
   CallGraphStats Next();
 
+  // Generates one request's call graph and returns the whole tree (the mesh
+  // materializes these as live request plans). Consumes the same draws from
+  // the primary stream as Next() — interleaving the two keeps the sequence
+  // deterministic — while stateless service ids come from a second stream so
+  // the calibrated statistics are bit-identical to the stats-only path.
+  CallGraph NextGraph();
+
   const TraceGenOptions& options() const { return options_; }
 
  private:
-  void Expand(uint32_t depth, CallGraphStats* stats);
+  void Expand(uint32_t depth, uint32_t node, CallGraph* graph);
 
   TraceGenOptions options_;
   Rng rng_;
+  // Secondary stream for stateless service identities: Next()/NextGraph()
+  // must share the primary stream draw-for-draw, and the stats path never
+  // needed stateless ids, so they cannot come from rng_.
+  Rng stateless_rng_;
   ZipfDistribution fanout_dist_;
   ZipfDistribution service_dist_;
   uint64_t request_base_ = 0;

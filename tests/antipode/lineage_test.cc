@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/common/random.h"
 
 namespace antipode {
@@ -171,16 +173,34 @@ TEST(LineageTest, DeserializeRejectsTrailingBytes) {
 
 namespace {
 // Hand-assembles a wire blob with the dependencies in the given order,
-// bypassing Lineage's sorted invariant. Each dependency's locality scope is
-// emitted exactly as given (the lineage wire carries one scope varint per
-// dependency), so tests can plant masks Serialize would never produce.
+// bypassing Lineage's sorted invariant. Stores are interned in
+// first-appearance order (which matches Serialize's table for sorted inputs
+// and yields a deliberately non-canonical table for unsorted ones). Each
+// dependency's locality scope is emitted exactly as given (the lineage wire
+// carries one scope varint per dependency), so tests can plant masks
+// Serialize would never produce.
 std::string RawWire(uint64_t id, const std::vector<WriteId>& deps,
                     const std::vector<uint64_t>& scopes = {}) {
   Serializer s;
   s.WriteVarint(id);
+  std::vector<std::string> stores;
+  std::vector<size_t> index_of(deps.size());
+  for (size_t i = 0; i < deps.size(); ++i) {
+    auto it = std::find(stores.begin(), stores.end(), deps[i].store);
+    index_of[i] = static_cast<size_t>(it - stores.begin());
+    if (it == stores.end()) {
+      stores.push_back(deps[i].store);
+    }
+  }
+  s.WriteVarint(stores.size());
+  for (const auto& store : stores) {
+    s.WriteString(store);
+  }
   s.WriteVarint(deps.size());
   for (size_t i = 0; i < deps.size(); ++i) {
-    deps[i].SerializeTo(s);
+    s.WriteVarint(index_of[i]);
+    s.WriteString(deps[i].key);
+    s.WriteVarint(deps[i].version);
     s.WriteVarint(i < scopes.size() ? scopes[i] : deps[i].scope);
   }
   return s.Release();
@@ -211,12 +231,59 @@ TEST(LineageTest, DeserializeRejectsDuplicateStoreKeyPairs) {
 TEST(LineageTest, DeserializeRejectsCountBeyondPayload) {
   // Claims 3 dependencies but carries 1.
   Serializer s;
-  s.WriteVarint(1);
-  s.WriteVarint(3);
-  Id("s", "k", 1).SerializeTo(s);
+  s.WriteVarint(1);  // id
+  s.WriteVarint(1);  // store table: one entry
+  s.WriteString("s");
+  s.WriteVarint(3);  // dependency count (a lie)
+  s.WriteVarint(0);  // store index
+  s.WriteString("k");
+  s.WriteVarint(1);                // version
+  s.WriteVarint(kAllRegionsMask);  // scope
   auto result = Lineage::Deserialize(s.Release());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LineageTest, DeserializeRejectsUnreferencedStoreTableEntries) {
+  // A canonical table is built *from* the dependency runs, so an entry no
+  // dependency references (or a table with zero dependencies) cannot have
+  // come from our Serialize.
+  Serializer s;
+  s.WriteVarint(1);  // id
+  s.WriteVarint(2);  // store table claims two stores...
+  s.WriteString("a");
+  s.WriteString("b");
+  s.WriteVarint(1);  // ...but the single dependency only references the first
+  s.WriteVarint(0);
+  s.WriteString("k");
+  s.WriteVarint(1);
+  s.WriteVarint(kAllRegionsMask);
+  auto result = Lineage::Deserialize(s.Release());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  Serializer empty;
+  empty.WriteVarint(1);  // id
+  empty.WriteVarint(1);  // one store, zero dependencies
+  empty.WriteString("a");
+  empty.WriteVarint(0);
+  result = Lineage::Deserialize(empty.Release());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LineageTest, SerializeInternsRepeatedStoreNames) {
+  // The whole point of the v2 wire: a store name is paid once, not per dep.
+  Lineage lineage(1);
+  const std::string store(32, 's');
+  for (int i = 0; i < 10; ++i) {
+    lineage.Append(WriteId{store, "key" + std::to_string(i), 1});
+  }
+  // One interned copy of the 32-byte name plus ~8 bytes per dependency.
+  EXPECT_LT(lineage.WireSize(), 33 + 3 + 10 * 10);
+  auto restored = Lineage::Deserialize(lineage.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, lineage);
 }
 
 // --- locality scopes (DESIGN.md §13) ----------------------------------------

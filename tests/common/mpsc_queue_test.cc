@@ -76,6 +76,31 @@ TEST(MpscQueueTest, CloseWakesParkedConsumer) {
   consumer.join();
 }
 
+// Regression for a lost-wakeup hang: the consumer's wait loop must
+// re-announce it is parked on every pass, or a Push that lands between a
+// spurious wake's TryPop miss and the re-park never signals, and the
+// consumer sleeps forever on a non-empty queue. Thousands of tight
+// park/wake cycles make that window hot; with the bug this test hangs
+// (caught by the suite timeout) roughly one run in ten under TSan.
+TEST(MpscQueueStressTest, RepeatedParkWakeCyclesNeverLoseWakeup) {
+  MpscQueue<int> q;
+  constexpr int kCycles = 4000;
+  std::thread consumer([&] {
+    for (int i = 0; i < kCycles; ++i) {
+      auto v = q.PopWait();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);
+    }
+  });
+  for (int i = 0; i < kCycles; ++i) {
+    q.Push(i);
+    if ((i & 63) == 0) {
+      std::this_thread::yield();  // let the consumer drain and re-park
+    }
+  }
+  consumer.join();
+}
+
 TEST(MpscQueueTest, NodeRecyclingSurvivesManyCycles) {
   // Push/pop far more values than the freelist capacity: exercises both the
   // recycled path and the heap-fallback path.

@@ -1,0 +1,103 @@
+#include "src/common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace antipode {
+namespace {
+
+TEST(SmallVectorTest, StaysInlineUpToCapacity) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inline_storage());
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.inline_storage());
+  v.push_back(4);
+  EXPECT_FALSE(v.inline_storage());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVectorTest, InsertKeepsSortedOrder) {
+  SmallVector<int, 2> v;
+  for (int x : {9, 3, 7, 1, 5}) {
+    auto it = std::lower_bound(v.begin(), v.end(), x);
+    v.insert(it, x);
+  }
+  const std::vector<int> got(v.begin(), v.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(SmallVectorTest, EraseSingleAndRange) {
+  SmallVector<std::string, 3> v;
+  for (const char* s : {"a", "b", "c", "d", "e"}) {
+    v.push_back(s);
+  }
+  v.erase(v.begin() + 1);  // drop "b"
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[1], "c");
+  v.erase(v.begin() + 1, v.begin() + 3);  // drop "c", "d"
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "e");
+}
+
+TEST(SmallVectorTest, CopyAndMoveBothStorageModes) {
+  SmallVector<std::string, 2> inline_v;
+  inline_v.push_back("x");
+  SmallVector<std::string, 2> inline_copy(inline_v);
+  EXPECT_EQ(inline_copy, inline_v);
+  EXPECT_TRUE(inline_copy.inline_storage());
+
+  SmallVector<std::string, 2> heap_v;
+  for (const char* s : {"a", "b", "c", "d"}) {
+    heap_v.push_back(s);
+  }
+  SmallVector<std::string, 2> heap_copy(heap_v);
+  EXPECT_EQ(heap_copy, heap_v);
+
+  SmallVector<std::string, 2> moved(std::move(heap_v));
+  EXPECT_EQ(moved, heap_copy);
+  EXPECT_TRUE(heap_v.empty());  // NOLINT(bugprone-use-after-move)
+
+  SmallVector<std::string, 2> moved_inline(std::move(inline_v));
+  EXPECT_EQ(moved_inline.size(), 1u);
+  EXPECT_EQ(moved_inline[0], "x");
+
+  moved = heap_copy;  // copy-assign over heap storage
+  EXPECT_EQ(moved, heap_copy);
+  moved_inline = std::move(moved);  // move-assign heap into inline
+  EXPECT_EQ(moved_inline.size(), 4u);
+}
+
+TEST(SmallVectorTest, ReserveAndClear) {
+  SmallVector<int, 2> v;
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(i);
+  }
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);
+  EXPECT_EQ(v.back(), 7);
+}
+
+TEST(SmallVectorTest, InsertRange) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(5);
+  const std::vector<int> mid{2, 3, 4};
+  v.insert(v.begin() + 1, mid.begin(), mid.end());
+  const std::vector<int> got(v.begin(), v.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace antipode

@@ -27,6 +27,25 @@ TEST(CallGraphTest, DeterministicForSeed) {
   }
 }
 
+TEST(CallGraphTest, DeterministicGraphSequenceForSeed) {
+  // Stronger than the stats check above: two same-seed generators emit
+  // byte-identical node sequences (service ids, statefulness, depth, edges),
+  // which is what the trace mesh's reproducible topology relies on.
+  CallGraphGenerator a(TraceGenOptions{});
+  CallGraphGenerator b(TraceGenOptions{});
+  for (int i = 0; i < 20; ++i) {
+    CallGraph ga = a.NextGraph();
+    CallGraph gb = b.NextGraph();
+    ASSERT_EQ(ga.nodes.size(), gb.nodes.size());
+    for (size_t n = 0; n < ga.nodes.size(); ++n) {
+      EXPECT_EQ(ga.nodes[n].service, gb.nodes[n].service);
+      EXPECT_EQ(ga.nodes[n].stateful, gb.nodes[n].stateful);
+      EXPECT_EQ(ga.nodes[n].depth, gb.nodes[n].depth);
+      EXPECT_EQ(ga.nodes[n].children, gb.nodes[n].children);
+    }
+  }
+}
+
 TEST(CallGraphTest, RespectsCallCap) {
   TraceGenOptions options;
   options.max_calls_per_request = 50;
