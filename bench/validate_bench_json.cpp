@@ -14,6 +14,12 @@
 //     carry pair at ≥20 deps, per-phase violations (must be 0 under
 //     enforcement) and allocs_per_req, both enforcement backends present,
 //     and the scoped/unscoped global-barrier pair.
+//   * sim_sweep — the deterministic seed-sweep verdict: seeds_run ≥ 200,
+//     always_violations == 0, unreached_sometimes == 0, a configs array
+//     covering both enforcement backends × scoped/unscoped with episodes in
+//     every cell, a non-empty properties array (name/kind/passes/failures,
+//     every SOMETIMES and REACHABLE with passes > 0, every ALWAYS with
+//     failures == 0), and a replay block with checked ≥ 1, mismatches == 0.
 //
 // Usage: validate_bench_json <path> — exit 0 on a valid report, 1 with a
 // diagnostic otherwise. Wired into bench-smoke right after each bench's
@@ -419,6 +425,118 @@ int CheckTraceMesh(const char* path, const JsonValue& root) {
   return 0;
 }
 
+// The deterministic seed-sweep verdict artifact (emitted by bench/sim_sweep,
+// documented in DESIGN.md §15).
+int CheckSimSweep(const char* path, const JsonValue& root) {
+  int errors = 0;
+
+  const double seeds_run = NumberOr(root, "seeds_run", -1.0);
+  if (seeds_run < 200) {
+    std::fprintf(stderr, "validate_bench_json: seeds_run %.0f < 200\n", seeds_run);
+    ++errors;
+  }
+  if (NumberOr(root, "always_violations", -1.0) != 0.0) {
+    std::fprintf(stderr, "validate_bench_json: always_violations %.0f != 0\n",
+                 NumberOr(root, "always_violations", -1.0));
+    ++errors;
+  }
+  if (NumberOr(root, "unreached_sometimes", -1.0) != 0.0) {
+    std::fprintf(stderr,
+                 "validate_bench_json: %.0f SOMETIMES/REACHABLE properties never reached\n",
+                 NumberOr(root, "unreached_sometimes", -1.0));
+    ++errors;
+  }
+  if (NumberOr(root, "failing_seeds", -1.0) != 0.0) {
+    std::fprintf(stderr, "validate_bench_json: failing_seeds %.0f != 0\n",
+                 NumberOr(root, "failing_seeds", -1.0));
+    ++errors;
+  }
+
+  // Config grid: both backends × scoped/unscoped, every cell exercised.
+  const JsonValue* configs = root.Find("configs");
+  if (configs == nullptr || configs->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "validate_bench_json: missing \"configs\" array\n");
+    ++errors;
+  } else {
+    const char* required[] = {"lineage/scoped", "lineage/unscoped", "frontier/scoped",
+                              "frontier/unscoped"};
+    for (const char* label : required) {
+      bool found = false;
+      for (const JsonValue& config : configs->array) {
+        const JsonValue* name = config.Find("label");
+        if (name != nullptr && name->kind == JsonValue::Kind::kString &&
+            name->string == label && NumberOr(config, "episodes", 0.0) > 0) {
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr,
+                     "validate_bench_json: config cell \"%s\" missing or ran 0 episodes\n",
+                     label);
+        ++errors;
+      }
+    }
+  }
+
+  // Per-property verdicts. ALWAYS must be failure-free; SOMETIMES/REACHABLE
+  // must have actually passed at least once over the sweep.
+  const JsonValue* properties = root.Find("properties");
+  if (properties == nullptr || properties->kind != JsonValue::Kind::kArray ||
+      properties->array.empty()) {
+    std::fprintf(stderr, "validate_bench_json: missing or empty \"properties\" array\n");
+    ++errors;
+  } else {
+    for (size_t i = 0; i < properties->array.size(); ++i) {
+      const JsonValue& property = properties->array[i];
+      const JsonValue* name = property.Find("name");
+      const JsonValue* kind = property.Find("kind");
+      if (name == nullptr || name->kind != JsonValue::Kind::kString || kind == nullptr ||
+          kind->kind != JsonValue::Kind::kString ||
+          property.Find("passes") == nullptr || property.Find("failures") == nullptr) {
+        std::fprintf(stderr, "validate_bench_json: malformed properties[%zu]\n", i);
+        ++errors;
+        continue;
+      }
+      const double passes = NumberOr(property, "passes", 0.0);
+      const double failures = NumberOr(property, "failures", 0.0);
+      if (kind->string == "ALWAYS" && failures != 0.0) {
+        std::fprintf(stderr, "validate_bench_json: ALWAYS property \"%s\" has %.0f failures\n",
+                     name->string.c_str(), failures);
+        ++errors;
+      }
+      if ((kind->string == "SOMETIMES" || kind->string == "REACHABLE") && passes <= 0.0) {
+        std::fprintf(stderr, "validate_bench_json: %s property \"%s\" was never reached\n",
+                     kind->string.c_str(), name->string.c_str());
+        ++errors;
+      }
+    }
+  }
+
+  // Replay determinism: at least one seed re-run, zero trace-hash mismatches.
+  const JsonValue* replay = root.Find("replay");
+  if (replay == nullptr || replay->kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "validate_bench_json: missing \"replay\" object\n");
+    ++errors;
+  } else {
+    if (NumberOr(*replay, "checked", 0.0) < 1) {
+      std::fprintf(stderr, "validate_bench_json: replay.checked %.0f < 1\n",
+                   NumberOr(*replay, "checked", 0.0));
+      ++errors;
+    }
+    if (NumberOr(*replay, "mismatches", -1.0) != 0.0) {
+      std::fprintf(stderr, "validate_bench_json: replay.mismatches %.0f != 0\n",
+                   NumberOr(*replay, "mismatches", -1.0));
+      ++errors;
+    }
+  }
+
+  if (errors != 0) {
+    return 1;
+  }
+  std::printf("validate_bench_json: %s OK (sim_sweep, %.0f seeds)\n", path, seeds_run);
+  return 0;
+}
+
 int Check(const char* path) {
   std::FILE* f = std::fopen(path, "r");
   if (f == nullptr) {
@@ -448,6 +566,10 @@ int Check(const char* path) {
   if (bench != nullptr && bench->kind == JsonValue::Kind::kString &&
       bench->string == "trace_mesh") {
     return CheckTraceMesh(path, root);
+  }
+  if (bench != nullptr && bench->kind == JsonValue::Kind::kString &&
+      bench->string == "sim_sweep") {
+    return CheckSimSweep(path, root);
   }
   const JsonValue* phases = root.Find("phases");
   if (phases == nullptr || phases->kind != JsonValue::Kind::kArray || phases->array.empty()) {

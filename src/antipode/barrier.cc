@@ -7,6 +7,8 @@
 
 #include "src/antipode/enforcement_internal.h"
 #include "src/antipode/lineage_api.h"
+#include "src/common/property.h"
+#include "src/common/sim.h"
 #include "src/obs/metrics.h"
 
 namespace antipode {
@@ -62,8 +64,25 @@ Status RunBlocking(EnforcementBackend& backend, const Lineage& lineage,
   if (!launched.ok()) {
     return launched;
   }
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->cv.wait(lock, [&] { return latch->done; });
+  if (SimScheduler* sim = SimScheduler::Active()) {
+    // Cooperative latch: pump the simulation until the backend completes.
+    // Backends bound their own completion by `deadline`, so an unbounded pump
+    // here terminates whenever the threaded path would; a quiescent heap with
+    // no completion is a genuine enforcement deadlock, surfaced as such.
+    const bool completed = sim->RunUntil(
+        [latch] {
+          std::lock_guard<std::mutex> lock(latch->mu);
+          return latch->done;
+        },
+        TimePoint::max());
+    if (!completed) {
+      return Status::DeadlineExceeded("barrier never completed (simulation quiescent)");
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait(lock, [&] { return latch->done; });
+  }
+  std::lock_guard<std::mutex> status_lock(latch->mu);
   if (latch->status.ok() && memoizable && options.use_cache) {
     for (Region region : regions) {
       lineage.MarkEnforced(region);
@@ -152,6 +171,18 @@ BarrierDryRunResult BarrierDryRun(const Lineage& lineage, Region region, ShimReg
   if (use_cache && lineage.enforced_at(region)) {
     // A past barrier proved every dependency visible in this region's local
     // replicas; IsVisible shares that semantics, so the probes would all pass.
+    if (PropertyRegistry::Instance().deep_checks()) {
+      // Re-probe what the memo claims: a false-positive memo here would let
+      // a barrier skip a wait it still owed. Visibility is monotone, so any
+      // probe the original barrier passed must still pass.
+      for (const auto& dep : lineage.deps()) {
+        if (use_scope && (dep.scope & RegionBit(region)) == 0) {
+          continue;
+        }
+        Shim* shim = registry->Lookup(dep.store);
+        ANTIPODE_ALWAYS("barrier.memo_sound", shim == nullptr || shim->IsVisible(region, dep));
+      }
+    }
     if (!lineage.Empty()) {
       CacheCounters().hit->Increment(lineage.Size());
     }

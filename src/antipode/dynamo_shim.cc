@@ -7,7 +7,7 @@ namespace antipode {
 Status DynamoShim::Wait(Region region, const WriteId& id, Duration timeout) {
   const TimePoint deadline = timeout == Duration::max()
                                  ? TimePoint::max()
-                                 : SystemClock::Instance().Now() + timeout;
+                                 : GlobalClock().Now() + timeout;
   // Poll with strongly consistent reads. The authoritative copy reflects the
   // write as soon as it is durable at its origin, so in practice this
   // resolves on the first probe; the loop guards the (rare) case of probing
@@ -17,10 +17,10 @@ Status DynamoShim::Wait(Region region, const WriteId& id, Duration timeout) {
     if (entry.has_value() && entry->version >= id.version) {
       return Status::Ok();
     }
-    if (deadline != TimePoint::max() && SystemClock::Instance().Now() >= deadline) {
+    if (deadline != TimePoint::max() && GlobalClock().Now() >= deadline) {
       return Status::DeadlineExceeded("dynamo wait: " + id.ToString());
     }
-    SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(10.0));
+    GlobalClock().SleepFor(TimeScale::FromModelMillis(10.0));
   }
 }
 
@@ -39,7 +39,7 @@ void DynamoShim::ProbeLoop(const std::shared_ptr<ProbeState>& state) {
     return;
   }
   if (state->deadline != TimePoint::max() &&
-      SystemClock::Instance().Now() >= state->deadline) {
+      GlobalClock().Now() >= state->deadline) {
     state->done(Status::DeadlineExceeded("dynamo wait: " + state->id.ToString()));
     return;
   }

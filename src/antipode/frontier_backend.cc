@@ -8,6 +8,8 @@
 
 #include "src/antipode/enforcement_internal.h"
 #include "src/common/hlc.h"
+#include "src/common/property.h"
+#include "src/common/sim.h"
 #include "src/obs/metrics.h"
 
 namespace antipode {
@@ -55,6 +57,20 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
     *memoizable = true;
   }
   if (options.use_cache && AllEnforced(lineage, regions)) {
+    if (PropertyRegistry::Instance().deep_checks()) {
+      // Same soundness cross-check as the lineage backend's memo fast path:
+      // every in-scope dependency the memo covers must still probe visible.
+      for (Region region : regions) {
+        for (const auto& dep : lineage.deps()) {
+          if (options.use_scope && (dep.scope & RegionBit(region)) == 0) {
+            continue;
+          }
+          Shim* shim = options.registry->Lookup(dep.store);
+          ANTIPODE_ALWAYS("barrier.memo_sound",
+                          shim == nullptr || shim->IsVisible(region, dep));
+        }
+      }
+    }
     if (memoizable != nullptr) {
       *memoizable = false;  // already memoized; nothing new proved
     }
@@ -113,7 +129,7 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
   }
 
   const Region primary = PrimaryRegion(regions);
-  const TimePoint start = SystemClock::Instance().Now();
+  const TimePoint start = GlobalClock().Now();
 
   // Per region: cache-filter both classes. Fallback misses batch into one
   // WaitManyAsync per ⟨shim, region⟩ exactly like the lineage backend; any
@@ -162,6 +178,8 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
             *memoizable = false;  // this wait succeeds via the authority, not the replica
           }
         }
+        ANTIPODE_ALWAYS("barrier.scope_respected",
+                        !options.use_scope || (dep->scope & RegionBit(region)) != 0);
         group->ids.push_back(*dep);
       }
       // Scoped cut for this ⟨store, region⟩: max stamp over the in-scope
@@ -183,6 +201,9 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
         region_cut = std::max(region_cut, hlc);
       }
       if (region_cut != 0) {
+        // A scoped frontier wait is only armed when some in-scope dependency
+        // missed the cache at this region; the scoped cut folds in-scope
+        // stamps only, so no out-of-scope wait can ride it.
         frontier_waits.push_back(
             FrontierWait{run.shim, run.vis, region, options.use_scope ? region_cut : cut});
       }
@@ -195,10 +216,18 @@ Status StableFrontierBackend::Launch(const Lineage& lineage, const std::vector<R
     if (misses != 0) counters.miss->Increment(misses);
   }
 
-  auto finish = [primary, start, done = std::move(done)](Status status) {
+  auto finish = [primary, start, deadline, done = std::move(done)](Status status) {
+    // Exact in virtual time (see the lineage backend's twin assertion); not
+    // asserted on real threads where late dispatch is timing, not logic.
+    if (SimScheduler::Active() != nullptr) {
+      ANTIPODE_ALWAYS("barrier.deadline_honored",
+                      deadline == TimePoint::max() || GlobalClock().Now() <= deadline);
+    }
+    ANTIPODE_SOMETIMES("barrier.deadline_exceeded",
+                       status.code() == StatusCode::kDeadlineExceeded);
     CountBarrier(primary, status,
                  TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-                     SystemClock::Instance().Now() - start)));
+                     GlobalClock().Now() - start)));
     done(status);
   };
 

@@ -1,5 +1,8 @@
 #include "src/antipode/history_checker.h"
 
+#include "src/common/property.h"
+#include "src/common/sim.h"
+
 namespace antipode {
 
 std::string XcyHistoryChecker::Violation::ToString() const {
@@ -34,6 +37,16 @@ void XcyHistoryChecker::ObserveRead(uint64_t process, const std::string& store,
   if (it != frontier.end() && observed_version < it->second) {
     violations_.push_back(
         Violation{process, WriteId{store, key, it->second}, observed_version});
+  }
+  // The paper's core claim as a live property. Only asserted in simulation,
+  // where every observed history runs under enforcement — threaded baselines
+  // (and the checker's own unit tests) produce violations on purpose.
+  if (SimScheduler::Active() != nullptr) {
+    ANTIPODE_ALWAYS(
+        "xcy.read_not_stale", it == frontier.end() || observed_version >= it->second, [&] {
+          return Violation{process, WriteId{store, key, it->second}, observed_version}
+              .ToString();
+        });
   }
   // Rule 2: the read establishes dependencies on the writer's whole lineage
   // (plus the write itself), carried forward by program order (rules 1+3).

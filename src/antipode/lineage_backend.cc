@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/antipode/enforcement_internal.h"
+#include "src/common/property.h"
+#include "src/common/sim.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -63,7 +65,7 @@ std::shared_ptr<BarrierTraceState> MaybeStartBarrierTrace(Region region) {
   trace->trace_id = parent.trace_id;
   trace->barrier_span_id = tracer.NextSpanId();
   trace->parent_span_id = parent.span_id;
-  trace->start = SystemClock::Instance().Now();
+  trace->start = GlobalClock().Now();
   trace->region = region;
   return trace;
 }
@@ -80,7 +82,7 @@ void FinishBarrierTrace(const BarrierTraceState& trace, size_t num_deps, const c
   event.parent_span_id = trace.parent_span_id;
   event.region = trace.region;
   event.start = trace.start;
-  event.end = SystemClock::Instance().Now();
+  event.end = GlobalClock().Now();
   event.annotations.emplace_back("deps", std::to_string(num_deps));
   event.annotations.emplace_back("mode", mode);
   event.annotations.emplace_back("status", std::string(StatusCodeName(status.code())));
@@ -174,7 +176,7 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
   }
 
   const Region primary = PrimaryRegion(regions);
-  const TimePoint start = SystemClock::Instance().Now();
+  const TimePoint start = GlobalClock().Now();
   std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(primary);
 
   // Filter every ⟨region, dependency⟩ pair against the cache; survivors are
@@ -220,6 +222,10 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
             *memoizable = false;  // this wait succeeds via the authority, not the replica
           }
         }
+        // The locality invariant at the wait-arming point: a scoped barrier
+        // never issues a wait for a region the dependency's scope excludes.
+        ANTIPODE_ALWAYS("barrier.scope_respected",
+                        !options.use_scope || (dep->scope & RegionBit(region)) != 0);
         group->ids.push_back(*dep);
       }
     }
@@ -231,13 +237,23 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
   }
   CountScopedSkips(scoped_skips);
 
-  auto finish = [primary, start, num_deps, trace, done = std::move(done)](Status status) {
+  auto finish = [primary, start, num_deps, deadline, trace, done = std::move(done)](Status status) {
     if (trace != nullptr) {
       FinishBarrierTrace(*trace, num_deps, "parallel", status);
     }
+    // In virtual time completion instants are exact, so a finite deadline is
+    // honored with zero slack: the deadline timer claims every outstanding
+    // wait at the deadline itself. (Not asserted on real threads, where a
+    // loaded dispatcher can fire late without any logic being wrong.)
+    if (SimScheduler::Active() != nullptr) {
+      ANTIPODE_ALWAYS("barrier.deadline_honored",
+                      deadline == TimePoint::max() || GlobalClock().Now() <= deadline);
+    }
+    ANTIPODE_SOMETIMES("barrier.deadline_exceeded",
+                       status.code() == StatusCode::kDeadlineExceeded);
     CountBarrier(primary, status,
                  TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-                     SystemClock::Instance().Now() - start)));
+                     GlobalClock().Now() - start)));
     done(status);
   };
 
@@ -273,7 +289,7 @@ Status LaunchBarrierWaits(const Lineage& lineage, const std::vector<Region>& reg
         group.shim->WaitAsync(
             region, id, deadline,
             [gather, trace, region, feed_cache, vis = group.vis, dep = id](Status status) {
-              const TimePoint end = SystemClock::Instance().Now();
+              const TimePoint end = GlobalClock().Now();
               const double stall_ms = TimeScale::ToModelMillis(
                   std::chrono::duration_cast<Duration>(end - trace->start));
               trace->Observe(stall_ms, dep);
@@ -310,7 +326,7 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
   if (options.use_cache && lineage.enforced_at(region)) {
     return MemoizedOk(lineage, 1, region);
   }
-  const TimePoint start = SystemClock::Instance().Now();
+  const TimePoint start = GlobalClock().Now();
   std::shared_ptr<BarrierTraceState> trace = MaybeStartBarrierTrace(region);
   Status result = Status::Ok();
   bool any_wait = false;
@@ -341,6 +357,8 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
       CacheCounters().miss->Increment();
     }
     any_wait = true;
+    ANTIPODE_ALWAYS("barrier.scope_respected",
+                    !options.use_scope || (dep.scope & RegionBit(region)) != 0);
     if (!shim->wait_implies_visibility()) {
       memoizable = false;
     }
@@ -349,13 +367,13 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
       result = Status::DeadlineExceeded("barrier deadline before " + dep.ToString());
       break;
     }
-    const TimePoint wait_start = SystemClock::Instance().Now();
+    const TimePoint wait_start = GlobalClock().Now();
     Status status = shim->Wait(region, dep, budget);
     if (status.ok() && vis != nullptr && shim->wait_implies_visibility()) {
       vis->NoteVisible(region, dep.key, dep.version);
     }
     if (trace != nullptr) {
-      const TimePoint end = SystemClock::Instance().Now();
+      const TimePoint end = GlobalClock().Now();
       const double stall_ms =
           TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(end - wait_start));
       trace->Observe(stall_ms, dep);
@@ -376,9 +394,15 @@ Status BarrierSequential(const Lineage& lineage, Region region, TimePoint deadli
   if (options.use_cache && result.ok() && memoizable) {
     lineage.MarkEnforced(region);
   }
+  if (SimScheduler::Active() != nullptr) {
+    ANTIPODE_ALWAYS("barrier.deadline_honored",
+                    deadline == TimePoint::max() || GlobalClock().Now() <= deadline);
+  }
+  ANTIPODE_SOMETIMES("barrier.deadline_exceeded",
+                     result.code() == StatusCode::kDeadlineExceeded);
   CountBarrier(region, result,
                TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-                   SystemClock::Instance().Now() - start)));
+                   GlobalClock().Now() - start)));
   return result;
 }
 
@@ -402,6 +426,22 @@ Status LineageBarrierBackend::Launch(const Lineage& lineage, const std::vector<R
     return Status::Ok();
   }
   if (options.use_cache && AllEnforced(lineage, regions)) {
+    if (PropertyRegistry::Instance().deep_checks()) {
+      // The memo claims every dependency is already visible at every region;
+      // re-probe each one (visibility is monotone, so the original proof must
+      // still hold). A failure here is the memo lying — the one cache bug
+      // that would silently break the paper's zero-violation claim.
+      for (Region region : regions) {
+        for (const auto& dep : lineage.deps()) {
+          if (options.use_scope && (dep.scope & RegionBit(region)) == 0) {
+            continue;
+          }
+          Shim* shim = options.registry->Lookup(dep.store);
+          ANTIPODE_ALWAYS("barrier.memo_sound",
+                          shim == nullptr || shim->IsVisible(region, dep));
+        }
+      }
+    }
     if (memoizable != nullptr) {
       *memoizable = false;  // already memoized; nothing new proved
     }

@@ -68,7 +68,7 @@ MediaServiceResult RunMediaService(const MediaServiceConfig& config) {
       }
     }
     window.Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-        SystemClock::Instance().Now() -
+        GlobalClock().Now() -
         TimePoint(TimePoint::duration(static_cast<int64_t>(*when))))));
 
     std::optional<Document> review;
@@ -136,7 +136,7 @@ MediaServiceResult RunMediaService(const MediaServiceConfig& config) {
       Serializer s;
       s.WriteString(review_id);
       s.WriteUint64(
-          static_cast<uint64_t>(SystemClock::Instance().Now().time_since_epoch().count()));
+          static_cast<uint64_t>(GlobalClock().Now().time_since_epoch().count()));
       if (antipode) {
         event_shim.PublishCtx(config.upload_region, "review-events", s.Release());
       } else {

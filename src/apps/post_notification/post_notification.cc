@@ -474,7 +474,7 @@ PostNotificationResult RunPostNotification(const PostNotificationConfig& config)
             BarrierGlobal(message.lineage, config.barrier_regions, barrier_options);
           }
         }
-        const TimePoint read_time = SystemClock::Instance().Now();
+        const TimePoint read_time = GlobalClock().Now();
         window.Record(TimeScale::ToModelMillis(
             std::chrono::duration_cast<Duration>(read_time - write_time)));
         const bool found = post_storage->ReadPost(reader_region, post_id, antipode);
@@ -501,9 +501,9 @@ PostNotificationResult RunPostNotification(const PostNotificationConfig& config)
         LineageApi::Root();
       }
       post_storage->WritePost(config.writer_region, post_id, content, antipode);
-      const TimePoint write_time = SystemClock::Instance().Now();
+      const TimePoint write_time = GlobalClock().Now();
       if (config.artificial_delay_model_millis > 0) {
-        SystemClock::Instance().SleepFor(
+        GlobalClock().SleepFor(
             TimeScale::FromModelMillis(config.artificial_delay_model_millis));
       }
       notifier->Publish(config.writer_region, EncodeNotification(post_id, write_time),

@@ -159,12 +159,12 @@ class SocialNetworkApp {
     const std::string post_id = payload.substr(colon + 1);
 
     // Collapsed service time of the text/media/unique-id helper services.
-    SystemClock::Instance().SleepFor(
+    GlobalClock().SleepFor(
         TimeScale::FromModelMillis(config_.compose_work_model_millis));
 
     RpcClient client(&service_registry_, config_.home_region);
     client.Call("post-storage", "store", post_id + ":" + author);
-    const TimePoint write_time = SystemClock::Instance().Now();
+    const TimePoint write_time = GlobalClock().Now();
     auto followers = client.Call("social-graph", "followers", author);
 
     FanoutTask task;
@@ -243,7 +243,7 @@ class SocialNetworkApp {
       // The barrier right after dequeuing the notification object (§7.1).
       Barrier(message.lineage, config_.remote_region, BarrierOptions{.registry = &registry_});
     }
-    const TimePoint fetch_time = SystemClock::Instance().Now();
+    const TimePoint fetch_time = GlobalClock().Now();
     window_.Record(TimeScale::ToModelMillis(
         std::chrono::duration_cast<Duration>(fetch_time - task.write_time)));
 

@@ -99,7 +99,7 @@ class TrainTicketApp {
 
     RpcClient client(&service_registry_, Region::kLocal);
     client.Call("cancel-order", "cancel", order_id);
-    const TimePoint response_time = SystemClock::Instance().Now();
+    const TimePoint response_time = GlobalClock().Now();
 
     // Poll until the refund is visible; the consistency window is the gap
     // between the response and refund visibility, and a *violation* is a
@@ -107,9 +107,9 @@ class TrainTicketApp {
     // refund).
     const Duration poll_step = TimeScale::FromModelMillis(0.5);
     while (!payments_.SelectByPk(Region::kLocal, "refunds", Value(order_id)).has_value()) {
-      SystemClock::Instance().SleepFor(poll_step);
+      GlobalClock().SleepFor(poll_step);
     }
-    const TimePoint visible_time = SystemClock::Instance().Now();
+    const TimePoint visible_time = GlobalClock().Now();
     const double window_ms = TimeScale::ToModelMillis(
         std::chrono::duration_cast<Duration>(visible_time - response_time));
     window_.Record(window_ms);
@@ -132,7 +132,7 @@ class TrainTicketApp {
  private:
   Result<std::string> HandleCancel(const std::string& order_id) {
     // (business logic: seat release, fare recomputation, notifications…)
-    SystemClock::Instance().SleepFor(
+    GlobalClock().SleepFor(
         TimeScale::FromModelMillis(config_.cancel_work_model_millis));
 
     // (a) mark the order cancelled.
@@ -159,7 +159,7 @@ class TrainTicketApp {
 
   void SubscribePaymentConsumer() {
     auto process = [this](const std::string& order_id) {
-      SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(kRefundWorkModelMillis));
+      GlobalClock().SleepFor(TimeScale::FromModelMillis(kRefundWorkModelMillis));
       Row refund{{"order_id", Value(order_id)}, {"amount", Value(static_cast<int64_t>(4200))}};
       if (config_.antipode) {
         payment_shim_.InsertCtx(Region::kLocal, "refunds", std::move(refund));

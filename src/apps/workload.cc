@@ -16,24 +16,24 @@ WorkloadResult OpenLoopRunner::Run(const Options& options,
   std::condition_variable cv;
   uint64_t inflight = 0;
 
-  const TimePoint start = SystemClock::Instance().Now();
+  const TimePoint start = GlobalClock().Now();
   const Duration duration = TimeScale::FromModelMillis(options.duration_model_seconds * 1000.0);
   const double mean_gap_millis = 1000.0 / options.rate_per_model_second;
 
   uint64_t sequence = 0;
   TimePoint next_arrival = start;
   while (next_arrival - start < duration) {
-    SystemClock::Instance().SleepFor(
-        std::chrono::duration_cast<Duration>(next_arrival - SystemClock::Instance().Now()));
+    GlobalClock().SleepFor(
+        std::chrono::duration_cast<Duration>(next_arrival - GlobalClock().Now()));
     const uint64_t id = sequence++;
     {
       std::lock_guard<std::mutex> lock(mu);
       ++inflight;
     }
     clients.Submit([&, id] {
-      const TimePoint begin = SystemClock::Instance().Now();
+      const TimePoint begin = GlobalClock().Now();
       request(id);
-      const TimePoint end = SystemClock::Instance().Now();
+      const TimePoint end = GlobalClock().Now();
       latency.Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(end - begin)));
       {
         std::lock_guard<std::mutex> lock(mu);
@@ -50,7 +50,7 @@ WorkloadResult OpenLoopRunner::Run(const Options& options,
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return inflight == 0; });
   }
-  const TimePoint finish = SystemClock::Instance().Now();
+  const TimePoint finish = GlobalClock().Now();
   clients.Shutdown();
 
   result.offered = sequence;

@@ -35,7 +35,7 @@ Status FlightTrackerClient::BeforeRead(Region region, const std::string& session
                                        Duration timeout) {
   const TimePoint deadline = timeout == Duration::max()
                                  ? TimePoint::max()
-                                 : SystemClock::Instance().Now() + timeout;
+                                 : GlobalClock().Now() + timeout;
   for (const auto& id : tickets_->GetTicket(region, session)) {
     Shim* shim = registry_->Lookup(id.store);
     if (shim == nullptr) {
@@ -43,7 +43,7 @@ Status FlightTrackerClient::BeforeRead(Region region, const std::string& session
     }
     Duration remaining = Duration::max();
     if (deadline != TimePoint::max()) {
-      const TimePoint now = SystemClock::Instance().Now();
+      const TimePoint now = GlobalClock().Now();
       if (now >= deadline) {
         return Status::DeadlineExceeded("flight-tracker ticket wait: " + id.ToString());
       }

@@ -1,6 +1,7 @@
 #include "src/common/clock.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace antipode {
@@ -26,6 +27,19 @@ double TimeScale::ToModelMillis(Duration wall) {
 SystemClock& SystemClock::Instance() {
   static SystemClock clock;
   return clock;
+}
+
+namespace {
+std::atomic<Clock*> g_global_clock{nullptr};
+}  // namespace
+
+Clock& GlobalClock() {
+  Clock* clock = g_global_clock.load(std::memory_order_acquire);
+  return clock != nullptr ? *clock : SystemClock::Instance();
+}
+
+Clock* SetGlobalClock(Clock* clock) {
+  return g_global_clock.exchange(clock, std::memory_order_acq_rel);
 }
 
 }  // namespace antipode

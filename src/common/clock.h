@@ -57,20 +57,27 @@ class SystemClock final : public Clock {
   }
 };
 
+// The process-wide clock every component reads time through. Defaults to
+// SystemClock; deterministic simulation (ScopedSimMode in sim.h) swaps in a
+// virtual-time SimClock so no component touches the wall clock in sim mode.
+// Passing nullptr restores the SystemClock default; returns the previous
+// override (nullptr when the default was in effect).
+Clock& GlobalClock();
+Clock* SetGlobalClock(Clock* clock);
+
 // Deadline arithmetic shared by every wait path. Duration::max() is the
 // "no timeout" sentinel and maps to TimePoint::max(); computing the deadline
 // once and passing it to every wait in a batch is what gives a barrier a
 // single shared budget instead of per-dependency budgets.
 inline TimePoint DeadlineAfter(Duration timeout) {
-  return timeout == Duration::max() ? TimePoint::max()
-                                    : SystemClock::Instance().Now() + timeout;
+  return timeout == Duration::max() ? TimePoint::max() : GlobalClock().Now() + timeout;
 }
 
 inline Duration RemainingBudget(TimePoint deadline) {
   if (deadline == TimePoint::max()) {
     return Duration::max();
   }
-  const TimePoint now = SystemClock::Instance().Now();
+  const TimePoint now = GlobalClock().Now();
   if (now >= deadline) {
     return Duration::zero();
   }

@@ -2,15 +2,18 @@
 
 #include <chrono>
 
+#include "src/common/clock.h"
+
 namespace antipode {
 
 uint64_t HlcClock::NowMicros() {
-  // Steady (never steps backwards) and process-relative: stamps only ever
-  // compare against each other, so the epoch is arbitrary. Offset by one so
-  // a packed stamp is never 0 — 0 is the "unknown stamp" sentinel.
-  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  // Reads the process GlobalClock (virtual time in simulation mode), so HLC
+  // stamps advance deterministically under the sim scheduler. Steady and
+  // process-relative: stamps only ever compare against each other, so the
+  // epoch is arbitrary. Offset by one so a packed stamp is never 0 — 0 is
+  // the "unknown stamp" sentinel.
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                   std::chrono::steady_clock::now() - epoch)
+                                   GlobalClock().Now().time_since_epoch())
                                    .count()) +
          1;
 }

@@ -1,0 +1,138 @@
+#include "src/common/property.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace antipode {
+
+std::string_view PropertyKindName(PropertyKind kind) {
+  switch (kind) {
+    case PropertyKind::kAlways:
+      return "ALWAYS";
+    case PropertyKind::kSometimes:
+      return "SOMETIMES";
+    case PropertyKind::kReachable:
+      return "REACHABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Property::first_failure_detail() const {
+  std::lock_guard<std::mutex> lock(detail_mu_);
+  return first_failure_detail_;
+}
+
+void Property::RecordFailure(const std::function<std::string()>* detail) {
+  run_fail_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t prior = total_fail_.fetch_add(1, std::memory_order_relaxed);
+  if (prior == 0) {
+    std::string message = (detail != nullptr && *detail) ? (*detail)() : std::string();
+    {
+      std::lock_guard<std::mutex> lock(detail_mu_);
+      if (first_failure_detail_.empty()) first_failure_detail_ = message;
+    }
+    if (kind_ == PropertyKind::kAlways) {
+      // First violation of an ALWAYS property is worth a line even without a
+      // harness: a sweep still reports verdicts, but a unit test that never
+      // inspects the registry should not swallow it silently.
+      std::fprintf(stderr, "[property] ALWAYS \"%s\" violated%s%s\n", name_.c_str(),
+                   message.empty() ? "" : ": ", message.c_str());
+    }
+  }
+}
+
+PropertyRegistry& PropertyRegistry::Instance() {
+  static PropertyRegistry* registry = new PropertyRegistry();
+  return *registry;
+}
+
+Property* PropertyRegistry::Register(PropertyKind kind, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = properties_.find(name);
+  if (it != properties_.end()) return it->second.get();
+  auto inserted = properties_.emplace(std::string(name),
+                                      std::make_unique<Property>(kind, std::string(name)));
+  return inserted.first->second.get();
+}
+
+uint64_t PropertyRegistry::BeginRun() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, prop] : properties_) prop->ResetRun();
+  return run_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool PropertyRegistry::RunViolationFree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, prop] : properties_) {
+    if (prop->kind() == PropertyKind::kAlways && prop->run_failures() > 0) return false;
+  }
+  return true;
+}
+
+uint64_t PropertyRegistry::TotalAlwaysFailures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t failures = 0;
+  for (const auto& [name, prop] : properties_) {
+    if (prop->kind() == PropertyKind::kAlways) failures += prop->total_failures();
+  }
+  return failures;
+}
+
+std::vector<std::string> PropertyRegistry::UnreachedSometimes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> unreached;
+  for (const auto& [name, prop] : properties_) {
+    if (prop->kind() == PropertyKind::kAlways) continue;
+    if (prop->total_passes() == 0) unreached.push_back(name);
+  }
+  return unreached;
+}
+
+std::vector<PropertyRegistry::PropertyState> PropertyRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PropertyState> states;
+  states.reserve(properties_.size());
+  for (const auto& [name, prop] : properties_) {
+    PropertyState state;
+    state.name = name;
+    state.kind = prop->kind();
+    state.run_passes = prop->run_passes();
+    state.run_failures = prop->run_failures();
+    state.total_passes = prop->total_passes();
+    state.total_failures = prop->total_failures();
+    state.first_failure_detail = prop->first_failure_detail();
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+Property* PropertyRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = properties_.find(name);
+  return it == properties_.end() ? nullptr : it->second.get();
+}
+
+void PropertyRegistry::PrintSummary(std::ostream& os) const {
+  auto states = Snapshot();
+  os << "property summary (" << states.size() << " properties)\n";
+  for (const auto& state : states) {
+    const bool is_always = state.kind == PropertyKind::kAlways;
+    const bool ok = is_always ? state.total_failures == 0 : state.total_passes > 0;
+    os << "  [" << (ok ? "ok" : "FAILED") << "] " << PropertyKindName(state.kind) << " "
+       << state.name << " — passes=" << state.total_passes
+       << " failures=" << state.total_failures;
+    if (!ok && !state.first_failure_detail.empty()) {
+      os << " first=" << state.first_failure_detail;
+    }
+    os << "\n";
+  }
+}
+
+void PropertyRegistry::EnableExitSummary() {
+  bool expected = false;
+  if (!exit_summary_armed_.compare_exchange_strong(expected, true)) return;
+  std::atexit([]() { PropertyRegistry::Instance().PrintSummary(std::cerr); });
+}
+
+}  // namespace antipode

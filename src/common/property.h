@@ -1,0 +1,181 @@
+// ALWAYS/SOMETIMES/REACHABLE property assertions, modeled on the Antithesis
+// C++ SDK: a property is *registered* the first time its assertion site is
+// reached, every evaluation is *observed* (pass/fail counters, never an
+// abort), and a harness asks the registry for verdicts — per run and process
+// lifetime — or prints a summary at exit.
+//
+//   * kAlways     — must hold on every evaluation; one false observation is a
+//                   violation. ("a barrier never completes past its deadline")
+//   * kSometimes  — must hold on at least one evaluation per swept run set;
+//                   never reaching it means the harness failed to exercise the
+//                   behaviour. ("a retry was attempted", "a backlog replayed")
+//   * kReachable  — kSometimes with the condition fixed true: the site itself
+//                   must execute.
+//
+// The registry is process-wide and thread-safe; assertion sites cache their
+// Property* in a function-local static so the steady-state cost is two
+// relaxed atomic increments. Deterministic-simulation sweeps call BeginRun()
+// per episode to get per-seed verdicts, and set deep_checks() to enable
+// expensive cross-validation (e.g. re-probing every dependency behind a
+// memoized barrier fast path).
+
+#ifndef SRC_COMMON_PROPERTY_H_
+#define SRC_COMMON_PROPERTY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace antipode {
+
+enum class PropertyKind : uint8_t { kAlways, kSometimes, kReachable };
+
+std::string_view PropertyKindName(PropertyKind kind);
+
+class Property {
+ public:
+  Property(PropertyKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  PropertyKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  // Records one evaluation. Never throws, never aborts: verdicts are read
+  // back through the registry so a sweep can report every violation with its
+  // seed instead of dying on the first.
+  void Observe(bool ok) {
+    if (ok) {
+      run_pass_.fetch_add(1, std::memory_order_relaxed);
+      total_pass_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      RecordFailure(nullptr);
+    }
+  }
+
+  // Like Observe, but `detail` is only materialized on failure (assertion
+  // sites pass a lambda building the message, which stays free on the pass
+  // path).
+  void Observe(bool ok, const std::function<std::string()>& detail) {
+    if (ok) {
+      run_pass_.fetch_add(1, std::memory_order_relaxed);
+      total_pass_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      RecordFailure(&detail);
+    }
+  }
+
+  uint64_t run_passes() const { return run_pass_.load(std::memory_order_relaxed); }
+  uint64_t run_failures() const { return run_fail_.load(std::memory_order_relaxed); }
+  uint64_t total_passes() const { return total_pass_.load(std::memory_order_relaxed); }
+  uint64_t total_failures() const { return total_fail_.load(std::memory_order_relaxed); }
+
+  // First failure detail captured this process (empty when none or when the
+  // failing site provided no detail).
+  std::string first_failure_detail() const;
+
+  void ResetRun() {
+    run_pass_.store(0, std::memory_order_relaxed);
+    run_fail_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void RecordFailure(const std::function<std::string()>* detail);
+
+  const PropertyKind kind_;
+  const std::string name_;
+  std::atomic<uint64_t> run_pass_{0};
+  std::atomic<uint64_t> run_fail_{0};
+  std::atomic<uint64_t> total_pass_{0};
+  std::atomic<uint64_t> total_fail_{0};
+  mutable std::mutex detail_mu_;
+  std::string first_failure_detail_;  // guarded by detail_mu_
+};
+
+class PropertyRegistry {
+ public:
+  static PropertyRegistry& Instance();
+
+  // Idempotent by name: the first registration fixes the kind, later calls
+  // (other sites sharing the property) return the same object.
+  Property* Register(PropertyKind kind, std::string_view name);
+
+  // Starts a new verdict window: per-run counters reset, registration and
+  // lifetime totals persist. Returns the new run index (first run is 1).
+  uint64_t BeginRun();
+  uint64_t run_id() const { return run_id_.load(std::memory_order_relaxed); }
+
+  // No ALWAYS property failed during the current run window.
+  bool RunViolationFree() const;
+  // ALWAYS failures across the whole process.
+  uint64_t TotalAlwaysFailures() const;
+  // SOMETIMES/REACHABLE properties never observed true this process.
+  std::vector<std::string> UnreachedSometimes() const;
+
+  struct PropertyState {
+    std::string name;
+    PropertyKind kind = PropertyKind::kAlways;
+    uint64_t run_passes = 0;
+    uint64_t run_failures = 0;
+    uint64_t total_passes = 0;
+    uint64_t total_failures = 0;
+    std::string first_failure_detail;
+  };
+  // Sorted by name, so summaries and JSON reports are stable.
+  std::vector<PropertyState> Snapshot() const;
+
+  Property* Find(std::string_view name) const;
+
+  // Expensive cross-validation gate (e.g. re-probing every dependency behind
+  // a memoized barrier fast path). Off by default; sweeps turn it on.
+  void set_deep_checks(bool enabled) { deep_checks_.store(enabled, std::memory_order_relaxed); }
+  bool deep_checks() const { return deep_checks_.load(std::memory_order_relaxed); }
+
+  // Prints the Antithesis-style table (name, kind, verdict, counts).
+  void PrintSummary(std::ostream& os) const;
+  // Arms an atexit hook printing PrintSummary to stderr (sweeps use it; unit
+  // tests stay quiet unless they opt in).
+  void EnableExitSummary();
+
+ private:
+  PropertyRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Property>, std::less<>> properties_;  // guarded by mu_
+  std::atomic<uint64_t> run_id_{1};
+  std::atomic<bool> deep_checks_{false};
+  std::atomic<bool> exit_summary_armed_{false};
+};
+
+// Assertion-site macros. `name` must be a stable string literal: it is the
+// property's identity across sites, runs, and reports.
+#define ANTIPODE_PROPERTY_CAT2(a, b) a##b
+#define ANTIPODE_PROPERTY_CAT(a, b) ANTIPODE_PROPERTY_CAT2(a, b)
+
+#define ANTIPODE_PROPERTY_OBSERVE(kind, name, ...)                                      \
+  do {                                                                                  \
+    static ::antipode::Property* const ANTIPODE_PROPERTY_CAT(antipode_prop_, __LINE__) = \
+        ::antipode::PropertyRegistry::Instance().Register((kind), (name));              \
+    ANTIPODE_PROPERTY_CAT(antipode_prop_, __LINE__)->Observe(__VA_ARGS__);              \
+  } while (0)
+
+// The condition must hold here, every time.
+#define ANTIPODE_ALWAYS(name, ...) \
+  ANTIPODE_PROPERTY_OBSERVE(::antipode::PropertyKind::kAlways, name, __VA_ARGS__)
+
+// The condition must hold here at least once across the sweep.
+#define ANTIPODE_SOMETIMES(name, ...) \
+  ANTIPODE_PROPERTY_OBSERVE(::antipode::PropertyKind::kSometimes, name, __VA_ARGS__)
+
+// This site must execute at least once across the sweep.
+#define ANTIPODE_REACHABLE(name) \
+  ANTIPODE_PROPERTY_OBSERVE(::antipode::PropertyKind::kReachable, name, true)
+
+}  // namespace antipode
+
+#endif  // SRC_COMMON_PROPERTY_H_

@@ -1,8 +1,11 @@
 #include "src/common/thread_pool.h"
 
+#include "src/common/sim.h"
+
 namespace antipode {
 
-ThreadPool::ThreadPool(size_t num_threads, std::string name) : name_(std::move(name)) {
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : name_(std::move(name)), sim_state_(std::make_shared<SimState>()) {
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -15,6 +18,19 @@ bool ThreadPool::Submit(std::function<void()> task) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return false;
   }
+  if (SimScheduler* sim = SimScheduler::Active()) {
+    auto state = sim_state_;
+    state->pending.fetch_add(1, std::memory_order_relaxed);
+    sim->Post(sim->Now(), sim->ExecutorAffinity(this),
+              [state, fn = std::move(task)]() mutable {
+                state->pending.fetch_sub(1, std::memory_order_relaxed);
+                if (!state->open.load(std::memory_order_acquire)) {
+                  return;
+                }
+                fn();
+              });
+    return true;
+  }
   return tasks_.Push(std::move(task));
 }
 
@@ -22,6 +38,15 @@ void ThreadPool::Shutdown() {
   bool expected = false;
   if (!shutdown_.compare_exchange_strong(expected, true)) {
     return;
+  }
+  if (SimScheduler* sim = SimScheduler::Active()) {
+    // Mirror the threaded drain: tasks submitted before Shutdown still run
+    // before it returns. Submitted tasks are due-now events, so pumping until
+    // this pool's pending count hits zero drains exactly what was accepted.
+    auto state = sim_state_;
+    sim->RunUntil([state] { return state->pending.load(std::memory_order_relaxed) == 0; },
+                  TimePoint::max());
+    state->open.store(false, std::memory_order_release);
   }
   tasks_.Close();
   for (auto& worker : workers_) {

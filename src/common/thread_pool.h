@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,7 +23,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task; returns false after Shutdown.
+  // Enqueues a task; returns false after Shutdown. Under an active
+  // SimScheduler the task becomes a due-now simulation event instead (the
+  // worker threads stay idle): each pool maps to one deterministic affinity
+  // stream, so in simulation its tasks run serially in submit order — a
+  // legal schedule of a parallel pool, chosen so replays are deterministic.
   bool Submit(std::function<void()> task);
 
   // Stops accepting tasks, drains the queue, joins all workers. Idempotent.
@@ -33,11 +38,19 @@ class ThreadPool {
   size_t PendingTasks() const { return tasks_.Size(); }
 
  private:
+  // Simulation-mode bookkeeping shared with posted events, which can outlive
+  // the pool object itself (they sit in the scheduler heap).
+  struct SimState {
+    std::atomic<bool> open{true};
+    std::atomic<size_t> pending{0};
+  };
+
   void WorkerLoop();
 
   std::string name_;
   BlockingQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  std::shared_ptr<SimState> sim_state_;
   std::atomic<bool> shutdown_{false};
 };
 

@@ -1,9 +1,12 @@
 #include "src/common/timer_service.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
+#include "src/common/sim.h"
 #include "src/obs/metrics.h"
 
 namespace antipode {
@@ -21,10 +24,22 @@ size_t ResolveWorkers(size_t requested) {
 }  // namespace
 
 TimerService::TimerService(const Options& options) {
-  const size_t num_shards = std::max<size_t>(1, options.num_shards);
-  const size_t num_workers = ResolveWorkers(options.num_workers);
   MetricsRegistry& registry = MetricsRegistry::Default();
   callbacks_run_ = registry.GetCounter("timer.callbacks_run");
+  if (options.deterministic) {
+    sim_ = SimScheduler::Active();
+    if (sim_ == nullptr) {
+      std::fprintf(stderr,
+                   "TimerService: deterministic mode requires an active SimScheduler "
+                   "(construct inside a ScopedSimMode)\n");
+      std::abort();
+    }
+    sim_state_ = std::make_shared<SimState>();
+    sim_state_->callbacks_run = callbacks_run_;
+    return;
+  }
+  const size_t num_shards = std::max<size_t>(1, options.num_shards);
+  const size_t num_workers = ResolveWorkers(options.num_workers);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -55,11 +70,11 @@ TimerService& TimerService::Shared() {
 }
 
 bool TimerService::ScheduleAfter(Duration delay, TimerTask fn) {
-  return ScheduleAt(SystemClock::Instance().Now() + delay, std::move(fn));
+  return ScheduleAt(GlobalClock().Now() + delay, std::move(fn));
 }
 
 bool TimerService::ScheduleAfter(Duration delay, AffinityToken affinity, TimerTask fn) {
-  return ScheduleAt(SystemClock::Instance().Now() + delay, affinity, std::move(fn));
+  return ScheduleAt(GlobalClock().Now() + delay, affinity, std::move(fn));
 }
 
 bool TimerService::ScheduleAt(TimePoint when, TimerTask fn) {
@@ -67,6 +82,25 @@ bool TimerService::ScheduleAt(TimePoint when, TimerTask fn) {
 }
 
 bool TimerService::ScheduleAt(TimePoint when, AffinityToken affinity, TimerTask fn) {
+  if (sim_ != nullptr) {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    // The wrapper (not the scheduler) enforces the shutdown contract: events
+    // posted before Shutdown but due after it find open == false and drop
+    // their callback without running it.
+    auto state = sim_state_;
+    state->pending.fetch_add(1, std::memory_order_relaxed);
+    sim_->Post(when, affinity, [state, task = std::move(fn)]() mutable {
+      state->pending.fetch_sub(1, std::memory_order_relaxed);
+      if (!state->open.load(std::memory_order_acquire)) {
+        return;
+      }
+      task();
+      state->callbacks_run->Increment();
+    });
+    return true;
+  }
   Shard& shard = *shards_[affinity % shards_.size()];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -81,6 +115,17 @@ bool TimerService::ScheduleAt(TimePoint when, AffinityToken affinity, TimerTask 
 }
 
 void TimerService::Shutdown() {
+  if (sim_ != nullptr) {
+    const bool was_shut = shutdown_.exchange(true, std::memory_order_acq_rel);
+    if (was_shut) {
+      return;
+    }
+    // Mirror the threaded contract: timers already due still fire before
+    // Shutdown returns; future ones are dropped by the wrapper's open flag.
+    sim_->AdvanceTo(sim_->Now());
+    sim_state_->open.store(false, std::memory_order_release);
+    return;
+  }
   shutdown_.store(true, std::memory_order_relaxed);
   for (auto& shard : shards_) {
     // Take-and-release the shard lock so a dispatcher is either not yet
@@ -108,6 +153,9 @@ void TimerService::Shutdown() {
 }
 
 size_t TimerService::PendingCount() const {
+  if (sim_ != nullptr) {
+    return sim_state_->pending.load(std::memory_order_relaxed);
+  }
   size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

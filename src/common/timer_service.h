@@ -41,6 +41,7 @@ namespace antipode {
 class Counter;
 class Gauge;
 class HistogramMetric;
+class SimScheduler;
 
 struct TimerServiceOptions {
   // Timer shards: independent heaps + dispatcher threads. More shards reduce
@@ -49,6 +50,13 @@ struct TimerServiceOptions {
   // Callback workers. 0 = run callbacks inline on each shard's dispatcher
   // (legacy single-thread behaviour when num_shards == 1).
   size_t num_workers = kDefaultWorkers;
+
+  // Deterministic simulation mode: no shards, no workers, no threads — every
+  // schedule becomes an event on the process's active SimScheduler (sim.h),
+  // which must be installed (via ScopedSimMode) before construction. Virtual
+  // time replaces the wall clock; the per-affinity ordering contract is
+  // preserved by the scheduler's seeded tie-break (same token ⇒ FIFO).
+  bool deterministic = false;
 
   // SIZE_MAX sentinel resolved at construction to min(8, max(2, cores)).
   static constexpr size_t kDefaultWorkers = SIZE_MAX;
@@ -94,6 +102,7 @@ class TimerService {
 
   size_t num_shards() const { return shards_.size(); }
   size_t num_workers() const { return workers_.size(); }
+  bool deterministic() const { return sim_ != nullptr; }
 
  private:
   struct Entry {
@@ -130,12 +139,23 @@ class TimerService {
     std::thread thread;
   };
 
+  // Deterministic-mode state shared with every event posted to the sim
+  // scheduler: events may still sit in the scheduler heap after this service
+  // shuts down (or is destroyed), so the open/pending flags outlive it.
+  struct SimState {
+    std::atomic<bool> open{true};
+    std::atomic<size_t> pending{0};
+    Counter* callbacks_run = nullptr;
+  };
+
   void DispatchLoop(Shard& shard);
   void WorkerLoop(Worker& worker);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;
   Counter* callbacks_run_ = nullptr;
+  SimScheduler* sim_ = nullptr;
+  std::shared_ptr<SimState> sim_state_;
 
   std::atomic<AffinityToken> round_robin_{0};
   std::atomic<bool> shutdown_{false};

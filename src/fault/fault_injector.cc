@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/property.h"
 #include "src/obs/metrics.h"
 
 namespace antipode {
@@ -76,7 +77,7 @@ void FaultInjector::Arm(FaultPlan plan) {
   const bool had_plan = armed_plan_ != nullptr;
   armed_plan_ = std::make_unique<ArmedPlan>();
   armed_plan_->plan = std::move(plan);
-  armed_plan_->armed_at = SystemClock::Instance().Now();
+  armed_plan_->armed_at = GlobalClock().Now();
   armed_plan_->rng = Rng(armed_plan_->plan.seed);
   if (!had_plan) {
     active_sources_.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +94,7 @@ void FaultInjector::Disarm() {
 
 double FaultInjector::ElapsedModelMsLocked() const {
   return TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-      SystemClock::Instance().Now() - armed_plan_->armed_at));
+      GlobalClock().Now() - armed_plan_->armed_at));
 }
 
 bool FaultInjector::DrawLocked(const FaultRule& rule) {
@@ -115,6 +116,15 @@ void FaultInjector::RecordInjected(FaultKind kind) {
                                                  {{"kind", std::string(FaultKindName(kind))}});
   }
   slot->Increment();
+  // One REACHABLE property per fault kind that ever fires: the sweep's
+  // verdict then includes "every injected fault class was actually
+  // exercised", not just "faults were configured".
+  Property*& prop = injected_properties_[static_cast<size_t>(kind)];
+  if (prop == nullptr) {
+    prop = PropertyRegistry::Instance().Register(
+        PropertyKind::kReachable, "fault." + std::string(FaultKindName(kind)));
+  }
+  prop->Observe(true);
 }
 
 LinkFault FaultInjector::OnDeliver(Region from, Region to) {

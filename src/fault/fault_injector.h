@@ -52,6 +52,10 @@
 #include "src/net/region.h"
 
 namespace antipode {
+class Property;
+}
+
+namespace antipode {
 
 class Counter;
 
@@ -205,6 +209,10 @@ class FaultInjector {
 
   // fault.injected{kind=...} counters, fetched lazily (guarded by mu_).
   std::array<Counter*, kNumFaultKinds> injected_counters_{};
+  // "fault.<kind>" REACHABLE properties (property.h), registered lazily the
+  // first time a kind actually fires, so a seed sweep can assert its plans
+  // exercised every fault class it injected (guarded by mu_).
+  std::array<Property*, kNumFaultKinds> injected_properties_{};
 };
 
 }  // namespace antipode

@@ -87,13 +87,13 @@ void SimulatedNetwork::SleepRtt(Region from, Region to, size_t request_bytes,
   const double millis = topology_->SampleOneWayMillis(from, to) +
                         topology_->SampleOneWayMillis(to, from) +
                         PayloadMillis(request_bytes) + PayloadMillis(response_bytes);
-  SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(millis));
+  GlobalClock().SleepFor(TimeScale::FromModelMillis(millis));
 }
 
 void SimulatedNetwork::SleepOneWay(Region from, Region to, size_t payload_bytes) {
   CountMessage(from, to, payload_bytes);
   const double millis = topology_->SampleOneWayMillis(from, to) + PayloadMillis(payload_bytes);
-  SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(millis));
+  GlobalClock().SleepFor(TimeScale::FromModelMillis(millis));
 }
 
 SimulatedNetwork& SimulatedNetwork::Default() {

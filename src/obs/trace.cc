@@ -113,7 +113,7 @@ void Tracer::Enable(uint64_t sample_period) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (epoch_ == TimePoint{}) {
-      epoch_ = SystemClock::Instance().Now();
+      epoch_ = GlobalClock().Now();
     }
   }
   sample_period_.store(sample_period == 0 ? 1 : sample_period, std::memory_order_relaxed);
@@ -292,7 +292,7 @@ Span Span::Start(std::string name, Options options) {
   span.event_.span_id = span.context_.span_id;
   span.event_.parent_span_id = parent.span_id;
   span.event_.region = options.region;
-  span.event_.start = SystemClock::Instance().Now();
+  span.event_.start = GlobalClock().Now();
   // Make this span the current one so nested spans and store writes pick it
   // up as their parent; End() restores the previous context.
   if (RequestContext::Current() != nullptr) {
@@ -341,7 +341,7 @@ void Span::End() {
     return;
   }
   recording_ = false;
-  event_.end = SystemClock::Instance().Now();
+  event_.end = GlobalClock().Now();
   if (restore_context_) {
     SetCurrentSpanContext(previous_);
     restore_context_ = false;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <random>
 
+#include "src/common/property.h"
+#include "src/common/sim.h"
 #include "src/obs/trace.h"
 
 namespace antipode {
@@ -56,6 +59,9 @@ bool RpcService::TryGetCachedOutcome(uint64_t call_id, RpcServerOutcome* out) {
 }
 
 void RpcService::CacheOutcome(uint64_t call_id, RpcServerOutcome out) {
+  // Only completed executions may enter the dedup cache: replaying a cached
+  // transient error to a retry would defeat the retry.
+  ANTIPODE_ALWAYS("rpc.dedup_cache_only_ok", out.result.ok());
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = dedup_cache_.emplace(call_id, std::move(out));
   if (!inserted) {
@@ -160,7 +166,7 @@ Result<std::string> RpcClient::CallOnce(const RpcRoute& route, const std::string
 
   // Outbound one-way delay, paid by the (blocking) caller.
   registry_->network()->SleepOneWay(caller_region_, target_region, request_bytes);
-  if (SystemClock::Instance().Now() >= attempt_deadline) {
+  if (GlobalClock().Now() >= attempt_deadline) {
     return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + route.method);
   }
 
@@ -185,6 +191,7 @@ Result<std::string> RpcClient::CallOnce(const RpcRoute& route, const std::string
          dedup, dedup_hits] {
           RpcServerOutcome result;
           if (dedup && target->TryGetCachedOutcome(call_id, &result)) {
+            ANTIPODE_REACHABLE("rpc.dedup_hit");
             dedup_hits->Increment();
           } else {
             result = RunHandler(*handler, payload, context_blob, target->name(), method,
@@ -200,7 +207,23 @@ Result<std::string> RpcClient::CallOnce(const RpcRoute& route, const std::string
     if (!submitted) {
       return Status::Unavailable("service shut down: " + service);
     }
-    future.wait();
+    if (SimScheduler* sim = SimScheduler::Active()) {
+      // Cooperative wait: pump the simulation until the handler event sets
+      // the promise. A quiescent heap with no outcome means the handler can
+      // never run (executor torn down mid-episode) — surface it instead of
+      // blocking a future that will never be fulfilled.
+      const bool ready = sim->RunUntil(
+          [&future] {
+            return future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+          },
+          TimePoint::max());
+      if (!ready) {
+        return Status::Unavailable("rpc response never arrived (simulation quiescent): " +
+                                   service);
+      }
+    } else {
+      future.wait();
+    }
     out = future.get();
   } else {
     // Deadline-bounded: the caller may abandon the wait while the handler is
@@ -213,6 +236,7 @@ Result<std::string> RpcClient::CallOnce(const RpcRoute& route, const std::string
          drop_response, dedup_hits] {
           RpcServerOutcome result;
           if (dedup && target->TryGetCachedOutcome(call_id, &result)) {
+            ANTIPODE_REACHABLE("rpc.dedup_hit");
             dedup_hits->Increment();
           } else {
             result = RunHandler(*handler, payload, context_blob, target->name(), method,
@@ -230,7 +254,20 @@ Result<std::string> RpcClient::CallOnce(const RpcRoute& route, const std::string
     if (!submitted) {
       return Status::Unavailable("service shut down: " + service);
     }
-    if (future.wait_until(attempt_deadline) != std::future_status::ready) {
+    bool ready;
+    if (SimScheduler* sim = SimScheduler::Active()) {
+      // Virtual-time deadline wait: pump events until the promise resolves or
+      // the deadline passes (including the dropped-response case, where the
+      // promise is never fulfilled and the deadline is the only exit).
+      ready = sim->RunUntil(
+          [&future] {
+            return future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+          },
+          attempt_deadline);
+    } else {
+      ready = future.wait_until(attempt_deadline) == std::future_status::ready;
+    }
+    if (!ready) {
       return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + route.method);
     }
     out = future.get();
@@ -240,9 +277,9 @@ Result<std::string> RpcClient::CallOnce(const RpcRoute& route, const std::string
       (out.result.ok() ? out.result.value().size() : 0) + out.context_blob.size();
   registry_->network()->SleepOneWay(target_region, caller_region_, response_bytes);
   if (fault.delay_add_model_ms > 0.0) {
-    SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(fault.delay_add_model_ms));
+    GlobalClock().SleepFor(TimeScale::FromModelMillis(fault.delay_add_model_ms));
   }
-  if (SystemClock::Instance().Now() >= attempt_deadline) {
+  if (GlobalClock().Now() >= attempt_deadline) {
     return Status::DeadlineExceeded("rpc deadline exceeded: " + service + "/" + route.method);
   }
 
@@ -269,11 +306,16 @@ Result<std::string> RpcClient::Call(const RpcRoute& route, const std::string& pa
   if (route.handler == nullptr) {
     return Status::NotFound("call through unresolved rpc route");
   }
-  const TimePoint call_start = SystemClock::Instance().Now();
+  const TimePoint call_start = GlobalClock().Now();
   const TimePoint call_deadline = DeadlineAfter(options.deadline);
   const int max_attempts = std::max(1, options.retry.max_attempts);
   const bool may_retry = options.idempotent && max_attempts > 1;
-  const uint64_t call_id = g_next_call_id.fetch_add(1, std::memory_order_relaxed);
+  // In simulation, call ids come from the episode's scheduler: the process
+  // counter would leak state across episodes (ids seed the backoff RNG, so a
+  // drifting counter would desynchronize replays).
+  SimScheduler* const sim = SimScheduler::Active();
+  const uint64_t call_id =
+      sim != nullptr ? sim->NextCallId() : g_next_call_id.fetch_add(1, std::memory_order_relaxed);
   std::mt19937_64 backoff_rng(options.retry.seed ^ call_id);
 
   Span span = Span::Start("rpc/call", {.category = "rpc", .region = caller_region_});
@@ -287,13 +329,14 @@ Result<std::string> RpcClient::Call(const RpcRoute& route, const std::string& pa
   Result<std::string> result = Status::Internal("rpc never attempted");
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
+      ANTIPODE_REACHABLE("rpc.retry_attempted");
       route.retries->Increment();
       const double base = options.retry.initial_backoff_model_ms *
                           std::pow(options.retry.backoff_multiplier, attempt - 2);
       std::uniform_real_distribution<double> jitter(1.0 - options.retry.jitter,
                                                     1.0 + options.retry.jitter);
       const Duration backoff = TimeScale::FromModelMillis(base * jitter(backoff_rng));
-      SystemClock::Instance().SleepFor(std::min(backoff, RemainingBudget(call_deadline)));
+      GlobalClock().SleepFor(std::min(backoff, RemainingBudget(call_deadline)));
     }
     if (RemainingBudget(call_deadline) == Duration::zero()) {
       result = Status::DeadlineExceeded("rpc deadline exceeded: " + route.service->name() + "/" +
@@ -322,7 +365,7 @@ Result<std::string> RpcClient::Call(const RpcRoute& route, const std::string& pa
     }
   }
   route.latency->Record(TimeScale::ToModelMillis(
-      std::chrono::duration_cast<Duration>(SystemClock::Instance().Now() - call_start)));
+      std::chrono::duration_cast<Duration>(GlobalClock().Now() - call_start)));
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "src/common/hlc.h"
+#include "src/common/property.h"
+#include "src/common/sim.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -54,6 +56,9 @@ void ReplicaTable::Apply(const StoredEntry& entry) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(entry.key);
     if (it != shard.entries.end() && it->second.version >= entry.version) {
+      // Heal replays and redeliveries are expected to race fresh applies;
+      // the sweep must actually exercise this arm.
+      ANTIPODE_REACHABLE("store.stale_replay_ignored");
       return;  // stale replay
     }
     shard.entries[entry.key] = entry;
@@ -88,6 +93,7 @@ void ReplicaTable::Apply(const StoredEntry& entry) {
   // Callbacks run outside the shard lock: they may take unrelated locks
   // (barrier gathers, sync-wait condvars) but must not re-enter this table.
   for (auto& waiter : due) {
+    ANTIPODE_ALWAYS("store.wait_implies_visible", waiter->version <= entry.version);
     waiter->cb(Status::Ok());
   }
 }
@@ -129,6 +135,28 @@ Status ReplicaTable::WaitVersion(const std::string& key, uint64_t version,
       });
   if (waiter == nullptr) {
     return Status::Ok();  // already visible
+  }
+  if (SimScheduler* sim = SimScheduler::Active()) {
+    // Cooperative wait: pump the event heap until the apply path completes
+    // the waiter or virtual time reaches the deadline — no thread parks in
+    // simulation. The predicate takes sync->mu itself, so nothing is held
+    // across event execution.
+    const auto done = [sync] {
+      std::lock_guard<std::mutex> lock(sync->mu);
+      return sync->done;
+    };
+    if (sim->RunUntil(done, deadline)) {
+      return sync->status;
+    }
+    // Timed out (or the simulation went quiescent with no bound, i.e. the
+    // apply that would satisfy this wait can never happen). Claim the waiter
+    // exactly like the threaded path.
+    if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
+      resident_waiters_->fetch_sub(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded("write not visible before deadline: " + key);
+    }
+    sim->RunUntil(done, TimePoint::max());
+    return sync->status;
   }
   std::unique_lock<std::mutex> lock(sync->mu);
   if (deadline == TimePoint::max()) {
@@ -216,14 +244,20 @@ void ReplicaTable::WaitVersionsAsync(std::span<const KeyVersion> items, TimePoin
 
   if (!registered.empty() && deadline != TimePoint::max() && timers != nullptr) {
     auto resident = resident_waiters_;
-    timers->ScheduleAt(deadline, [gather, resident, registered = std::move(registered)] {
+    auto expire = [gather, resident, registered = std::move(registered)] {
       for (const auto& waiter : registered) {
         if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
           resident->fetch_sub(1, std::memory_order_relaxed);
           gather->Complete(Status::DeadlineExceeded("write not visible before deadline"));
         }
       }
-    });
+    };
+    if (!timers->ScheduleAt(deadline, expire)) {
+      // Timer engine already shut down: the deadline can never fire, so
+      // expire the registered waiters now instead of leaking a gather that
+      // would never complete.
+      expire();
+    }
   }
   gather->Complete(Status::Ok());  // release the launch token
 }
@@ -241,12 +275,17 @@ void ReplicaTable::WaitVersionAsync(const std::string& key, uint64_t version, Ti
   // The timer owns only the waiter and the resident counter (both shared), so
   // it stays safe even if it outlives this table.
   auto resident = resident_waiters_;
-  timers->ScheduleAt(deadline, [waiter, resident, key] {
+  auto expire = [waiter, resident, key] {
     if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
       resident->fetch_sub(1, std::memory_order_relaxed);
       waiter->cb(Status::DeadlineExceeded("write not visible before deadline: " + key));
     }
-  });
+  };
+  if (!timers->ScheduleAt(deadline, expire)) {
+    // Timer engine already shut down: deliver the deadline outcome inline so
+    // the waiter cannot hang past teardown.
+    expire();
+  }
 }
 
 std::vector<StoredEntry> ReplicaTable::ScanPrefix(const std::string& prefix) const {
@@ -381,7 +420,7 @@ uint64_t ReplicatedStore::Put(Region origin, const std::string& key, std::string
   entry.bytes = std::move(bytes);
   entry.version = NextVersion(key);
   entry.origin = origin;
-  entry.write_time = SystemClock::Instance().Now();
+  entry.write_time = GlobalClock().Now();
   // Always overwritten (not just when tracing): a recycled block must not
   // leak the previous write's span identity into this one.
   entry.trace_id = 0;
@@ -523,7 +562,7 @@ void ReplicatedStore::RecordReplicationSpan(Region destination, double lag_milli
   event.parent_span_id = entry.parent_span_id;
   event.region = destination;
   event.start = entry.write_time;
-  event.end = SystemClock::Instance().Now();
+  event.end = GlobalClock().Now();
   event.annotations.emplace_back("store", options_.name);
   event.annotations.emplace_back("key", entry.key);
   event.annotations.emplace_back("version", std::to_string(entry.version));
@@ -575,7 +614,7 @@ void ReplicatedStore::BufferStalled(Region region, const StoredEntry& entry,
     std::lock_guard<std::mutex> lock(pause_mu_);
     stalled_[idx].push_back(entry);
     if (stall_started_[idx] == TimePoint{}) {
-      stall_started_[idx] = SystemClock::Instance().Now();
+      stall_started_[idx] = GlobalClock().Now();
     }
     if (stall.heal_known && !heal_pending_[idx]) {
       heal_pending_[idx] = true;
@@ -608,6 +647,9 @@ void ReplicatedStore::ReplayBacklog(Region region) {
     started = stall_started_[idx];
     stall_started_[idx] = TimePoint{};
   }
+  // The sweep must drive at least one heal that actually had buffered writes
+  // to replay (an empty backlog means the outage window missed the traffic).
+  ANTIPODE_SOMETIMES("store.backlog_replayed", !backlog.empty());
   // Replay in arrival order; entries re-buffer (and re-schedule a heal) when
   // the region is still stalled by another rule or a manual pause.
   for (const StoredEntry& entry : backlog) {
@@ -626,7 +668,7 @@ void ReplicatedStore::ReplayBacklog(Region region) {
         .GetHistogram("store.region_outage_ms",
                       {{"store", options_.name}, {"region", std::string(RegionName(region))}})
         ->Record(TimeScale::ToModelMillis(std::chrono::duration_cast<Duration>(
-            SystemClock::Instance().Now() - started)));
+            GlobalClock().Now() - started)));
   }
 }
 
@@ -674,11 +716,16 @@ void ReplicatedStore::WaitFrontierAsync(Region region, uint64_t cut_hlc, TimePoi
   }
   // The timer owns only the waiter (shared), so it stays safe even if it
   // outlives this store — same contract as the per-key deadline timers.
-  timers_->ScheduleAt(deadline, [waiter] {
+  auto expire = [waiter] {
     if (!waiter->fired.exchange(true, std::memory_order_acq_rel)) {
       waiter->cb(Status::DeadlineExceeded("stabilization frontier behind cut at deadline"));
     }
-  });
+  };
+  if (!timers_->ScheduleAt(deadline, expire)) {
+    // Timer engine already shut down: deliver the deadline outcome inline so
+    // the frontier waiter cannot hang past teardown.
+    expire();
+  }
 }
 
 void ReplicatedStore::DrainReplication() const {
@@ -686,6 +733,16 @@ void ReplicatedStore::DrainReplication() const {
   // final decrement's notify is still running: it only touches the shared
   // inflight block, which the shipment lambda co-owns.)
   if (inflight_->count.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  if (SimScheduler* sim = SimScheduler::Active()) {
+    // Cooperative drain: pump events until every shipment lands. Returning
+    // with inflight remaining means the engine dropped shipments at shutdown
+    // — nothing more can land, so waiting longer would only mask it.
+    auto inflight = inflight_;
+    sim->RunUntil(
+        [inflight] { return inflight->count.load(std::memory_order_acquire) == 0; },
+        TimePoint::max());
     return;
   }
   std::unique_lock<std::mutex> lock(inflight_->mu);
@@ -737,7 +794,14 @@ Status ReplicatedStore::WaitVisible(Region region, const std::string& key, uint6
       options_.fault_injector->InjectWaitError(options_.name, region)) {
     return Status::Unavailable("injected wait error: " + options_.name);
   }
-  return replica(region).WaitVersion(key, version, DeadlineAfter(timeout));
+  Status status = replica(region).WaitVersion(key, version, DeadlineAfter(timeout));
+  if (status.ok() && PropertyRegistry::Instance().deep_checks()) {
+    // Cross-validate the wait contract against an independent read of the
+    // replica table: an Ok wait that left the version invisible would be a
+    // lie the barrier layer builds on.
+    ANTIPODE_ALWAYS("store.wait_implies_visible", IsVisible(region, key, version));
+  }
+  return status;
 }
 
 void ReplicatedStore::WaitVisibleAsync(Region region, const std::string& key, uint64_t version,

@@ -1,0 +1,82 @@
+// Source audit: all wall-clock and entropy reads in src/ must flow through
+// the sanctioned indirection points (src/common/clock.* for time,
+// src/common/random.* for randomness, src/common/sim.* which anchors the
+// virtual-time origin). Any other direct use of steady_clock::now /
+// system_clock::now / std::random_device would silently escape simulation
+// mode and break seed-replay determinism.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace antipode {
+namespace {
+
+namespace fs = std::filesystem;
+
+// tests/common/clock_audit_test.cc -> repo root is three levels up.
+fs::path RepoRoot() { return fs::path(__FILE__).parent_path().parent_path().parent_path(); }
+
+bool IsAllowed(const fs::path& file) {
+  static const std::vector<std::string> kAllowed = {
+      "clock.h", "clock.cc", "random.h", "random.cc", "sim.h", "sim.cc",
+  };
+  if (file.parent_path().filename() != "common") {
+    return false;
+  }
+  const std::string name = file.filename().string();
+  for (const auto& allowed : kAllowed) {
+    if (name == allowed) return true;
+  }
+  return false;
+}
+
+TEST(ClockAuditTest, NoDirectWallClockOrEntropyOutsideClockAndRandom) {
+  const fs::path src = RepoRoot() / "src";
+  ASSERT_TRUE(fs::is_directory(src)) << "source tree not found at " << src
+                                     << " (out-of-tree build without sources?)";
+
+  const std::vector<std::string> kForbidden = {
+      "steady_clock::now",
+      "system_clock::now",
+      "random_device",
+  };
+
+  std::vector<std::string> offenders;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    const std::string ext = path.extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    if (IsAllowed(path)) continue;
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      for (const auto& token : kForbidden) {
+        if (line.find(token) != std::string::npos) {
+          offenders.push_back(path.lexically_relative(RepoRoot()).string() + ":" +
+                              std::to_string(line_no) + ": " + token);
+        }
+      }
+    }
+  }
+
+  EXPECT_TRUE(offenders.empty()) << [&] {
+    std::ostringstream os;
+    os << "direct wall-clock/entropy reads outside src/common/{clock,random,sim}:\n";
+    for (const auto& offender : offenders) os << "  " << offender << "\n";
+    os << "route time through GlobalClock() and randomness through Rng instead";
+    return os.str();
+  }();
+}
+
+}  // namespace
+}  // namespace antipode

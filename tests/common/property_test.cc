@@ -1,0 +1,179 @@
+// PropertyRegistry / ALWAYS / SOMETIMES / REACHABLE unit tests.
+//
+// The registry is process-wide, so these tests use uniquely-named properties
+// and assert deltas rather than absolute registry state (other suites in the
+// same binary may register their own properties).
+
+#include "src/common/property.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace antipode {
+namespace {
+
+TEST(PropertyTest, RegisterIsIdempotentByName) {
+  auto& reg = PropertyRegistry::Instance();
+  Property* a = reg.Register(PropertyKind::kAlways, "prop_test.idempotent");
+  Property* b = reg.Register(PropertyKind::kAlways, "prop_test.idempotent");
+  EXPECT_EQ(a, b);
+  // The first registration fixes the kind.
+  Property* c = reg.Register(PropertyKind::kSometimes, "prop_test.idempotent");
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(c->kind(), PropertyKind::kAlways);
+  EXPECT_EQ(reg.Find("prop_test.idempotent"), a);
+  EXPECT_EQ(reg.Find("prop_test.never_registered"), nullptr);
+}
+
+TEST(PropertyTest, ObserveCountsPassAndFail) {
+  auto& reg = PropertyRegistry::Instance();
+  Property* p = reg.Register(PropertyKind::kAlways, "prop_test.counts");
+  const uint64_t pass0 = p->total_passes();
+  const uint64_t fail0 = p->total_failures();
+  p->Observe(true);
+  p->Observe(true);
+  p->Observe(false);
+  EXPECT_EQ(p->total_passes(), pass0 + 2);
+  EXPECT_EQ(p->total_failures(), fail0 + 1);
+}
+
+TEST(PropertyTest, LazyDetailOnlyMaterializedOnFailure) {
+  auto& reg = PropertyRegistry::Instance();
+  Property* p = reg.Register(PropertyKind::kAlways, "prop_test.detail");
+  int built = 0;
+  p->Observe(true, [&] {
+    ++built;
+    return std::string("should not run");
+  });
+  EXPECT_EQ(built, 0);
+  p->Observe(false, [&] {
+    ++built;
+    return std::string("first failure context");
+  });
+  EXPECT_EQ(built, 1);
+  EXPECT_EQ(p->first_failure_detail(), "first failure context");
+  // Only the first failure's detail is kept.
+  p->Observe(false, [&] {
+    ++built;
+    return std::string("second failure context");
+  });
+  EXPECT_EQ(p->first_failure_detail(), "first failure context");
+}
+
+TEST(PropertyTest, BeginRunResetsRunCountersButNotTotals) {
+  auto& reg = PropertyRegistry::Instance();
+  Property* p = reg.Register(PropertyKind::kAlways, "prop_test.runs");
+  p->Observe(false);
+  EXPECT_GE(p->run_failures(), 1u);
+  EXPECT_FALSE(reg.RunViolationFree());
+  const uint64_t totals = p->total_failures();
+
+  const uint64_t run = reg.BeginRun();
+  EXPECT_EQ(reg.run_id(), run);
+  EXPECT_EQ(p->run_failures(), 0u);
+  EXPECT_EQ(p->run_passes(), 0u);
+  EXPECT_EQ(p->total_failures(), totals);
+  EXPECT_TRUE(reg.RunViolationFree());
+  p->Observe(true);
+  EXPECT_TRUE(reg.RunViolationFree());
+}
+
+TEST(PropertyTest, UnreachedSometimesListsNeverTrueProperties) {
+  auto& reg = PropertyRegistry::Instance();
+  Property* never = reg.Register(PropertyKind::kSometimes, "prop_test.never_true");
+  never->Observe(false);
+  Property* hit = reg.Register(PropertyKind::kSometimes, "prop_test.eventually_true");
+  hit->Observe(false);
+  hit->Observe(true);
+  reg.Register(PropertyKind::kReachable, "prop_test.reached")->Observe(true);
+
+  const auto unreached = reg.UnreachedSometimes();
+  auto contains = [&](const std::string& name) {
+    for (const auto& n : unreached) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("prop_test.never_true"));
+  EXPECT_FALSE(contains("prop_test.eventually_true"));
+  EXPECT_FALSE(contains("prop_test.reached"));
+  // ALWAYS properties are not reachability goals.
+  EXPECT_FALSE(contains("prop_test.counts"));
+}
+
+TEST(PropertyTest, MacrosRegisterObserveAndCacheTheProperty) {
+  auto& reg = PropertyRegistry::Instance();
+  for (int i = 0; i < 3; ++i) {
+    ANTIPODE_ALWAYS("prop_test.macro_always", i < 2);
+    ANTIPODE_SOMETIMES("prop_test.macro_sometimes", i == 1);
+    ANTIPODE_REACHABLE("prop_test.macro_reachable");
+  }
+  Property* always = reg.Find("prop_test.macro_always");
+  ASSERT_NE(always, nullptr);
+  EXPECT_EQ(always->kind(), PropertyKind::kAlways);
+  EXPECT_EQ(always->total_passes(), 2u);
+  EXPECT_EQ(always->total_failures(), 1u);
+
+  Property* sometimes = reg.Find("prop_test.macro_sometimes");
+  ASSERT_NE(sometimes, nullptr);
+  EXPECT_EQ(sometimes->kind(), PropertyKind::kSometimes);
+  EXPECT_EQ(sometimes->total_passes(), 1u);
+
+  Property* reachable = reg.Find("prop_test.macro_reachable");
+  ASSERT_NE(reachable, nullptr);
+  EXPECT_EQ(reachable->kind(), PropertyKind::kReachable);
+  EXPECT_EQ(reachable->total_passes(), 3u);
+  EXPECT_EQ(reachable->total_failures(), 0u);
+}
+
+TEST(PropertyTest, AlwaysMacroWithLazyDetail) {
+  ANTIPODE_ALWAYS("prop_test.macro_detail", false, [] {
+    return std::string("macro detail payload");
+  });
+  Property* p = PropertyRegistry::Instance().Find("prop_test.macro_detail");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->first_failure_detail(), "macro detail payload");
+}
+
+TEST(PropertyTest, SnapshotIsSortedAndCarriesCounts) {
+  auto& reg = PropertyRegistry::Instance();
+  reg.Register(PropertyKind::kAlways, "prop_test.snap_b")->Observe(true);
+  reg.Register(PropertyKind::kAlways, "prop_test.snap_a")->Observe(false);
+  const auto snap = reg.Snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  bool saw_a = false;
+  for (const auto& state : snap) {
+    if (state.name == "prop_test.snap_a") {
+      saw_a = true;
+      EXPECT_EQ(state.kind, PropertyKind::kAlways);
+      EXPECT_GE(state.total_failures, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+}
+
+TEST(PropertyTest, PrintSummaryMentionsEveryProperty) {
+  auto& reg = PropertyRegistry::Instance();
+  reg.Register(PropertyKind::kSometimes, "prop_test.summary_prop")->Observe(true);
+  std::ostringstream os;
+  reg.PrintSummary(os);
+  EXPECT_NE(os.str().find("prop_test.summary_prop"), std::string::npos);
+  EXPECT_NE(os.str().find("SOMETIMES"), std::string::npos);
+}
+
+TEST(PropertyTest, DeepChecksToggle) {
+  auto& reg = PropertyRegistry::Instance();
+  EXPECT_FALSE(reg.deep_checks());
+  reg.set_deep_checks(true);
+  EXPECT_TRUE(reg.deep_checks());
+  reg.set_deep_checks(false);
+  EXPECT_FALSE(reg.deep_checks());
+}
+
+}  // namespace
+}  // namespace antipode

@@ -1,4 +1,5 @@
-// Partition-heal convergence property (chaos label).
+// Partition-heal convergence property, run under the deterministic
+// simulation scheduler (chaos + sim labels).
 //
 // Episode shape, per seed: partition a random subset of a 3-region store's
 // replication flows mid-workload, keep writing through the partition, heal,
@@ -8,11 +9,14 @@
 //   (3) every replica converges to the final version of every key,
 //   (4) an XCY history over the run records zero violations.
 //
-// Strict replay *order* is asserted separately under a manual pause, where
-// the heal point is synchronous (Resume replays inline) and no shipment can
-// straddle the window boundary: a timer firing in the gap between window
-// expiry and the scheduled replay legally applies directly and may interleave
-// with the replayed backlog (the replica table ignores the stale replay).
+// Every episode runs inside `ScopedSimMode`: all delays are virtual, the
+// schedule is a pure function of the seed, and a failing seed replays
+// exactly. That removes the threaded suite's workarounds wholesale — no
+// RUN_SERIAL (nothing here is load-sensitive), no fault-window headroom
+// (model time stops while the test thinks), and no
+// `network_delay_multiplier = 0` hack in the replay-order episode (virtual
+// write spacing is free, so it can simply exceed the full WAN jitter) — and
+// buys 10× the seeds (100 → 1000) at a fraction of the wall time.
 
 #include <gtest/gtest.h>
 
@@ -24,7 +28,10 @@
 
 #include "src/antipode/history_checker.h"
 #include "src/common/random.h"
+#include "src/common/sim.h"
+#include "src/common/timer_service.h"
 #include "src/fault/fault_injector.h"
+#include "src/net/topology.h"
 #include "src/store/kv_store.h"
 
 namespace antipode {
@@ -32,9 +39,11 @@ namespace {
 
 const std::vector<Region> kRegions = {Region::kUs, Region::kEu, Region::kSg};
 
-class PartitionHealChaosTest : public ::testing::Test {
+class SimPartitionHealTest : public ::testing::Test {
  protected:
-  void SetUp() override { TimeScale::Set(0.02); }
+  // Model ms == virtual ms: simulated delays cost nothing, so there is no
+  // reason to compress them.
+  void SetUp() override { TimeScale::Set(1.0); }
   void TearDown() override { TimeScale::Set(1.0); }
 };
 
@@ -52,18 +61,30 @@ void Attach(KvStore& store, Recorder& recorder) {
   });
 }
 
-// One seeded window-heal episode; reports via gtest assertions.
-void RunWindowEpisode(uint64_t seed) {
+TimerServiceOptions DeterministicTimers() {
+  TimerServiceOptions options;
+  options.deterministic = true;
+  return options;
+}
+
+// One seeded window-heal episode; reports via gtest assertions. Returns the
+// episode's event-trace hash so the caller can assert exact replay.
+uint64_t RunWindowEpisode(uint64_t seed) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
+  ScopedSimMode sim(seed);
   Rng rng(seed);
 
+  TimerService timers(DeterministicTimers());
+  RegionTopology topology(/*jitter_sigma=*/0.1, /*seed=*/seed);
   FaultInjector injector;
   const std::string store_name = "ph-" + std::to_string(seed);
   auto options = KvStore::DefaultOptions(store_name, kRegions);
   options.replication.median_millis = 5.0;
   options.replication.sigma = 0.05;
+  options.replication.seed = seed;
+  options.visibility_cache = nullptr;
   options.fault_injector = &injector;
-  KvStore store(std::move(options));
+  KvStore store(std::move(options), &topology, &timers);
   Recorder recorder;
   Attach(store, recorder);
 
@@ -91,10 +112,9 @@ void RunWindowEpisode(uint64_t seed) {
     rule.store = store_name;
     rule.to = region;
     rule.start_model_ms = rng.NextUniform(0.0, 20.0);
-    // Headroom: model time keeps flowing during each Set()'s wall-clock
-    // overhead, so at a compressed TimeScale the workload spans much more
-    // model time than its nominal spacing.
-    rule.end_model_ms = workload_ms * 10.0 + 150.0 + rng.NextUniform(0.0, 40.0);
+    // In virtual time the workload spans exactly its nominal spacing — the
+    // threaded suite's 10× + 150 ms headroom for wall-clock overhead is gone.
+    rule.end_model_ms = workload_ms + rng.NextUniform(0.0, 40.0);
     plan.rules.push_back(rule);
   }
   injector.Arm(std::move(plan));
@@ -111,13 +131,14 @@ void RunWindowEpisode(uint64_t seed) {
       EXPECT_EQ(version, v);
       checker.ObserveWrite(kWriterProcess, WriteId{store_name, key, version}, lineage);
       lineage.Append(WriteId{store_name, key, version});
-      SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(kWriteSpacingModelMs));
+      GlobalClock().SleepFor(TimeScale::FromModelMillis(kWriteSpacingModelMs));
     }
   }
 
   // Pending barriers: every replica must reach the final version of every
   // key. The partitioned flows only complete after the scheduled heal — a
-  // hang here is a lost or stuck backlog.
+  // hang here is a lost or stuck backlog (and surfaces as DeadlineExceeded,
+  // since RunUntil treats a quiescent heap as the deadline passing).
   for (Region region : kRegions) {
     for (uint64_t k = 0; k < num_keys; ++k) {
       const std::string key = "k" + std::to_string(k);
@@ -138,7 +159,10 @@ void RunWindowEpisode(uint64_t seed) {
     for (uint64_t k = 0; k < num_keys; ++k) {
       const std::string key = "k" + std::to_string(k);
       const auto entry = store.Get(region, key);
-      ASSERT_TRUE(entry.has_value());
+      EXPECT_TRUE(entry.has_value());
+      if (!entry.has_value()) {
+        continue;
+      }
       EXPECT_EQ(entry->version, writes_per_key);
       checker.ObserveRead(reader_process, store_name, key, entry->version, Lineage());
     }
@@ -149,39 +173,47 @@ void RunWindowEpisode(uint64_t seed) {
 
   // Exactly-once through buffer + replay: each replica saw each version of
   // each key exactly once (no losses, no duplicate applies).
-  std::lock_guard<std::mutex> lock(recorder.mu);
-  EXPECT_EQ(recorder.applied.size(), kRegions.size() * num_keys);
-  for (auto& [region_key, versions] : recorder.applied) {
-    std::vector<uint64_t> sorted = versions;
-    std::sort(sorted.begin(), sorted.end());
-    ASSERT_EQ(sorted.size(), writes_per_key)
-        << "region " << region_key.first << " key " << region_key.second;
-    for (uint64_t v = 1; v <= writes_per_key; ++v) {
-      EXPECT_EQ(sorted[v - 1], v)
+  {
+    std::lock_guard<std::mutex> lock(recorder.mu);
+    EXPECT_EQ(recorder.applied.size(), kRegions.size() * num_keys);
+    for (auto& [region_key, versions] : recorder.applied) {
+      std::vector<uint64_t> sorted = versions;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(sorted.size(), writes_per_key)
           << "region " << region_key.first << " key " << region_key.second;
+      if (sorted.size() != writes_per_key) {
+        continue;
+      }
+      for (uint64_t v = 1; v <= writes_per_key; ++v) {
+        EXPECT_EQ(sorted[v - 1], v)
+            << "region " << region_key.first << " key " << region_key.second;
+      }
     }
   }
+
+  sim.scheduler().RunUntilQuiescent();
+  timers.Shutdown();
+  return sim.scheduler().TraceHash();
 }
 
 // One seeded pause-drain-resume episode: with the heal point synchronous,
 // the backlog must replay strictly in per-key version order.
-void RunReplayOrderEpisode(uint64_t seed) {
+uint64_t RunReplayOrderEpisode(uint64_t seed) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
+  ScopedSimMode sim(seed);
   Rng rng(seed);
 
+  TimerService timers(DeterministicTimers());
+  RegionTopology topology(/*jitter_sigma=*/0.1, /*seed=*/seed);
   FaultInjector injector;
   const std::string store_name = "ro-" + std::to_string(seed);
   auto options = KvStore::DefaultOptions(store_name, kRegions);
   options.replication.median_millis = 5.0;
   options.replication.sigma = 0.05;
-  // Strict order needs per-key arrival order == version order, so the lag
-  // jitter must stay below the write spacing. The WAN term alone (the
-  // kUs->kSg link has a 90 model-ms median with lognormal jitter) can swing
-  // by tens of model ms and legally swap adjacent arrivals — drop it and
-  // leave only the tight store-lag spread.
-  options.replication.network_delay_multiplier = 0.0;
+  options.replication.seed = seed;
+  options.visibility_cache = nullptr;
   options.fault_injector = &injector;
-  KvStore store(std::move(options));
+  KvStore store(std::move(options), &topology, &timers);
   Recorder recorder;
   Attach(store, recorder);
 
@@ -196,16 +228,17 @@ void RunReplayOrderEpisode(uint64_t seed) {
     }
   }
 
-  // Spaced writes: the backlog preserves *arrival* order, and per-key
-  // arrival order equals version order only when the write spacing exceeds
-  // the replication-lag jitter (back-to-back writes may legally arrive
-  // swapped; the replica table's staleness check absorbs that).
+  // Strict order needs per-key arrival order == version order. Virtual write
+  // spacing is free, so instead of zeroing the WAN term (the threaded
+  // suite's workaround) the spacing simply dwarfs the full jittered WAN +
+  // shipping delay spread — arrivals cannot swap, jitter intact.
   const uint64_t num_keys = 2 + rng.NextBelow(3);
   const uint64_t writes_per_key = 3 + rng.NextBelow(4);
+  constexpr double kWriteSpacingModelMs = 500.0;
   for (uint64_t v = 1; v <= writes_per_key; ++v) {
     for (uint64_t k = 0; k < num_keys; ++k) {
       store.Set(Region::kUs, "k" + std::to_string(k), "v" + std::to_string(v));
-      SystemClock::Instance().SleepFor(TimeScale::FromModelMillis(2.0));
+      GlobalClock().SleepFor(TimeScale::FromModelMillis(kWriteSpacingModelMs));
     }
   }
   // Every shipment has now either applied or buffered (buffered entries hold
@@ -222,34 +255,62 @@ void RunReplayOrderEpisode(uint64_t seed) {
     EXPECT_FALSE(injector.IsStorePaused(store_name, region));
   }
 
-  std::lock_guard<std::mutex> lock(recorder.mu);
-  EXPECT_EQ(recorder.applied.size(), kRegions.size() * num_keys);
-  for (auto& [region_key, versions] : recorder.applied) {
-    ASSERT_EQ(versions.size(), writes_per_key)
-        << "region " << region_key.first << " key " << region_key.second;
-    for (size_t i = 0; i < versions.size(); ++i) {
-      EXPECT_EQ(versions[i], i + 1) << "out-of-order replay at region " << region_key.first
-                                    << " key " << region_key.second;
+  {
+    std::lock_guard<std::mutex> lock(recorder.mu);
+    EXPECT_EQ(recorder.applied.size(), kRegions.size() * num_keys);
+    for (auto& [region_key, versions] : recorder.applied) {
+      EXPECT_EQ(versions.size(), writes_per_key)
+          << "region " << region_key.first << " key " << region_key.second;
+      if (versions.size() != writes_per_key) {
+        continue;
+      }
+      for (size_t i = 0; i < versions.size(); ++i) {
+        EXPECT_EQ(versions[i], i + 1)
+            << "out-of-order replay at region " << region_key.first << " key "
+            << region_key.second;
+      }
     }
   }
+
+  sim.scheduler().RunUntilQuiescent();
+  timers.Shutdown();
+  return sim.scheduler().TraceHash();
 }
 
-TEST_F(PartitionHealChaosTest, BacklogsReplayAndConvergeAcrossSeeds) {
-  for (uint64_t seed = 1; seed <= 100; ++seed) {
+TEST_F(SimPartitionHealTest, BacklogsReplayAndConvergeAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 1000; ++seed) {
     RunWindowEpisode(seed);
-    if (::testing::Test::HasFatalFailure()) {
+    if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) {
+      ADD_FAILURE() << "replay: RunWindowEpisode(" << seed << ")";
       return;
     }
   }
 }
 
-TEST_F(PartitionHealChaosTest, ManualPauseReplaysBacklogInOrderAcrossSeeds) {
-  for (uint64_t seed = 1; seed <= 100; ++seed) {
+TEST_F(SimPartitionHealTest, ManualPauseReplaysBacklogInOrderAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 1000; ++seed) {
     RunReplayOrderEpisode(seed);
-    if (::testing::Test::HasFatalFailure()) {
+    if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) {
+      ADD_FAILURE() << "replay: RunReplayOrderEpisode(" << seed << ")";
       return;
     }
   }
+}
+
+// Replay-from-seed: a full store episode (shipments, fault windows, heal
+// timers, visibility waits) is a pure function of its seed — three runs hash
+// identically, a neighbouring seed does not.
+TEST_F(SimPartitionHealTest, EpisodeTraceHashesAreReproducible) {
+  const uint64_t h1 = RunWindowEpisode(77);
+  const uint64_t h2 = RunWindowEpisode(77);
+  const uint64_t h3 = RunWindowEpisode(77);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2, h3);
+  EXPECT_NE(h1, RunWindowEpisode(78));
+
+  const uint64_t r1 = RunReplayOrderEpisode(77);
+  const uint64_t r2 = RunReplayOrderEpisode(77);
+  EXPECT_EQ(r1, r2);
 }
 
 }  // namespace
